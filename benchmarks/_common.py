@@ -1,0 +1,21 @@
+"""Shared helper for the per-figure benchmarks.
+
+Each benchmark regenerates one paper figure at quick scale, times the
+regeneration with pytest-benchmark, and prints the figure's table (run
+pytest with ``-s`` to see it; the tables are also written to
+``EXPERIMENTS.md`` by ``python -m repro.bench``).
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_experiment
+
+
+def run_figure(benchmark, exp_id: str):
+    result = benchmark.pedantic(
+        run_experiment, args=(exp_id,), kwargs={"quick": True},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    return result

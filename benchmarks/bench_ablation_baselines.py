@@ -1,0 +1,21 @@
+"""Baseline ablation: R-LRPD vs doall LRPD, inspector/executor, DOACROSS."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_ablation_baselines(benchmark):
+    result = run_figure(benchmark, "ablation_baselines")
+    table = {(r[0], r[1]): r[2] for r in result.data["rows"]}
+    chain = "partially parallel chain"
+    # The doall test slows down on any dependence; R-LRPD extracts the
+    # partial parallelism instead.
+    assert table[(chain, "LRPD doall")] < 1.0
+    assert table[(chain, "R-LRPD adaptive")] > 1.0
+    # Where an inspector exists it can win -- the R-LRPD's advantage is
+    # applicability, not raw speed on inspectable loops.
+    assert table[(chain, "inspector/executor")] > table[(chain, "R-LRPD adaptive")]
+    # Fully parallel loops: everything beats sequential.
+    assert table[("fully parallel", "R-LRPD adaptive")] > 5.0

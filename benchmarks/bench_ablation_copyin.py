@@ -1,0 +1,17 @@
+"""Section 2 ablation: copy-in condition vs privatization condition."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_ablation_copyin(benchmark):
+    result = run_figure(benchmark, "ablation_copyin")
+    verdicts = {(r[0], r[1]): r[2] for r in result.data["rows"]}
+    # The read-first loop is exactly the pattern the copy-in condition
+    # rescues.
+    assert verdicts[("read-first coefficient", "privatization")] == "FAIL"
+    assert verdicts[("read-first coefficient", "copy-in")] == "pass"
+    assert verdicts[("fully parallel", "privatization")] == "pass"
+    assert verdicts[("privatizable (W before R)", "privatization")] == "pass"

@@ -1,0 +1,13 @@
+"""Extension ablation: wavefront vs critical-path list scheduling."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_ablation_ddg_scheduling(benchmark):
+    result = run_figure(benchmark, "ablation_ddg_scheduling")
+    # Removing the per-level barrier must not hurt, and on the ragged
+    # LU levels it clearly helps.
+    assert result.data["list"] > result.data["wavefront"]

@@ -1,0 +1,16 @@
+"""Extension ablation: iteration-wise vs processor-wise commit granularity."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_ablation_iterwise(benchmark):
+    result = run_figure(benchmark, "ablation_iterwise")
+    for row in result.data["rows"]:
+        _, _, _, coarse_waste, fine_waste, coarse_mark, fine_mark = row
+        # Iteration granularity never wastes more work...
+        assert fine_waste <= coarse_waste + 1e-9
+        # ...but always marks more (trace-proportional structures).
+        assert fine_mark > coarse_mark

@@ -1,0 +1,17 @@
+"""Extension ablation: history-based strategy selection."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_ablation_predictor(benchmark):
+    result = run_figure(benchmark, "ablation_predictor")
+    rows = {r[0]: r[1] for r in result.data["rows"]}
+    fixed = [v for k, v in rows.items() if k != "history-predicted"]
+    predicted = rows["history-predicted"]
+    # After exploration the predictor exploits the winner: it must land
+    # above the median fixed strategy and within reach of the best.
+    assert predicted >= sorted(fixed)[len(fixed) // 2]
+    assert predicted >= 0.6 * max(fixed)

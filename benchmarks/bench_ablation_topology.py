@@ -1,0 +1,17 @@
+"""Extension ablation: redistribution strategies under machine topologies."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_ablation_topology(benchmark):
+    result = run_figure(benchmark, "ablation_topology")
+    rows = {r[0]: r for r in result.data["rows"]}
+    flat, ring = rows["flat (ccUMA)"], rows["ring"]
+    # NRD never migrates: identical on every machine.
+    assert flat[1] == ring[1]
+    # RD degrades as migrations get remote.
+    assert ring[2] < flat[2]
+    assert ring[3] > 0

@@ -1,0 +1,18 @@
+"""Extension: the NRD vs RD crossover over the work/overhead ratio."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_crossover(benchmark):
+    result = run_figure(benchmark, "crossover")
+    winners = [row[3] for row in result.data["rows"]]
+    # NRD wins at the cheap end, RD at the expensive end, and the winner
+    # flips exactly once (a monotone crossover).
+    assert winners[0] == "NRD"
+    assert winners[-1] == "RD"
+    flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+    assert flips == 1
+    assert result.data["crossover_at"] is not None

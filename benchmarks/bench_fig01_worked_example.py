@@ -1,0 +1,16 @@
+"""Fig. 1: the NRD/RD worked example (8 iterations, 4 processors)."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig01(benchmark):
+    result = run_figure(benchmark, "fig01")
+    rows = result.data["rows"]
+    nrd = [r for r in rows if r[0] == "NRD"]
+    # Two steps of two iterations per processor, exactly as in the paper.
+    assert len(nrd) == 2
+    assert nrd[0][3] == 4 and nrd[0][5] == "yes"
+    assert nrd[1][3] == 4 and nrd[1][5] == "no"

@@ -1,0 +1,12 @@
+"""Fig. 2: the sliding-window worked example (window of 4)."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig02(benchmark):
+    result = run_figure(benchmark, "fig02")
+    assert result.data["stages"] == 3
+    assert result.data["restarts"] == 1

@@ -1,0 +1,20 @@
+"""Fig. 4: never/adaptive/always redistribution on the synthetic alpha=1/2
+loop, with the Section 4 closed-form prediction."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig04(benchmark):
+    result = run_figure(benchmark, "fig04")
+    cumulative = result.data["cumulative"]
+    final = {k: v[-1] for k, v in cumulative.items()}
+    # NRD performs worst by a wide margin (paper); adaptive ends at or
+    # below always-redistribute.
+    assert final["never"] > final["always"]
+    assert final["never"] > final["adaptive"]
+    assert final["adaptive"] <= final["always"] * 1.02
+    # The closed form tracks the simulation within overheads.
+    assert 0.5 < final["adaptive"] / result.data["model_total"] < 2.0

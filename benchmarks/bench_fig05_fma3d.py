@@ -1,0 +1,14 @@
+"""Fig. 5: FMA3D Quad loop speedup (fully parallel, one stage)."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig05(benchmark):
+    result = run_figure(benchmark, "fig05")
+    p, speedup = result.data["p"], result.data["speedup"]
+    # Near-linear scaling minus testing overhead.
+    assert all(a < b for a, b in zip(speedup, speedup[1:]))
+    assert speedup[-1] > 0.8 * p[-1]

@@ -1,0 +1,18 @@
+"""Fig. 6: SPICE loop speedups (wavefront LU, loop 70, BJT) and whole code."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig06(benchmark):
+    result = run_figure(benchmark, "fig06")
+    data = result.data
+    # The doall-style loops scale; the wavefront LU scales but below them
+    # (per-level barriers); the whole code saturates under Amdahl.
+    assert data["s70"][-1] > data["s15"][-1]
+    assert data["sbjt"][-1] > data["s15"][-1]
+    assert data["whole"][-1] < data["sbjt"][-1]
+    assert data["whole"][-1] > data["whole"][0]
+    assert data["s15"][-1] > 2.0

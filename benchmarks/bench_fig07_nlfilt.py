@@ -1,0 +1,20 @@
+"""Fig. 7: NLFILT 300 parallelism ratio and speedup per input set."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig07(benchmark):
+    result = run_figure(benchmark, "fig07")
+    pr = result.data["PR"]
+    sp = result.data["speedup"]
+    # The dependence-free deck keeps PR = 1 at every processor count and
+    # the best speedup; denser dependences sit at or below it.
+    assert all(v == 1.0 for v in pr["fully-par"])
+    for deck in ("sparse-deps", "medium-deps", "dense-deps"):
+        assert all(a <= b for a, b in zip(pr[deck], pr["fully-par"]))
+        assert sp[deck][-1] <= sp["fully-par"][-1]
+    # Speedup grows with p for the parallel deck.
+    assert sp["fully-par"][-1] > sp["fully-par"][0]

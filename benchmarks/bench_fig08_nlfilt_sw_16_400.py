@@ -1,0 +1,17 @@
+"""Fig. 8: NLFILT sliding window vs (N)RD on the 16-400 deck
+(sparse long-distance dependences: SW should win)."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig08(benchmark):
+    result = run_figure(benchmark, "fig08")
+    rows = {r[0]: r for r in result.data["rows"]}
+    best_sw = max(v[4] for k, v in rows.items() if k.startswith("SW"))
+    # Long-distance arcs: sources commit before sinks are scheduled, so the
+    # best window beats both blocked strategies.
+    assert best_sw > rows["NRD"][4]
+    assert best_sw > rows["RD"][4]

@@ -1,0 +1,17 @@
+"""Fig. 9: NLFILT sliding window vs (N)RD on the 15-250 deck
+(dense short-distance dependences: blocked strategies should win)."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig09(benchmark):
+    result = run_figure(benchmark, "fig09")
+    rows = {r[0]: r for r in result.data["rows"]}
+    best_sw = max(v[4] for k, v in rows.items() if k.startswith("SW"))
+    best_blocked = max(rows["NRD"][4], rows["RD"][4])
+    # Short arcs fall inside the large blocked partitions but cross the
+    # small strip boundaries constantly: the winner flips vs Fig. 8.
+    assert best_blocked > best_sw

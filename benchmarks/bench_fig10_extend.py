@@ -1,0 +1,19 @@
+"""Fig. 10: EXTEND 400 parallelism ratio and speedup (speculative induction)."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig10(benchmark):
+    result = run_figure(benchmark, "fig10")
+    pr, sp = result.data["PR"], result.data["speedup"]
+    p = result.data["p"]
+    # Clean runs: PR = 1, speedup capped near p/2 by the two doalls
+    # (~60% of a one-doall hand parallelization).
+    assert all(v == 1.0 for v in pr["clean"])
+    assert 0.35 * p[-1] < sp["clean"][-1] < 0.62 * p[-1]
+    # Dependence-carrying inputs degrade both.
+    assert pr["heavy-deps"][-1] < 1.0
+    assert sp["heavy-deps"][-1] < sp["clean"][-1]

@@ -1,0 +1,14 @@
+"""Fig. 11: FPTRAK 300 parallelism ratio and speedup."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig11(benchmark):
+    result = run_figure(benchmark, "fig11")
+    pr, sp = result.data["PR"], result.data["speedup"]
+    assert all(v == 1.0 for v in pr["clean"])
+    assert sp["clean"][-1] > sp["clean"][0]
+    assert pr["heavy-deps"][-1] <= pr["light-deps"][-1]

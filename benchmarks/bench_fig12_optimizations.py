@@ -1,0 +1,27 @@
+"""Fig. 12: (a) NLFILT optimization comparison; (b) TRACK program speedup."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_fig12a(benchmark):
+    result = run_figure(benchmark, "fig12a")
+    rows = {r[0]: r for r in result.data["rows"]}
+    all_opts = rows["all optimizations"]
+    none = rows["none (NRD, full ckpt)"]
+    # All optimizations best, none worst; removing any single one costs.
+    for label, row in rows.items():
+        if label != "all optimizations":
+            assert row[1] <= all_opts[1] * 1.02, label
+    assert none[1] < all_opts[1]
+    # On-demand checkpointing slashes checkpoint volume.
+    assert rows["no on-demand ckpt"][3] > 3 * all_opts[3]
+
+
+def bench_fig12b(benchmark):
+    result = run_figure(benchmark, "fig12b")
+    speedups = result.data["speedup"]
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] > 1.5

@@ -1,0 +1,16 @@
+"""The abstract's bounded-slowdown guarantee, swept over dependence density."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_guarantee(benchmark):
+    result = run_figure(benchmark, "guarantee")
+    # Even the fully sequential pointer chase must stay within a small
+    # constant of sequential time: the run-time test's overhead only.
+    assert result.data["worst_ratio"] < 1.6
+    rows = {r[0]: r for r in result.data["rows"]}
+    assert rows["parallel (d=0)"][1] > 5.0
+    assert rows["pointer chase"][1] <= 1.0

@@ -1,0 +1,19 @@
+"""Extension: auxiliary-memory comparison across techniques."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_memory_overhead(benchmark):
+    result = run_figure(benchmark, "memory_overhead")
+    for row in result.data["rows"]:
+        _, trace_len, touched, procwise, iterwise, inspector = row
+        # Trace-proportional structures always cost at least as much as the
+        # touched-proportional shadows on these workloads.
+        assert inspector > procwise
+        assert iterwise > 0
+    ratios = result.data["inspector_over_procwise"]
+    # For the dense NLFILT shadow the gap is an order of magnitude.
+    assert ratios["NLFILT (dense, small array)"] > 10.0

@@ -1,0 +1,15 @@
+"""Extension: scaling prediction from a single observed run."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_model_scaling(benchmark):
+    result = run_figure(benchmark, "model_scaling")
+    assert result.data["kind"] == "geometric"
+    assert abs(result.data["parameter"] - 0.5) < 0.15
+    for p, predicted, simulated in result.data["rows"]:
+        # Within the model's accuracy band on every machine size.
+        assert 0.5 < predicted / simulated < 2.0, (p, predicted, simulated)

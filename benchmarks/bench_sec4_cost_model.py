@@ -1,0 +1,13 @@
+"""Section 4: closed-form cost model vs simulation sweep over alpha."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_sec4(benchmark):
+    result = run_figure(benchmark, "sec4")
+    for row in result.data["rows"]:
+        alpha, _ks, _kd, _stages, _model, _sim, ratio = row
+        assert 0.5 < ratio < 2.0, f"model diverged at alpha={alpha}"

@@ -1,0 +1,15 @@
+"""Extension: schedule-reuse amortization across SPICE Newton iterations."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_spice_program(benchmark):
+    result = run_figure(benchmark, "spice_program")
+    speedups = result.data["speedups"]
+    # Extraction iteration is the slowest; reuse iterations reach a steady
+    # state well above it, and the program total sits in between.
+    assert min(speedups[1:]) > 1.5 * speedups[0]
+    assert speedups[0] < result.data["total"] < max(speedups[1:])

@@ -1,0 +1,20 @@
+"""Extension: the persistent TRACK simulation (program-level PR/speedup)."""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def bench_track_sim(benchmark):
+    result = run_figure(benchmark, "track_sim")
+    rows = result.data["rows"]
+    speedups = [r[5] for r in rows]
+    prs = [r[4] for r in rows]
+    # Speedup grows with processors; PR declines (more block boundaries
+    # for the smoothing dependences to cross).
+    assert all(a < b for a, b in zip(speedups, speedups[1:]))
+    assert all(a >= b for a, b in zip(prs, prs[1:]))
+    # Track files end identical regardless of p (checked in-test via twins;
+    # here: same final track count on every machine size).
+    assert len({r[1] for r in rows}) == 1

@@ -1,0 +1,53 @@
+"""Redistribution policies and the Section 4 cost model (the Fig. 4 story).
+
+A synthetic 'geometric' loop loses half of the remaining iterations to a
+dependence at every stage.  Three policies race:
+
+* never   (NRD) -- failed processors redo their own blocks, the rest idle;
+* always  (RD)  -- the remainder is re-blocked over all processors;
+* adaptive      -- redistribute only while Eq. (4) holds:
+                   n_remaining >= p*s / (omega - ell).
+
+Run:  python examples/adaptive_redistribution.py
+"""
+
+from repro import CostModel, RuntimeConfig, run_blocked
+from repro.model import k_d_geometric, k_s_geometric, t_static, total_time_geometric
+from repro.workloads import chain_loop, geometric_chain_targets
+
+N, P, ALPHA = 4096, 8, 0.5
+COSTS = CostModel(omega=1.0, ell=0.3, sync=20.0)
+
+
+def main() -> None:
+    targets = geometric_chain_targets(N, ALPHA)
+    print(f"geometric loop: n={N}, p={P}, alpha={ALPHA}, deps at {targets}\n")
+
+    policies = [
+        ("never (NRD)", RuntimeConfig.nrd()),
+        ("always (RD)", RuntimeConfig.rd()),
+        ("adaptive", RuntimeConfig.adaptive()),
+    ]
+    for label, config in policies:
+        result = run_blocked(chain_loop(N, targets), P, config, costs=COSTS)
+        cumulative = result.timeline.cumulative_spans()
+        print(f"{label:14s} stages={result.n_stages:2d} "
+              f"T_par={result.total_time:8.1f} speedup={result.speedup:.2f}")
+        print(f"{'':14s} cumulative: "
+              + " ".join(f"{c:.0f}" for c in cumulative))
+
+    print("\nSection 4 closed forms:")
+    k_s = k_s_geometric(ALPHA, P)
+    k_d = k_d_geometric(N, COSTS.omega, COSTS.ell, COSTS.sync, P, ALPHA)
+    print(f"  k_s = {k_s:.2f} steps (no redistribution)")
+    print(f"  k_d = {k_d:.2f} steps of profitable redistribution (Eq. 7)")
+    print(f"  T_static = {t_static(N, COSTS.omega, COSTS.sync, P, k_s):.0f}")
+    print(
+        "  T(n)     = "
+        f"{total_time_geometric(N, COSTS.omega, COSTS.ell, COSTS.sync, P, ALPHA):.0f}"
+        "  (redistribute k_d steps, then NRD)"
+    )
+
+
+if __name__ == "__main__":
+    main()

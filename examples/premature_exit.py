@@ -1,0 +1,42 @@
+"""Speculating past a data-dependent loop exit (SPICE DCDCMP loop 70).
+
+Sequentially the loop stops the moment a convergence flag trips; nothing
+after the exit iteration executes.  Speculatively, every processor runs its
+whole block; the runtime then validates the earliest exit whose processor's
+own work is correct, commits everything up to it, and rolls the rest back
+-- one stage, no serialization, with the speculated tail showing up only as
+wasted (overlapped) work.
+
+Run:  python examples/premature_exit.py
+"""
+
+from repro import RuntimeConfig, parallelize, run_sequential
+from repro.workloads import make_dcdcmp70_loop
+
+P = 8
+
+
+def main() -> None:
+    loop = make_dcdcmp70_loop("adder.128")
+    seq = run_sequential(make_dcdcmp70_loop("adder.128"))
+    print(f"{loop.name}: {loop.n_iterations} candidate iterations")
+    print(
+        f"sequential execution exits at iteration {seq.exit_iteration} "
+        f"(useful work {seq.sequential_work:.0f})"
+    )
+
+    result = parallelize(loop, P, RuntimeConfig.nrd())
+    print(f"\nspeculative run on p={P}:")
+    print(f"  stages:          {result.n_stages} (the exit did not serialize us)")
+    print(f"  validated exit:  iteration {result.exit_iteration}")
+    print(f"  committed work:  {result.sequential_work:.0f}")
+    print(f"  speculated tail: {result.wasted_work:.0f} (overlapped, discarded)")
+    print(f"  speedup:         {result.speedup:.2f}x")
+
+    assert result.exit_iteration == seq.exit_iteration
+    assert result.memory.equals(seq.memory.snapshot())
+    print("\nfinal state == sequential execution: verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""History-based strategy selection across loop instantiations.
+
+The paper: "So far we have not devised a strategy to choose between the two
+techniques [SW vs (N)RD] except through the use of history based
+predictions."  This example runs a long-distance-dependence NLFILT deck
+(where the sliding window wins) under a predictor that explores NRD,
+adaptive RD and SW once each, then exploits the observed winner.
+
+Run:  python examples/strategy_prediction.py
+"""
+
+from repro import (
+    RuntimeConfig,
+    StrategyPredictor,
+    WindowPredictor,
+    parallelize,
+    run_program,
+    run_program_predictive,
+)
+from repro.workloads import make_nlfilt_loop
+
+P = 8
+REPS = 8
+CANDIDATES = [
+    RuntimeConfig.nrd(),
+    RuntimeConfig.adaptive(),
+    RuntimeConfig.sw(window_size=8 * P),
+]
+
+
+def main() -> None:
+    print(f"NLFILT deck 16-400 (long-distance deps), {REPS} instantiations, p={P}\n")
+
+    for cfg in CANDIDATES:
+        prog = run_program(
+            (make_nlfilt_loop("16-400", instance=k) for k in range(REPS)), P, cfg
+        )
+        print(f"fixed {cfg.label():14s} speedup={prog.speedup:5.2f} "
+              f"restarts={prog.n_restarts}")
+
+    predictor = StrategyPredictor(CANDIDATES)
+    prog = run_program_predictive(
+        [make_nlfilt_loop("16-400", instance=k) for k in range(REPS)], P, predictor
+    )
+    print(f"\nhistory-predicted    speedup={prog.speedup:5.2f} "
+          f"restarts={prog.n_restarts}")
+    print(f"converged on: {predictor.best_label('nlfilt_300[16-400]')}")
+    print("per-instantiation strategies:",
+          [r.strategy for r in prog.runs])
+
+    # Window-size adaptation: grow while clean, shrink on restarts.
+    print("\nadaptive window sizing:")
+    wpred = WindowPredictor(initial=2 * P, maximum=64 * P)
+    loop_name = None
+    for k in range(REPS):
+        loop = make_nlfilt_loop("16-400", instance=k)
+        loop_name = loop.name
+        res = parallelize(loop, P, wpred.config_for(loop.name))
+        wpred.record(loop.name, res)
+        print(f"  instantiation {k}: {res.strategy:10s} "
+              f"restarts={res.n_restarts} speedup={res.speedup:5.2f} "
+              f"-> next window {wpred.window_for(loop.name)}")
+
+
+if __name__ == "__main__":
+    main()

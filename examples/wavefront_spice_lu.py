@@ -1,0 +1,62 @@
+"""DDG extraction + wavefront scheduling on SPICE's sparse LU loop.
+
+DCDCMP loop 15 is partially parallel: each row elimination depends on a few
+earlier rows (the circuit topology), so the plain R-LRPD schedule restarts
+constantly.  Section 3's answer: run the sliding-window R-LRPD test once
+while logging every dependence into the inverted edge table, build the full
+iteration DDG, and schedule by wavefronts.  The schedule depends only on the
+access pattern, so it is reused for the rest of the program.
+
+Run:  python examples/wavefront_spice_lu.py
+"""
+
+from repro import (
+    RuntimeConfig,
+    execute_wavefront,
+    extract_ddg,
+    parallelize,
+    run_sequential,
+    sequential_reference,
+    wavefront_schedule,
+)
+from repro.workloads import make_dcdcmp15_loop
+
+P = 8
+REUSES = 10  # how many instantiations share one extracted schedule
+
+
+def main() -> None:
+    loop = make_dcdcmp15_loop("adder.128")
+    print(f"{loop.name}: {loop.n_iterations} rows to factor on {P} processors")
+
+    plain = parallelize(loop, P, RuntimeConfig.adaptive())
+    print(
+        f"plain R-LRPD:  {plain.n_stages} stages, speedup {plain.speedup:.2f}x "
+        "(dependences everywhere -> nearly sequential schedule)"
+    )
+
+    ddg = extract_ddg(loop, P, RuntimeConfig.sw(window_size=16 * P))
+    schedule = wavefront_schedule(ddg.graph(), loop.n_iterations)
+    print(
+        f"DDG extraction: {len(ddg.edges)} edges, critical path "
+        f"{schedule.critical_path} wavefronts, average parallelism "
+        f"{schedule.average_parallelism:.1f}"
+    )
+
+    wf = execute_wavefront(loop, schedule, P)
+    reference = sequential_reference(loop)
+    assert wf.memory.equals(reference)
+    print(f"wavefront execution: speedup {wf.speedup:.2f}x (state verified)")
+
+    t_seq = run_sequential(loop).total_time
+    amortized = (
+        ddg.extraction.total_time + (REUSES - 1) * wf.total_time
+    ) / REUSES
+    print(
+        f"amortized over {REUSES} instantiations (schedule reuse): "
+        f"{t_seq / amortized:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

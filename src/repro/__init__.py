@@ -1,0 +1,143 @@
+"""repro -- The R-LRPD Test: speculative parallelization of partially
+parallel loops.
+
+A faithful, deterministic reproduction of Dang, Yu & Rauchwerger (IPDPS
+2002) on a virtual-time simulated multiprocessor.  Quick start::
+
+    import numpy as np
+    from repro import ArraySpec, SpeculativeLoop, RuntimeConfig, parallelize
+
+    def body(ctx, i):
+        x = ctx.load("A", i)
+        ctx.store("A", (i * 7 + 3) % 64, x + 1.0)
+
+    loop = SpeculativeLoop(
+        name="demo", n_iterations=64, body=body,
+        arrays=[ArraySpec("A", np.zeros(64))],
+    )
+    result = parallelize(loop, n_procs=8, config=RuntimeConfig.adaptive())
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.config import (
+    RedistributionPolicy,
+    RuntimeConfig,
+    Strategy,
+    TestCondition,
+)
+from repro.core import (
+    DDGResult,
+    ProgramResult,
+    RunResult,
+    StageResult,
+    WavefrontSchedule,
+    execute_wavefront,
+    extract_ddg,
+    parallelize,
+    run_blocked,
+    run_blocked_iterwise,
+    run_doall_lrpd,
+    run_program,
+    run_sliding_window,
+    wavefront_schedule,
+)
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    InspectorUnavailableError,
+    NoProgressError,
+    ReproError,
+    ScheduleError,
+    SpeculationError,
+)
+from repro.loopir import (
+    ArraySpec,
+    InductionSpec,
+    IterationContext,
+    ReductionOp,
+    SpeculativeLoop,
+)
+from repro.core import (
+    Certificate,
+    LinkedListLoop,
+    ListSchedule,
+    TraversalRunResult,
+    certify,
+    execute_list_schedule,
+    list_schedule,
+    run_list_traversal,
+)
+from repro.machine import CostModel, Machine, MemoryImage, SharedArray, Topology
+from repro.baselines import (
+    run_doacross,
+    run_inspector_executor,
+    run_sequential,
+    sequential_reference,
+)
+from repro.core import run_program_predictive
+from repro.sched import FeedbackBalancer, StrategyPredictor, WindowPredictor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "RuntimeConfig",
+    "Strategy",
+    "RedistributionPolicy",
+    "TestCondition",
+    "CostModel",
+    # loop IR
+    "SpeculativeLoop",
+    "ArraySpec",
+    "InductionSpec",
+    "IterationContext",
+    "ReductionOp",
+    # machine
+    "Machine",
+    "MemoryImage",
+    "SharedArray",
+    "Topology",
+    "ListSchedule",
+    "list_schedule",
+    "execute_list_schedule",
+    "LinkedListLoop",
+    "TraversalRunResult",
+    "run_list_traversal",
+    "certify",
+    "Certificate",
+    # runtime
+    "parallelize",
+    "run_program",
+    "run_blocked",
+    "run_blocked_iterwise",
+    "run_sliding_window",
+    "run_doall_lrpd",
+    "extract_ddg",
+    "wavefront_schedule",
+    "execute_wavefront",
+    "WavefrontSchedule",
+    "DDGResult",
+    "RunResult",
+    "StageResult",
+    "ProgramResult",
+    "FeedbackBalancer",
+    "StrategyPredictor",
+    "WindowPredictor",
+    "run_program_predictive",
+    # baselines
+    "run_sequential",
+    "sequential_reference",
+    "run_inspector_executor",
+    "run_doacross",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SpeculationError",
+    "NoProgressError",
+    "InspectorUnavailableError",
+    "CheckpointError",
+    "ScheduleError",
+]

@@ -1,0 +1,14 @@
+"""Comparison techniques: sequential execution, the inspector/executor
+method, and the DOACROSS scheme of Kazi & Lilja -- the prior work the
+R-LRPD test is positioned against (paper, Section 1)."""
+
+from repro.baselines.sequential import run_sequential, sequential_reference
+from repro.baselines.inspector import run_inspector_executor
+from repro.baselines.doacross import run_doacross
+
+__all__ = [
+    "run_sequential",
+    "sequential_reference",
+    "run_inspector_executor",
+    "run_doacross",
+]

@@ -1,0 +1,106 @@
+"""The inspector/executor baseline (paper, Section 1 and [13]).
+
+A side-effect-free *inspector* loop records the relevant memory references;
+a sorting-based technique builds the iteration dependence graph; the
+iterations are then scheduled in topological (wavefront) order.  Its two
+limitations motivate the R-LRPD test:
+
+* a proper inspector must exist -- if the address computation depends on
+  loop data, extracting one means executing most of the loop itself
+  (:class:`~repro.errors.InspectorUnavailableError` models this); and
+* the recorded reference trace costs memory proportional to its length.
+
+The cost model charges the inspector run (per recorded reference), the
+per-address sort, and then the wavefront execution with a barrier per front.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.results import RunResult
+from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.errors import InspectorUnavailableError
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.costs import CostModel
+from repro.machine.memory import MemoryImage
+from repro.machine.timeline import Category
+from repro.shadow.edges import DependenceEdge, EdgeKind, InvertedEdgeTable
+
+
+def dependence_edges_from_trace(
+    trace: list[tuple[set, set]],
+) -> InvertedEdgeTable:
+    """Sorting-based dependence construction from an inspector trace.
+
+    For every address, accesses are collected in iteration order (the
+    "sorting" of the reference trace): a read depends on the last write
+    (flow); a write depends on *all* reads since the last write (anti --
+    keeping only the latest reader would let a scheduler hoist the write
+    over earlier readers) and on the last write itself (output).
+    """
+    edges = InvertedEdgeTable()
+    last_write: dict[tuple[str, int], int] = {}
+    readers: dict[tuple[str, int], set[int]] = {}
+    for i, (reads, writes) in enumerate(trace):
+        for addr in reads:
+            w = last_write.get(addr)
+            if w is not None and w < i:
+                edges.log(DependenceEdge(w, i, EdgeKind.FLOW, addr[0], addr[1]))
+        for addr in writes:
+            for r in readers.get(addr, ()):
+                if r < i:
+                    edges.log(DependenceEdge(r, i, EdgeKind.ANTI, addr[0], addr[1]))
+            w = last_write.get(addr)
+            if w is not None and w < i:
+                edges.log(DependenceEdge(w, i, EdgeKind.OUTPUT, addr[0], addr[1]))
+        for addr in reads:
+            readers.setdefault(addr, set()).add(i)
+        for addr in writes:
+            last_write[addr] = max(last_write.get(addr, -1), i)
+            readers.pop(addr, None)
+    return edges
+
+
+def run_inspector_executor(
+    loop: SpeculativeLoop,
+    n_procs: int,
+    costs: CostModel | None = None,
+    memory: MemoryImage | None = None,
+) -> RunResult:
+    """Inspector -> dependence graph -> wavefront execution.
+
+    Raises :class:`InspectorUnavailableError` for loops without a proper
+    inspector (exactly the loops only the R-LRPD test can handle).
+    """
+    if loop.inspector is None:
+        raise InspectorUnavailableError(
+            f"loop {loop.name!r} has a dependence cycle between data and "
+            "address computation; no side-effect-free inspector exists"
+        )
+    memory = memory or loop.materialize()
+    trace = loop.inspector(memory)
+    if len(trace) != loop.n_iterations:
+        raise InspectorUnavailableError(
+            f"inspector returned {len(trace)} iteration records for "
+            f"{loop.n_iterations} iterations"
+        )
+    edges = dependence_edges_from_trace(trace)
+    schedule = wavefront_schedule(edges.to_graph(loop.n_iterations), loop.n_iterations)
+
+    result = execute_wavefront(loop, schedule, n_procs, costs=costs, memory=memory)
+
+    # Charge the inspection phase on top of the wavefront execution as an
+    # extra timeline stage: the inspector touches every recorded reference,
+    # the graph build sorts them (n log n in trace length, over p procs).
+    n_refs = sum(len(r) + len(w) for r, w in trace)
+    cost_model = costs or CostModel()
+    record = result.timeline.begin_stage()
+    inspect_cost = cost_model.mark * n_refs / n_procs
+    sort_cost = cost_model.analysis_per_ref * n_refs * max(
+        1.0, math.log2(max(2, n_refs))
+    ) / n_procs
+    record.charge(-1, Category.ANALYSIS, inspect_cost + sort_cost)
+
+    result.strategy = f"inspector/executor(cp={schedule.critical_path})"
+    return result

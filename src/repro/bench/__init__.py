@@ -1,0 +1,21 @@
+"""Benchmark harness: one registered experiment per paper figure/table."""
+
+from repro.bench.harness import (
+    EXPERIMENTS,
+    ExperimentResult,
+    register,
+    run_experiment,
+    list_experiments,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "register",
+    "run_experiment",
+    "list_experiments",
+]
+
+# Importing these populates the registry.
+import repro.bench.figures  # noqa: E402,F401
+import repro.bench.extensions  # noqa: E402,F401

@@ -1,0 +1,91 @@
+"""CLI: regenerate EXPERIMENTS.md (or print selected experiments).
+
+Usage::
+
+    python -m repro.bench                 # full-scale, writes EXPERIMENTS.md
+    python -m repro.bench --quick         # scaled-down decks
+    python -m repro.bench fig07 fig12a    # print selected experiments only
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.bench.harness import list_experiments, run_experiment
+from repro.bench.report import generate_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper-figure experiments.",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--quick", action="store_true", help="scaled-down decks")
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="write the full report here (default: EXPERIMENTS.md when no ids given)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also export raw experiment data as JSON files into DIR",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        type=pathlib.Path,
+        default=None,
+        metavar=("BEFORE", "AFTER"),
+        help="diff two --json snapshot directories and report drifts",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative drift tolerance for --compare (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(list_experiments()))
+        return 0
+
+    if args.compare is not None:
+        from repro.bench.compare import compare_exports
+
+        report = compare_exports(*args.compare, tolerance=args.tolerance)
+        print(report.render())
+        return 0 if report.clean else 1
+
+    if args.json is not None:
+        from repro.bench.export import export_experiments
+
+        written = export_experiments(
+            args.json, ids=args.ids or None, quick=args.quick
+        )
+        print(f"wrote {len(written)} JSON files to {args.json}")
+        if args.ids:
+            return 0
+
+    if args.ids:
+        for exp_id in args.ids:
+            print(run_experiment(exp_id, quick=args.quick).render())
+        return 0
+
+    report = generate_report(quick=args.quick)
+    output = args.output or pathlib.Path("EXPERIMENTS.md")
+    output.write_text(report)
+    print(f"wrote {output} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

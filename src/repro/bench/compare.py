@@ -1,0 +1,131 @@
+"""Regression comparison of two exported experiment runs.
+
+`python -m repro.bench --json DIR` snapshots every experiment's raw data;
+this module diffs two such snapshots and reports where the numbers moved
+beyond a tolerance.  The intended workflow: export once at a known-good
+revision, re-export after a change, and let the diff say whether any
+figure's *shape* drifted (a silent behavioral regression the pass/fail
+benchmarks might tolerate).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One numeric divergence between the two snapshots."""
+
+    experiment: str
+    path: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        scale = max(abs(self.before), abs(self.after), 1e-12)
+        return abs(self.after - self.before) / scale
+
+
+@dataclass
+class ComparisonReport:
+    """All drifts plus structural differences."""
+
+    tolerance: float
+    drifts: list[Drift] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    structure_changes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drifts or self.missing or self.structure_changes)
+
+    def render(self) -> str:
+        lines = []
+        if self.clean:
+            lines.append(f"no drift beyond {self.tolerance:.0%}")
+        for name in self.missing:
+            lines.append(f"MISSING experiment: {name}")
+        for name in self.added:
+            lines.append(f"new experiment: {name}")
+        for change in self.structure_changes:
+            lines.append(f"STRUCTURE: {change}")
+        for d in sorted(self.drifts, key=lambda d: -d.relative):
+            lines.append(
+                f"DRIFT {d.experiment}:{d.path}  "
+                f"{d.before:g} -> {d.after:g}  ({d.relative:.1%})"
+            )
+        return "\n".join(lines)
+
+
+def _walk(value, path: str):
+    """Yield ``(path, leaf)`` pairs for every scalar in a nested structure."""
+    if isinstance(value, dict):
+        for key in sorted(value):
+            yield from _walk(value[key], f"{path}.{key}" if path else str(key))
+    elif isinstance(value, list):
+        for k, item in enumerate(value):
+            yield from _walk(item, f"{path}[{k}]")
+    else:
+        yield path, value
+
+
+def compare_data(
+    experiment: str,
+    before,
+    after,
+    tolerance: float,
+    report: ComparisonReport,
+) -> None:
+    """Diff two experiments' ``data`` dicts into the report."""
+    before_leaves = dict(_walk(before, ""))
+    after_leaves = dict(_walk(after, ""))
+    for path in sorted(set(before_leaves) | set(after_leaves)):
+        if path not in before_leaves or path not in after_leaves:
+            report.structure_changes.append(f"{experiment}:{path}")
+            continue
+        b, a = before_leaves[path], after_leaves[path]
+        if isinstance(b, (int, float)) and isinstance(a, (int, float)) and not (
+            isinstance(b, bool) or isinstance(a, bool)
+        ):
+            drift = Drift(experiment, path, float(b), float(a))
+            if drift.relative > tolerance:
+                report.drifts.append(drift)
+        elif b != a:
+            report.structure_changes.append(
+                f"{experiment}:{path} value kind changed ({b!r} -> {a!r})"
+            )
+
+
+def compare_exports(
+    before_dir: str | pathlib.Path,
+    after_dir: str | pathlib.Path,
+    tolerance: float = 0.10,
+) -> ComparisonReport:
+    """Diff two snapshot directories written by ``export_experiments``."""
+    before_dir = pathlib.Path(before_dir)
+    after_dir = pathlib.Path(after_dir)
+    report = ComparisonReport(tolerance=tolerance)
+
+    def load(directory: pathlib.Path) -> dict[str, dict]:
+        index = directory / "index.json"
+        if not index.exists():
+            raise FileNotFoundError(f"{directory} has no index.json snapshot")
+        manifest = json.loads(index.read_text())
+        return {
+            name: json.loads((directory / entry["file"]).read_text())
+            for name, entry in manifest.items()
+        }
+
+    before = load(before_dir)
+    after = load(after_dir)
+    report.missing = sorted(set(before) - set(after))
+    report.added = sorted(set(after) - set(before))
+    for name in sorted(set(before) & set(after)):
+        compare_data(name, before[name]["data"], after[name]["data"],
+                     tolerance, report)
+    return report

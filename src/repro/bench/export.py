@@ -1,0 +1,59 @@
+"""Machine-readable export of experiment results.
+
+`EXPERIMENTS.md` is for humans; downstream analysis (plotting the series,
+diffing two runs of the reproduction, regression-tracking the shapes)
+wants the raw data.  :func:`export_experiments` writes one JSON file per
+experiment containing the id, title, expectation, rendered table and the
+raw ``data`` dict, plus an ``index.json`` manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.bench.harness import EXPERIMENTS, run_experiment
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment data to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
+def export_experiments(
+    directory: str | pathlib.Path,
+    ids: Iterable[str] | None = None,
+    quick: bool = True,
+) -> list[pathlib.Path]:
+    """Run experiments and write one JSON file each; returns the paths."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+    manifest: dict[str, dict] = {}
+    for exp_id in ids or sorted(EXPERIMENTS):
+        result = run_experiment(exp_id, quick=quick)
+        payload = {
+            "id": result.exp_id,
+            "title": result.title,
+            "expectation": result.expectation,
+            "table": result.table,
+            "data": _jsonable(result.data),
+            "quick": quick,
+        }
+        path = out_dir / f"{exp_id}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        written.append(path)
+        manifest[exp_id] = {"title": result.title, "file": path.name}
+    index = out_dir / "index.json"
+    index.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    written.append(index)
+    return written

@@ -1,0 +1,469 @@
+"""Ablation experiments for the extension features.
+
+These go beyond the paper's figures, quantifying the design choices
+DESIGN.md calls out: iteration- vs processor-granularity commit, wavefront
+vs list scheduling from the same DDG, topology sensitivity of the
+redistribution strategies, and history-based strategy prediction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.harness import ExperimentResult, register
+from repro.config import RuntimeConfig
+from repro.core.ddg import extract_ddg
+from repro.core.iterwise import run_blocked_iterwise
+from repro.core.listsched import execute_list_schedule, list_schedule
+from repro.core.rlrpd import run_blocked
+from repro.core.runner import run_program, run_program_predictive
+from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.machine.timeline import Category
+from repro.machine.topology import Topology
+from repro.sched.predictor import StrategyPredictor
+from repro.util.tables import format_table
+from repro.workloads.spice import SPICE_DECKS, make_dcdcmp15_loop
+from repro.workloads.synthetic import (
+    chain_loop,
+    geometric_chain_targets,
+    random_dependence_loop,
+)
+from repro.workloads.track_nlfilt import NLFILT_DECKS, make_nlfilt_loop
+
+
+@register("ablation_iterwise")
+def ablation_iterwise(quick: bool) -> ExperimentResult:
+    """Iteration-wise vs processor-wise commit granularity."""
+    n = 512 if quick else 4096
+    p = 8
+    loops = [
+        ("sparse deps", lambda: random_dependence_loop(n, 0.02, 8, seed=17)),
+        ("medium deps", lambda: random_dependence_loop(n, 0.08, 8, seed=17)),
+        ("dense deps", lambda: random_dependence_loop(n, 0.25, 8, seed=17)),
+    ]
+    rows = []
+    for label, factory in loops:
+        coarse = run_blocked(factory(), p, RuntimeConfig.nrd())
+        fine = run_blocked_iterwise(factory(), p, RuntimeConfig.nrd())
+        rows.append(
+            [
+                label,
+                round(coarse.speedup, 2),
+                round(fine.speedup, 2),
+                round(coarse.wasted_work, 1),
+                round(fine.wasted_work, 1),
+                round(coarse.timeline.charged_category(Category.MARK), 1),
+                round(fine.timeline.charged_category(Category.MARK), 1),
+            ]
+        )
+    table = format_table(
+        ["loop", "proc-wise spdup", "iter-wise spdup",
+         "proc-wise waste", "iter-wise waste",
+         "proc-wise mark", "iter-wise mark"],
+        rows,
+        title=f"Commit granularity (n={n}, p={p}, NRD)",
+    )
+    return ExperimentResult(
+        "ablation_iterwise",
+        "Iteration-wise vs processor-wise R-LRPD",
+        table,
+        "Iteration granularity re-executes fewer iterations (less wasted "
+        "work) but pays trace-proportional marking/analysis -- the paper's "
+        "reason for preferring the processor-wise test.",
+        data={"rows": rows},
+    )
+
+
+@register("ablation_ddg_scheduling")
+def ablation_ddg_scheduling(quick: bool) -> ExperimentResult:
+    """Wavefront vs critical-path list scheduling from the same DDG."""
+    deck = SPICE_DECKS["adder.128"]
+    deck = dataclasses.replace(deck, lu_rows=860 if quick else 2868)
+    p = 8
+    loop = make_dcdcmp15_loop(deck)
+    ddg = extract_ddg(loop, p, RuntimeConfig.sw(window_size=16 * p))
+    graph = ddg.graph()
+    wf = execute_wavefront(loop, wavefront_schedule(graph, loop.n_iterations), p)
+    ls = execute_list_schedule(loop, list_schedule(graph, loop, p))
+    rows = [
+        ["wavefront", round(wf.total_time, 1), round(wf.speedup, 2), wf.n_stages],
+        ["list (critical path)", round(ls.total_time, 1), round(ls.speedup, 2), 1],
+    ]
+    table = format_table(
+        ["scheduler", "T_par", "speedup", "barriers"],
+        rows,
+        title=f"DDG scheduling on {loop.name} (n={loop.n_iterations}, p={p})",
+    )
+    return ExperimentResult(
+        "ablation_ddg_scheduling",
+        "Wavefront vs list scheduling from the extracted DDG",
+        table,
+        "Both schedules are DDG-correct; list scheduling removes the "
+        "per-level barrier and wins when level widths are ragged.",
+        data={"wavefront": wf.speedup, "list": ls.speedup},
+    )
+
+
+@register("ablation_topology")
+def ablation_topology(quick: bool) -> ExperimentResult:
+    """Redistribution strategies under increasingly remote machines."""
+    n = 512 if quick else 4096
+    p = 8
+    targets = geometric_chain_targets(n, 0.5)
+    topologies = [
+        ("flat (ccUMA)", Topology.flat(p)),
+        ("NUMA 2 nodes", Topology.numa(p, 2, remote_factor=2.0)),
+        ("ring", Topology.ring(p, remote_factor=2.0)),
+    ]
+    rows = []
+    for label, topo in topologies:
+        nrd = run_blocked(chain_loop(n, targets), p, RuntimeConfig.nrd(), topology=topo)
+        rd = run_blocked(chain_loop(n, targets), p, RuntimeConfig.rd(), topology=topo)
+        rows.append(
+            [
+                label,
+                round(nrd.speedup, 2),
+                round(rd.speedup, 2),
+                round(sum(s.migration_distance for s in rd.stages), 0),
+            ]
+        )
+    table = format_table(
+        ["topology", "NRD speedup", "RD speedup", "RD migration distance"],
+        rows,
+        title=f"Topology sensitivity (n={n}, p={p}, alpha=0.5 chain)",
+    )
+    return ExperimentResult(
+        "ablation_topology",
+        "Redistribution under machine topologies",
+        table,
+        "NRD is topology-immune (nothing migrates); RD's advantage shrinks "
+        "as remote distance grows -- the remote-miss cost the paper folds "
+        "into ell.",
+        data={"rows": rows},
+    )
+
+
+@register("track_sim")
+def track_sim(quick: bool) -> ExperimentResult:
+    """The TRACK program as a persistent simulation: three loops sharing
+    one track file across time steps, PR/speedup over the program's life
+    (the program-level complement of Fig. 12(b))."""
+    from repro.workloads.track_sim import TrackSimConfig, TrackSimulation
+
+    steps = 4 if quick else 10
+    cfg = TrackSimConfig(
+        max_tracks=2048 if quick else 8192,
+        initial_tracks=64,
+        detections_per_step=96,
+        smooth_prob=0.06,
+    )
+    procs = [2, 4, 8] if quick else [2, 4, 8, 16]
+    rows = []
+    for p in procs:
+        sim = TrackSimulation(cfg)
+        program = sim.run(steps, p)
+        rows.append(
+            [
+                p,
+                sim.n_tracks,
+                program.n_instantiations,
+                program.n_restarts,
+                round(program.parallelism_ratio, 3),
+                round(program.speedup, 2),
+            ]
+        )
+    table = format_table(
+        ["p", "final tracks", "loop runs", "restarts", "PR", "speedup"],
+        rows,
+        title=f"Persistent TRACK simulation ({steps} time steps)",
+    )
+    return ExperimentResult(
+        "track_sim",
+        "TRACK as a persistent program",
+        table,
+        "Speedup grows with p while PR declines (more boundaries for the "
+        "smoothing dependences to cross); every step's commits feed the "
+        "next step's loops, so the aggregate also certifies cross-"
+        "instantiation soundness.",
+        data={"rows": rows},
+    )
+
+
+@register("spice_program")
+def spice_program(quick: bool) -> ExperimentResult:
+    """SPICE transient analysis: wavefront-schedule reuse amortization.
+
+    The first Newton iteration pays DDG extraction; every later one reuses
+    the schedule -- the per-iteration speedup curve climbs to the steady
+    state Fig. 6 reports.
+    """
+    import dataclasses as _dc
+
+    from repro.workloads.spice import SPICE_DECKS
+    from repro.workloads.spice_sim import run_spice_program
+
+    deck = SPICE_DECKS["adder.128"]
+    if quick:
+        deck = _dc.replace(deck, lu_rows=860, devices=256, workspace=1 << 14)
+    iterations = 5 if quick else 10
+    p = 8
+    program = run_spice_program(deck, p, iterations)
+    speedups = program.per_iteration_speedups()
+    rows = [
+        [k, "extract+execute" if k == 0 else "reuse", round(s, 2)]
+        for k, s in enumerate(speedups)
+    ]
+    rows.append(["total", "", round(program.speedup, 2)])
+    table = format_table(
+        ["newton iteration", "LU schedule", "speedup"],
+        rows,
+        title=(
+            f"SPICE program on deck {deck.name} (p={p}, "
+            f"critical path {program.schedule.critical_path})"
+        ),
+    )
+    return ExperimentResult(
+        "spice_program",
+        "Schedule-reuse amortization over Newton iterations",
+        table,
+        "Iteration 0 pays extraction and runs near-sequential; the reuse "
+        "iterations jump to the wavefront steady state, pulling the "
+        "program total toward it as iterations accumulate.",
+        data={"speedups": speedups, "total": program.speedup},
+    )
+
+
+@register("crossover")
+def crossover(quick: bool) -> ExperimentResult:
+    """Where redistribution stops paying: sweep the work/overhead ratio.
+
+    Section 4's opening rule -- 'if omega <= ell + s (per iteration), it
+    does not pay to redistribute' -- swept over omega with fixed ell, s.
+    """
+    from repro.machine.costs import CostModel
+    from repro.workloads.synthetic import geometric_chain_targets
+
+    n, p, alpha = (512 if quick else 4096), 8, 0.5
+    ell, s = 0.3, 20.0
+    targets = geometric_chain_targets(n, alpha)
+    rows = []
+    crossover_at = None
+    omegas = [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0]
+    for omega in omegas:
+        costs = CostModel(omega=omega, ell=ell, sync=s)
+        nrd = run_blocked(chain_loop(n, targets), p, RuntimeConfig.nrd(), costs=costs)
+        rd = run_blocked(chain_loop(n, targets), p, RuntimeConfig.rd(), costs=costs)
+        winner = "RD" if rd.total_time < nrd.total_time else "NRD"
+        if winner == "RD" and crossover_at is None:
+            crossover_at = omega
+        rows.append(
+            [omega, round(nrd.total_time, 0), round(rd.total_time, 0), winner]
+        )
+    table = format_table(
+        ["omega", "T_NRD", "T_RD", "winner"],
+        rows,
+        title=f"NRD vs RD crossover (n={n}, p={p}, ell={ell}, s={s})",
+    )
+    return ExperimentResult(
+        "crossover",
+        "When redistribution pays",
+        table,
+        "Cheap iterations (omega small vs ell + per-iteration sync share) "
+        "favor NRD; as omega grows past the overhead, RD takes over and "
+        "stays ahead -- the Section 4 decision rule made visible.",
+        data={"rows": rows, "crossover_at": crossover_at},
+    )
+
+
+@register("memory_overhead")
+def memory_overhead(quick: bool) -> ExperimentResult:
+    """Auxiliary-memory comparison: touched-proportional shadows vs
+    trace-proportional structures (the 'requires less memory overhead'
+    claim of Section 1)."""
+    import dataclasses as _dc
+
+    from repro.model.footprint import estimate_footprints
+    from repro.workloads.spice import SPICE_DECKS, make_dcdcmp15_loop
+    from repro.workloads.track_nlfilt import NLFILT_DECKS, make_nlfilt_loop
+
+    p = 8
+    nl_deck = NLFILT_DECKS["medium-deps"]
+    sp_deck = SPICE_DECKS["adder.128"]
+    if quick:
+        nl_deck = _dc.replace(nl_deck, n=1200)
+        sp_deck = _dc.replace(sp_deck, lu_rows=860)
+    cases = [
+        ("NLFILT (dense, small array)", make_nlfilt_loop(nl_deck)),
+        ("DCDCMP-15 (sparse workspace)", make_dcdcmp15_loop(sp_deck)),
+    ]
+    rows = []
+    sparse_ratios = {}
+    for label, loop in cases:
+        report = estimate_footprints(loop, p)
+        rows.append(
+            [
+                label,
+                report.trace_length,
+                report.distinct_touched,
+                round(report.procwise_bytes / 1024.0, 1),
+                round(report.iterwise_bytes / 1024.0, 1),
+                round(report.inspector_bytes / 1024.0, 1),
+            ]
+        )
+        sparse_ratios[label] = report.inspector_bytes / max(
+            1.0, report.procwise_bytes
+        )
+    table = format_table(
+        ["loop", "trace len", "touched", "proc-wise KiB", "iter-wise KiB",
+         "inspector KiB"],
+        rows,
+        title=f"Auxiliary memory per technique (p={p})",
+    )
+    return ExperimentResult(
+        "memory_overhead",
+        "Memory overhead: shadows vs reference traces",
+        table,
+        "The processor-wise shadows scale with touched elements (tiny for "
+        "the sparse SPICE workspace); mark lists and inspector traces "
+        "scale with the reference trace -- the overhead the R-LRPD test "
+        "avoids.",
+        data={"rows": rows, "inspector_over_procwise": sparse_ratios},
+    )
+
+
+@register("model_scaling")
+def model_scaling(quick: bool) -> ExperimentResult:
+    """Fit alpha at one machine size, predict speedups at others, compare
+    against actually simulating those sizes (Section 4's 'recomputed
+    during execution' estimation put to work)."""
+    from repro.machine.costs import CostModel
+    from repro.model.predict import predict_scaling
+    from repro.workloads.synthetic import geometric_rd_targets
+
+    n = 1024 if quick else 8192
+    fit_p = 4
+    targets_p = [2, 4, 8, 16]
+    costs = CostModel(omega=1.0, ell=0.3, sync=20.0)
+    alpha = 0.5
+    observed = run_blocked(
+        chain_loop(n, geometric_rd_targets(n, alpha, fit_p)),
+        fit_p,
+        RuntimeConfig.adaptive(),
+        costs=costs,
+    )
+    prediction = predict_scaling(observed, costs, targets_p)
+    rows = []
+    for p in targets_p:
+        actual = run_blocked(
+            chain_loop(n, geometric_rd_targets(n, alpha, fit_p)),
+            p,
+            RuntimeConfig.adaptive(),
+            costs=costs,
+        )
+        rows.append(
+            [p, round(prediction.predictions[p], 2), round(actual.speedup, 2)]
+        )
+    table = format_table(
+        ["p", "predicted speedup", "simulated speedup"],
+        rows,
+        title=(
+            f"Scaling prediction from one p={fit_p} observation "
+            f"(fit: {prediction.kind}, parameter={prediction.parameter:.2f})"
+        ),
+    )
+    return ExperimentResult(
+        "model_scaling",
+        "Capacity planning from one observed run",
+        table,
+        "The alpha fitted at p=4 predicts the other machine sizes' "
+        "speedups within the model's accuracy band (the model omits "
+        "marking/analysis overheads, so it sits slightly above the "
+        "simulation).",
+        data={"rows": rows, "kind": prediction.kind,
+              "parameter": prediction.parameter},
+    )
+
+
+@register("guarantee")
+def guarantee(quick: bool) -> ExperimentResult:
+    """The abstract's bound: 'a speculatively parallelized program will run
+    at least as fast as its sequential version and with some additional
+    testing overhead' -- swept over dependence density up to the fully
+    sequential pointer-chase worst case."""
+    from repro.workloads.patterns import pointer_chase_loop
+
+    n = 512 if quick else 4096
+    p = 8
+    rows = []
+    cases = [
+        ("parallel (d=0)", lambda: random_dependence_loop(n, 0.0, 4, seed=31)),
+        ("d=0.05", lambda: random_dependence_loop(n, 0.05, 4, seed=31)),
+        ("d=0.2", lambda: random_dependence_loop(n, 0.2, 4, seed=31)),
+        ("d=0.5", lambda: random_dependence_loop(n, 0.5, 4, seed=31)),
+        ("pointer chase", lambda: pointer_chase_loop(n, seed=31)),
+    ]
+    worst_ratio = 0.0
+    for label, factory in cases:
+        res = run_blocked(factory(), p, RuntimeConfig.nrd())
+        ratio = res.total_time / res.sequential_work
+        worst_ratio = max(worst_ratio, ratio)
+        rows.append(
+            [label, round(res.speedup, 2), res.n_stages, round(ratio, 3)]
+        )
+    table = format_table(
+        ["dependence density", "speedup", "stages", "T_par / T_seq"],
+        rows,
+        title=f"Worst-case guarantee sweep (n={n}, p={p}, NRD)",
+    )
+    return ExperimentResult(
+        "guarantee",
+        "The bounded-slowdown guarantee",
+        table,
+        "Even the fully sequential worst case pays only the run-time "
+        "test's overhead (T_par/T_seq stays a small constant); speedup "
+        "degrades gracefully with density instead of collapsing like the "
+        "doall-or-nothing LRPD.",
+        data={"rows": rows, "worst_ratio": worst_ratio},
+    )
+
+
+@register("ablation_predictor")
+def ablation_predictor(quick: bool) -> ExperimentResult:
+    """History-based strategy selection vs fixed strategies."""
+    deck = NLFILT_DECKS["16-400"]
+    if quick:
+        deck = dataclasses.replace(deck, n=max(256, deck.n // 4))
+    p = 8
+    reps = 6 if quick else 10
+    candidates = [
+        RuntimeConfig.nrd(),
+        RuntimeConfig.adaptive(),
+        RuntimeConfig.sw(window_size=8 * p),
+    ]
+    rows = []
+    for label, cfg in [("NRD fixed", candidates[0]),
+                       ("adaptive fixed", candidates[1]),
+                       ("SW fixed", candidates[2])]:
+        prog = run_program(
+            (make_nlfilt_loop(deck, instance=k) for k in range(reps)), p, cfg
+        )
+        rows.append([label, round(prog.speedup, 2), prog.n_restarts])
+    predictor = StrategyPredictor(candidates)
+    prog = run_program_predictive(
+        [make_nlfilt_loop(deck, instance=k) for k in range(reps)], p, predictor
+    )
+    rows.append(["history-predicted", round(prog.speedup, 2), prog.n_restarts])
+    table = format_table(
+        ["strategy", "program speedup", "restarts"],
+        rows,
+        title=f"Strategy prediction on NLFILT {deck.name} ({reps} instantiations, p={p})",
+    )
+    return ExperimentResult(
+        "ablation_predictor",
+        "History-based strategy selection",
+        table,
+        "After one exploration round per candidate, the predictor tracks "
+        "the best fixed strategy -- the paper's proposed mechanism for the "
+        "SW vs (N)RD choice.",
+        data={"rows": rows},
+    )

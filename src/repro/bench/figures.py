@@ -1,0 +1,629 @@
+"""Experiment definitions: one per figure of the paper, plus ablations.
+
+Each experiment regenerates the rows/series of its figure on the virtual
+machine.  Absolute numbers differ from the HP V2200 testbed by design; the
+``expectation`` strings record the qualitative shape being reproduced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bench.harness import ExperimentResult, register
+from repro.config import RuntimeConfig
+from repro.core.ddg import extract_ddg
+from repro.core.lrpd import run_doall_lrpd
+from repro.core.rlrpd import run_blocked
+from repro.core.runner import parallelize, run_program
+from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.core.window import run_sliding_window
+from repro.baselines import run_doacross, run_inspector_executor, run_sequential
+from repro.config import TestCondition
+from repro.machine.costs import CostModel
+from repro.machine.timeline import Category
+from repro.model.analytic import (
+    k_d_geometric,
+    k_s_geometric,
+    t_static,
+    total_time_geometric,
+)
+from repro.util.tables import format_series, format_table
+from repro.workloads.fma3d import FMA3D_DECKS, make_quad_loop
+from repro.core.listtraversal import run_list_traversal
+from repro.workloads.spice import (
+    SPICE_DECKS,
+    make_bjt_list_loop,
+    make_bjt_loop,
+    make_dcdcmp15_loop,
+    make_dcdcmp70_loop,
+)
+from repro.workloads.synthetic import (
+    chain_loop,
+    copyin_loop,
+    fully_parallel_loop,
+    geometric_chain_targets,
+    geometric_rd_targets,
+    privatizable_loop,
+    random_dependence_loop,
+)
+from repro.workloads.track_extend import EXTEND_DECKS, make_extend_loop
+from repro.workloads.track_fptrak import FPTRAK_DECKS, make_fptrak_loop
+from repro.workloads.track_nlfilt import NLFILT_DECKS, make_nlfilt_loop
+from repro.workloads.worked_examples import fig1_loop, fig2_loop
+
+
+def _procs(quick: bool) -> list[int]:
+    return [1, 2, 4, 8] if quick else [1, 2, 4, 8, 12, 16]
+
+
+def _scale_nlfilt(deck, quick: bool):
+    if not quick:
+        return deck
+    return dataclasses.replace(deck, n=max(256, deck.n // 4))
+
+
+ALL_OPTS = RuntimeConfig.adaptive(on_demand_checkpoint=True, feedback_balancing=True)
+
+
+# ---------------------------------------------------------------------------
+# Worked examples (Figs. 1-2)
+# ---------------------------------------------------------------------------
+
+
+@register("fig01")
+def fig01(quick: bool) -> ExperimentResult:
+    """NRD/RD worked example: stage-by-stage commit trace of the Fig. 1 loop."""
+    rows = []
+    for label, cfg in [("NRD", RuntimeConfig.nrd()), ("RD", RuntimeConfig.rd())]:
+        res = run_blocked(fig1_loop(), 4, cfg)
+        for s in res.stages:
+            rows.append(
+                [
+                    label,
+                    s.index,
+                    len(s.blocks),
+                    s.committed_iterations,
+                    s.remaining_after,
+                    "yes" if s.failed else "no",
+                ]
+            )
+    table = format_table(
+        ["strategy", "stage", "blocks", "committed", "remaining", "failed"],
+        rows,
+        title="Fig. 1 worked example (8 iterations, 4 processors)",
+    )
+    return ExperimentResult(
+        "fig01",
+        "NRD/RD worked example",
+        table,
+        "Two stages: the first commits processors 1-2 (4 iterations), the "
+        "second finishes the remaining 4; RD spreads the remainder over all "
+        "processors.",
+        data={"rows": rows},
+    )
+
+
+@register("fig02")
+def fig02(quick: bool) -> ExperimentResult:
+    """Sliding-window worked example: commit-point advance per window."""
+    res = run_sliding_window(fig2_loop(), 4, RuntimeConfig.sw(window_size=4))
+    rows = [
+        [s.index, len(s.blocks), s.committed_iterations, s.remaining_after,
+         "yes" if s.failed else "no"]
+        for s in res.stages
+    ]
+    table = format_table(
+        ["window", "blocks", "committed", "remaining", "failed"],
+        rows,
+        title="Fig. 2 sliding window (8 iterations, 4 processors, window 4)",
+    )
+    return ExperimentResult(
+        "fig02",
+        "Sliding-window worked example",
+        table,
+        "First window commits the blocks before the dependence sink and "
+        "advances the commit point; two further windows finish the loop.",
+        data={"stages": len(res.stages), "restarts": res.n_restarts},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4: model validation (never / adaptive / always redistribution)
+# ---------------------------------------------------------------------------
+
+
+@register("fig04")
+def fig04(quick: bool) -> ExperimentResult:
+    """Per-stage breakdown and cumulative time of the three policies."""
+    n, p, alpha = (1024, 8, 0.5) if quick else (4096, 8, 0.5)
+    costs = CostModel(omega=1.0, ell=0.3, sync=20.0)
+    targets = geometric_chain_targets(n, alpha)
+    policies = [
+        ("never", RuntimeConfig.nrd()),
+        ("adaptive", RuntimeConfig.adaptive()),
+        ("always", RuntimeConfig.rd()),
+    ]
+    rows = []
+    cumulative: dict[str, list[float]] = {}
+    for label, cfg in policies:
+        res = run_blocked(chain_loop(n, targets), p, cfg, costs=costs)
+        cum = 0.0
+        series = []
+        for s in res.stages:
+            loop_time = s.breakdown.get(Category.WORK, 0.0)
+            redis = s.breakdown.get(Category.REDISTRIBUTION, 0.0)
+            other = s.span - loop_time - redis
+            cum += s.span
+            series.append(cum)
+            rows.append(
+                [label, s.index, round(loop_time, 1), round(redis, 1),
+                 round(other, 1), round(s.span, 1), round(cum, 1)]
+            )
+        cumulative[label] = series
+    table = format_table(
+        ["policy", "stage", "loop", "redistribution", "test+sync", "span", "cumulative"],
+        rows,
+        title=f"Fig. 4: synthetic alpha={alpha} loop, n={n}, p={p}",
+    )
+    model_static = t_static(n, costs.omega, costs.sync, p, k_s_geometric(alpha, p))
+    model_total = total_time_geometric(n, costs.omega, costs.ell, costs.sync, p, alpha)
+    footer = (
+        f"model: T_static={model_static:.0f}  T(n)={model_total:.0f}  "
+        f"k_d={k_d_geometric(n, costs.omega, costs.ell, costs.sync, p, alpha):.2f}  "
+        f"k_s={k_s_geometric(alpha, p):.2f}"
+    )
+    return ExperimentResult(
+        "fig04",
+        "Redistribution policy comparison (model validation)",
+        table + "\n" + footer,
+        "NRD performs worst by a wide margin; 'adaptive' matches 'always' "
+        "early and overtakes it once the remaining work drops below the "
+        "Eq. (4) threshold.",
+        data={"cumulative": cumulative, "model_total": model_total,
+              "model_static": model_static},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5: FMA3D Quad loop
+# ---------------------------------------------------------------------------
+
+
+@register("fig05")
+def fig05(quick: bool) -> ExperimentResult:
+    deck = FMA3D_DECKS["train" if quick else "ref"]
+    procs = _procs(quick)
+    speedups, stages = [], []
+    for p in procs:
+        res = parallelize(make_quad_loop(deck), p, RuntimeConfig.adaptive())
+        speedups.append(round(res.speedup, 2))
+        stages.append(res.n_stages)
+    table = format_series(
+        "p",
+        procs,
+        {"speedup": speedups, "stages": stages},
+        title=f"Fig. 5: FMA3D Quad loop ({deck.n_elements} elements)",
+    )
+    return ExperimentResult(
+        "fig05",
+        "FMA3D Quad loop speedup",
+        table,
+        "The loop is fully parallel, so the test has a single stage and the "
+        "speedup scales near-linearly minus the testing overhead.",
+        data={"p": procs, "speedup": speedups},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: SPICE loops and whole-code speedup
+# ---------------------------------------------------------------------------
+
+#: Sequential-profile weights of the modeled SPICE phases.
+SPICE_PROFILE = {"dcdcmp15": 0.25, "dcdcmp70": 0.10, "bjt": 0.45, "serial": 0.20}
+SCHEDULE_REUSES = 10
+
+
+@register("fig06")
+def fig06(quick: bool) -> ExperimentResult:
+    deck = SPICE_DECKS["adder.128"]
+    if quick:
+        deck = dataclasses.replace(deck, lu_rows=860, devices=512)
+    procs = _procs(quick)
+    lu_loop = make_dcdcmp15_loop(deck)
+    window = RuntimeConfig.sw(window_size=128)
+    s15, s70, sbjt, slist, total, cps = [], [], [], [], [], []
+    for p in procs:
+        ddg = extract_ddg(lu_loop, p, window)
+        sched = wavefront_schedule(ddg.graph(), lu_loop.n_iterations)
+        wf = execute_wavefront(lu_loop, sched, p)
+        # The schedule is reused across instantiations; extraction amortizes.
+        t_seq = wf.sequential_work
+        t15 = (ddg.extraction.total_time + (SCHEDULE_REUSES - 1) * wf.total_time) / SCHEDULE_REUSES
+        sp15 = t_seq / t15
+        r70 = parallelize(make_dcdcmp70_loop(deck), p)
+        rbjt = parallelize(make_bjt_loop(deck), p)
+        rlist = run_list_traversal(make_bjt_list_loop(deck), p)
+        s15.append(round(sp15, 2))
+        s70.append(round(r70.speedup, 2))
+        sbjt.append(round(rbjt.speedup, 2))
+        slist.append(round(rlist.speedup, 2))
+        cps.append(sched.critical_path)
+        w = SPICE_PROFILE
+        whole = 1.0 / (
+            w["serial"]
+            + w["dcdcmp15"] / sp15
+            + w["dcdcmp70"] / r70.speedup
+            + w["bjt"] / rlist.speedup
+        )
+        total.append(round(whole, 2))
+    table = format_series(
+        "p",
+        procs,
+        {
+            "DCDCMP-15 (wavefront)": s15,
+            "DCDCMP-70 (exit)": s70,
+            "BJT (range)": sbjt,
+            "BJT (linked list)": slist,
+            "whole code": total,
+            "critical path": cps,
+        },
+        title=(
+            f"Fig. 6: SPICE, deck {deck.name} "
+            f"(n={lu_loop.n_iterations}, schedule reused {SCHEDULE_REUSES}x)"
+        ),
+    )
+    return ExperimentResult(
+        "fig06",
+        "SPICE loop and whole-code speedups",
+        table,
+        "DCDCMP-15 speedup is bounded by n/critical-path and amortized "
+        "extraction; loop 70 and BJT scale like doalls; the whole-code "
+        "speedup saturates at the serial fraction (Amdahl).",
+        data={"p": procs, "s15": s15, "s70": s70, "sbjt": sbjt, "whole": total},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: NLFILT PR and best speedup per input set
+# ---------------------------------------------------------------------------
+
+
+@register("fig07")
+def fig07(quick: bool) -> ExperimentResult:
+    deck_names = ["fully-par", "sparse-deps", "medium-deps", "dense-deps"]
+    procs = [p for p in _procs(quick) if p > 1]
+    instances = 2 if quick else 4
+    pr_series: dict[str, list[float]] = {}
+    sp_series: dict[str, list[float]] = {}
+    for name in deck_names:
+        deck = _scale_nlfilt(NLFILT_DECKS[name], quick)
+        prs, sps = [], []
+        for p in procs:
+            prog = run_program(
+                (make_nlfilt_loop(deck, instance=k) for k in range(instances)),
+                p,
+                ALL_OPTS,
+            )
+            prs.append(round(prog.parallelism_ratio, 3))
+            sps.append(round(prog.speedup, 2))
+        pr_series[name] = prs
+        sp_series[name] = sps
+    t1 = format_series("p", procs, pr_series, title="Fig. 7(a): NLFILT parallelism ratio")
+    t2 = format_series("p", procs, sp_series, title="Fig. 7(b): NLFILT speedup (all optimizations)")
+    return ExperimentResult(
+        "fig07",
+        "NLFILT 300: parallelism ratio and speedup per input set",
+        t1 + "\n\n" + t2,
+        "PR decreases with processor count (only inter-processor dependences "
+        "restart the test) and with dependence density; speedup tracks PR.",
+        data={"p": procs, "PR": pr_series, "speedup": sp_series},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figs. 8-9: NLFILT sliding window vs (N)RD, per window size
+# ---------------------------------------------------------------------------
+
+
+def _sw_vs_nrd(exp_id: str, deck_name: str, quick: bool) -> ExperimentResult:
+    deck = _scale_nlfilt(NLFILT_DECKS[deck_name], quick)
+    p = 8
+    loop_factory = lambda: make_nlfilt_loop(deck)  # noqa: E731
+    window_sizes = [p * b for b in ([1, 2, 4, 8] if quick else [1, 2, 4, 8, 16, 32])]
+    rows = []
+    for w in window_sizes:
+        res = run_sliding_window(loop_factory(), p, RuntimeConfig.sw(window_size=w))
+        rows.append(
+            [f"SW(w={w})", res.n_stages, res.n_restarts,
+             round(res.parallelism_ratio, 3), round(res.speedup, 2)]
+        )
+    for label, cfg in [("NRD", RuntimeConfig.nrd()), ("RD", RuntimeConfig.rd())]:
+        res = run_blocked(loop_factory(), p, cfg)
+        rows.append(
+            [label, res.n_stages, res.n_restarts,
+             round(res.parallelism_ratio, 3), round(res.speedup, 2)]
+        )
+    table = format_table(
+        ["strategy", "stages", "restarts", "PR", "speedup"],
+        rows,
+        title=f"NLFILT deck {deck.name} (n={deck.n}, p={p})",
+    )
+    return ExperimentResult(
+        exp_id,
+        f"NLFILT: sliding window vs (N)RD, input {deck_name}",
+        table,
+        "Which strategy wins depends on the dependence structure: long-"
+        "distance dependences favor SW (sources commit before sinks are "
+        "scheduled); fully parallel loops favor (N)RD (one barrier instead "
+        "of one per strip).  Larger windows trade fewer synchronizations "
+        "for more uncovered dependences.",
+        data={"rows": rows},
+    )
+
+
+@register("fig08")
+def fig08(quick: bool) -> ExperimentResult:
+    return _sw_vs_nrd("fig08", "16-400", quick)
+
+
+@register("fig09")
+def fig09(quick: bool) -> ExperimentResult:
+    return _sw_vs_nrd("fig09", "15-250", quick)
+
+
+# ---------------------------------------------------------------------------
+# Figs. 10-11: EXTEND and FPTRAK
+# ---------------------------------------------------------------------------
+
+
+def _induction_fig(exp_id: str, title: str, decks, make_loop, quick: bool) -> ExperimentResult:
+    procs = [p for p in _procs(quick) if p > 1]
+    instances = 2 if quick else 4
+    pr_series: dict[str, list[float]] = {}
+    sp_series: dict[str, list[float]] = {}
+    for name, deck in decks.items():
+        if quick:
+            deck = dataclasses.replace(deck, n=max(256, deck.n // 4))
+        prs, sps = [], []
+        for p in procs:
+            prog = run_program(
+                (make_loop(deck, instance=k) for k in range(instances)),
+                p,
+                RuntimeConfig.rd(),
+            )
+            prs.append(round(prog.parallelism_ratio, 3))
+            sps.append(round(prog.speedup, 2))
+        pr_series[name] = prs
+        sp_series[name] = sps
+    t1 = format_series("p", procs, pr_series, title=f"{title} (a): parallelism ratio")
+    t2 = format_series("p", procs, sp_series, title=f"{title} (b): speedup")
+    return ExperimentResult(
+        exp_id,
+        title,
+        t1 + "\n\n" + t2,
+        "The two-phase induction technique caps the clean-run speedup near "
+        "p/2 (~60% of hand-parallelization, which needs one doall); "
+        "dependence-carrying inputs lower PR and speedup further.",
+        data={"p": procs, "PR": pr_series, "speedup": sp_series},
+    )
+
+
+@register("fig10")
+def fig10(quick: bool) -> ExperimentResult:
+    return _induction_fig(
+        "fig10", "EXTEND 400: PR and speedup", EXTEND_DECKS, make_extend_loop, quick
+    )
+
+
+@register("fig11")
+def fig11(quick: bool) -> ExperimentResult:
+    return _induction_fig(
+        "fig11", "FPTRAK 300: PR and speedup", FPTRAK_DECKS, make_fptrak_loop, quick
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12: optimization comparison and TRACK program speedup
+# ---------------------------------------------------------------------------
+
+
+@register("fig12a")
+def fig12a(quick: bool) -> ExperimentResult:
+    deck = _scale_nlfilt(NLFILT_DECKS["opt-study"], quick)
+    p = 8 if quick else 16
+    configs = [
+        ("all optimizations", ALL_OPTS),
+        ("no on-demand ckpt", ALL_OPTS.with_options(on_demand_checkpoint=False)),
+        ("no feedback LB", ALL_OPTS.with_options(feedback_balancing=False)),
+        ("NRD (no redistribution)", RuntimeConfig.nrd(feedback_balancing=True)),
+        ("none (NRD, full ckpt)", RuntimeConfig.nrd(on_demand_checkpoint=False)),
+    ]
+    instances = 2 if quick else 4
+    rows = []
+    for label, cfg in configs:
+        prog = run_program(
+            (make_nlfilt_loop(deck, instance=k) for k in range(instances)),
+            p,
+            cfg,
+        )
+        ckpt = sum(r.timeline.total_category(Category.CHECKPOINT) for r in prog.runs)
+        rows.append(
+            [label, round(prog.speedup, 2), round(prog.parallelism_ratio, 3),
+             round(ckpt, 1)]
+        )
+    table = format_table(
+        ["configuration", "speedup", "PR", "checkpoint time"],
+        rows,
+        title=f"Fig. 12(a): NLFILT optimization comparison (deck {deck.name}, p={p})",
+    )
+    return ExperimentResult(
+        "fig12a",
+        "NLFILT: effectiveness of the optimizations",
+        table,
+        "On-demand checkpointing matters most (large, conditionally "
+        "modified state); feedback load balancing and redistribution "
+        "contribute smaller improvements at this processor count.",
+        data={"rows": rows},
+    )
+
+
+#: TRACK sequential-profile weights; the three loops are ~95% of runtime.
+TRACK_PROFILE = {"nlfilt": 0.45, "extend": 0.30, "fptrak": 0.20, "serial": 0.05}
+
+
+@register("fig12b")
+def fig12b(quick: bool) -> ExperimentResult:
+    procs = [p for p in _procs(quick) if p > 1]
+    nl_deck = _scale_nlfilt(NLFILT_DECKS["sparse-deps"], quick)
+    ex_deck = EXTEND_DECKS["light-deps"]
+    fp_deck = FPTRAK_DECKS["light-deps"]
+    if quick:
+        ex_deck = dataclasses.replace(ex_deck, n=max(256, ex_deck.n // 4))
+        fp_deck = dataclasses.replace(fp_deck, n=max(256, fp_deck.n // 4))
+    speedups = []
+    for p in procs:
+        s_nl = parallelize(make_nlfilt_loop(nl_deck), p, ALL_OPTS).speedup
+        s_ex = parallelize(make_extend_loop(ex_deck), p).speedup
+        s_fp = parallelize(make_fptrak_loop(fp_deck), p).speedup
+        w = TRACK_PROFILE
+        whole = 1.0 / (
+            w["serial"] + w["nlfilt"] / s_nl + w["extend"] / s_ex + w["fptrak"] / s_fp
+        )
+        speedups.append(round(whole, 2))
+    table = format_series(
+        "p",
+        procs,
+        {"TRACK speedup": speedups},
+        title="Fig. 12(b): TRACK whole-program speedup (loops = 95% of runtime)",
+    )
+    return ExperimentResult(
+        "fig12b",
+        "TRACK program speedup",
+        table,
+        "Whole-program speedup follows the three parallelized loops, "
+        "discounted by the 5% serial remainder and the induction loops' "
+        "two-doall factor.",
+        data={"p": procs, "speedup": speedups},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 4 cost model sweep
+# ---------------------------------------------------------------------------
+
+
+@register("sec4")
+def sec4(quick: bool) -> ExperimentResult:
+    n = 512 if quick else 4096
+    p = 8
+    costs = CostModel(omega=1.0, ell=0.3, sync=20.0)
+    rows = []
+    for alpha in (0.3, 0.5, 0.7):
+        targets = geometric_rd_targets(n, alpha, p)
+        res = run_blocked(
+            chain_loop(n, targets), p, RuntimeConfig.adaptive(), costs=costs
+        )
+        model = total_time_geometric(n, costs.omega, costs.ell, costs.sync, p, alpha)
+        rows.append(
+            [
+                alpha,
+                round(k_s_geometric(alpha, p), 2),
+                round(k_d_geometric(n, costs.omega, costs.ell, costs.sync, p, alpha), 2),
+                res.n_stages,
+                round(model, 0),
+                round(res.total_time, 0),
+                round(res.total_time / model, 2),
+            ]
+        )
+    table = format_table(
+        ["alpha", "k_s (model)", "k_d (model)", "stages (sim)", "T model",
+         "T sim", "sim/model"],
+        rows,
+        title=f"Section 4: analytic model vs simulation (n={n}, p={p}, RD)",
+    )
+    return ExperimentResult(
+        "sec4",
+        "Cost model validation sweep",
+        table,
+        "Simulated stage counts and total times track the closed-form model "
+        "within the marking/analysis overheads the model omits (ratio near, "
+        "and slightly above, 1).",
+        data={"rows": rows},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+
+@register("ablation_copyin")
+def ablation_copyin(quick: bool) -> ExperimentResult:
+    n = 256 if quick else 2048
+    p = 8
+    loops = [
+        ("fully parallel", fully_parallel_loop(n)),
+        ("privatizable (W before R)", privatizable_loop(n)),
+        ("read-first coefficient", copyin_loop(n)),
+    ]
+    rows = []
+    for label, loop in loops:
+        for cond in (TestCondition.PRIVATIZATION, TestCondition.COPY_IN):
+            res = run_doall_lrpd(loop, p, RuntimeConfig.nrd(condition=cond))
+            rows.append(
+                [label, cond.value, "pass" if res.n_restarts == 0 else "FAIL",
+                 round(res.speedup, 2)]
+            )
+    table = format_table(
+        ["loop", "condition", "doall test", "speedup"],
+        rows,
+        title=f"Copy-in vs privatization condition (n={n}, p={p})",
+    )
+    return ExperimentResult(
+        "ablation_copyin",
+        "Test-condition ablation (Section 2)",
+        table,
+        "The copy-in condition qualifies read-first loops the privatization "
+        "condition rejects; a failed doall pays speculation plus a "
+        "sequential re-execution (speedup < 1).",
+        data={"rows": rows},
+    )
+
+
+@register("ablation_baselines")
+def ablation_baselines(quick: bool) -> ExperimentResult:
+    n = 512 if quick else 4096
+    p = 8
+    loops = [
+        ("fully parallel", fully_parallel_loop(n)),
+        ("short random deps", random_dependence_loop(n, density=0.05, max_distance=4, seed=7)),
+        ("partially parallel chain", chain_loop(n, geometric_chain_targets(n, 0.5))),
+    ]
+    rows = []
+    for label, loop in loops:
+        entries = [
+            ("sequential", lambda lp: run_sequential(lp)),
+            ("LRPD doall", lambda lp: run_doall_lrpd(lp, p)),
+            ("R-LRPD adaptive", lambda lp: run_blocked(lp, p, RuntimeConfig.adaptive())),
+            ("R-LRPD SW", lambda lp: run_sliding_window(lp, p, RuntimeConfig.sw(window_size=4 * p))),
+            ("inspector/executor", lambda lp: run_inspector_executor(lp, p)),
+            ("DOACROSS", lambda lp: run_doacross(lp, p)),
+        ]
+        for strat, run in entries:
+            res = run(loop)
+            rows.append([label, strat, round(res.speedup, 2), res.n_restarts])
+    table = format_table(
+        ["loop", "technique", "speedup", "restarts"],
+        rows,
+        title=f"Baseline comparison (n={n}, p={p})",
+    )
+    return ExperimentResult(
+        "ablation_baselines",
+        "R-LRPD vs prior techniques",
+        table,
+        "The doall LRPD slows down on any dependence (speculation + serial "
+        "re-run); R-LRPD bounds the loss and extracts partial parallelism; "
+        "inspector-based methods match or beat it only where an inspector "
+        "exists.",
+        data={"rows": rows},
+    )

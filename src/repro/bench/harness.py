@@ -1,0 +1,71 @@
+"""Experiment registry and runner.
+
+Every evaluation artifact of the paper (each figure, plus the Section 4
+model and the ablations) is a registered experiment: a function
+``fn(quick: bool) -> ExperimentResult`` producing the same rows/series the
+paper reports.  ``quick=True`` shrinks deck sizes so a full regeneration
+runs in seconds (the benchmark suite); ``quick=False`` is used by
+``python -m repro.bench`` to regenerate EXPERIMENTS.md at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated figure: formatted table plus raw series."""
+
+    exp_id: str
+    title: str
+    table: str
+    expectation: str
+    """The paper's qualitative claim this experiment checks (who wins, by
+    roughly what factor, where crossovers fall)."""
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        return (
+            f"## {self.exp_id}: {self.title}\n\n"
+            f"Paper expectation: {self.expectation}\n\n"
+            f"```\n{self.table}\n```\n"
+        )
+
+
+ExperimentFn = Callable[[bool], ExperimentResult]
+
+EXPERIMENTS: dict[str, ExperimentFn] = {}
+
+
+def register(exp_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Register an experiment under a stable id (e.g. ``fig07``)."""
+
+    def decorate(fn: ExperimentFn) -> ExperimentFn:
+        if exp_id in EXPERIMENTS:
+            raise ValueError(f"duplicate experiment id {exp_id!r}")
+        EXPERIMENTS[exp_id] = fn
+        return fn
+
+    return decorate
+
+
+def run_experiment(exp_id: str, quick: bool = True) -> ExperimentResult:
+    """Run one registered experiment."""
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    result = fn(quick)
+    if result.exp_id != exp_id:
+        raise RuntimeError(
+            f"experiment {exp_id!r} returned mismatched id {result.exp_id!r}"
+        )
+    return result
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)

@@ -1,0 +1,33 @@
+"""EXPERIMENTS.md generation: run every registered experiment and render
+the paper-vs-measured record."""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import EXPERIMENTS, run_experiment
+
+HEADER = """# EXPERIMENTS -- paper vs. measured
+
+Every figure of *The R-LRPD Test: Speculative Parallelization of Partially
+Parallel Loops* (Dang, Yu & Rauchwerger, IPDPS 2002), regenerated on the
+deterministic virtual-time machine (see DESIGN.md for the substitution
+rationale).  Absolute numbers are virtual-time units, not HP V2200 seconds;
+each section records the paper's qualitative expectation and the measured
+series, so the *shape* comparison (who wins, by roughly what factor, where
+crossovers fall) is auditable.
+
+Regenerate with `python -m repro.bench` (add `--quick` for the scaled-down
+decks used by the benchmark suite).
+"""
+
+
+def generate_report(quick: bool = False, ids: list[str] | None = None) -> str:
+    sections = [HEADER]
+    for exp_id in ids or sorted(EXPERIMENTS):
+        t0 = time.perf_counter()
+        result = run_experiment(exp_id, quick=quick)
+        elapsed = time.perf_counter() - t0
+        sections.append(result.render())
+        sections.append(f"_regenerated in {elapsed:.1f}s_\n")
+    return "\n".join(sections)

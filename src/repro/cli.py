@@ -1,0 +1,216 @@
+"""Command-line driver: run any bundled workload under any strategy.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro list                          # available workloads
+    python -m repro run nlfilt:16-400 -p 8 --strategy sw --window 64
+    python -m repro run extend:clean -p 8 --trace --breakdown
+    python -m repro certify scatter -p 8          # all strategies vs oracle
+    python -m repro ddg spice15:adder.128 -p 8    # extraction + wavefront
+
+Workloads are addressed as ``family[:deck]``; omit the deck for the
+family's default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.bench.trace import render_breakdown, render_stage_trace
+from repro.config import RuntimeConfig
+from repro.core.ddg import extract_ddg
+from repro.core.runner import parallelize
+from repro.core.verify import certify
+from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.loopir.loop import SpeculativeLoop
+from repro.workloads import (
+    EXTEND_DECKS,
+    FMA3D_DECKS,
+    FPTRAK_DECKS,
+    NLFILT_DECKS,
+    SPICE_DECKS,
+    make_dcdcmp15_loop,
+    make_dcdcmp70_loop,
+    make_bjt_loop,
+    make_extend_loop,
+    make_fptrak_loop,
+    make_nlfilt_loop,
+    make_quad_loop,
+)
+from repro.workloads.patterns import (
+    gather_loop,
+    pointer_chase_loop,
+    scatter_loop,
+    stencil_loop,
+    transitive_update_loop,
+)
+from repro.workloads.synthetic import (
+    chain_loop,
+    fully_parallel_loop,
+    geometric_chain_targets,
+    random_dependence_loop,
+)
+
+WorkloadFactory = Callable[[str | None], SpeculativeLoop]
+
+
+def _decked(maker, decks, default):
+    def factory(deck: str | None) -> SpeculativeLoop:
+        return maker(decks[deck or default])
+
+    factory.decks = sorted(decks)  # type: ignore[attr-defined]
+    return factory
+
+
+def _plain(maker, **kwargs):
+    def factory(deck: str | None) -> SpeculativeLoop:
+        if deck is not None:
+            raise KeyError(f"this workload takes no deck (got {deck!r})")
+        return maker(**kwargs)
+
+    factory.decks = []  # type: ignore[attr-defined]
+    return factory
+
+
+WORKLOADS: dict[str, WorkloadFactory] = {
+    "nlfilt": _decked(make_nlfilt_loop, NLFILT_DECKS, "16-400"),
+    "extend": _decked(make_extend_loop, EXTEND_DECKS, "clean"),
+    "fptrak": _decked(make_fptrak_loop, FPTRAK_DECKS, "clean"),
+    "spice15": _decked(make_dcdcmp15_loop, SPICE_DECKS, "adder.128"),
+    "spice70": _decked(make_dcdcmp70_loop, SPICE_DECKS, "adder.128"),
+    "bjt": _decked(make_bjt_loop, SPICE_DECKS, "adder.128"),
+    "fma3d": _decked(make_quad_loop, FMA3D_DECKS, "train"),
+    "doall": _plain(fully_parallel_loop, n=2048),
+    "chain": _plain(
+        lambda n=2048: chain_loop(n, geometric_chain_targets(n, 0.5))
+    ),
+    "random-deps": _plain(random_dependence_loop, n=2048, density=0.05, max_distance=8),
+    "stencil": _plain(stencil_loop, n=2048),
+    "gather": _plain(gather_loop, n=2048),
+    "scatter": _plain(scatter_loop, n=2048),
+    "pointer-chase": _plain(pointer_chase_loop, n=512),
+    "forest": _plain(transitive_update_loop, n=2048),
+}
+
+
+def resolve_workload(spec: str) -> SpeculativeLoop:
+    family, _, deck = spec.partition(":")
+    try:
+        factory = WORKLOADS[family]
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {family!r}; try: {', '.join(sorted(WORKLOADS))}"
+        ) from None
+    try:
+        return factory(deck or None)
+    except KeyError as exc:
+        raise SystemExit(f"workload {family!r}: {exc}") from None
+
+
+def config_from_args(args) -> RuntimeConfig:
+    if args.strategy == "nrd":
+        return RuntimeConfig.nrd()
+    if args.strategy == "rd":
+        return RuntimeConfig.rd()
+    if args.strategy == "adaptive":
+        return RuntimeConfig.adaptive(feedback_balancing=args.feedback)
+    if args.strategy == "sw":
+        return RuntimeConfig.sw(window_size=args.window)
+    raise SystemExit(f"unknown strategy {args.strategy!r}")
+
+
+def cmd_list(args) -> int:
+    for family in sorted(WORKLOADS):
+        decks = getattr(WORKLOADS[family], "decks", [])
+        suffix = f"  decks: {', '.join(decks)}" if decks else ""
+        print(f"{family}{suffix}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    loop = resolve_workload(args.workload)
+    config = config_from_args(args)
+    result = parallelize(loop, args.procs, config)
+    print(render_stage_trace(result))
+    if args.breakdown:
+        print()
+        print(render_breakdown(result))
+    return 0
+
+
+def cmd_certify(args) -> int:
+    family, _, deck = args.workload.partition(":")
+    factory = lambda: resolve_workload(args.workload)  # noqa: E731
+    cert = certify(factory, args.procs, tolerant=args.tolerant)
+    print(cert.render())
+    best = cert.best()
+    if best is not None:
+        print(f"\nbest strategy: {best.label} ({best.result.speedup:.2f}x)")
+    return 0 if cert.ok else 1
+
+
+def cmd_ddg(args) -> int:
+    loop = resolve_workload(args.workload)
+    ddg = extract_ddg(
+        loop, args.procs, RuntimeConfig.sw(window_size=args.window or 8 * args.procs)
+    )
+    sched = wavefront_schedule(ddg.graph(), loop.n_iterations)
+    print(
+        f"{loop.name}: {loop.n_iterations} iterations, {len(ddg.edges)} edges, "
+        f"critical path {sched.critical_path}, "
+        f"average parallelism {sched.average_parallelism:.1f}"
+    )
+    wf = execute_wavefront(resolve_workload(args.workload), sched, args.procs)
+    print(f"wavefront speedup on p={args.procs}: {wf.speedup:.2f}x "
+          f"(extraction cost {ddg.extraction.total_time:.0f}, "
+          f"per-use {wf.total_time:.0f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="R-LRPD speculative parallelization runtime",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled workloads").set_defaults(fn=cmd_list)
+
+    def add_common(p):
+        p.add_argument("workload", help="family[:deck], see `list`")
+        p.add_argument("-p", "--procs", type=int, default=8)
+
+    run_p = sub.add_parser("run", help="run one workload under one strategy")
+    add_common(run_p)
+    run_p.add_argument(
+        "--strategy", choices=["nrd", "rd", "adaptive", "sw"], default="adaptive"
+    )
+    run_p.add_argument("--window", type=int, default=None, help="SW window size")
+    run_p.add_argument("--feedback", action="store_true", help="feedback balancing")
+    run_p.add_argument("--breakdown", action="store_true", help="cost breakdown table")
+    run_p.set_defaults(fn=cmd_run)
+
+    cert_p = sub.add_parser("certify", help="verify all strategies vs sequential")
+    add_common(cert_p)
+    cert_p.add_argument(
+        "--tolerant", action="store_true",
+        help="allclose comparison (floating-point reductions)",
+    )
+    cert_p.set_defaults(fn=cmd_certify)
+
+    ddg_p = sub.add_parser("ddg", help="extract the DDG and wavefront-schedule it")
+    add_common(ddg_p)
+    ddg_p.add_argument("--window", type=int, default=None)
+    ddg_p.set_defaults(fn=cmd_ddg)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

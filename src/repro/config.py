@@ -1,0 +1,143 @@
+"""Runtime configuration: strategy selection and optimization toggles.
+
+The paper evaluates three strategies (Section 2) and several orthogonal
+optimizations (Section 5).  :class:`RuntimeConfig` captures one combination;
+the named constructors build the paper's canonical configurations:
+
+* ``RuntimeConfig.nrd()`` -- blocked schedule, never redistribute.
+* ``RuntimeConfig.rd()``  -- blocked schedule, always redistribute.
+* ``RuntimeConfig.adaptive()`` -- blocked, redistribute while Eq. (4) holds.
+* ``RuntimeConfig.sw(window)`` -- sliding window of ``window`` iterations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+
+class Strategy(enum.Enum):
+    """Top-level iteration-assignment strategy."""
+
+    BLOCKED = "blocked"          # one block per processor (NRD/RD flavors)
+    SLIDING_WINDOW = "sliding_window"
+
+
+class RedistributionPolicy(enum.Enum):
+    """When a blocked stage fails, what happens to the remaining iterations."""
+
+    NEVER = "never"        # NRD: failed processors re-run their own blocks
+    ALWAYS = "always"      # RD: re-block the remainder over all processors
+    ADAPTIVE = "adaptive"  # RD while Eq. (4) holds, then NRD
+
+
+class TestCondition(enum.Enum):
+    """Which run-time condition qualifies a reference pattern (Section 2)."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    COPY_IN = "copy-in"
+    """``(Read* | (Write|Read)*)``: reads may precede writes if private
+    storage is initialized from shared data (on-demand copy-in).  Only
+    cross-processor *flow* dependences invalidate speculation."""
+
+    PRIVATIZATION = "privatization"
+    """``(Write|Read)*``: every read must be covered by an earlier write on
+    the same processor.  Stricter; used by the original LRPD baseline."""
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeConfig:
+    """One complete runtime configuration."""
+
+    strategy: Strategy = Strategy.BLOCKED
+    redistribution: RedistributionPolicy = RedistributionPolicy.ADAPTIVE
+    condition: TestCondition = TestCondition.COPY_IN
+    window_size: int | None = None
+    """Sliding-window width in iterations (``None`` = 2 blocks/processor)."""
+
+    adaptive_window: bool = False
+    """Halve the window's super-iteration size after a failed window stage,
+    double it back after clean stages (history-based window tuning)."""
+
+    on_demand_checkpoint: bool = True
+    """Checkpoint untested elements on first write instead of wholesale."""
+
+    pre_initialize: bool = False
+    """Initialize private copies of the (dense) tested arrays by bulk copy
+    before each speculative stage instead of on-demand copy-in (Section
+    2's 'before the start of the speculative loop' option).  Cheaper per
+    element but paid for every element; sparse arrays always stay
+    on-demand."""
+
+    feedback_balancing: bool = False
+    """Re-block each instantiation using measured per-iteration times from
+    the previous one (Section 5.1)."""
+
+    max_stages: int = 100_000
+    """Safety valve against runtime bugs; never hit in correct operation."""
+
+    def __post_init__(self) -> None:
+        if self.window_size is not None and self.window_size < 1:
+            raise ConfigurationError("window_size must be >= 1")
+        if self.max_stages < 1:
+            raise ConfigurationError("max_stages must be >= 1")
+        if (
+            self.strategy is Strategy.SLIDING_WINDOW
+            and self.redistribution is not RedistributionPolicy.NEVER
+        ):
+            # The sliding window has its own (circular) assignment rule;
+            # blocked-redistribution policies do not apply to it.
+            object.__setattr__(
+                self, "redistribution", RedistributionPolicy.NEVER
+            )
+
+    # -- canonical configurations ---------------------------------------------
+
+    @classmethod
+    def nrd(cls, **overrides) -> "RuntimeConfig":
+        return cls(
+            strategy=Strategy.BLOCKED,
+            redistribution=RedistributionPolicy.NEVER,
+            **overrides,
+        )
+
+    @classmethod
+    def rd(cls, **overrides) -> "RuntimeConfig":
+        return cls(
+            strategy=Strategy.BLOCKED,
+            redistribution=RedistributionPolicy.ALWAYS,
+            **overrides,
+        )
+
+    @classmethod
+    def adaptive(cls, **overrides) -> "RuntimeConfig":
+        return cls(
+            strategy=Strategy.BLOCKED,
+            redistribution=RedistributionPolicy.ADAPTIVE,
+            **overrides,
+        )
+
+    @classmethod
+    def sw(cls, window_size: int | None = None, **overrides) -> "RuntimeConfig":
+        return cls(
+            strategy=Strategy.SLIDING_WINDOW,
+            window_size=window_size,
+            **overrides,
+        )
+
+    def label(self) -> str:
+        """Short human-readable tag used in benchmark tables."""
+        if self.strategy is Strategy.SLIDING_WINDOW:
+            w = self.window_size if self.window_size is not None else "auto"
+            return f"SW(w={w})"
+        return {
+            RedistributionPolicy.NEVER: "NRD",
+            RedistributionPolicy.ALWAYS: "RD",
+            RedistributionPolicy.ADAPTIVE: "RD-adaptive",
+        }[self.redistribution]
+
+    def with_options(self, **overrides) -> "RuntimeConfig":
+        return replace(self, **overrides)

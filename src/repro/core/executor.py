@@ -1,0 +1,271 @@
+"""Speculative block execution: privatized contexts and virtual-time charging.
+
+One :class:`ProcessorState` holds everything a processor accumulates during a
+speculative stage: private views and shadows of the tested arrays, reduction
+partials, and measured per-iteration times (fed back to the load balancer).
+:func:`execute_block` runs a contiguous block of iterations through a
+:class:`SpeculativeContext` and charges the machine's timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.loopir.context import IterationContext
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.machine import Machine
+from repro.machine.memory import PrivateView, make_private_view
+from repro.machine.timeline import Category
+from repro.shadow import ShadowArray, make_shadow
+from repro.shadow.marklist import IterationMarks
+from repro.util.blocks import Block
+
+
+@dataclass
+class ProcessorState:
+    """Per-processor speculative state for one stage."""
+
+    proc: int
+    views: dict[str, PrivateView]
+    shadows: dict[str, ShadowArray]
+    partials: dict[str, dict[int, object]] = field(default_factory=dict)
+    iter_times: dict[int, float] = field(default_factory=dict)
+    """Measured per-iteration time incl. marking/copy-in (balancer input)."""
+    iter_work: dict[int, float] = field(default_factory=dict)
+    """Useful-work-only per-iteration time (sequential-time accounting)."""
+    executed: list[Block] = field(default_factory=list)
+
+    def distinct_refs(self) -> int:
+        return sum(shadow.distinct_refs() for shadow in self.shadows.values())
+
+    def n_written(self) -> int:
+        written = sum(view.n_written() for view in self.views.values())
+        written += sum(len(p) for p in self.partials.values())
+        return written
+
+    def reset(self) -> None:
+        """Discard private data and marks (between recursive stages)."""
+        for view in self.views.values():
+            view.reset()
+        for shadow in self.shadows.values():
+            shadow.reset()
+        self.partials.clear()
+        self.executed.clear()
+        # iter_times persist: the balancer wants the latest measurement of
+        # every iteration regardless of which stage finally committed it.
+
+    def preload(self, machine: "Machine", skip: frozenset[str] = frozenset()) -> int:
+        """Pre-initialize this processor's dense private views by bulk copy
+        (the ``pre_initialize`` configuration option); charges the copy to
+        the processor.  Reduction arrays are skipped -- their partials
+        start at the operator identity, never at the shared values."""
+        total = 0
+        for name, view in self.views.items():
+            if name in skip:
+                continue
+            total += view.preload()
+        if total:
+            machine.charge(
+                self.proc,
+                Category.COPY_IN,
+                machine.costs.bulk_copy_per_elem * total,
+            )
+        return total
+
+
+def make_processor_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> ProcessorState:
+    """Allocate views and shadows for every tested array of ``loop``."""
+    views: dict[str, PrivateView] = {}
+    shadows: dict[str, ShadowArray] = {}
+    for spec in loop.arrays:
+        if not spec.tested:
+            continue
+        shared = machine.memory[spec.name]
+        views[spec.name] = make_private_view(shared, sparse=spec.sparse)
+        shadows[spec.name] = make_shadow(len(shared), sparse=spec.sparse)
+    return ProcessorState(proc=proc, views=views, shadows=shadows)
+
+
+class SpeculativeContext(IterationContext):
+    """Execution context for one processor during one speculative stage.
+
+    Tested arrays go through private views with shadow marking and on-demand
+    copy-in; untested arrays are written to shared memory under checkpoint.
+    Virtual time is charged to the owning processor as accesses happen.
+    """
+
+    __slots__ = (
+        "_machine",
+        "_loop",
+        "_state",
+        "_ckpt",
+        "_inductions",
+        "_iter_marks",
+        "_iter_time",
+        "_iter_work",
+        "_costs",
+        "exit_iteration",
+    )
+
+    def __init__(
+        self,
+        machine: Machine,
+        loop: SpeculativeLoop,
+        state: ProcessorState,
+        checkpoints: CheckpointManager | None,
+        inductions: dict[str, int] | None = None,
+    ) -> None:
+        super().__init__()
+        self._machine = machine
+        self._loop = loop
+        self._state = state
+        self._ckpt = checkpoints
+        self._inductions = dict(inductions or {})
+        # Optional per-iteration mark sink (DDG extraction); maps array name
+        # to the current iteration's IterationMarks.
+        self._iter_marks: dict[str, IterationMarks] | None = None
+        self._iter_time = 0.0
+        self._iter_work = 0.0
+        self._costs = machine.costs
+        self.exit_iteration: int | None = None
+
+    # -- wiring used by the drivers --------------------------------------------
+
+    def set_iteration_marks(self, marks: dict[str, IterationMarks] | None) -> None:
+        self._iter_marks = marks
+
+    def begin_iteration(self, iteration: int) -> None:
+        self.iteration = iteration
+        self._iter_time = 0.0
+        self._iter_work = 0.0
+
+    def end_iteration(self) -> tuple[float, float]:
+        """Return ``(measured time, work-only time)`` for this iteration."""
+        return self._iter_time, self._iter_work
+
+    def induction_values(self) -> dict[str, int]:
+        return dict(self._inductions)
+
+    def _charge(self, category: Category, amount: float) -> None:
+        self._machine.charge(self._state.proc, category, amount)
+        self._iter_time += amount
+        if category is Category.WORK:
+            self._iter_work += amount
+
+    # -- memory access ----------------------------------------------------------
+
+    def load(self, name: str, index: int):
+        if name in self._loop.reductions:
+            raise ValueError(
+                f"array {name!r} is declared a reduction; use update() only"
+            )
+        view = self._state.views.get(name)
+        if view is None:
+            # Untested array: direct shared read, no instrumentation.
+            return self._machine.memory[name].data[index]
+        value, copied_in = view.load(index)
+        self._state.shadows[name].mark_read(index)
+        self._charge(Category.MARK, self._costs.mark)
+        if copied_in:
+            self._charge(Category.COPY_IN, self._costs.copy_in)
+        if self._iter_marks is not None:
+            self._iter_marks[name].mark_read(index)
+        return value
+
+    def store(self, name: str, index: int, value) -> None:
+        if name in self._loop.reductions:
+            raise ValueError(
+                f"array {name!r} is declared a reduction; use update() only"
+            )
+        view = self._state.views.get(name)
+        if view is None:
+            if self._ckpt is not None and name in self._ckpt.names:
+                saved = self._ckpt.note_write(self._state.proc, name, index)
+                if saved:
+                    self._charge(
+                        Category.CHECKPOINT, self._costs.checkpoint_per_elem * saved
+                    )
+            self._machine.memory[name].data[index] = value
+            return
+        view.store(index, value)
+        self._state.shadows[name].mark_write(index)
+        self._charge(Category.MARK, self._costs.mark)
+        if self._iter_marks is not None:
+            self._iter_marks[name].mark_write(index, value)
+
+    def update(self, name: str, index: int, value) -> None:
+        op = self._loop.reductions.get(name)
+        if op is None:
+            raise ValueError(f"array {name!r} has no declared reduction operator")
+        partial = self._state.partials.setdefault(name, {})
+        partial[index] = op.combine(partial.get(index, op.identity), value)
+        self._state.shadows[name].mark_update(index)
+        self._charge(Category.MARK, self._costs.mark)
+        if self._iter_marks is not None:
+            self._iter_marks[name].mark_update(index)
+
+    # -- induction ---------------------------------------------------------------
+
+    def bump(self, name: str) -> int:
+        if name not in self._inductions:
+            raise KeyError(
+                f"induction variable {name!r} not initialized for this stage"
+            )
+        value = self._inductions[name]
+        self._inductions[name] = value + 1
+        return value
+
+    def peek(self, name: str) -> int:
+        return self._inductions[name]
+
+    # -- costs ----------------------------------------------------------------
+
+    def work(self, units: float) -> None:
+        if units < 0:
+            raise ValueError("work units must be non-negative")
+        self._charge(Category.WORK, units * self._costs.omega)
+
+    # -- premature exit -----------------------------------------------------------
+
+    def exit_loop(self) -> None:
+        if self.exit_iteration is None:
+            self.exit_iteration = self.iteration
+
+
+def execute_block(
+    machine: Machine,
+    loop: SpeculativeLoop,
+    state: ProcessorState,
+    block: Block,
+    checkpoints: CheckpointManager | None,
+    inductions: dict[str, int] | None = None,
+    marklists: dict[str, "object"] | None = None,
+) -> SpeculativeContext:
+    """Run ``block``'s iterations on ``block.proc``, charging virtual time.
+
+    ``marklists`` (array name -> :class:`~repro.shadow.marklist.MarkList`)
+    switches on iteration-level marking for DDG extraction.  Returns the
+    context so callers can read final induction values.
+    """
+    ctx = SpeculativeContext(machine, loop, state, checkpoints, inductions)
+    omega = machine.costs.omega
+    for i in block.iterations():
+        ctx.begin_iteration(i)
+        if marklists is not None:
+            ctx.set_iteration_marks(
+                {name: ml.open_level(i) for name, ml in marklists.items()}
+            )
+        base = loop.work_of(i) * omega
+        if base:
+            ctx._charge(Category.WORK, base)
+        loop.body(ctx, i)
+        measured, work_only = ctx.end_iteration()
+        state.iter_times[i] = measured
+        state.iter_work[i] = work_only
+        if ctx.exit_iteration is not None:
+            # The iteration that signalled the exit completes; the rest of
+            # the block never executes (speculatively validated later).
+            break
+    state.executed.append(block)
+    return ctx

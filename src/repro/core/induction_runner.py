@@ -1,0 +1,233 @@
+"""Two-phase speculative parallelization of loops with conditional inductions.
+
+TRACK's EXTEND 400 (and the similar FPTRAK 300) index their arrays with a
+counter that is incremented under a loop-variant condition, so no processor
+knows its starting counter value in advance.  The paper's recipe
+(Section 5.2, "EXTEND 400"):
+
+1. **Range-collection doall** -- every processor speculatively executes its
+   block with the counter starting at the shared base value (zero-relative
+   offset), entirely in private storage, while the runtime records each
+   processor's total increment count and the array reference ranges.
+2. A **parallel prefix sum** over the increment counts yields each
+   processor's true starting offset.
+3. **Re-execution doall** with corrected offsets; the standard processor-
+   wise copy-in test then verifies that no read intersects a write from a
+   lower processor ("maximum read index < minimum write index" in the
+   paper's range formulation); last-value commit follows.
+
+If the test fails at some processor, the R-LRPD recursion applies: the
+valid prefix commits and both phases repeat on the remainder (with the
+committed counter value as the new base).  A processor whose increment
+count differs between the two phases read data whose location depended on
+the counter; it is conservatively treated as a dependence sink.
+"""
+
+from __future__ import annotations
+
+from repro.config import RuntimeConfig
+from repro.core.analysis import analyze_stage
+from repro.core.commit import commit_states, reinit_states
+from repro.core.executor import execute_block, make_processor_state, ProcessorState
+from repro.core.results import RunResult, StageResult
+from repro.core.stage import (
+    charge_analysis,
+    charge_checkpoint_begin,
+    committed_work,
+    perform_restore,
+)
+from repro.errors import ConfigurationError, NoProgressError, SpeculationError
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine
+from repro.machine.memory import MemoryImage, make_private_view
+from repro.shadow import make_shadow
+from repro.util.blocks import partition_even
+
+
+def _phase_a_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> ProcessorState:
+    """Processor state where *every* array is privatized (side-effect-free
+    range collection: even untested writes must not reach shared memory,
+    their indices are provisional)."""
+    views = {}
+    shadows = {}
+    for spec in loop.arrays:
+        shared = machine.memory[spec.name]
+        views[spec.name] = make_private_view(shared, sparse=spec.sparse)
+        shadows[spec.name] = make_shadow(len(shared), sparse=spec.sparse)
+    return ProcessorState(proc=proc, views=views, shadows=shadows)
+
+
+def run_induction(
+    loop: SpeculativeLoop,
+    n_procs: int,
+    config: RuntimeConfig | None = None,
+    costs: CostModel | None = None,
+    memory: MemoryImage | None = None,
+) -> RunResult:
+    """Parallelize a loop with speculative induction variables."""
+    config = config or RuntimeConfig.rd()
+    if not loop.inductions:
+        raise ConfigurationError(
+            f"loop {loop.name!r} has no induction variables; use run_blocked"
+        )
+
+    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
+    untested = loop.untested_names
+    ckpt = (
+        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
+        if untested
+        else None
+    )
+
+    n = loop.n_iterations
+    all_procs = list(range(n_procs))
+    ivar_base = loop.initial_inductions()
+    committed_upto = 0
+    stage_results: list[StageResult] = []
+    sequential_work = 0.0
+    final_iter_times: dict[int, float] = {}
+    stage_idx = 0
+
+    while committed_upto < n:
+        if stage_idx >= config.max_stages:
+            raise SpeculationError(
+                f"{loop.name}: exceeded max_stages={config.max_stages}"
+            )
+        blocks = partition_even(committed_upto, n, all_procs)
+        nonempty = [b for b in blocks if len(b)]
+
+        # ---- Phase A: range collection ------------------------------------------
+        record_a = machine.begin_stage()
+        increments: dict[int, dict[str, int]] = {}
+        for block in nonempty:
+            state = _phase_a_state(machine, loop, block.proc)
+            ctx = execute_block(machine, loop, state, block, None, inductions=dict(ivar_base))
+            finals = ctx.induction_values()
+            increments[block.proc] = {
+                name: finals[name] - ivar_base[name] for name in ivar_base
+            }
+        machine.barrier()
+        stage_results.append(
+            StageResult(
+                index=stage_idx,
+                blocks=list(nonempty),
+                # Range collection is a *planned* extra doall, not a failed
+                # speculation: it does not count as a restart for PR (the
+                # doubled execution time already shows up in the speedup).
+                failed=False,
+                earliest_sink_pos=None,
+                committed_iterations=0,
+                remaining_after=n - committed_upto,
+                committed_work=0.0,
+                n_arcs=0,
+                committed_elements=0,
+                restored_elements=0,
+                redistributed_iterations=0,
+                span=record_a.span(),
+                breakdown=record_a.breakdown(),
+            )
+        )
+        stage_idx += 1
+
+        # ---- Prefix sums give per-processor starting offsets ----------------------
+        offsets: dict[int, dict[str, int]] = {}
+        running = {name: 0 for name in ivar_base}
+        for block in nonempty:
+            offsets[block.proc] = dict(running)
+            for name in ivar_base:
+                running[name] += increments[block.proc][name]
+
+        # ---- Phase B: re-execution with corrected offsets --------------------------
+        record_b = machine.begin_stage()
+        charge_checkpoint_begin(machine, ckpt)
+        states = {p: make_processor_state(machine, loop, p) for p in all_procs}
+        phase_b_finals: dict[int, dict[str, int]] = {}
+        for block in nonempty:
+            start = {
+                name: ivar_base[name] + offsets[block.proc][name]
+                for name in ivar_base
+            }
+            ctx = execute_block(
+                machine, loop, states[block.proc], block, ckpt, inductions=start
+            )
+            phase_b_finals[block.proc] = ctx.induction_values()
+        machine.barrier()
+
+        groups = [(b.proc, states[b.proc].shadows) for b in nonempty]
+        analysis = analyze_stage(groups)
+        charge_analysis(machine, analysis, [b.proc for b in nonempty])
+        f_pos = analysis.earliest_sink_pos
+
+        # An increment mismatch means the counter's control flow read data
+        # whose address depended on the counter -- treat as a sink.
+        for pos, block in enumerate(nonempty):
+            expected = {
+                name: ivar_base[name]
+                + offsets[block.proc][name]
+                + increments[block.proc][name]
+                for name in ivar_base
+            }
+            if phase_b_finals[block.proc] != expected:
+                f_pos = pos if f_pos is None else min(f_pos, pos)
+                break
+
+        committing = nonempty if f_pos is None else nonempty[:f_pos]
+        failing = [] if f_pos is None else nonempty[f_pos:]
+        if not committing:
+            raise NoProgressError(
+                f"{loop.name}: induction stage {stage_idx} committed nothing"
+            )
+
+        committed_elements = commit_states(
+            machine, loop, [states[b.proc] for b in committing]
+        )
+        stage_work = committed_work(states, committing)
+        sequential_work += stage_work
+        for block in committing:
+            times = states[block.proc].iter_times
+            for i in block.iterations():
+                final_iter_times[i] = times[i]
+        restored = perform_restore(machine, ckpt, [b.proc for b in failing])
+        reinit_states(machine, [states[b.proc] for b in failing])
+        for block in committing:
+            states[block.proc].reset()
+
+        # Advance the committed counter values past the committing prefix.
+        for block in committing:
+            for name in ivar_base:
+                ivar_base[name] += increments[block.proc][name]
+
+        committed_upto = committing[-1].stop
+        stage_results.append(
+            StageResult(
+                index=stage_idx,
+                blocks=list(nonempty),
+                failed=f_pos is not None,
+                earliest_sink_pos=f_pos,
+                committed_iterations=sum(len(b) for b in committing),
+                remaining_after=n - committed_upto,
+                committed_work=stage_work,
+                n_arcs=len(analysis.arcs),
+                committed_elements=committed_elements,
+                restored_elements=restored,
+                redistributed_iterations=0,
+                span=record_b.span(),
+                breakdown=record_b.breakdown(),
+            )
+        )
+        stage_idx += 1
+
+    return RunResult(
+        loop_name=loop.name,
+        strategy="R-LRPD+induction",
+        n_procs=n_procs,
+        n_iterations=n,
+        stages=stage_results,
+        timeline=machine.timeline,
+        sequential_work=sequential_work,
+        iteration_times=final_iter_times,
+        induction_finals=dict(ivar_base),
+        memory=machine.memory,
+    )

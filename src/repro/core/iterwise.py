@@ -1,0 +1,276 @@
+"""The iteration-wise Recursive LRPD test.
+
+The paper's processor-wise test commits at *processor* granularity: the
+earliest sink processor's whole block re-executes, even its iterations
+before the actual dependence sink.  The original LRPD test marks at
+iteration granularity; applied recursively, the analysis can advance the
+commit point to the exact sink *iteration* -- committing a prefix of the
+failing processor's block -- at the price of iteration-level shadow
+structures (the N-level mark list with per-write value logs) whose memory
+and analysis cost are proportional to the reference trace, which is the
+very overhead the processor-wise simplification avoids (Section 2).
+
+This module implements that finer-granularity variant as an extension, so
+the trade-off is measurable: fewer re-executed iterations per failure
+against higher marking/analysis volume.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import RedistributionPolicy, RuntimeConfig, Strategy
+from repro.core.commit import commit_states, reinit_states
+from repro.core.executor import ProcessorState, execute_block, make_processor_state
+from repro.core.results import RunResult, StageResult
+from repro.core.stage import charge_checkpoint_begin, charge_redistribution
+from repro.errors import ConfigurationError, NoProgressError, SpeculationError
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine
+from repro.machine.memory import MemoryImage
+from repro.machine.timeline import Category
+from repro.shadow.marklist import MarkList
+from repro.util.blocks import Block, partition_even
+
+
+def _iterwise_analysis(
+    blocks: list[Block],
+    marklists: dict[int, dict[str, MarkList]],
+) -> tuple[int | None, int]:
+    """Earliest sink *iteration* over all cross-processor flow arcs.
+
+    Scans blocks in iteration order, maintaining the earliest writing
+    iteration per element; an exposed read on a *different* processor than
+    the writer is an arc.  Returns ``(sink_iteration | None, n_arcs)``.
+    """
+    writer: dict[tuple[str, int], tuple[int, int]] = {}  # addr -> (iter, proc)
+    sink: int | None = None
+    n_arcs = 0
+    for block in blocks:
+        lists = marklists[block.proc]
+        for k, i in enumerate(block.iterations()):
+            if sink is not None and i >= sink:
+                break
+            for name, ml in lists.items():
+                marks = ml.level(k)
+                for index in marks.exposed_reads | marks.updates:
+                    hit = writer.get((name, index))
+                    if hit is not None and hit[1] != block.proc:
+                        n_arcs += 1
+                        if sink is None or i < sink:
+                            sink = i
+            for name, ml in lists.items():
+                marks = ml.level(k)
+                for index in marks.writes | marks.updates:
+                    writer.setdefault((name, index), (i, block.proc))
+    return sink, n_arcs
+
+
+def _commit_prefix(
+    machine: Machine,
+    loop: SpeculativeLoop,
+    block: Block,
+    marklists: dict[str, MarkList],
+    upto: int,
+) -> int:
+    """Commit iterations ``[block.start, upto)`` of one block from the
+    per-iteration value logs (in order, so last value wins)."""
+    n_elems = 0
+    for k, i in enumerate(block.iterations()):
+        if i >= upto:
+            break
+        for name, ml in marklists.items():
+            marks = ml.level(k)
+            data = machine.memory[name].data
+            for index, value in marks.values.items():
+                data[index] = value
+                n_elems += 1
+    if n_elems:
+        machine.charge(block.proc, Category.COMMIT, machine.costs.commit_per_elem * n_elems)
+    return n_elems
+
+
+def run_blocked_iterwise(
+    loop: SpeculativeLoop,
+    n_procs: int,
+    config: RuntimeConfig | None = None,
+    costs: CostModel | None = None,
+    memory: MemoryImage | None = None,
+) -> RunResult:
+    """Blocked R-LRPD with iteration-granularity commit.
+
+    Like :func:`repro.core.rlrpd.run_blocked`, but the commit point moves
+    to the exact earliest sink iteration.  Untested arrays and reductions
+    are not supported at iteration granularity (partial-block commit would
+    need per-iteration logs for them as well); loops using them should run
+    under the processor-wise test.
+    """
+    config = config or RuntimeConfig.adaptive()
+    if config.strategy is not Strategy.BLOCKED:
+        raise ConfigurationError("run_blocked_iterwise needs a blocked strategy")
+    if loop.inductions:
+        raise ConfigurationError("iteration-wise test does not support inductions")
+    if loop.untested_names:
+        raise ConfigurationError(
+            "iteration-wise commit requires all arrays tested; declare "
+            f"{loop.untested_names} tested or use the processor-wise test"
+        )
+    if loop.reductions:
+        raise ConfigurationError(
+            "iteration-wise commit does not support reductions yet"
+        )
+
+    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
+    states: dict[int, ProcessorState] = {
+        p: make_processor_state(machine, loop, p) for p in range(n_procs)
+    }
+    tested = loop.tested_names
+    ckpt: CheckpointManager | None = None
+
+    n = loop.n_iterations
+    all_procs = list(range(n_procs))
+    committed_upto = 0
+    stage_results: list[StageResult] = []
+    sequential_work = 0.0
+    final_iter_times: dict[int, float] = {}
+    pending_blocks: list[Block] = []
+    stage_idx = 0
+
+    while committed_upto < n:
+        if stage_idx >= config.max_stages:
+            raise SpeculationError(
+                f"{loop.name}: exceeded max_stages={config.max_stages}"
+            )
+        remaining = n - committed_upto
+        if stage_idx == 0:
+            blocks = partition_even(0, n, all_procs)
+            redistributing = False
+        else:
+            policy = config.redistribution
+            redistributing = policy is RedistributionPolicy.ALWAYS or (
+                policy is RedistributionPolicy.ADAPTIVE
+                and machine.costs.should_redistribute(remaining, n_procs)
+            )
+            blocks = (
+                partition_even(committed_upto, n, all_procs)
+                if redistributing
+                else pending_blocks
+            )
+        nonempty = [b for b in blocks if len(b)]
+        if not nonempty:
+            raise SpeculationError(f"{loop.name}: empty schedule with work left")
+
+        record = machine.begin_stage()
+        charge_checkpoint_begin(machine, ckpt)
+        if stage_idx > 0 and redistributing:
+            redistributed = charge_redistribution(
+                machine, ((b.proc, len(b)) for b in nonempty), machine.costs.ell
+            )
+        else:
+            redistributed = 0
+        marklists: dict[int, dict[str, MarkList]] = {}
+        for block in nonempty:
+            ml = {
+                name: MarkList(name, block.proc, log_values=True)
+                for name in tested
+            }
+            marklists[block.proc] = ml
+            ctx = execute_block(
+                machine, loop, states[block.proc], block, ckpt, marklists=ml
+            )
+            if ctx.exit_iteration is not None:
+                raise ConfigurationError(
+                    f"{loop.name}: premature exits need the blocked runner"
+                )
+            # Iteration-level marking costs an extra pass over the marks.
+            extra_refs = sum(m.distinct_refs() for m in ml.values())
+            machine.charge(block.proc, Category.MARK, machine.costs.mark * extra_refs)
+        machine.barrier()
+
+        sink, n_arcs = _iterwise_analysis(nonempty, marklists)
+        # Iteration-level analysis scans every level, not distinct refs.
+        log_p = max(1.0, math.log2(max(1, len(nonempty))))
+        for block in nonempty:
+            refs = sum(m.distinct_refs() for m in marklists[block.proc].values())
+            machine.charge(
+                block.proc, Category.ANALYSIS,
+                machine.costs.analysis_per_ref * refs * log_p,
+            )
+
+        if sink is None:
+            committing, partial, failing = nonempty, None, []
+        else:
+            committing = [b for b in nonempty if b.stop <= sink]
+            partial = next((b for b in nonempty if b.start <= sink < b.stop), None)
+            failing = [b for b in nonempty if b.stop > sink]
+
+        committed_elements = commit_states(
+            machine, loop, [states[b.proc] for b in committing]
+        )
+        stage_work = 0.0
+        for block in committing:
+            times, works = states[block.proc].iter_times, states[block.proc].iter_work
+            for i in block.iterations():
+                final_iter_times[i] = times[i]
+                stage_work += works[i]
+        if partial is not None and sink is not None and sink > partial.start:
+            committed_elements += _commit_prefix(
+                machine, loop, partial, marklists[partial.proc], sink
+            )
+            times, works = states[partial.proc].iter_times, states[partial.proc].iter_work
+            for i in range(partial.start, sink):
+                final_iter_times[i] = times[i]
+                stage_work += works[i]
+        sequential_work += stage_work
+
+        reinit_states(machine, [states[b.proc] for b in failing])
+        for block in committing:
+            states[block.proc].reset()
+
+        new_committed_upto = n if sink is None else sink
+        if new_committed_upto <= committed_upto:
+            raise NoProgressError(
+                f"{loop.name}: iteration-wise stage {stage_idx} stalled at "
+                f"{committed_upto}"
+            )
+        committed_iters = new_committed_upto - committed_upto
+        committed_upto = new_committed_upto
+
+        stage_results.append(
+            StageResult(
+                index=stage_idx,
+                blocks=list(nonempty),
+                failed=sink is not None,
+                earliest_sink_pos=sink,  # an iteration, not a position
+                committed_iterations=committed_iters,
+                remaining_after=n - committed_upto,
+                committed_work=stage_work,
+                n_arcs=n_arcs,
+                committed_elements=committed_elements,
+                restored_elements=0,
+                redistributed_iterations=redistributed,
+                span=record.span(),
+                breakdown=record.breakdown(),
+            )
+        )
+        # NRD continuation: the partial block's remainder plus the failing
+        # blocks re-execute in place.
+        pending_blocks = []
+        if partial is not None:
+            pending_blocks.append(Block(partial.proc, committed_upto, partial.stop))
+        pending_blocks.extend(b for b in failing if b is not partial)
+        stage_idx += 1
+
+    return RunResult(
+        loop_name=loop.name,
+        strategy=f"R-LRPD-iterwise({config.label()})",
+        n_procs=n_procs,
+        n_iterations=n,
+        stages=stage_results,
+        timeline=machine.timeline,
+        sequential_work=sequential_work,
+        iteration_times=final_iter_times,
+        memory=machine.memory,
+    )

@@ -1,0 +1,194 @@
+"""The classic (non-recursive) LRPD test -- the paper's own baseline.
+
+Speculatively execute the whole loop as a doall; test afterwards; if the
+test fails, restore state and re-execute the entire loop sequentially.
+Fully parallel loops win big; a loop with even one cross-processor flow
+dependence pays the full speculative attempt *plus* a sequential run -- the
+slowdown the R-LRPD test was designed to eliminate.
+
+Both test conditions are supported: the original privatization condition
+and the weaker copy-in condition (Section 2's overhead-reduction step).
+"""
+
+from __future__ import annotations
+
+
+from repro.config import RuntimeConfig
+from repro.core.analysis import analyze_stage, doall_valid
+from repro.core.commit import commit_states
+from repro.core.executor import execute_block, make_processor_state
+from repro.core.results import RunResult, StageResult
+from repro.core.stage import charge_analysis, charge_checkpoint_begin, committed_work
+from repro.errors import ConfigurationError
+from repro.loopir.context import SequentialContext
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine
+from repro.machine.memory import MemoryImage
+from repro.machine.timeline import Category
+from repro.util.blocks import partition_even
+
+
+def run_sequential_fallback(
+    machine: Machine,
+    loop: SpeculativeLoop,
+) -> tuple[float, dict[int, float]]:
+    """Execute the loop serially on processor 0, charging its full work.
+
+    Returns ``(work time, per-iteration work times)``.
+    """
+    ctx = SequentialContext(
+        machine.memory,
+        reductions=loop.reductions,
+        inductions=loop.initial_inductions(),
+    )
+    omega = machine.costs.omega
+    iter_times: dict[int, float] = {}
+    total = 0.0
+    for i in range(loop.n_iterations):
+        ctx.iteration = i
+        before = ctx.extra_work
+        loop.body(ctx, i)
+        extra = ctx.extra_work - before
+        t = (loop.work_of(i) + extra) * omega
+        iter_times[i] = t
+        total += t
+        if ctx.exited:
+            break
+    machine.charge(0, Category.WORK, total)
+    return total, iter_times
+
+
+def run_doall_lrpd(
+    loop: SpeculativeLoop,
+    n_procs: int,
+    config: RuntimeConfig | None = None,
+    costs: CostModel | None = None,
+    memory: MemoryImage | None = None,
+) -> RunResult:
+    """One speculative doall attempt; sequential re-execution on failure."""
+    config = config or RuntimeConfig.nrd()
+    if loop.inductions:
+        raise ConfigurationError(
+            f"loop {loop.name!r} declares induction variables; the doall "
+            "baseline does not support speculative inductions"
+        )
+    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
+    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
+    untested = loop.untested_names
+    ckpt = (
+        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
+        if untested
+        else None
+    )
+
+    n = loop.n_iterations
+    blocks = partition_even(0, n, list(range(n_procs)))
+    nonempty = [b for b in blocks if len(b)]
+
+    record = machine.begin_stage()
+    charge_checkpoint_begin(machine, ckpt)
+    saw_exit = False
+    reduction_names = frozenset(loop.reductions)
+    for block in nonempty:
+        if config.pre_initialize:
+            states[block.proc].preload(machine, skip=reduction_names)
+        ctx = execute_block(machine, loop, states[block.proc], block, ckpt)
+        if ctx.exit_iteration is not None:
+            saw_exit = True
+    machine.barrier()
+
+    groups = [(b.proc, states[b.proc].shadows) for b in nonempty]
+    analysis = analyze_stage(groups)
+    charge_analysis(machine, analysis, [b.proc for b in nonempty])
+    # The plain doall LRPD predates the premature-exit technique: a loop
+    # that exits early fails speculation and re-runs sequentially.
+    valid = (not saw_exit) and doall_valid(groups, config.condition)
+
+    stages: list[StageResult] = []
+    if valid:
+        committed_elements = commit_states(
+            machine, loop, [states[b.proc] for b in nonempty]
+        )
+        stage_work = committed_work(states, nonempty)
+        iter_times = {}
+        for block in nonempty:
+            times = states[block.proc].iter_times
+            for i in block.iterations():
+                iter_times[i] = times[i]
+        stages.append(
+            StageResult(
+                index=0,
+                blocks=nonempty,
+                failed=False,
+                earliest_sink_pos=None,
+                committed_iterations=n,
+                remaining_after=0,
+                committed_work=stage_work,
+                n_arcs=len(analysis.arcs),
+                committed_elements=committed_elements,
+                restored_elements=0,
+                redistributed_iterations=0,
+                span=record.span(),
+                breakdown=record.breakdown(),
+            )
+        )
+        sequential_work = stage_work
+    else:
+        # Discard all private data, restore untested state, run serially.
+        restored = 0
+        if ckpt is not None:
+            restored = ckpt.restore_failed([b.proc for b in nonempty])
+            if restored:
+                share = machine.costs.restore_per_elem * restored / len(nonempty)
+                for b in nonempty:
+                    machine.charge(b.proc, Category.RESTORE, share)
+        stages.append(
+            StageResult(
+                index=0,
+                blocks=nonempty,
+                failed=True,
+                earliest_sink_pos=analysis.earliest_sink_pos,
+                committed_iterations=0,
+                remaining_after=n,
+                committed_work=0.0,
+                n_arcs=len(analysis.arcs),
+                committed_elements=0,
+                restored_elements=restored,
+                redistributed_iterations=0,
+                span=record.span(),
+                breakdown=record.breakdown(),
+            )
+        )
+        serial_record = machine.begin_stage()
+        sequential_work, iter_times = run_sequential_fallback(machine, loop)
+        stages.append(
+            StageResult(
+                index=1,
+                blocks=[],
+                failed=False,
+                earliest_sink_pos=None,
+                committed_iterations=n,
+                remaining_after=0,
+                committed_work=sequential_work,
+                n_arcs=0,
+                committed_elements=0,
+                restored_elements=0,
+                redistributed_iterations=0,
+                span=serial_record.span(),
+                breakdown=serial_record.breakdown(),
+            )
+        )
+
+    return RunResult(
+        loop_name=loop.name,
+        strategy=f"LRPD-doall({config.condition.value})",
+        n_procs=n_procs,
+        n_iterations=n,
+        stages=stages,
+        timeline=machine.timeline,
+        sequential_work=sequential_work,
+        iteration_times=iter_times,
+        memory=machine.memory,
+    )

@@ -1,0 +1,192 @@
+"""Result types: per-stage records, per-run summaries, program aggregates.
+
+The paper's headline metrics all derive from these:
+
+* **speedup** -- sequential useful work over total parallel virtual time
+  (all speculation, testing, commit, restore and synchronization overheads
+  included, as in the paper's "speedup numbers include all associated
+  overheads");
+* **parallelism ratio** ``PR = #instantiations / (#restarts +
+  #instantiations)`` (Section 5.2), where each failed speculative stage
+  counts as one restart;
+* per-stage execution-time breakdowns (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.machine.timeline import Category, Timeline
+from repro.util.blocks import Block
+
+
+@dataclass(slots=True)
+class StageResult:
+    """Summary of one speculative parallelization attempt (one stage)."""
+
+    index: int
+    blocks: list[Block]
+    failed: bool
+    earliest_sink_pos: int | None
+    committed_iterations: int
+    remaining_after: int
+    committed_work: float
+    n_arcs: int
+    committed_elements: int
+    restored_elements: int
+    redistributed_iterations: int
+    span: float
+    migration_distance: float = 0.0
+    """Topology distance summed over migrated iterations (0 on flat/ccUMA)."""
+    breakdown: dict[Category, float] = field(default_factory=dict)
+
+    @property
+    def attempted_iterations(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of one loop instantiation under one configuration."""
+
+    loop_name: str
+    strategy: str
+    n_procs: int
+    n_iterations: int
+    stages: list[StageResult]
+    timeline: Timeline
+    sequential_work: float
+    """Virtual time of the useful work alone = the sequential execution
+    time of this instantiation (committed iterations only, final values)."""
+
+    induction_finals: dict[str, int] = field(default_factory=dict)
+    iteration_times: dict[int, float] = field(default_factory=dict)
+    """Measured per-iteration times (work + marking + copy-in) of the final
+    successful execution of each iteration -- the load balancer's input."""
+
+    memory: object = None
+    """The machine's final :class:`~repro.machine.memory.MemoryImage`."""
+
+    exit_iteration: int | None = None
+    """Iteration at which a premature exit was validated (``None`` = ran
+    to completion)."""
+
+    # -- derived metrics ---------------------------------------------------------
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def n_restarts(self) -> int:
+        """Failed speculative attempts (stages that could not commit fully)."""
+        return sum(1 for s in self.stages if s.failed)
+
+    @property
+    def total_time(self) -> float:
+        return self.timeline.total_time()
+
+    @property
+    def overhead_time(self) -> float:
+        return self.timeline.overhead_time()
+
+    @property
+    def speedup(self) -> float:
+        total = self.total_time
+        if total <= 0:
+            return 1.0
+        return self.sequential_work / total
+
+    @property
+    def parallelism_ratio(self) -> float:
+        """Single-instantiation PR: ``1 / (1 + restarts)``."""
+        return 1.0 / (1.0 + self.n_restarts)
+
+    @property
+    def wasted_work(self) -> float:
+        """Useful-work time spent on iterations that later re-executed
+        (total work charged across processors minus the committed work)."""
+        return self.timeline.charged_category(Category.WORK) - self.sequential_work
+
+    def stage_spans(self) -> list[float]:
+        return [s.span for s in self.stages]
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat record for benchmark tables."""
+        return {
+            "loop": self.loop_name,
+            "strategy": self.strategy,
+            "p": self.n_procs,
+            "stages": self.n_stages,
+            "restarts": self.n_restarts,
+            "PR": self.parallelism_ratio,
+            "T_seq": self.sequential_work,
+            "T_par": self.total_time,
+            "speedup": self.speedup,
+            "overhead": self.overhead_time,
+        }
+
+
+@dataclass(slots=True)
+class ProgramResult:
+    """Aggregate over repeated instantiations of a loop (program lifetime)."""
+
+    loop_name: str
+    strategy: str
+    n_procs: int
+    runs: list[RunResult] = field(default_factory=list)
+
+    def add(self, run: RunResult) -> None:
+        self.runs.append(run)
+
+    @property
+    def n_instantiations(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n_restarts(self) -> int:
+        return sum(run.n_restarts for run in self.runs)
+
+    @property
+    def parallelism_ratio(self) -> float:
+        """The paper's PR over the life of the program (Section 5.2)."""
+        inst = self.n_instantiations
+        if inst == 0:
+            return 1.0
+        return inst / (self.n_restarts + inst)
+
+    @property
+    def total_time(self) -> float:
+        return sum(run.total_time for run in self.runs)
+
+    @property
+    def sequential_work(self) -> float:
+        return sum(run.sequential_work for run in self.runs)
+
+    @property
+    def speedup(self) -> float:
+        total = self.total_time
+        if total <= 0:
+            return 1.0
+        return self.sequential_work / total
+
+    def summary(self) -> dict[str, float | int | str]:
+        return {
+            "loop": self.loop_name,
+            "strategy": self.strategy,
+            "p": self.n_procs,
+            "instantiations": self.n_instantiations,
+            "restarts": self.n_restarts,
+            "PR": self.parallelism_ratio,
+            "T_seq": self.sequential_work,
+            "T_par": self.total_time,
+            "speedup": self.speedup,
+        }
+
+
+def committed_work_of(blocks: Sequence[Block], iter_times: dict[int, float]) -> float:
+    """Sum the measured work time of all iterations in ``blocks``."""
+    return float(
+        sum(iter_times[i] for b in blocks for i in b.iterations())
+    )

@@ -1,0 +1,315 @@
+"""The Recursive LRPD test, blocked flavors (NRD / RD / adaptive).
+
+The loop is enclosed in a while loop that repeats speculative
+parallelization until all iterations commit (paper, Fig. 1(b)):
+
+1. block-schedule the remaining iterations (policy-dependent);
+2. checkpoint untested state; execute all blocks as a doall with
+   privatization, on-demand copy-in and shadow marking;
+3. analyze: find the earliest sink of any cross-processor flow arc;
+4. commit every block before the earliest sink (last value), restore the
+   untested state touched by the rest, re-initialize their shadows;
+5. recurse on the remaining iterations.
+
+Progress is guaranteed -- the lowest-ranked block of every stage cannot be a
+dependence sink -- so the loop finishes in at most ``p`` stages under NRD
+and at most ``n`` stages under RD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import RedistributionPolicy, RuntimeConfig, Strategy, TestCondition
+from repro.core.analysis import analyze_stage
+from repro.core.commit import commit_states, reinit_states
+from repro.core.executor import execute_block, make_processor_state
+from repro.core.results import RunResult, StageResult
+from repro.core.stage import (
+    charge_analysis,
+    charge_checkpoint_begin,
+    charge_redistribution,
+    charge_redistribution_topo,
+    committed_work,
+    perform_restore,
+)
+from repro.errors import ConfigurationError, NoProgressError, SpeculationError
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine
+from repro.machine.memory import MemoryImage
+from repro.machine.timeline import Category
+from repro.machine.topology import Topology
+from repro.util.blocks import Block, partition_even, partition_weighted
+
+
+def _partition(
+    start: int,
+    stop: int,
+    procs: list[int],
+    weights: np.ndarray | None,
+) -> list[Block]:
+    if weights is None:
+        return partition_even(start, stop, procs)
+    return partition_weighted(start, stop, procs, weights[start:stop])
+
+
+def run_blocked(
+    loop: SpeculativeLoop,
+    n_procs: int,
+    config: RuntimeConfig | None = None,
+    costs: CostModel | None = None,
+    weights: np.ndarray | None = None,
+    memory: MemoryImage | None = None,
+    topology: "Topology | None" = None,
+) -> RunResult:
+    """Run one instantiation of ``loop`` under a blocked R-LRPD strategy.
+
+    Parameters
+    ----------
+    weights:
+        Optional per-iteration predicted times (length ``n_iterations``)
+        from the feedback-guided load balancer; ``None`` means an even
+        block partition.
+    memory:
+        Run against an existing shared-memory image instead of a fresh
+        :meth:`~repro.loopir.loop.SpeculativeLoop.materialize` (program-level
+        drivers thread state across loop invocations this way).
+    topology:
+        Optional machine topology: redistribution then costs
+        ``ell * (1 + remote_factor * distance(previous owner, new proc))``
+        per migrated iteration instead of a flat ``ell``, and each stage
+        records its total migration distance.
+
+    Returns the full :class:`~repro.core.results.RunResult`; the machine's
+    final shared state is observable via ``result.memory``.
+    """
+    config = config or RuntimeConfig.adaptive()
+    if config.strategy is not Strategy.BLOCKED:
+        raise ConfigurationError(f"run_blocked got strategy {config.strategy}")
+    if config.condition is not TestCondition.COPY_IN:
+        raise ConfigurationError(
+            "the recursive test is defined over the copy-in condition; "
+            "the privatization condition applies to the doall LRPD baseline"
+        )
+    if loop.inductions:
+        raise ConfigurationError(
+            f"loop {loop.name!r} declares induction variables; use "
+            "repro.core.runner.parallelize (two-phase induction runner)"
+        )
+
+    machine = Machine(
+        n_procs, costs=costs, memory=memory or loop.materialize(),
+        topology=topology,
+    )
+    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
+    owner = np.full(loop.n_iterations, -1, dtype=np.int64)
+    untested = loop.untested_names
+    ckpt = CheckpointManager(machine.memory, untested, config.on_demand_checkpoint) if untested else None
+
+    n = loop.n_iterations
+    all_procs = list(range(n_procs))
+    committed_upto = 0
+    stage_results: list[StageResult] = []
+    sequential_work = 0.0
+    final_iter_times: dict[int, float] = {}
+    pending_blocks: list[Block] = []  # failed blocks awaiting NRD re-execution
+    stage_idx = 0
+
+    while committed_upto < n:
+        if stage_idx >= config.max_stages:
+            raise SpeculationError(
+                f"{loop.name}: exceeded max_stages={config.max_stages}"
+            )
+        remaining = n - committed_upto
+
+        # -- schedule this stage ------------------------------------------------
+        if stage_idx == 0:
+            blocks = _partition(0, n, all_procs, weights)
+            redistributing = False
+        else:
+            policy = config.redistribution
+            if policy is RedistributionPolicy.ALWAYS:
+                redistributing = True
+            elif policy is RedistributionPolicy.ADAPTIVE:
+                redistributing = machine.costs.should_redistribute(remaining, n_procs)
+            else:
+                redistributing = False
+            if redistributing:
+                blocks = _partition(committed_upto, n, all_procs, weights)
+            else:
+                blocks = pending_blocks
+
+        nonempty = [b for b in blocks if len(b)]
+        if not nonempty:
+            raise SpeculationError(f"{loop.name}: empty schedule with work left")
+
+        # -- execute -------------------------------------------------------------
+        record = machine.begin_stage()
+        charge_checkpoint_begin(machine, ckpt)
+        if weights is not None and stage_idx == 0:
+            # Timer instrumentation + parallel prefix of the balancer.
+            machine.charge_global(
+                Category.SCHEDULE,
+                machine.costs.schedule_per_iter * n / n_procs,
+            )
+        redistributed = 0
+        migration_distance = 0.0
+        if stage_idx > 0 and redistributing:
+            if topology is None:
+                # Flat (ccUMA) machine: the Section 4 model's uniform
+                # ell-per-iteration charge.
+                redistributed = charge_redistribution(
+                    machine,
+                    ((b.proc, len(b)) for b in nonempty),
+                    machine.costs.ell,
+                )
+            else:
+                redistributed, migration_distance = charge_redistribution_topo(
+                    machine, nonempty, owner
+                )
+        exits: dict[int, int] = {}  # block position -> exit iteration
+        reduction_names = frozenset(loop.reductions)
+        for pos, block in enumerate(nonempty):
+            if config.pre_initialize:
+                states[block.proc].preload(machine, skip=reduction_names)
+            ctx = execute_block(machine, loop, states[block.proc], block, ckpt)
+            if len(block):
+                owner[block.start : block.stop] = block.proc
+            if ctx.exit_iteration is not None:
+                exits[pos] = ctx.exit_iteration
+        machine.barrier()
+
+        # -- analyze -------------------------------------------------------------
+        groups = [(b.proc, states[b.proc].shadows) for b in nonempty]
+        analysis = analyze_stage(groups)
+        charge_analysis(machine, analysis, [b.proc for b in nonempty])
+
+        f_pos = analysis.earliest_sink_pos
+
+        # -- premature exit (DCDCMP loop 70 style) ---------------------------------
+        # An exit is trustworthy only if its processor's own work is: its
+        # block must lie strictly before the earliest dependence sink.
+        valid_exits = {
+            pos: e
+            for pos, e in exits.items()
+            if f_pos is None or pos < f_pos
+        }
+        if valid_exits:
+            pos_e = min(valid_exits)
+            e = valid_exits[pos_e]
+            exit_block = nonempty[pos_e]
+            committing = nonempty[:pos_e]
+            committed_elements = commit_states(
+                machine, loop,
+                [states[b.proc] for b in committing] + [states[exit_block.proc]],
+            )
+            stage_work = committed_work(states, committing)
+            for block in committing:
+                times = states[block.proc].iter_times
+                for i in block.iterations():
+                    final_iter_times[i] = times[i]
+            prefix = range(exit_block.start, e + 1)
+            times = states[exit_block.proc].iter_times
+            works = states[exit_block.proc].iter_work
+            for i in prefix:
+                final_iter_times[i] = times[i]
+                stage_work += works[i]
+            sequential_work += stage_work
+            discarded = nonempty[pos_e + 1 :]
+            restored = perform_restore(machine, ckpt, [b.proc for b in discarded])
+            reinit_states(machine, [states[b.proc] for b in discarded])
+            stage_results.append(
+                StageResult(
+                    index=stage_idx,
+                    blocks=list(nonempty),
+                    failed=False,
+                    earliest_sink_pos=None,
+                    committed_iterations=(e + 1) - committed_upto,
+                    remaining_after=0,
+                    committed_work=stage_work,
+                    n_arcs=len(analysis.arcs),
+                    committed_elements=committed_elements,
+                    restored_elements=restored,
+                    redistributed_iterations=redistributed,
+                    span=record.span(),
+                    migration_distance=migration_distance,
+                    breakdown=record.breakdown(),
+                )
+            )
+            return RunResult(
+                loop_name=loop.name,
+                strategy=config.label(),
+                n_procs=n_procs,
+                n_iterations=n,
+                stages=stage_results,
+                timeline=machine.timeline,
+                sequential_work=sequential_work,
+                iteration_times=final_iter_times,
+                memory=machine.memory,
+                exit_iteration=e,
+            )
+        committing = nonempty if f_pos is None else nonempty[:f_pos]
+        failing = [] if f_pos is None else nonempty[f_pos:]
+        if not committing:
+            raise NoProgressError(
+                f"{loop.name}: stage {stage_idx} committed nothing "
+                f"(earliest sink at position {f_pos})"
+            )
+
+        # -- commit / restore / re-init -------------------------------------------
+        committed_elements = commit_states(
+            machine, loop, [states[b.proc] for b in committing]
+        )
+        stage_work = committed_work(states, committing)
+        sequential_work += stage_work
+        for block in committing:
+            times = states[block.proc].iter_times
+            for i in block.iterations():
+                final_iter_times[i] = times[i]
+        restored = perform_restore(machine, ckpt, [b.proc for b in failing])
+        reinit_states(machine, [states[b.proc] for b in failing])
+        for block in committing:
+            states[block.proc].reset()  # committed data is in shared memory now
+
+        new_committed_upto = committing[-1].stop
+        if new_committed_upto <= committed_upto:
+            raise NoProgressError(
+                f"{loop.name}: stage {stage_idx} failed to advance the commit point"
+            )
+        committed_upto = new_committed_upto
+
+        stage_results.append(
+            StageResult(
+                index=stage_idx,
+                blocks=list(nonempty),
+                failed=f_pos is not None,
+                earliest_sink_pos=f_pos,
+                committed_iterations=sum(len(b) for b in committing),
+                remaining_after=n - committed_upto,
+                committed_work=stage_work,
+                n_arcs=len(analysis.arcs),
+                committed_elements=committed_elements,
+                restored_elements=restored,
+                redistributed_iterations=redistributed,
+                span=record.span(),
+                migration_distance=migration_distance,
+                breakdown=record.breakdown(),
+            )
+        )
+        pending_blocks = failing
+        stage_idx += 1
+
+    result = RunResult(
+        loop_name=loop.name,
+        strategy=config.label(),
+        n_procs=n_procs,
+        n_iterations=n,
+        stages=stage_results,
+        timeline=machine.timeline,
+        sequential_work=sequential_work,
+        iteration_times=final_iter_times,
+        memory=machine.memory,
+    )
+    return result

@@ -1,0 +1,125 @@
+"""Top-level entry points: one instantiation, or a program's worth of them."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.config import RuntimeConfig, Strategy
+from repro.core.induction_runner import run_induction
+from repro.core.results import ProgramResult, RunResult
+from repro.core.rlrpd import run_blocked
+from repro.core.window import run_sliding_window
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.costs import CostModel
+from repro.machine.memory import MemoryImage
+from repro.sched.feedback import FeedbackBalancer
+
+
+def parallelize(
+    loop: SpeculativeLoop,
+    n_procs: int,
+    config: RuntimeConfig | None = None,
+    costs: CostModel | None = None,
+    weights: np.ndarray | None = None,
+    memory: MemoryImage | None = None,
+) -> RunResult:
+    """Speculatively parallelize one loop instantiation.
+
+    Dispatches on the configuration and the loop's declarations:
+
+    * loops with speculative induction variables go through the two-phase
+      induction runner;
+    * ``Strategy.SLIDING_WINDOW`` uses the SW driver;
+    * otherwise the blocked recursive driver (NRD / RD / adaptive) runs.
+
+    The returned result's final shared state always equals a sequential
+    execution of the loop -- the runtime's fundamental guarantee.
+    """
+    config = config or RuntimeConfig.adaptive()
+    if loop.inductions:
+        return run_induction(loop, n_procs, config, costs, memory=memory)
+    if config.strategy is Strategy.SLIDING_WINDOW:
+        return run_sliding_window(loop, n_procs, config, costs, memory=memory)
+    return run_blocked(loop, n_procs, config, costs, weights=weights, memory=memory)
+
+
+def run_program(
+    instantiations: Iterable[SpeculativeLoop] | Sequence[SpeculativeLoop],
+    n_procs: int,
+    config: RuntimeConfig | None = None,
+    costs: CostModel | None = None,
+    balancer: FeedbackBalancer | None = None,
+) -> ProgramResult:
+    """Run successive instantiations of a loop over a program's lifetime.
+
+    This is the unit the paper's parallelism ratio is defined over:
+    ``PR = #instantiations / (#restarts + #instantiations)``.  With
+    ``config.feedback_balancing`` the measured per-iteration times of each
+    instantiation re-block the next one (Section 5.1).
+
+    Each instantiation carries its own initial memory image (the generators
+    produce per-call input state); programs that thread shared state across
+    calls can pass prepared loops whose ``materialize`` reflects it.
+    """
+    config = config or RuntimeConfig.adaptive()
+    balancer = balancer or FeedbackBalancer()
+    program: ProgramResult | None = None
+    for loop in instantiations:
+        weights = None
+        if config.feedback_balancing:
+            weights = balancer.predict(loop.name, loop.n_iterations)
+        result = parallelize(loop, n_procs, config, costs, weights=weights)
+        if config.feedback_balancing:
+            balancer.record(loop.name, result.iteration_times, loop.n_iterations)
+        if program is None:
+            program = ProgramResult(
+                loop_name=result.loop_name,
+                strategy=result.strategy,
+                n_procs=n_procs,
+            )
+        program.add(result)
+    if program is None:
+        raise ValueError("run_program needs at least one instantiation")
+    return program
+
+
+def run_program_predictive(
+    instantiations: Iterable[SpeculativeLoop],
+    n_procs: int,
+    predictor: "StrategyPredictor",
+    costs: CostModel | None = None,
+    balancer: FeedbackBalancer | None = None,
+) -> ProgramResult:
+    """Run a program with per-instantiation strategy selection.
+
+    Each instantiation's configuration comes from the history-based
+    :class:`~repro.sched.predictor.StrategyPredictor` (the paper's only
+    stated mechanism for choosing between SW and (N)RD); the outcome is fed
+    back so later instantiations exploit the best observed strategy.
+    Feedback balancing applies whenever the chosen configuration enables it.
+    """
+    from repro.sched.predictor import StrategyPredictor  # noqa: F401 (doc link)
+
+    balancer = balancer or FeedbackBalancer()
+    program: ProgramResult | None = None
+    for loop in instantiations:
+        config = predictor.choose(loop.name)
+        weights = None
+        if config.feedback_balancing:
+            weights = balancer.predict(loop.name, loop.n_iterations)
+        result = parallelize(loop, n_procs, config, costs, weights=weights)
+        predictor.record(loop.name, config, result)
+        if config.feedback_balancing:
+            balancer.record(loop.name, result.iteration_times, loop.n_iterations)
+        if program is None:
+            program = ProgramResult(
+                loop_name=result.loop_name,
+                strategy="predictive",
+                n_procs=n_procs,
+            )
+        program.add(result)
+    if program is None:
+        raise ValueError("run_program_predictive needs at least one instantiation")
+    return program

@@ -1,0 +1,187 @@
+"""The Sliding Window (SW) strategy.
+
+Instead of distributing the whole iteration space at once, the speculative
+execution is strip-mined: fixed-size *super-iterations* (contiguous blocks
+of ``b`` iterations) are assigned to processors circularly -- block ``j``
+runs on processor ``j mod p`` -- and the R-LRPD test is applied to each
+window of ``p`` consecutive blocks.  After the analysis phase the commit
+point advances past every block before the earliest dependence sink; failed
+blocks are re-executed *on their originally assigned processor* (locality),
+joined by the next new blocks to refill the window.
+
+Trade-offs faithfully modeled (Section 2): one barrier and one analysis
+pass per strip (a fully parallel loop pays ``n / (p*b)`` synchronizations
+instead of one), against far fewer re-executed iterations when dependences
+are present; elements reused in every iteration are re-analyzed in every
+window.
+
+With ``adaptive_window`` the super-iteration size is doubled after a failed
+window (many close dependences: bigger blocks internalize short-distance
+arcs) -- the paper's history-based block-size adjustment.
+"""
+
+from __future__ import annotations
+
+from repro.config import RuntimeConfig, Strategy
+from repro.core.analysis import analyze_stage
+from repro.core.commit import commit_states, reinit_states
+from repro.core.executor import execute_block, make_processor_state
+from repro.core.results import RunResult, StageResult
+from repro.core.stage import (
+    charge_analysis,
+    charge_checkpoint_begin,
+    committed_work,
+    perform_restore,
+)
+from repro.errors import ConfigurationError, NoProgressError, SpeculationError
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine
+from repro.machine.memory import MemoryImage
+from repro.util.blocks import Block
+
+
+def default_window(n_procs: int) -> int:
+    """Default window: two super-iterations of one iteration per processor
+    would be degenerate; use 2 iterations per processor."""
+    return 2 * n_procs
+
+
+def run_sliding_window(
+    loop: SpeculativeLoop,
+    n_procs: int,
+    config: RuntimeConfig | None = None,
+    costs: CostModel | None = None,
+    memory: MemoryImage | None = None,
+) -> RunResult:
+    """Run one instantiation of ``loop`` under the sliding-window R-LRPD."""
+    config = config or RuntimeConfig.sw()
+    if config.strategy is not Strategy.SLIDING_WINDOW:
+        raise ConfigurationError(
+            f"run_sliding_window got strategy {config.strategy}"
+        )
+    if loop.inductions:
+        raise ConfigurationError(
+            f"loop {loop.name!r} declares induction variables; use "
+            "repro.core.runner.parallelize"
+        )
+
+    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
+    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
+    untested = loop.untested_names
+    ckpt = (
+        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
+        if untested
+        else None
+    )
+
+    n = loop.n_iterations
+    window = config.window_size or default_window(n_procs)
+    b = max(1, window // n_procs)  # super-iteration size
+
+    committed_upto = 0
+    stage_results: list[StageResult] = []
+    sequential_work = 0.0
+    final_iter_times: dict[int, float] = {}
+    stage_idx = 0
+    # Block grid anchor: blocks are [anchor + j*b, anchor + (j+1)*b).  The
+    # anchor moves only when the adaptive policy re-grids after a failure.
+    anchor = 0
+
+    def block_at(j: int) -> Block:
+        start = min(anchor + j * b, n)
+        stop = min(start + b, n)
+        return Block(j % n_procs, start, stop)
+
+    while committed_upto < n:
+        if stage_idx >= config.max_stages:
+            raise SpeculationError(
+                f"{loop.name}: exceeded max_stages={config.max_stages}"
+            )
+        j0 = (committed_upto - anchor) // b
+        window_blocks = []
+        for j in range(j0, j0 + n_procs):
+            blk = block_at(j)
+            if len(blk) == 0:
+                break
+            window_blocks.append(blk)
+        if not window_blocks:
+            raise SpeculationError(f"{loop.name}: empty window with work left")
+
+        record = machine.begin_stage()
+        charge_checkpoint_begin(machine, ckpt)
+        reduction_names = frozenset(loop.reductions)
+        for block in window_blocks:
+            if config.pre_initialize:
+                states[block.proc].preload(machine, skip=reduction_names)
+            ctx = execute_block(machine, loop, states[block.proc], block, ckpt)
+            if ctx.exit_iteration is not None:
+                raise ConfigurationError(
+                    f"{loop.name}: premature exits need the blocked runner"
+                )
+        machine.barrier()
+
+        groups = [(blk.proc, states[blk.proc].shadows) for blk in window_blocks]
+        analysis = analyze_stage(groups)
+        charge_analysis(machine, analysis, [blk.proc for blk in window_blocks])
+
+        f_pos = analysis.earliest_sink_pos
+        committing = window_blocks if f_pos is None else window_blocks[:f_pos]
+        failing = [] if f_pos is None else window_blocks[f_pos:]
+        if not committing:
+            raise NoProgressError(
+                f"{loop.name}: window stage {stage_idx} committed nothing"
+            )
+
+        committed_elements = commit_states(
+            machine, loop, [states[blk.proc] for blk in committing]
+        )
+        stage_work = committed_work(states, committing)
+        sequential_work += stage_work
+        for block in committing:
+            times = states[block.proc].iter_times
+            for i in block.iterations():
+                final_iter_times[i] = times[i]
+        restored = perform_restore(machine, ckpt, [blk.proc for blk in failing])
+        reinit_states(machine, [states[blk.proc] for blk in failing])
+        for block in committing:
+            states[block.proc].reset()
+
+        committed_upto = committing[-1].stop
+        stage_results.append(
+            StageResult(
+                index=stage_idx,
+                blocks=list(window_blocks),
+                failed=f_pos is not None,
+                earliest_sink_pos=f_pos,
+                committed_iterations=sum(len(blk) for blk in committing),
+                remaining_after=n - committed_upto,
+                committed_work=stage_work,
+                n_arcs=len(analysis.arcs),
+                committed_elements=committed_elements,
+                restored_elements=restored,
+                redistributed_iterations=0,
+                span=record.span(),
+                breakdown=record.breakdown(),
+            )
+        )
+        stage_idx += 1
+
+        if f_pos is not None and config.adaptive_window:
+            # Many close dependences: grow the super-iteration so short
+            # arcs fall inside one block.  Re-grid from the commit point.
+            b = min(b * 2, max(1, (n - committed_upto + n_procs - 1) // n_procs or 1))
+            anchor = committed_upto
+
+    return RunResult(
+        loop_name=loop.name,
+        strategy=config.label() if config.window_size else f"SW(w={window})",
+        n_procs=n_procs,
+        n_iterations=n,
+        stages=stage_results,
+        timeline=machine.timeline,
+        sequential_work=sequential_work,
+        iteration_times=final_iter_times,
+        memory=machine.memory,
+    )

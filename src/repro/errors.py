@@ -1,0 +1,50 @@
+"""Exception hierarchy for the R-LRPD runtime.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch runtime-system failures without masking programming errors
+(``TypeError``/``ValueError`` raised on misuse are left as built-ins).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid :class:`repro.config.RuntimeConfig` combination was given."""
+
+
+class SpeculationError(ReproError):
+    """Speculative execution reached an inconsistent internal state.
+
+    This indicates a bug in the runtime (e.g. a stage failed to make
+    progress), never a data dependence in the user's loop: dependences are
+    an expected outcome handled by re-execution, not an error.
+    """
+
+
+class NoProgressError(SpeculationError):
+    """A recursive stage committed zero processors.
+
+    The R-LRPD invariant guarantees the lowest-ranked processor of every
+    stage executes correctly, so a stage that commits nothing means the
+    analysis phase or commit logic is broken.
+    """
+
+
+class InspectorUnavailableError(ReproError):
+    """Raised by the inspector/executor baseline for loops without a proper
+    inspector (address computation depends on loop data, so a side-effect
+    free inspector cannot be extracted -- the exact limitation the R-LRPD
+    test removes)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint or restore of untested shared state failed."""
+
+
+class ScheduleError(ReproError):
+    """An iteration schedule (block partition, window, wavefront) is
+    malformed: overlapping blocks, gaps, or out-of-order assignment."""

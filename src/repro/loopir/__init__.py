@@ -1,0 +1,27 @@
+"""Loop intermediate representation.
+
+A :class:`SpeculativeLoop` is the unit the runtime parallelizes: an
+iteration count, a set of shared arrays partitioned into *tested* (compiler
+un-analyzable; privatized and shadow-marked) and *untested* (statically
+analyzable; written in place under checkpoint), an optional speculative
+induction variable, optional reduction arrays, and a body callable invoked
+once per iteration with an :class:`IterationContext`.
+
+The context's ``load`` / ``store`` / ``update`` calls are the instrumentation
+points: in the real system the Polaris run-time pass inserts marking code
+around every reference to a tested array; here the context *is* that code.
+"""
+
+from repro.loopir.context import IterationContext, SequentialContext
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.reductions import ReductionOp
+from repro.loopir.induction import InductionSpec
+
+__all__ = [
+    "IterationContext",
+    "SequentialContext",
+    "ArraySpec",
+    "SpeculativeLoop",
+    "ReductionOp",
+    "InductionSpec",
+]

@@ -1,0 +1,189 @@
+"""Iteration contexts: the instrumentation boundary of the runtime.
+
+A loop body is a Python callable ``body(ctx, i)``.  All shared-memory
+traffic must flow through the context:
+
+* ``ctx.load(name, index)`` / ``ctx.store(name, index, value)`` -- element
+  access to a shared array (tested arrays get privatization + shadow
+  marking under speculation);
+* ``ctx.update(name, index, value)`` -- a reduction statement
+  ``A[index] = A[index] (op) value``;
+* ``ctx.bump(ivar)`` -- read-then-increment of a speculative induction
+  variable;
+* ``ctx.work(units)`` -- extra useful computation beyond the loop's base
+  per-iteration cost (models iteration-dependent work for the load
+  balancing experiments).
+
+Bodies must be deterministic functions of the values they load; given that,
+any two executions that observe the same values write the same values, which
+is what makes speculation + re-execution sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.loopir.reductions import ReductionOp
+from repro.machine.memory import MemoryImage
+
+
+@dataclass(frozen=True, slots=True)
+class AccessRecord:
+    """One element access in a recorded trace (testing / inspector use)."""
+
+    iteration: int
+    kind: str  # 'r' | 'w' | 'u'
+    array: str
+    index: int
+
+
+class IterationContext:
+    """Abstract context; concrete subclasses define the memory discipline."""
+
+    __slots__ = ("iteration",)
+
+    def __init__(self) -> None:
+        self.iteration = -1
+
+    # -- shared-array access --------------------------------------------------
+
+    def load(self, name: str, index: int):
+        raise NotImplementedError
+
+    def store(self, name: str, index: int, value) -> None:
+        raise NotImplementedError
+
+    def update(self, name: str, index: int, value) -> None:
+        """Reduction access ``A[index] = A[index] (op) value``."""
+        raise NotImplementedError
+
+    # -- induction variables ---------------------------------------------------
+
+    def bump(self, name: str) -> int:
+        """Return the induction variable's current value, then increment it."""
+        raise NotImplementedError
+
+    def peek(self, name: str) -> int:
+        """Read the induction variable without incrementing."""
+        raise NotImplementedError
+
+    # -- cost modelling ---------------------------------------------------------
+
+    def work(self, units: float) -> None:
+        """Charge additional useful computation to this iteration."""
+        raise NotImplementedError
+
+    # -- premature exit -----------------------------------------------------------
+
+    def exit_loop(self) -> None:
+        """Signal a premature loop exit *after* the current iteration.
+
+        Sequential semantics: the current iteration completes (its writes
+        count), no later iteration executes.  Speculatively, processors keep
+        executing their blocks; the runtime validates the earliest exit
+        whose processor's work is itself correct and discards everything
+        beyond it (the technique behind SPICE's DCDCMP loop 70).
+        """
+        raise NotImplementedError
+
+
+class SequentialContext(IterationContext):
+    """Reference semantics: direct, in-order access to shared memory.
+
+    Used by the sequential baseline (the oracle every speculative run must
+    match) and, with ``trace=True``, by tests that need the exact reference
+    stream (ground-truth dependence graphs, inspector baselines).
+    """
+
+    __slots__ = (
+        "_memory",
+        "_reductions",
+        "_inductions",
+        "extra_work",
+        "trace",
+        "_records",
+        "_work_hook",
+        "exited",
+    )
+
+    def __init__(
+        self,
+        memory: MemoryImage,
+        reductions: dict[str, ReductionOp] | None = None,
+        inductions: dict[str, int] | None = None,
+        trace: bool = False,
+        work_hook: Callable[[int, float], None] | None = None,
+    ) -> None:
+        super().__init__()
+        self._memory = memory
+        self._reductions = dict(reductions or {})
+        self._inductions = dict(inductions or {})
+        self.extra_work = 0.0
+        self.trace = trace
+        self._records: list[AccessRecord] = []
+        self._work_hook = work_hook
+        self.exited = False
+
+    # -- access -----------------------------------------------------------------
+
+    def load(self, name: str, index: int):
+        if name in self._reductions:
+            raise ValueError(
+                f"array {name!r} is declared a reduction; use update() only"
+            )
+        if self.trace:
+            self._records.append(AccessRecord(self.iteration, "r", name, index))
+        return self._memory[name].data[index]
+
+    def store(self, name: str, index: int, value) -> None:
+        if name in self._reductions:
+            raise ValueError(
+                f"array {name!r} is declared a reduction; use update() only"
+            )
+        if self.trace:
+            self._records.append(AccessRecord(self.iteration, "w", name, index))
+        self._memory[name].data[index] = value
+
+    def update(self, name: str, index: int, value) -> None:
+        op = self._reductions.get(name)
+        if op is None:
+            raise ValueError(f"array {name!r} has no declared reduction operator")
+        if self.trace:
+            self._records.append(AccessRecord(self.iteration, "u", name, index))
+        data = self._memory[name].data
+        data[index] = op.combine(data[index], value)
+
+    # -- induction ---------------------------------------------------------------
+
+    def bump(self, name: str) -> int:
+        value = self._inductions[name]
+        self._inductions[name] = value + 1
+        return value
+
+    def peek(self, name: str) -> int:
+        return self._inductions[name]
+
+    def induction_values(self) -> dict[str, int]:
+        """Final counter values (exposed for last-value semantics)."""
+        return dict(self._inductions)
+
+    # -- costs ----------------------------------------------------------------
+
+    def work(self, units: float) -> None:
+        if units < 0:
+            raise ValueError("work units must be non-negative")
+        self.extra_work += units
+        if self._work_hook is not None:
+            self._work_hook(self.iteration, units)
+
+    # -- premature exit ------------------------------------------------------------
+
+    def exit_loop(self) -> None:
+        self.exited = True
+
+    # -- trace ------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[AccessRecord]:
+        return list(self._records)

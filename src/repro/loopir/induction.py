@@ -1,0 +1,42 @@
+"""Speculative induction variables (the EXTEND 400 pattern).
+
+TRACK's ``EXTEND`` loop indexes its track arrays with a counter ``LSTTRK``
+that is *conditionally* incremented, so the per-iteration values cannot be
+precomputed.  The paper parallelizes it in two doalls: every processor first
+computes the counter from a zero-relative offset while the runtime collects
+array-reference ranges and per-processor increment counts; a parallel prefix
+sum over those counts yields each processor's true starting offset; after
+verifying that all reads land strictly below all writes (``max read index <
+min write index``), a second doall re-executes with the corrected offsets
+and commits by last value.
+
+:class:`InductionSpec` declares such a counter on a loop.  The contexts in
+:mod:`repro.loopir.context` and the two-phase runner in
+:mod:`repro.core.induction_runner` implement the execution discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class InductionSpec:
+    """A conditionally incremented integer counter used to index arrays.
+
+    Parameters
+    ----------
+    name:
+        Identifier used by ``ctx.bump(name)`` / ``ctx.induction(name)``.
+    initial:
+        The counter's value on loop entry (e.g. the current last-track
+        index).  The sequential semantics are: ``bump`` returns the current
+        value and then increments it by one.
+    """
+
+    name: str
+    initial: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("induction variable needs a non-empty name")

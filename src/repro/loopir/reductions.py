@@ -1,0 +1,41 @@
+"""Reduction operators for speculative reduction parallelization.
+
+A reduction variable is used only in statements ``x = x (op) expr`` where
+``op`` is associative and commutative and ``x`` does not appear in ``expr``
+(paper, footnote 1).  Per-processor partial results start at the operator's
+identity and are combined into the shared value at commit time.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class ReductionOp(enum.Enum):
+    """Associative-commutative operators supported by the runtime."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MIN = "min"
+    MAX = "max"
+
+    @property
+    def identity(self) -> float:
+        if self is ReductionOp.SUM:
+            return 0.0
+        if self is ReductionOp.PROD:
+            return 1.0
+        if self is ReductionOp.MIN:
+            return math.inf
+        return -math.inf
+
+    def combine(self, a, b):
+        """Fold two partials (commutative, so order across procs is free)."""
+        if self is ReductionOp.SUM:
+            return a + b
+        if self is ReductionOp.PROD:
+            return a * b
+        if self is ReductionOp.MIN:
+            return a if a <= b else b
+        return a if a >= b else b

@@ -1,0 +1,32 @@
+"""Deterministic simulated shared-memory multiprocessor.
+
+The paper's test-bed is a 16-processor ccUMA HP V2200.  CPython's GIL makes
+a real multicore demonstration impossible (reproduction band note), so this
+package substitutes a *virtual-time* machine: processors execute loop
+iterations one block at a time while a :class:`Timeline` accrues modeled
+costs -- per-iteration useful work ``omega``, barrier synchronization ``s``,
+per-iteration redistribution ``ell``, plus marking / analysis / commit /
+restore / checkpoint overheads.  Every quantity the paper reports (stage
+counts, parallelism ratio, execution-time breakdowns, speedups) is a
+function of these counts and costs, so the virtual machine reproduces the
+paper's *shapes* deterministically.
+"""
+
+from repro.machine.costs import CostModel
+from repro.machine.timeline import Category, Timeline
+from repro.machine.memory import SharedArray, PrivateView, MemoryImage
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.topology import Topology
+from repro.machine.machine import Machine
+
+__all__ = [
+    "Topology",
+    "CostModel",
+    "Category",
+    "Timeline",
+    "SharedArray",
+    "PrivateView",
+    "MemoryImage",
+    "CheckpointManager",
+    "Machine",
+]

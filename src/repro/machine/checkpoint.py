@@ -1,0 +1,153 @@
+"""Checkpoint / restore of untested shared state.
+
+Arrays the compiler *can* analyze (array ``B`` in the paper's Fig. 1) are
+written in place during speculation, so before each stage their old contents
+must be saved; if some processors fail, the sections they modified are
+restored before re-execution.  Two flavors are implemented:
+
+* **Full checkpointing** copies every checkpointed array once per stage --
+  simple, but its cost is proportional to total state size, which the paper
+  identifies as the dominant overhead for loops with large, conditionally
+  modified state (NLFILT).
+* **On-demand checkpointing** saves an element's old value only on the first
+  write to it in the stage.  Fig. 12(a) shows this is the single most
+  important optimization for NLFILT; the cost becomes proportional to the
+  state actually modified.
+
+Restoration only needs to roll back elements first-touched by *failed*
+processors.  The statically-analyzable contract means committing and failed
+processors never write the same untested element in one stage; the manager
+verifies this and raises :class:`~repro.errors.CheckpointError` on violation
+(that would indicate the workload mis-declared a tested array as untested).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.machine.memory import MemoryImage
+
+
+class CheckpointManager:
+    """Tracks old values of untested arrays for one speculative stage."""
+
+    def __init__(self, memory: MemoryImage, names: Iterable[str], on_demand: bool) -> None:
+        self._memory = memory
+        self._names = sorted(set(names))
+        self.on_demand = bool(on_demand)
+        # name -> index -> (saving proc, old value); first touch wins.
+        self._saved: dict[str, dict[int, tuple[int, object]]] = {}
+        self._full: dict[str, np.ndarray] = {}
+        # name -> index -> set of procs that wrote it this stage.
+        self._writers: dict[str, dict[int, set[int]]] = {}
+        self.elements_checkpointed = 0
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    def begin_stage(self) -> int:
+        """Start a stage; returns the number of elements checkpointed now
+        (full mode copies everything up front, on-demand copies nothing)."""
+        self._saved = {name: {} for name in self._names}
+        self._writers = {name: {} for name in self._names}
+        self._full = {}
+        self.elements_checkpointed = 0
+        if not self.on_demand:
+            for name in self._names:
+                data = self._memory[name].data
+                self._full[name] = data.copy()
+                self.elements_checkpointed += len(data)
+        return self.elements_checkpointed
+
+    def note_write(self, proc: int, name: str, index: int) -> int:
+        """Record a write to an untested element.
+
+        Returns the number of elements newly checkpointed by this call
+        (1 for an on-demand first touch, else 0) so the caller can charge
+        virtual time.
+        """
+        if name not in self._saved:
+            raise CheckpointError(f"array {name!r} is not under checkpoint")
+        writers = self._writers[name].setdefault(index, set())
+        writers.add(proc)
+        saved = self._saved[name]
+        if index not in saved:
+            if self.on_demand:
+                saved[index] = (proc, self._memory[name].data[index])
+                self.elements_checkpointed += 1
+                return 1
+            saved[index] = (proc, self._full[name][index])
+        return 0
+
+    def restore_failed(self, failed_procs: Iterable[int]) -> int:
+        """Roll back elements first-touched by failed processors.
+
+        Returns the element count restored (for virtual-time charging).
+        Raises if a committing and a failed processor both wrote the same
+        untested element (contract violation).
+        """
+        failed = set(failed_procs)
+        restored = 0
+        for name in self._names:
+            data = self._memory[name].data
+            for index, writers in self._writers[name].items():
+                touched_failed = writers & failed
+                if not touched_failed:
+                    continue
+                if writers - failed:
+                    raise CheckpointError(
+                        f"untested array {name!r} element {index} written by both "
+                        f"committing procs {sorted(writers - failed)} and failed "
+                        f"procs {sorted(touched_failed)}; declare it tested instead"
+                    )
+                _, old = self._saved[name][index]
+                data[index] = old
+                restored += 1
+        # Failed procs will re-write; drop their logs so the next stage
+        # re-checkpoints from the (restored) current values.
+        for name in self._names:
+            for index in [
+                i for i, w in self._writers[name].items() if w & failed
+            ]:
+                del self._writers[name][index]
+                del self._saved[name][index]
+        return restored
+
+    def modified_by(self, procs: Iterable[int]) -> dict[str, list[int]]:
+        """Indices written by the given processors, per array (diagnostics)."""
+        wanted = set(procs)
+        return {
+            name: sorted(
+                i for i, writers in self._writers[name].items() if writers & wanted
+            )
+            for name in self._names
+        }
+
+
+def verify_untested_isolation(
+    reads: Mapping[str, Mapping[int, set[int]]],
+    writes: Mapping[str, Mapping[int, set[int]]],
+) -> list[str]:
+    """Debug validator for the statically-analyzable contract.
+
+    Given per-array maps ``index -> procs that read/wrote it`` for one
+    stage's *untested* arrays, return a description of every cross-processor
+    read-after-write pair (a workload declaring such an array untested is
+    unsound and should mark it tested instead).
+    """
+    problems: list[str] = []
+    for name, write_map in writes.items():
+        read_map = reads.get(name, {})
+        for index, writer_procs in write_map.items():
+            reader_procs = read_map.get(index, set())
+            foreign = {r for r in reader_procs if any(w != r for w in writer_procs)}
+            if foreign and len(writer_procs | reader_procs) > 1:
+                problems.append(
+                    f"{name}[{index}]: written by procs {sorted(writer_procs)}, "
+                    f"read by procs {sorted(reader_procs)}"
+                )
+    return problems

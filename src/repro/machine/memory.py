@@ -1,0 +1,266 @@
+"""Shared and private (speculative) memory.
+
+Tested arrays -- those whose access pattern the compiler could not analyze --
+are never written in place during a speculative stage.  Each processor works
+on a *private view*: reads copy in the shared value on demand (the paper's
+"on-demand copy-in", which both implements the copy-in condition and feeds
+flow-dependence data produced by earlier, already committed stages), writes
+stay private until the analysis phase decides which processors commit.
+
+Untested arrays (statically analyzable state such as array ``B`` in the
+paper's Fig. 1) are written directly to shared memory and protected by a
+checkpoint (:mod:`repro.machine.checkpoint`) so the sections modified by
+failed processors can be restored.
+
+Two private-view implementations are provided: a dense one backed by numpy
+arrays (best for small or densely accessed arrays) and a sparse, dict-backed
+one (best for the paper's sparse workloads, e.g. the SPICE ``VALUE``
+workspace, where each processor touches a tiny fraction of a huge array).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+class SharedArray:
+    """A named, one-dimensional shared array.
+
+    Multi-dimensional program arrays are linearized by the workload (the
+    shadow structures and the dependence test operate on element addresses,
+    exactly as the real runtime operates on memory locations).
+    """
+
+    __slots__ = ("name", "data")
+
+    def __init__(self, name: str, data: np.ndarray) -> None:
+        arr = np.asarray(data)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"SharedArray {name!r} must be 1-D (got shape {arr.shape}); "
+                "linearize multi-dimensional arrays in the workload"
+            )
+        self.name = name
+        self.data = arr.copy()
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArray({self.name!r}, n={len(self)}, dtype={self.data.dtype})"
+
+
+class MemoryImage:
+    """The machine's shared address space: a set of named arrays."""
+
+    def __init__(self, arrays: Iterable[SharedArray] = ()) -> None:
+        self._arrays: dict[str, SharedArray] = {}
+        for array in arrays:
+            self.add(array)
+
+    def add(self, array: SharedArray) -> None:
+        if array.name in self._arrays:
+            raise ValueError(f"duplicate shared array {array.name!r}")
+        self._arrays[array.name] = array
+
+    def __getitem__(self, name: str) -> SharedArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise KeyError(
+                f"no shared array {name!r}; declared: {sorted(self._arrays)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def names(self) -> list[str]:
+        return sorted(self._arrays)
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Deep copy of every array's contents (test oracle support)."""
+        return {name: arr.data.copy() for name, arr in self._arrays.items()}
+
+    def restore(self, snapshot: Mapping[str, np.ndarray]) -> None:
+        """Overwrite all arrays from a snapshot taken earlier."""
+        for name, data in snapshot.items():
+            self[name].data[:] = data
+
+    def equals(self, snapshot: Mapping[str, np.ndarray]) -> bool:
+        if set(snapshot) != set(self._arrays):
+            return False
+        return all(
+            np.array_equal(self._arrays[name].data, data)
+            for name, data in snapshot.items()
+        )
+
+    def allclose(
+        self,
+        snapshot: Mapping[str, np.ndarray],
+        rtol: float = 1e-9,
+        atol: float = 1e-12,
+    ) -> bool:
+        """Tolerant comparison for runs with parallel reductions.
+
+        Per-processor reduction partials are combined in a different order
+        than a sequential execution, so floating-point results may differ in
+        the last bits while remaining mathematically identical.
+        """
+        if set(snapshot) != set(self._arrays):
+            return False
+        return all(
+            np.allclose(self._arrays[name].data, data, rtol=rtol, atol=atol)
+            for name, data in snapshot.items()
+        )
+
+
+class PrivateView:
+    """Abstract per-processor speculative overlay of one shared array.
+
+    ``load`` returns ``(value, copied_in)`` where ``copied_in`` reports
+    whether the shared value had to be brought into private storage (so the
+    caller can charge the copy-in cost and mark an exposed read).  ``store``
+    buffers the value privately.  ``written_items`` yields the data needed
+    by the commit phase.
+    """
+
+    __slots__ = ("shared",)
+
+    def __init__(self, shared: SharedArray) -> None:
+        self.shared = shared
+
+    def load(self, index: int) -> tuple[object, bool]:
+        raise NotImplementedError
+
+    def store(self, index: int, value: object) -> None:
+        raise NotImplementedError
+
+    def has_local(self, index: int) -> bool:
+        """Whether the element already has a private copy (written or copied)."""
+        raise NotImplementedError
+
+    def written_items(self) -> Iterable[tuple[int, object]]:
+        """``(index, last_private_value)`` for every element this processor
+        wrote (iteration order within the processor is already folded in:
+        the private copy holds the processor's last value)."""
+        raise NotImplementedError
+
+    def n_written(self) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Discard all private state (between stages)."""
+        raise NotImplementedError
+
+    def preload(self) -> int:
+        """Pre-initialize the private copy from shared memory (the paper's
+        'before the start of the speculative loop' option).  Returns the
+        element count copied; sparse views return 0 (they always use
+        on-demand copy-in -- bulk-copying a huge sparsely-touched array is
+        exactly what the sparse representation avoids)."""
+        return 0
+
+
+class DensePrivateView(PrivateView):
+    """Numpy-backed private view; O(n) memory, O(1) access."""
+
+    __slots__ = ("_values", "_have", "_written")
+
+    def __init__(self, shared: SharedArray) -> None:
+        super().__init__(shared)
+        n = len(shared)
+        self._values = np.zeros(n, dtype=shared.data.dtype)
+        self._have = np.zeros(n, dtype=bool)
+        self._written = np.zeros(n, dtype=bool)
+
+    def load(self, index: int) -> tuple[object, bool]:
+        if self._have[index]:
+            return self._values[index], False
+        value = self.shared.data[index]
+        self._values[index] = value
+        self._have[index] = True
+        return value, True
+
+    def store(self, index: int, value: object) -> None:
+        self._values[index] = value
+        self._have[index] = True
+        self._written[index] = True
+
+    def has_local(self, index: int) -> bool:
+        return bool(self._have[index])
+
+    def written_items(self):
+        for index in np.flatnonzero(self._written):
+            yield int(index), self._values[index]
+
+    def written_indices(self) -> np.ndarray:
+        return np.flatnonzero(self._written)
+
+    def n_written(self) -> int:
+        return int(self._written.sum())
+
+    def reset(self) -> None:
+        self._have[:] = False
+        self._written[:] = False
+
+    def preload(self) -> int:
+        np.copyto(self._values, self.shared.data)
+        self._have[:] = True
+        return len(self._values)
+
+
+class SparsePrivateView(PrivateView):
+    """Dict-backed private view; memory proportional to touched elements."""
+
+    __slots__ = ("_values", "_written")
+
+    def __init__(self, shared: SharedArray) -> None:
+        super().__init__(shared)
+        self._values: dict[int, object] = {}
+        self._written: set[int] = set()
+
+    def load(self, index: int) -> tuple[object, bool]:
+        try:
+            return self._values[index], False
+        except KeyError:
+            value = self.shared.data[index]
+            self._values[index] = value
+            return value, True
+
+    def store(self, index: int, value: object) -> None:
+        self._values[index] = value
+        self._written.add(index)
+
+    def has_local(self, index: int) -> bool:
+        return index in self._values
+
+    def written_items(self):
+        for index in sorted(self._written):
+            yield index, self._values[index]
+
+    def written_indices(self) -> np.ndarray:
+        return np.fromiter(sorted(self._written), dtype=np.int64, count=len(self._written))
+
+    def n_written(self) -> int:
+        return len(self._written)
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._written.clear()
+
+
+#: Arrays at or below this element count default to the dense view.
+DENSE_VIEW_THRESHOLD = 1 << 16
+
+
+def make_private_view(shared: SharedArray, sparse: bool | None = None) -> PrivateView:
+    """Choose a private-view implementation for a shared array.
+
+    ``sparse=None`` picks automatically by array size; workloads with known
+    access density can force either representation.
+    """
+    if sparse is None:
+        sparse = len(shared) > DENSE_VIEW_THRESHOLD
+    return SparsePrivateView(shared) if sparse else DensePrivateView(shared)

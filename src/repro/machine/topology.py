@@ -1,0 +1,76 @@
+"""Machine topology: distance-weighted redistribution costs and locality.
+
+The paper's test-bed is ccUMA, but its redistribution overhead is "mostly
+due to remote cache misses", and two design choices exist specifically for
+locality: the sliding window's circular processor assignment ("iterations
+are re-executed (if necessary) on their originally assigned processor") and
+the feedback balancer's slowly moving block boundaries.  To make those
+effects measurable, the machine can carry a :class:`Topology`: migrating an
+iteration from its previous owner to a new processor costs
+``ell * (1 + remote_factor * distance(old, new))`` instead of a flat
+``ell``, and every run accounts its total migration distance.
+
+``flat`` reproduces the default (distance 0 everywhere -- the ccUMA
+ideal); ``ring`` and ``numa`` model increasingly clustered machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Topology:
+    """Processor-to-processor distance matrix with a remote-miss factor."""
+
+    def __init__(self, distances: np.ndarray, remote_factor: float = 1.0) -> None:
+        d = np.asarray(distances, dtype=np.float64)
+        if d.ndim != 2 or d.shape[0] != d.shape[1]:
+            raise ValueError(f"distance matrix must be square, got {d.shape}")
+        if (d < 0).any():
+            raise ValueError("distances must be non-negative")
+        if (np.diag(d) != 0).any():
+            raise ValueError("self-distance must be zero")
+        if not np.allclose(d, d.T):
+            raise ValueError("distance matrix must be symmetric")
+        if remote_factor < 0:
+            raise ValueError("remote_factor must be non-negative")
+        self._d = d
+        self.remote_factor = remote_factor
+
+    @property
+    def n_procs(self) -> int:
+        return self._d.shape[0]
+
+    def distance(self, a: int, b: int) -> float:
+        return float(self._d[a, b])
+
+    def migration_multiplier(self, src: int, dst: int) -> float:
+        """Cost factor for moving one iteration's data ``src -> dst``."""
+        return 1.0 + self.remote_factor * self.distance(src, dst)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def flat(cls, p: int) -> "Topology":
+        """Uniform memory access: every migration costs exactly ``ell``."""
+        return cls(np.zeros((p, p)), remote_factor=0.0)
+
+    @classmethod
+    def ring(cls, p: int, remote_factor: float = 1.0) -> "Topology":
+        """Processors on a ring; distance = hop count."""
+        idx = np.arange(p)
+        hops = np.abs(idx[:, None] - idx[None, :])
+        hops = np.minimum(hops, p - hops)
+        return cls(hops.astype(np.float64), remote_factor)
+
+    @classmethod
+    def numa(cls, p: int, nodes: int, remote_factor: float = 1.0) -> "Topology":
+        """Clustered nodes: distance 0 within a node, 1 across nodes."""
+        if nodes < 1:
+            raise ValueError("need at least one NUMA node")
+        node_of = np.arange(p) * nodes // p
+        cross = (node_of[:, None] != node_of[None, :]).astype(np.float64)
+        return cls(cross, remote_factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(p={self.n_procs}, remote_factor={self.remote_factor})"

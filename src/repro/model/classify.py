@@ -1,0 +1,95 @@
+"""Estimating the dependence-distribution parameters from observed runs.
+
+The paper notes that ``alpha`` is generally unknown in advance but "in many
+cases reasonable estimates can be made ... and recomputed during execution
+(e.g., as an average of the alpha values observed so far)".  These helpers
+implement exactly that: given the per-stage remaining-iteration series of a
+:class:`~repro.core.results.RunResult`, fit the geometric and linear models
+and report which explains the series better.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.results import RunResult
+
+
+def remaining_series(result: RunResult) -> list[int]:
+    """``[n, n_1, n_2, ...]``: iterations remaining before each stage."""
+    series = [result.n_iterations]
+    for stage in result.stages:
+        series.append(stage.remaining_after)
+    return series
+
+
+def estimate_alpha(result: RunResult) -> float | None:
+    """Average per-stage surviving fraction of the *remaining* work.
+
+    Returns ``None`` for single-stage (fully parallel) runs, where alpha is
+    unobservable (any value in [0, 1) predicts one stage).
+    """
+    series = remaining_series(result)
+    ratios = [
+        after / before
+        for before, after in zip(series, series[1:])
+        if before > 0 and after > 0
+    ]
+    if not ratios:
+        return None
+    # Geometric mean: alpha multiplies across stages.
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def estimate_beta(result: RunResult) -> float | None:
+    """Average fraction of the *original* work left unfinished per stage."""
+    n = result.n_iterations
+    if n == 0 or len(result.stages) == 0:
+        return None
+    completed_per_stage = [s.committed_iterations / n for s in result.stages]
+    if not completed_per_stage:
+        return None
+    mean_completed = sum(completed_per_stage) / len(completed_per_stage)
+    return max(0.0, 1.0 - mean_completed)
+
+
+@dataclass(frozen=True, slots=True)
+class LoopClass:
+    """Classification verdict with both fitted parameters."""
+
+    kind: str  # 'geometric' | 'linear' | 'parallel'
+    alpha: float | None
+    beta: float | None
+    geometric_error: float
+    linear_error: float
+
+
+def classify_loop(result: RunResult) -> LoopClass:
+    """Fit both models to the remaining-work series; pick the better one.
+
+    Error metric: RMS of the relative prediction error of the remaining
+    count at each stage.
+    """
+    series = remaining_series(result)
+    n = result.n_iterations
+    alpha = estimate_alpha(result)
+    beta = estimate_beta(result)
+    if len(series) <= 2 or alpha is None:
+        return LoopClass("parallel", alpha, beta, 0.0, 0.0)
+
+    def rms(predict) -> float:
+        errs = []
+        for k, actual in enumerate(series[1:], start=1):
+            pred = predict(k)
+            # Scale by the larger of the two values so the terminal
+            # remaining-count of 0 doesn't blow up the relative error.
+            scale = max(1.0, actual, pred)
+            errs.append(((pred - actual) / scale) ** 2)
+        return math.sqrt(sum(errs) / len(errs))
+
+    geo_err = rms(lambda k: n * alpha**k)
+    lin_err = rms(lambda k: max(0.0, n * (1.0 - (1.0 - (beta or 0.0)) * k)))
+    # The linear model's "beta" as defined predicts remaining = n - k*(1-beta)*n.
+    kind = "geometric" if geo_err <= lin_err else "linear"
+    return LoopClass(kind, alpha, beta, geo_err, lin_err)

@@ -1,0 +1,95 @@
+"""Scaling prediction: observe a loop once, predict other machine sizes.
+
+Section 4 closes with the observation that the model parameters "can be
+estimated through both static analysis and experimental measurements" and
+"recomputed during execution".  This module completes that loop: fit
+``alpha`` (or ``beta``) from one observed run, then evaluate the closed
+forms at other processor counts -- the cheap capacity-planning question
+("would 16 processors help this loop?") answered without running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import RunResult
+from repro.machine.costs import CostModel
+from repro.model.analytic import (
+    speedup_geometric,
+    speedup_linear,
+    total_time_geometric,
+    total_time_linear,
+)
+from repro.model.classify import classify_loop
+
+
+@dataclass(frozen=True)
+class ScalingPrediction:
+    """Predicted times/speedups per processor count, with the fit used."""
+
+    loop_name: str
+    kind: str  # 'geometric' | 'linear' | 'parallel'
+    parameter: float | None  # fitted alpha or beta
+    predictions: dict[int, float]  # p -> predicted speedup
+
+    def best_p(self) -> int:
+        return max(self.predictions, key=lambda p: self.predictions[p])
+
+
+def predict_scaling(
+    observed: RunResult,
+    costs: CostModel,
+    p_values: list[int],
+) -> ScalingPrediction:
+    """Fit the observed run's dependence distribution; predict other ``p``.
+
+    Fully parallel runs (one stage) scale like a doall with one barrier;
+    geometric fits use ``T(n)`` (Eq. 6), linear fits ``T_static`` with the
+    fitted ``beta``.  Predictions are *model* speedups: useful work over
+    modeled time, ignoring marking/analysis overheads exactly as Section 4
+    does, so compare them against each other, not against measured runs.
+    """
+    if not p_values:
+        raise ValueError("need at least one processor count to predict")
+    verdict = classify_loop(observed)
+    n = observed.n_iterations
+    omega, ell, s = costs.omega, costs.ell, costs.sync
+    predictions: dict[int, float] = {}
+    for p in p_values:
+        if p < 1:
+            raise ValueError(f"invalid processor count {p}")
+        if verdict.kind == "parallel" or not verdict.alpha:
+            t = n * omega / p + s
+            predictions[p] = (n * omega) / t if t > 0 else float("inf")
+        elif verdict.kind == "geometric":
+            predictions[p] = speedup_geometric(n, omega, ell, s, p, verdict.alpha)
+        else:
+            beta = min(verdict.beta if verdict.beta is not None else 0.0, (p - 1) / p)
+            predictions[p] = speedup_linear(n, omega, s, p, beta)
+    parameter = (
+        verdict.alpha
+        if verdict.kind == "geometric"
+        else (verdict.beta if verdict.kind == "linear" else None)
+    )
+    return ScalingPrediction(
+        loop_name=observed.loop_name,
+        kind=verdict.kind,
+        parameter=parameter,
+        predictions=predictions,
+    )
+
+
+def predicted_time(
+    observed: RunResult, costs: CostModel, p: int
+) -> float:
+    """Modeled total time of the observed loop at another processor count."""
+    verdict = classify_loop(observed)
+    n = observed.n_iterations
+    if verdict.kind == "geometric" and verdict.alpha:
+        return total_time_geometric(
+            n, costs.omega, costs.ell, costs.sync, p, verdict.alpha
+        )
+    if verdict.kind == "linear" and verdict.beta is not None:
+        beta = min(verdict.beta, (p - 1) / p if p > 1 else 0.0)
+        return total_time_linear(n, costs.omega, costs.sync, p, beta)
+    return n * costs.omega / p + costs.sync

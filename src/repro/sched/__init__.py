@@ -1,0 +1,7 @@
+"""Scheduling support: feedback-guided load balancing, history-based
+strategy selection and window-size adaptation."""
+
+from repro.sched.feedback import FeedbackBalancer
+from repro.sched.predictor import StrategyPredictor, WindowPredictor
+
+__all__ = ["FeedbackBalancer", "StrategyPredictor", "WindowPredictor"]

@@ -1,0 +1,153 @@
+"""History-based strategy and window-size prediction.
+
+The paper leaves two knobs to history: *"So far we have not devised a
+strategy to choose between the two techniques except through the use of
+history based predictions"* (SW vs (N)RD, Section 2), and *"Ideally, we want
+the largest window size for which there is a minimum number of failures
+(restarts); this size can be adapted based on previous loop
+instantiations"*.  This module implements both predictors:
+
+* :class:`StrategyPredictor` -- tries each candidate configuration once
+  (round-robin exploration), then keeps choosing the configuration with the
+  best observed speedup, re-exploring on demand when the observed behavior
+  degrades.
+* :class:`WindowPredictor` -- multiplicative-increase / multiplicative-
+  decrease on the window size: grow after clean instantiations (fewer
+  global synchronizations), shrink when restarts exceed a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import RuntimeConfig
+from repro.core.results import RunResult
+
+
+@dataclass
+class _History:
+    """Observed outcomes of one configuration on one loop."""
+
+    runs: int = 0
+    total_speedup: float = 0.0
+    total_restarts: int = 0
+
+    def record(self, result: RunResult) -> None:
+        self.runs += 1
+        self.total_speedup += result.speedup
+        self.total_restarts += result.n_restarts
+
+    @property
+    def mean_speedup(self) -> float:
+        return self.total_speedup / self.runs if self.runs else 0.0
+
+
+@dataclass
+class StrategyPredictor:
+    """Pick a runtime configuration per instantiation from observed history.
+
+    ``candidates`` is the configuration menu (e.g. NRD, adaptive RD, and a
+    couple of window sizes).  Each candidate is explored ``explore_rounds``
+    times per loop; afterwards the empirically fastest one is exploited.
+    ``degrade_tolerance`` triggers re-exploration when the chosen
+    configuration's latest speedup falls below that fraction of its mean
+    (the loop's behavior changed between instantiations).
+    """
+
+    candidates: list[RuntimeConfig]
+    explore_rounds: int = 1
+    degrade_tolerance: float = 0.6
+    _history: dict[tuple[str, str], _History] = field(default_factory=dict)
+    _reexplore: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError("StrategyPredictor needs at least one candidate")
+        if self.explore_rounds < 1:
+            raise ValueError("explore_rounds must be >= 1")
+
+    def _hist(self, loop_name: str, config: RuntimeConfig) -> _History:
+        return self._history.setdefault(
+            (loop_name, config.label()), _History()
+        )
+
+    def choose(self, loop_name: str) -> RuntimeConfig:
+        """Configuration to use for the next instantiation of the loop."""
+        pending = self._reexplore.get(loop_name, 0)
+        for config in self.candidates:
+            hist = self._hist(loop_name, config)
+            if hist.runs < self.explore_rounds + pending:
+                return config
+        return max(
+            self.candidates,
+            key=lambda c: self._hist(loop_name, c).mean_speedup,
+        )
+
+    def record(self, loop_name: str, config: RuntimeConfig, result: RunResult) -> None:
+        hist = self._hist(loop_name, config)
+        if (
+            hist.runs >= self.explore_rounds
+            and result.speedup < self.degrade_tolerance * hist.mean_speedup
+        ):
+            # Behavior shifted: schedule one more exploration round.
+            self._reexplore[loop_name] = self._reexplore.get(loop_name, 0) + 1
+        hist.record(result)
+
+    def best_label(self, loop_name: str) -> str:
+        """Currently preferred configuration label (diagnostics)."""
+        return self.choose(loop_name).label()
+
+
+@dataclass
+class _WindowState:
+    window: int
+    direction: int = +1  # +1 grow, -1 shrink
+    last_speedup: float | None = None
+
+
+@dataclass
+class WindowPredictor:
+    """Adapt the sliding-window size across instantiations.
+
+    A 1-D hill climb on observed speedup: keep moving the window in the
+    current direction (doubling / halving) while the measured speedup
+    improves, reverse on regression.  This captures both of the paper's
+    prescriptions -- growing blocks "when many close dependences are
+    encountered" (restarts are cheap relative to the saved barriers) and
+    shrinking from "a very large block... until no re-executions are
+    needed" -- without hard-coding which effect dominates: the speedup
+    measurement arbitrates.
+    """
+
+    initial: int
+    minimum: int = 2
+    maximum: int = 1 << 16
+    _states: dict[str, _WindowState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.initial < self.minimum:
+            raise ValueError("initial window below minimum")
+        if self.maximum < self.initial:
+            raise ValueError("maximum window below initial")
+
+    def _state(self, loop_name: str) -> _WindowState:
+        return self._states.setdefault(loop_name, _WindowState(self.initial))
+
+    def window_for(self, loop_name: str) -> int:
+        return self._state(loop_name).window
+
+    def record(self, loop_name: str, result: RunResult) -> None:
+        st = self._state(loop_name)
+        if st.last_speedup is not None and result.speedup < st.last_speedup:
+            st.direction = -st.direction
+        st.last_speedup = result.speedup
+        if st.direction > 0:
+            proposal = min(self.maximum, st.window * 2)
+        else:
+            proposal = max(self.minimum, st.window // 2)
+        if proposal == st.window:  # pinned at a bound: probe back inward
+            st.direction = -st.direction
+        st.window = proposal
+
+    def config_for(self, loop_name: str, **overrides) -> RuntimeConfig:
+        return RuntimeConfig.sw(self.window_for(loop_name), **overrides)

@@ -1,0 +1,68 @@
+"""Common interface of the per-processor shadow representations."""
+
+from __future__ import annotations
+
+
+class ShadowArray:
+    """Marking bits for one (processor, tested array) pair during one stage.
+
+    Contract (paper, Section 2):
+
+    * ``mark_write`` sets the Write bit.
+    * ``mark_read`` sets the any-Read bit, and the *exposed*-Read bit only
+      if no local write to the element precedes it; on a processor where the
+      write occurs first, subsequent reads do not set the exposed bit.
+    * ``mark_update`` sets the reduction bit (``ctx.update`` accesses).
+    * Re-marking an element with the same access type is idempotent.
+
+    ``distinct_refs`` is the number of elements carrying any mark -- the
+    quantity the analysis-phase cost is proportional to.
+    """
+
+    __slots__ = ("n_elements",)
+
+    def __init__(self, n_elements: int) -> None:
+        if n_elements < 0:
+            raise ValueError("shadow size must be non-negative")
+        self.n_elements = n_elements
+
+    # -- marking ----------------------------------------------------------------
+
+    def mark_read(self, index: int) -> None:
+        raise NotImplementedError
+
+    def mark_write(self, index: int) -> None:
+        raise NotImplementedError
+
+    def mark_update(self, index: int) -> None:
+        raise NotImplementedError
+
+    # -- analysis-phase queries ---------------------------------------------------
+
+    def write_set(self) -> set[int]:
+        """Elements with the Write bit set."""
+        raise NotImplementedError
+
+    def exposed_read_set(self) -> set[int]:
+        """Elements whose first local access was a read (copy-in reads)."""
+        raise NotImplementedError
+
+    def any_read_set(self) -> set[int]:
+        """Elements read at least once, regardless of ordering."""
+        raise NotImplementedError
+
+    def update_set(self) -> set[int]:
+        """Elements touched by reduction updates."""
+        raise NotImplementedError
+
+    def distinct_refs(self) -> int:
+        """Number of distinct elements carrying any mark."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Re-initialize all marks (between recursive stages)."""
+        raise NotImplementedError
+
+    def is_clear(self) -> bool:
+        """True when no element carries a mark (fresh or reset shadow)."""
+        raise NotImplementedError

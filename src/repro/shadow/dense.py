@@ -1,0 +1,86 @@
+"""Dense (bit-packed) shadow arrays.
+
+One :class:`~repro.util.bitset.BitSet` per mark plane keeps the shadow at a
+fraction of a byte per element per processor, matching the paper's packed
+two-bit shadow arrays, while the analysis-phase exports stay vectorized.
+"""
+
+from __future__ import annotations
+
+from repro.shadow.base import ShadowArray
+from repro.util.bitset import BitSet
+
+
+class DenseShadow(ShadowArray):
+    """Bit-plane shadow for densely accessed tested arrays."""
+
+    __slots__ = ("_write", "_exposed", "_any_read", "_update")
+
+    def __init__(self, n_elements: int) -> None:
+        super().__init__(n_elements)
+        self._write = BitSet(n_elements)
+        self._exposed = BitSet(n_elements)
+        self._any_read = BitSet(n_elements)
+        self._update = BitSet(n_elements)
+
+    # -- marking ----------------------------------------------------------------
+
+    def mark_read(self, index: int) -> None:
+        self._any_read.set(index)
+        if not self._write.test(index):
+            self._exposed.set(index)
+
+    def mark_write(self, index: int) -> None:
+        self._write.set(index)
+
+    def mark_update(self, index: int) -> None:
+        self._update.set(index)
+
+    # -- queries --------------------------------------------------------------
+
+    def write_set(self) -> set[int]:
+        return set(map(int, self._write.to_indices()))
+
+    def exposed_read_set(self) -> set[int]:
+        return set(map(int, self._exposed.to_indices()))
+
+    def any_read_set(self) -> set[int]:
+        return set(map(int, self._any_read.to_indices()))
+
+    def update_set(self) -> set[int]:
+        return set(map(int, self._update.to_indices()))
+
+    def distinct_refs(self) -> int:
+        return len(self._write | self._any_read | self._update)
+
+    def reset(self) -> None:
+        self._write.reset()
+        self._exposed.reset()
+        self._any_read.reset()
+        self._update.reset()
+
+    def is_clear(self) -> bool:
+        return not (
+            bool(self._write)
+            or bool(self._any_read)
+            or bool(self._exposed)
+            or bool(self._update)
+        )
+
+    # -- fast-path helpers used by the dense analysis ------------------------------
+
+    @property
+    def write_bits(self) -> BitSet:
+        return self._write
+
+    @property
+    def exposed_bits(self) -> BitSet:
+        return self._exposed
+
+    @property
+    def any_read_bits(self) -> BitSet:
+        return self._any_read
+
+    @property
+    def update_bits(self) -> BitSet:
+        return self._update

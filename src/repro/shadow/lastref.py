@@ -1,0 +1,58 @@
+"""Distributed last-reference table.
+
+During DDG extraction the sliding window only sees a slice of the iteration
+space at a time, but dependences can reach back to any committed iteration.
+The paper maintains a *distributed last reference table* with "the last
+valid write for each memory address", consulted to detect cross-window
+dependences between a successfully completed iteration and an iteration
+inside the current window.  (The "distributed" part is a placement concern
+on the real machine; functionally it is one map.)
+
+Dependence-tracking semantics per address:
+
+* a **read** depends on the *last* write (flow) -- earlier writes are
+  ordered before it transitively through the output-dependence chain;
+* a **write** depends on *every read since the last write* (anti) and on
+  the last write itself (output).  Keeping only the latest reader would
+  drop anti edges -- e.g. reads at iterations 2 and 3 followed by a write
+  at 4 requires *both* ``2 -> 4`` and ``3 -> 4``; with only ``3 -> 4`` a
+  scheduler may hoist the write above iteration 2's read.  (This exact
+  scenario was found by the property-based test suite.)  The reader set is
+  cleared by each write: readers before it are protected transitively.
+"""
+
+from __future__ import annotations
+
+
+class LastReferenceTable:
+    """Per-address last write and readers-since-that-write."""
+
+    def __init__(self) -> None:
+        self._last_write: dict[tuple[str, int], int] = {}
+        self._readers: dict[tuple[str, int], set[int]] = {}
+
+    def record_read(self, array: str, index: int, iteration: int) -> None:
+        self._readers.setdefault((array, index), set()).add(iteration)
+
+    def record_write(self, array: str, index: int, iteration: int) -> None:
+        key = (array, index)
+        prev = self._last_write.get(key)
+        if prev is None or iteration > prev:
+            self._last_write[key] = iteration
+        # Readers preceding this write are now transitively ordered.
+        self._readers.pop(key, None)
+
+    def last_write(self, array: str, index: int) -> int | None:
+        """Latest committed iteration that wrote the element, or ``None``."""
+        return self._last_write.get((array, index))
+
+    def readers_since_write(self, array: str, index: int) -> frozenset[int]:
+        """All committed readers of the element after its last write."""
+        return frozenset(self._readers.get((array, index), ()))
+
+    def __len__(self) -> int:
+        return len(self._last_write)
+
+    def reset(self) -> None:
+        self._last_write.clear()
+        self._readers.clear()

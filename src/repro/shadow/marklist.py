@@ -1,0 +1,93 @@
+"""Iteration-level mark lists for DDG extraction.
+
+For dependence-*graph* extraction (Section 3) the processor-wise shadow is
+too coarse: the edges connect iterations, not processors.  The paper
+organizes the shadow as an *N-level mark list* where ``N`` is the number of
+iterations assigned to each processor; level ``k`` records the reads and
+writes of the processor's ``k``-th iteration.  This module keeps one
+:class:`IterationMarks` per (iteration, array), grouped in a
+:class:`MarkList` per processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class IterationMarks:
+    """Read/write/update element sets of a single iteration for one array.
+
+    ``exposed_reads`` are reads not covered by an earlier write *in the same
+    iteration* -- the upward-exposed uses that can be dependence sinks.
+
+    When ``log_values`` is set, the last value written to each element is
+    also captured.  The iteration-wise test needs this to commit a *prefix*
+    of a processor's block (the per-processor private view only holds the
+    block's final values); the memory cost is proportional to the write
+    trace, which is exactly why the paper prefers the processor-wise test
+    when iteration granularity is not required.
+    """
+
+    iteration: int
+    writes: set[int] = field(default_factory=set)
+    exposed_reads: set[int] = field(default_factory=set)
+    updates: set[int] = field(default_factory=set)
+    log_values: bool = False
+    values: dict[int, object] = field(default_factory=dict)
+
+    def mark_read(self, index: int) -> None:
+        if index not in self.writes:
+            self.exposed_reads.add(index)
+
+    def mark_write(self, index: int, value: object | None = None) -> None:
+        self.writes.add(index)
+        if self.log_values:
+            self.values[index] = value
+
+    def mark_update(self, index: int) -> None:
+        self.updates.add(index)
+
+    def distinct_refs(self) -> int:
+        return len(self.writes | self.exposed_reads | self.updates)
+
+
+class MarkList:
+    """Per-processor, per-array list of iteration-level marks for one window.
+
+    Levels are appended in the processor's local execution order, which is
+    also increasing iteration order (block scheduling), so scanning a mark
+    list visits iterations in program order.
+    """
+
+    def __init__(self, array: str, proc: int, log_values: bool = False) -> None:
+        self.array = array
+        self.proc = proc
+        self.log_values = log_values
+        self._levels: list[IterationMarks] = []
+
+    def open_level(self, iteration: int) -> IterationMarks:
+        if self._levels and iteration <= self._levels[-1].iteration:
+            raise ValueError(
+                f"mark-list iterations must increase: {iteration} after "
+                f"{self._levels[-1].iteration}"
+            )
+        marks = IterationMarks(iteration, log_values=self.log_values)
+        self._levels.append(marks)
+        return marks
+
+    @property
+    def levels(self) -> list[IterationMarks]:
+        return list(self._levels)
+
+    def level(self, k: int) -> IterationMarks:
+        return self._levels[k]
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def distinct_refs(self) -> int:
+        return sum(level.distinct_refs() for level in self._levels)
+
+    def reset(self) -> None:
+        self._levels.clear()

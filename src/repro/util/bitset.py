@@ -1,0 +1,159 @@
+"""A packed, fixed-size bitset over numpy ``uint64`` words.
+
+The dense shadow structures (:mod:`repro.shadow.dense`) keep three bits per
+array element per processor (Read, Write, Not-Privatizable).  Storing each
+plane as a packed bitset keeps the per-processor shadow memory at
+``3/8`` bytes per tested element -- the same order as the paper's two-bit
+shadow arrays -- and makes the cross-processor analysis phase a handful of
+vectorized word operations instead of a Python loop per element.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+_WORD_BITS = 64
+
+
+class BitSet:
+    """Fixed-capacity set of small non-negative integers.
+
+    Parameters
+    ----------
+    size:
+        Number of addressable bits.  Bits outside ``[0, size)`` are rejected.
+    words:
+        Optional pre-existing packed word array (shared, not copied); used
+        by :meth:`copy` and the bitwise operators.
+    """
+
+    __slots__ = ("_size", "_words")
+
+    def __init__(self, size: int, words: np.ndarray | None = None) -> None:
+        if size < 0:
+            raise ValueError(f"BitSet size must be non-negative, got {size}")
+        self._size = size
+        n_words = (size + _WORD_BITS - 1) // _WORD_BITS
+        if words is None:
+            self._words = np.zeros(n_words, dtype=np.uint64)
+        else:
+            if words.shape != (n_words,):
+                raise ValueError(
+                    f"word array has shape {words.shape}, expected ({n_words},)"
+                )
+            self._words = words
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Capacity in bits (not the population count)."""
+        return self._size
+
+    def __len__(self) -> int:
+        """Population count: number of set bits."""
+        # np.uint64 bit_count needs numpy>=2; unpackbits keeps 1.x support.
+        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+
+    def __bool__(self) -> bool:
+        return bool(self._words.any())
+
+    def __contains__(self, index: int) -> bool:
+        return self.test(index)
+
+    def __iter__(self) -> Iterator[int]:
+        yield from self.to_indices()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitSet):
+            return NotImplemented
+        return self._size == other._size and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shown = self.to_indices()[:16]
+        suffix = ", ..." if len(self) > 16 else ""
+        return f"BitSet(size={self._size}, bits={list(shown)}{suffix})"
+
+    # -- mutation ----------------------------------------------------------
+
+    def _check(self, index: int) -> tuple[int, np.uint64]:
+        if not 0 <= index < self._size:
+            raise IndexError(f"bit {index} out of range [0, {self._size})")
+        return index >> 6, np.uint64(1) << np.uint64(index & 63)
+
+    def set(self, index: int) -> None:
+        """Set a single bit."""
+        word, mask = self._check(index)
+        self._words[word] |= mask
+
+    def clear(self, index: int) -> None:
+        """Clear a single bit."""
+        word, mask = self._check(index)
+        self._words[word] &= ~mask
+
+    def test(self, index: int) -> bool:
+        """Return whether a bit is set."""
+        word, mask = self._check(index)
+        return bool(self._words[word] & mask)
+
+    def set_many(self, indices: np.ndarray) -> None:
+        """Set all bits in ``indices`` (vectorized)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self._size:
+            raise IndexError("index out of range in set_many")
+        np.bitwise_or.at(
+            self._words, idx >> 6, np.uint64(1) << (idx & 63).astype(np.uint64)
+        )
+
+    def reset(self) -> None:
+        """Clear every bit (shadow re-initialization between stages)."""
+        self._words[:] = 0
+
+    # -- set algebra (used by the analysis phase) ---------------------------
+
+    def _binary(self, other: "BitSet", op) -> "BitSet":
+        if self._size != other._size:
+            raise ValueError(
+                f"size mismatch: {self._size} vs {other._size}"
+            )
+        return BitSet(self._size, op(self._words, other._words))
+
+    def __or__(self, other: "BitSet") -> "BitSet":
+        return self._binary(other, np.bitwise_or)
+
+    def __and__(self, other: "BitSet") -> "BitSet":
+        return self._binary(other, np.bitwise_and)
+
+    def __xor__(self, other: "BitSet") -> "BitSet":
+        return self._binary(other, np.bitwise_xor)
+
+    def __sub__(self, other: "BitSet") -> "BitSet":
+        return self._binary(other, lambda a, b: a & ~b)
+
+    def __ior__(self, other: "BitSet") -> "BitSet":
+        if self._size != other._size:
+            raise ValueError(f"size mismatch: {self._size} vs {other._size}")
+        self._words |= other._words
+        return self
+
+    def intersects(self, other: "BitSet") -> bool:
+        """True if any bit is set in both (cheaper than ``bool(a & b)``)."""
+        if self._size != other._size:
+            raise ValueError(f"size mismatch: {self._size} vs {other._size}")
+        return bool((self._words & other._words).any())
+
+    # -- export --------------------------------------------------------------
+
+    def to_indices(self) -> np.ndarray:
+        """Return the sorted array of set bit positions."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits[: self._size])
+
+    def copy(self) -> "BitSet":
+        return BitSet(self._size, self._words.copy())

@@ -1,0 +1,86 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every figure reproduction prints its data as an aligned text table (the
+"same rows/series the paper reports"), so the harness needs a small,
+dependency-free formatter.  Numbers are rendered with enough precision to
+compare shapes without drowning the reader in digits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    The first column is left-aligned (labels); the rest are right-aligned
+    (numbers), matching conventional benchmark output.
+    """
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(parts: Sequence[str]) -> str:
+        out = []
+        for i, (p, w) in enumerate(zip(parts, widths)):
+            out.append(p.ljust(w) if i == 0 else p.rjust(w))
+        return "  ".join(out).rstrip()
+
+    pieces = []
+    if title:
+        pieces.append(title)
+    pieces.append(line(headers))
+    pieces.append(line(["-" * w for w in widths]))
+    pieces.extend(line(row) for row in cells)
+    return "\n".join(pieces)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: Mapping[str, Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render one x-column plus one column per named series.
+
+    This is the shape of every speedup/PR figure in the paper: x is the
+    processor count or window size, each series is one input deck or
+    strategy.
+    """
+    headers = [x_name, *series.keys()]
+    length = len(x_values)
+    for name, values in series.items():
+        if len(values) != length:
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, x has {length}"
+            )
+    rows = [
+        [x, *(series[name][i] for name in series)] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,86 @@
+"""Workload kernels reproducing the dependence structure of the paper's
+benchmark loops (TRACK, SPICE2G6, FMA3D) plus synthetic generators.
+
+The original Fortran sources and PERFECT/SPEC input decks are proprietary;
+each module here replicates the published *access-pattern characteristics*
+that drive the figures -- guarded short-distance writes (NLFILT), a
+conditionally incremented induction counter over extended arrays (EXTEND,
+FPTRAK), sparse-LU fill with a short critical path (DCDCMP loop 15),
+fully parallel loops behind indirection (FMA3D Quad, DCDCMP loop 70), and
+sparse reductions (BJT) -- with parameterized, seeded input decks.
+"""
+
+from repro.workloads.synthetic import (
+    chain_loop,
+    fully_parallel_loop,
+    geometric_chain_targets,
+    geometric_rd_targets,
+    linear_chain_targets,
+    privatizable_loop,
+    copyin_loop,
+    reduction_loop,
+    random_dependence_loop,
+)
+from repro.workloads.track_nlfilt import make_nlfilt_loop, NLFILT_DECKS, NlfiltDeck
+from repro.workloads.track_extend import make_extend_loop, EXTEND_DECKS, ExtendDeck
+from repro.workloads.track_fptrak import make_fptrak_loop, FPTRAK_DECKS
+from repro.workloads.spice import (
+    make_dcdcmp15_loop,
+    make_dcdcmp70_loop,
+    make_bjt_list_loop,
+    make_bjt_loop,
+    SPICE_DECKS,
+    SpiceDeck,
+)
+from repro.workloads.fma3d import make_quad_loop, FMA3D_DECKS
+from repro.workloads.track_sim import TrackSimConfig, TrackSimulation
+from repro.workloads.spice_sim import (
+    SpiceProgramResult,
+    SpiceSimulation,
+    run_spice_program,
+)
+from repro.workloads.patterns import (
+    gather_loop,
+    pointer_chase_loop,
+    scatter_loop,
+    stencil_loop,
+    transitive_update_loop,
+)
+
+__all__ = [
+    "chain_loop",
+    "fully_parallel_loop",
+    "geometric_chain_targets",
+    "geometric_rd_targets",
+    "linear_chain_targets",
+    "privatizable_loop",
+    "copyin_loop",
+    "reduction_loop",
+    "random_dependence_loop",
+    "make_nlfilt_loop",
+    "NLFILT_DECKS",
+    "NlfiltDeck",
+    "make_extend_loop",
+    "EXTEND_DECKS",
+    "ExtendDeck",
+    "make_fptrak_loop",
+    "FPTRAK_DECKS",
+    "make_dcdcmp15_loop",
+    "make_dcdcmp70_loop",
+    "make_bjt_loop",
+    "make_bjt_list_loop",
+    "SPICE_DECKS",
+    "SpiceDeck",
+    "make_quad_loop",
+    "FMA3D_DECKS",
+    "TrackSimulation",
+    "TrackSimConfig",
+    "SpiceSimulation",
+    "SpiceProgramResult",
+    "run_spice_program",
+    "stencil_loop",
+    "gather_loop",
+    "scatter_loop",
+    "pointer_chase_loop",
+    "transitive_update_loop",
+]

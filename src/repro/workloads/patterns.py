@@ -1,0 +1,179 @@
+"""A taxonomy of loop access patterns.
+
+The paper's motivation (Section 1) is that irregular applications mix a
+handful of recurring reference patterns the compiler cannot analyze.  This
+module provides one parameterized generator per pattern, used by the
+deeper test sweeps and handy as templates when porting a new application
+onto the runtime:
+
+* ``stencil_loop`` -- neighbor reads with a write to the center: flow
+  dependences at every block boundary of distance = the stencil radius.
+* ``gather_loop`` -- ``OUT[i] = f(IN[idx[i, :]])``: arbitrary read
+  indirection, disjoint writes; always fully parallel (FMA3D's shape).
+* ``scatter_loop`` -- ``OUT[idx[i]] = f(i)``: write indirection; output
+  dependences only (last-value commit absorbs them) unless ``read_back``
+  adds a load of the scattered element.
+* ``pointer_chase_loop`` -- each iteration reads the element its
+  predecessor wrote through a runtime-only permutation: a full flow chain,
+  the fully sequential worst case.
+* ``transitive_update_loop`` -- frontier-style updates where iteration
+  ``i`` merges its value into a parent cell: dependence structure is a
+  random forest, partially parallel with tunable depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.machine.memory import MemoryImage
+from repro.util.rng import make_rng
+
+
+def stencil_loop(n: int, radius: int = 1, name: str = "stencil") -> SpeculativeLoop:
+    """Read the left neighbor(s)' *new* values, write the center.
+
+    ``A[i] = g(A[i - radius], ..., A[i - 1])`` over the updated array: a
+    flow dependence of every distance in ``[1, radius]``, so any block
+    boundary is crossed and block-scheduled speculation degenerates toward
+    sequential -- the pattern where DDG extraction or SW shines.
+    """
+    if radius < 1:
+        raise ValueError("radius must be >= 1")
+
+    def body(ctx, i):
+        acc = float(i)
+        for d in range(1, radius + 1):
+            if i - d >= 0:
+                acc += 0.25 * ctx.load("A", i - d)
+        ctx.store("A", i, acc)
+
+    def inspector(memory: MemoryImage):
+        return [
+            ({("A", i - d) for d in range(1, radius + 1) if i - d >= 0}, {("A", i)})
+            for i in range(n)
+        ]
+
+    return SpeculativeLoop(
+        name, n, body, arrays=[ArraySpec("A", np.zeros(n))], inspector=inspector
+    )
+
+
+def gather_loop(
+    n: int, fan_in: int = 3, seed: int = 0, name: str = "gather"
+) -> SpeculativeLoop:
+    """Indirect reads, own-element writes: statically opaque, fully parallel."""
+    rng = make_rng(seed, "gather", n)
+    idx = rng.integers(0, n, size=(n, max(1, fan_in)))
+
+    def body(ctx, i):
+        acc = 0.0
+        for k in range(idx.shape[1]):
+            acc += ctx.load("IN", int(idx[i, k]))
+        ctx.store("OUT", i, acc / idx.shape[1])
+
+    return SpeculativeLoop(
+        name, n, body,
+        arrays=[
+            ArraySpec("IN", rng.random(n), tested=False),
+            ArraySpec("OUT", np.zeros(n), tested=True),
+        ],
+    )
+
+
+def scatter_loop(
+    n: int,
+    n_targets: int | None = None,
+    read_back: bool = False,
+    seed: int = 0,
+    name: str = "scatter",
+) -> SpeculativeLoop:
+    """Indirect writes; optionally read the target first (RMW scatter).
+
+    Without ``read_back`` the only cross-processor conflicts are output
+    dependences, which last-value commit resolves: one stage.  With
+    ``read_back`` a colliding target becomes a genuine flow dependence.
+    """
+    m = n_targets if n_targets is not None else n
+    rng = make_rng(seed, "scatter", n)
+    idx = rng.integers(0, m, size=n)
+
+    def body(ctx, i):
+        target = int(idx[i])
+        value = float(i)
+        if read_back:
+            value += 0.5 * ctx.load("OUT", target)
+        ctx.store("OUT", target, value)
+
+    return SpeculativeLoop(
+        name, n, body, arrays=[ArraySpec("OUT", np.zeros(m), tested=True)]
+    )
+
+
+def pointer_chase_loop(n: int, seed: int = 0, name: str = "pointer-chase") -> SpeculativeLoop:
+    """A full flow chain through a runtime permutation: the worst case.
+
+    Iteration ``i`` reads the cell iteration ``i-1`` wrote and writes the
+    next cell of a data-dependent permutation.  No strategy can extract
+    parallelism; the R-LRPD guarantee is that the attempt costs only test
+    overhead on top of the sequential time.
+    """
+    rng = make_rng(seed, "chase", n)
+    perm = rng.permutation(n)
+
+    def body(ctx, i):
+        prev = float(0.0)
+        if i > 0:
+            prev = ctx.load("A", int(perm[i - 1]))
+        ctx.store("A", int(perm[i]), prev + 1.0)
+
+    def inspector(memory: MemoryImage):
+        return [
+            (
+                {("A", int(perm[i - 1]))} if i > 0 else set(),
+                {("A", int(perm[i]))},
+            )
+            for i in range(n)
+        ]
+
+    return SpeculativeLoop(
+        name, n, body, arrays=[ArraySpec("A", np.zeros(n))], inspector=inspector
+    )
+
+
+def transitive_update_loop(
+    n: int, branching: int = 1, seed: int = 0, name: str = "forest"
+) -> SpeculativeLoop:
+    """Propagate values down a random recursive tree.
+
+    Node ``i`` reads the cell of a random earlier node (its parent) and
+    writes its own cell: the dependence graph is exactly the tree, whose
+    expected depth -- and thus the critical path -- is O(log n) for a
+    uniform parent choice.  ``branching > 1`` skews parents toward older
+    nodes, flattening the tree further.  Plenty of intrinsic parallelism
+    behind a statically opaque pattern: the showcase for DDG extraction.
+    """
+    if branching < 1:
+        raise ValueError("branching must be >= 1")
+    rng = make_rng(seed, "forest", n)
+    draws = rng.random(n)
+    parents = np.array(
+        [0 if i == 0 else int((draws[i] ** branching) * i) for i in range(n)]
+    )
+
+    def body(ctx, i):
+        if i == 0:
+            ctx.store("A", 0, 1.0)
+            return
+        v = ctx.load("A", int(parents[i]))
+        ctx.store("A", i, v * 0.5 + 1.0)
+
+    def inspector(memory: MemoryImage):
+        trace = [(set(), {("A", 0)})]
+        for i in range(1, n):
+            trace.append(({("A", int(parents[i]))}, {("A", i)}))
+        return trace
+
+    return SpeculativeLoop(
+        name, n, body, arrays=[ArraySpec("A", np.zeros(n))], inspector=inspector
+    )

@@ -1,0 +1,250 @@
+"""SPICE 2G6 loops (Section 5.2).
+
+Everything in SPICE is EQUIVALENCEd into one big ``VALUE`` workspace with
+multiple levels of indirection -- "a 'total' workspace aliasing problem" --
+so no array can be compiler-analyzed and the sparse flavors of the shadow
+structures are mandatory.  Three loops are modeled:
+
+* **DCDCMP loop 15** -- sparse LU decomposition: iteration (row) ``i``
+  eliminates using previously factored rows; the dependence graph is the
+  (input-dependent) circuit topology, partially parallel with a short
+  critical path.  The paper extracts the DDG with the sparse R-LRPD test
+  and runs a reusable wavefront schedule; for the ``adder.128`` deck it
+  reports 14337 iterations with a critical path of 334 (~43x average
+  parallelism).  The generator targets a configurable n/cp ratio.
+* **DCDCMP loop 70** -- fully parallel with a premature exit; the exit
+  bounds the useful iteration count.
+* **BJT model evaluation** -- device loop updating the sparse ``Y`` matrix
+  with reduction operations (sparse LRPD + sparse reduction optimization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.reductions import ReductionOp
+from repro.machine.memory import MemoryImage
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class SpiceDeck:
+    """One SPICE input deck (a synthetic circuit).
+
+    ``lu_rows`` is the DCDCMP-15 iteration count; ``target_parallelism`` is
+    the aimed-for n/critical-path ratio (the adder.128 deck in the paper has
+    14337/334 ~ 43); ``deps_per_row`` the average fan-in of a row update.
+    """
+
+    name: str
+    lu_rows: int
+    target_parallelism: float = 43.0
+    deps_per_row: float = 2.0
+    exit_fraction: float = 0.8  # DCDCMP-70 premature exit point
+    devices: int = 2048         # BJT loop length
+    updates_per_device: int = 4
+    workspace: int = 1 << 20    # the VALUE workspace (sparse shadows!)
+    seed: int = 2906
+
+    def __post_init__(self) -> None:
+        if self.lu_rows < 1 or self.devices < 1:
+            raise ValueError("deck sizes must be positive")
+        if self.target_parallelism <= 1.0:
+            raise ValueError("target_parallelism must exceed 1")
+        if not 0.0 < self.exit_fraction <= 1.0:
+            raise ValueError("exit_fraction must be in (0, 1]")
+
+
+SPICE_DECKS: dict[str, SpiceDeck] = {
+    # Scaled-down adder.128: same n/cp ratio as the paper's 14337/334,
+    # sized so the full extraction + wavefront pipeline runs in seconds.
+    "adder.128": SpiceDeck("adder.128", lu_rows=2868, target_parallelism=43.0),
+    "adder.128-full": SpiceDeck("adder.128-full", lu_rows=14337, target_parallelism=43.0),
+    "perfect-up": SpiceDeck("perfect-up", lu_rows=2048, target_parallelism=20.0),
+}
+
+
+def _lu_structure(deck: SpiceDeck) -> list[list[int]]:
+    """Synthesize a sparse lower-triangular fill pattern.
+
+    Rows are laid out in wavefront levels of width ``target_parallelism``;
+    each row beyond level 0 depends on 1..k rows of the previous level
+    (guaranteeing the critical path) plus occasional older rows (realistic
+    fill-in).  All predecessors have smaller row numbers, as in actual LU
+    elimination order.
+    """
+    rng = make_rng(deck.seed, "spice-lu", deck.name)
+    n = deck.lu_rows
+    width = max(1, int(round(deck.target_parallelism)))
+    preds: list[list[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        level = i // width
+        if level == 0:
+            continue
+        prev_lo, prev_hi = (level - 1) * width, min(level * width, n)
+        k = max(1, int(rng.poisson(deck.deps_per_row - 1)) + 1)
+        chosen = set()
+        # One predecessor in the previous level keeps the chain honest.
+        chosen.add(int(rng.integers(prev_lo, prev_hi)))
+        for _ in range(k - 1):
+            j = int(rng.integers(0, prev_hi))
+            chosen.add(j)
+        preds[i] = sorted(j for j in chosen if j < i)
+    return preds
+
+
+def make_dcdcmp15_loop(deck: SpiceDeck | str) -> SpeculativeLoop:
+    """The sparse LU factorization loop (DCDCMP loop 15)."""
+    if isinstance(deck, str):
+        deck = SPICE_DECKS[deck]
+    preds = _lu_structure(deck)
+    n = deck.lu_rows
+    rng = make_rng(deck.seed, "spice-lu-addr", deck.name)
+    # Rows live at scattered workspace addresses (the VALUE aliasing).
+    row_addr = rng.choice(deck.workspace, size=n, replace=False)
+
+    def body(ctx, i):
+        acc = float(i % 7) + 1.0
+        for j in preds[i]:
+            acc += 0.01 * ctx.load("VALUE", int(row_addr[j]))
+        ctx.store("VALUE", int(row_addr[i]), acc)
+        # Elimination work grows with fan-in.
+        ctx.work(0.25 * len(preds[i]))
+
+    def inspector(memory: MemoryImage):
+        return [
+            (
+                {("VALUE", int(row_addr[j])) for j in preds[i]},
+                {("VALUE", int(row_addr[i]))},
+            )
+            for i in range(n)
+        ]
+
+    return SpeculativeLoop(
+        name=f"dcdcmp_15[{deck.name}]",
+        n_iterations=n,
+        body=body,
+        arrays=[ArraySpec("VALUE", np.zeros(deck.workspace), tested=True, sparse=True)],
+        inspector=inspector,
+    )
+
+
+def make_dcdcmp70_loop(deck: SpiceDeck | str) -> SpeculativeLoop:
+    """Loop 70: fully parallel with a premature exit (paper refs [15, 4]).
+
+    The loop scans the full workspace row range but a data condition stops
+    it early (for this synthetic circuit at ``exit_fraction`` of the way
+    through).  Sequentially nothing after the exit runs; speculatively all
+    processors execute their blocks and the runtime validates the earliest
+    exit whose processor's work is correct, discarding the rest -- so the
+    loop still completes in one stage, paying only the speculated tail as
+    overhead.
+    """
+    if isinstance(deck, str):
+        deck = SPICE_DECKS[deck]
+    n = deck.lu_rows
+    exit_at = max(0, min(n - 1, int(n * deck.exit_fraction)))
+    rng = make_rng(deck.seed, "spice-70", deck.name)
+    addr = rng.choice(deck.workspace, size=n, replace=False)
+    # The convergence flag the exit condition reads (input data).
+    converged = np.zeros(n, dtype=bool)
+    converged[exit_at:] = True
+
+    def body(ctx, i):
+        v = ctx.load("VALUE", int(addr[i]))
+        ctx.store("VALUE", int(addr[i]), v * 0.99 + 1.0)
+        if ctx.load("CONV", i) > 0.5:  # premature-exit condition
+            ctx.exit_loop()
+
+    return SpeculativeLoop(
+        name=f"dcdcmp_70[{deck.name}]",
+        n_iterations=n,
+        body=body,
+        arrays=[
+            ArraySpec("VALUE", np.zeros(deck.workspace), tested=True, sparse=True),
+            ArraySpec("CONV", converged.astype(np.float64), tested=False),
+        ],
+    )
+
+
+def make_bjt_list_loop(deck: SpiceDeck | str):
+    """The BJT loop in its true form: a *linked list* of devices.
+
+    SPICE threads each device model's instances through next-pointers in
+    the workspace; there is no iteration range until the list is walked.
+    This variant exercises the speculative traversal distribution
+    (:mod:`repro.core.listtraversal`): the devices sit in a shuffled
+    linked list, and each visit stamps the shared Y matrix via reductions.
+    """
+    from repro.core.listtraversal import LinkedListLoop
+
+    if isinstance(deck, str):
+        deck = SPICE_DECKS[deck]
+    n = deck.devices
+    rng = make_rng(deck.seed, "spice-bjt", deck.name)
+    n_nodes = max(4, n // 4)
+    stamps = rng.integers(0, n_nodes, size=(n, deck.updates_per_device))
+    params = rng.random(n)
+    upd = deck.updates_per_device
+
+    # Thread the devices into a random-order singly linked list.
+    order = rng.permutation(n)
+    nxt = np.full(n, -1.0)
+    for a, b in zip(order, order[1:]):
+        nxt[a] = float(b)
+    head = int(order[0])
+
+    def body(ctx, node, position):
+        g = ctx.load("PARAMS", node)
+        for k in range(upd):
+            ctx.update("Y", int(stamps[node, k]), g * (k + 1))
+        ctx.work(0.5)
+
+    return LinkedListLoop(
+        name=f"bjt_list[{deck.name}]",
+        head=head,
+        next_array="NEXT",
+        body=body,
+        arrays=[
+            ArraySpec("Y", np.zeros(n_nodes), tested=True, sparse=True),
+            ArraySpec("PARAMS", params, tested=False),
+            ArraySpec("NEXT", nxt, tested=False),
+        ],
+        reductions={"Y": ReductionOp.SUM},
+        max_nodes=n,
+        node_work=lambda k: 1.0,
+    )
+
+
+def make_bjt_loop(deck: SpiceDeck | str) -> SpeculativeLoop:
+    """The BJT model-evaluation loop: sparse reductions into the Y matrix."""
+    if isinstance(deck, str):
+        deck = SPICE_DECKS[deck]
+    n = deck.devices
+    rng = make_rng(deck.seed, "spice-bjt", deck.name)
+    # Each device stamps a handful of Y-matrix positions; devices share
+    # nodes, so the same position is updated from many iterations.
+    n_nodes = max(4, n // 4)
+    stamps = rng.integers(0, n_nodes, size=(n, deck.updates_per_device))
+    params = rng.random(n)
+    upd = deck.updates_per_device
+
+    def body(ctx, i):
+        g = ctx.load("PARAMS", i)  # untested read-only device parameters
+        for k in range(upd):
+            ctx.update("Y", int(stamps[i, k]), g * (k + 1))
+        ctx.work(0.5)  # model evaluation is compute-heavy
+
+    return SpeculativeLoop(
+        name=f"bjt[{deck.name}]",
+        n_iterations=n,
+        body=body,
+        arrays=[
+            ArraySpec("Y", np.zeros(n_nodes), tested=True, sparse=True),
+            ArraySpec("PARAMS", params, tested=False),
+        ],
+        reductions={"Y": ReductionOp.SUM},
+    )

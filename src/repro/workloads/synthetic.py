@@ -1,0 +1,272 @@
+"""Synthetic loops with precisely controlled dependence structure.
+
+These drive the Section 4 model validation (Fig. 4), the copy-in /
+privatization ablation, and the property-based test suite.  The central
+building block is :func:`chain_loop`: a loop where iteration ``t`` reads the
+element written by iteration ``t-1`` exactly for the chosen targets ``t``,
+so the cross-processor dependence pattern -- and therefore the stage/commit
+behavior of every strategy -- is fully predictable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.reductions import ReductionOp
+from repro.machine.memory import MemoryImage
+from repro.util.rng import make_rng
+
+
+def _chain_inspector(n: int, read_targets: frozenset[int]):
+    """Address trace of a chain loop (it has a trivial inspector)."""
+
+    def inspector(memory: MemoryImage) -> list[tuple[set, set]]:
+        trace: list[tuple[set, set]] = []
+        for i in range(n):
+            reads = {("A", i - 1)} if i in read_targets else set()
+            trace.append((reads, {("A", i)}))
+        return trace
+
+    return inspector
+
+
+def chain_loop(
+    n: int,
+    targets: Sequence[int],
+    name: str = "chain",
+    work: float = 1.0,
+) -> SpeculativeLoop:
+    """A loop with flow dependences exactly ``(t-1) -> t`` for each target.
+
+    Every iteration ``i`` writes ``A[i] = i + (A[i-1] if i is a target)``;
+    a target's read of ``A[t-1]`` is a distance-1 flow dependence that
+    invalidates speculation whenever ``t-1`` and ``t`` land on different
+    processors in the same stage.
+    """
+    read_targets = frozenset(t for t in targets)
+    for t in read_targets:
+        if not 1 <= t < n:
+            raise ValueError(f"chain target {t} outside [1, {n})")
+
+    def body(ctx, i):
+        value = float(i)
+        if i in read_targets:
+            value += ctx.load("A", i - 1)
+        ctx.store("A", i, value)
+
+    return SpeculativeLoop(
+        name=name,
+        n_iterations=n,
+        body=body,
+        arrays=[ArraySpec("A", np.zeros(n))],
+        iter_work=(lambda i: work) if work != 1.0 else None,
+        inspector=_chain_inspector(n, read_targets),
+    )
+
+
+def geometric_chain_targets(n: int, alpha: float, max_targets: int = 64) -> list[int]:
+    """Targets making an RD run lose fraction ``alpha`` of the remainder per
+    stage: dependences sit at ``n * (1 - alpha^k)`` for ``k = 1, 2, ...``.
+
+    With redistribution over ``p | n*alpha^k`` the target is the first
+    iteration of a block, so each stage commits exactly ``1 - alpha`` of
+    what remained.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    targets: list[int] = []
+    k = 1
+    while len(targets) < max_targets:
+        t = int(round(n * (1.0 - alpha**k)))
+        if t >= n or (targets and t <= targets[-1]):
+            break
+        if t >= 1:
+            targets.append(t)
+        k += 1
+    return targets
+
+
+def geometric_rd_targets(n: int, alpha: float, p: int) -> list[int]:
+    """Targets tuned to the RD partition grid for arbitrary ``alpha``.
+
+    :func:`geometric_chain_targets` only lands on block boundaries when
+    ``alpha`` and ``n/p`` are powers of two.  This variant *simulates* the
+    redistribution partition stage by stage: each stage's target is the
+    start of the block at position ``round((1-alpha) * p)``, so an
+    always-redistribute run commits fraction ``1 - alpha`` of the remainder
+    at every stage regardless of divisibility.
+    """
+    from repro.util.blocks import partition_even
+
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if p < 2:
+        raise ValueError("p must be at least 2")
+    f = max(1, min(p - 1, int(round((1.0 - alpha) * p))))
+    targets: list[int] = []
+    committed = 0
+    while n - committed >= 2 * p:
+        blocks = partition_even(committed, n, list(range(p)))
+        t = blocks[f].start
+        if t <= committed or t >= n:
+            break
+        targets.append(t)
+        committed = t
+    return targets
+
+
+def linear_chain_targets(n: int, p: int) -> list[int]:
+    """Targets at every initial block boundary: an NRD run commits exactly
+    one processor's block per stage (the fully 'sequentialized' beta loop
+    with ``beta = (p-1)/p``, ``k_s = p``)."""
+    if p < 1:
+        raise ValueError("p must be at least 1")
+    return [k * n // p for k in range(1, p) if 1 <= k * n // p < n]
+
+
+def fully_parallel_loop(n: int, name: str = "doall", work: float = 1.0) -> SpeculativeLoop:
+    """Each iteration touches only its own element: PR = 1, one stage."""
+
+    def body(ctx, i):
+        x = ctx.load("A", i)
+        ctx.store("A", i, x * 2.0 + 1.0)
+
+    def inspector(memory: MemoryImage):
+        return [({("A", i)}, {("A", i)}) for i in range(n)]
+
+    return SpeculativeLoop(
+        name=name,
+        n_iterations=n,
+        body=body,
+        arrays=[ArraySpec("A", np.arange(n, dtype=np.float64))],
+        iter_work=(lambda i: work) if work != 1.0 else None,
+        inspector=inspector,
+    )
+
+
+def privatizable_loop(n: int, n_temp: int = 8, name: str = "privatizable") -> SpeculativeLoop:
+    """Every iteration writes a shared temporary before reading it.
+
+    All processors reuse the same ``TMP`` elements, but the write-first
+    pattern makes them privatizable: valid under both the privatization and
+    copy-in conditions despite massive write/write sharing.
+    """
+
+    def body(ctx, i):
+        slot = i % n_temp
+        ctx.store("TMP", slot, float(i))
+        t = ctx.load("TMP", slot)
+        ctx.store("OUT", i, t + 1.0)
+
+    return SpeculativeLoop(
+        name=name,
+        n_iterations=n,
+        body=body,
+        arrays=[
+            ArraySpec("TMP", np.zeros(max(1, n_temp))),
+            ArraySpec("OUT", np.zeros(n)),
+        ],
+    )
+
+
+def copyin_loop(n: int, name: str = "copyin") -> SpeculativeLoop:
+    """The ``(Read* | (Write|Read)*)`` pattern separating the two conditions
+    (Section 2).
+
+    Iteration ``i`` reads its *forward* neighbor ``A[i+1]`` (the old value)
+    and then writes ``A[i]``: every written element is exposed-read by the
+    preceding iteration, so at each block boundary a lower processor reads
+    an element a higher processor writes.  The privatization condition
+    rejects that (a written element with a read not covered by a local
+    write); the copy-in condition accepts it because the highest reading
+    processor never exceeds the lowest writing one -- all anti, no flow.
+    """
+
+    def body(ctx, i):
+        nxt = ctx.load("A", i + 1)  # old value of the forward neighbor
+        ctx.store("A", i, nxt * 0.5 + i)
+
+    return SpeculativeLoop(
+        name=name,
+        n_iterations=n,
+        body=body,
+        arrays=[ArraySpec("A", np.ones(n + 1))],
+    )
+
+
+def reduction_loop(
+    n: int,
+    n_bins: int = 16,
+    seed: int = 0,
+    name: str = "histogram",
+) -> SpeculativeLoop:
+    """A histogram: every iteration updates a shared bin with ``+=``.
+
+    All bins collide across all processors; speculative reduction
+    parallelization validates the access pattern and commits per-processor
+    partials, so the loop still runs in one stage.
+    """
+    rng = make_rng(seed, "reduction", n)
+    bins = rng.integers(0, n_bins, size=n)
+
+    def body(ctx, i):
+        ctx.update("H", int(bins[i]), 1.0)
+
+    return SpeculativeLoop(
+        name=name,
+        n_iterations=n,
+        body=body,
+        arrays=[ArraySpec("H", np.zeros(n_bins))],
+        reductions={"H": ReductionOp.SUM},
+    )
+
+
+def random_dependence_loop(
+    n: int,
+    density: float,
+    max_distance: int,
+    seed: int = 0,
+    name: str = "random-deps",
+) -> SpeculativeLoop:
+    """Random short-distance flow dependences (property-test workhorse).
+
+    With probability ``density`` iteration ``i`` reads ``A[i - d]`` for a
+    random ``d in [1, max_distance]`` before writing ``A[i]``; the resulting
+    dependence pattern is irregular but deterministic per seed.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    if max_distance < 1:
+        raise ValueError("max_distance must be >= 1")
+    rng = make_rng(seed, "random-deps", n)
+    has_read = rng.random(n) < density
+    distances = rng.integers(1, max_distance + 1, size=n)
+    sources = np.maximum(0, np.arange(n) - distances)
+
+    def body(ctx, i):
+        value = float(i)
+        if has_read[i] and sources[i] < i:
+            value += 0.5 * ctx.load("A", int(sources[i]))
+        ctx.store("A", i, value)
+
+    def inspector(memory: MemoryImage):
+        trace = []
+        for i in range(n):
+            reads = (
+                {("A", int(sources[i]))}
+                if has_read[i] and sources[i] < i
+                else set()
+            )
+            trace.append((reads, {("A", i)}))
+        return trace
+
+    return SpeculativeLoop(
+        name=name,
+        n_iterations=n,
+        body=body,
+        arrays=[ArraySpec("A", np.zeros(n))],
+        inspector=inspector,
+    )

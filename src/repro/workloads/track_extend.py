@@ -1,0 +1,104 @@
+"""EXTEND 400 -- TRACK's track-extension loop.
+
+Paper characteristics (Section 5.2): the loop reads a read-only region of
+the track arrays and always writes at their end, extending them by one
+*tentative* slot per iteration; the slot is kept only when a loop-variant
+condition materializes, so the arrays are indexed by a conditionally
+incremented counter (``LSTTRK``) whose values cannot be precomputed.  The
+paper runs two doalls: offsets-from-zero plus reference-range collection,
+then a prefix sum of the per-processor increments, then re-execution with
+correct offsets (speedup ~60% of hand-parallelization -- i.e. roughly the
+one-doall ideal halved).
+
+The kernel mirrors that: iteration ``i`` reads an observation and a random
+read-only track (index < the initial count), tentatively writes the slot at
+``peek(LSTTRK)``, and bumps the counter when the observation confirms a new
+track.  The ``lookback_prob`` deck knob makes some iterations read the
+*previous extension slot* -- a genuine cross-processor flow dependence that
+triggers the R-LRPD recursion and pushes PR below 1 (the paper's
+input-dependent PR in Fig. 10a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loopir.induction import InductionSpec
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ExtendDeck:
+    """One EXTEND input deck."""
+
+    name: str
+    n: int
+    base_tracks: int = 64
+    keep_prob: float = 0.6
+    lookback_prob: float = 0.0
+    max_lookback: int = 64
+    """How far back a correlating read may reach among recent extensions;
+    larger values make cross-processor flow dependences more likely."""
+    seed: int = 1944
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.base_tracks < 1:
+            raise ValueError("deck needs n >= 1 and base_tracks >= 1")
+        for p in (self.keep_prob, self.lookback_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
+
+
+EXTEND_DECKS: dict[str, ExtendDeck] = {
+    "clean": ExtendDeck("clean", n=4096, keep_prob=0.55),
+    "light-deps": ExtendDeck("light-deps", n=4096, keep_prob=0.55, lookback_prob=0.002),
+    "heavy-deps": ExtendDeck("heavy-deps", n=4096, keep_prob=0.55, lookback_prob=0.01),
+}
+
+
+def make_extend_loop(deck: ExtendDeck | str, instance: int = 0) -> SpeculativeLoop:
+    """Build one EXTEND instantiation."""
+    if isinstance(deck, str):
+        deck = EXTEND_DECKS[deck]
+    n = deck.n
+    base = deck.base_tracks
+    rng = make_rng(deck.seed, "extend", deck.name, instance)
+
+    obs = rng.random(n)
+    ref_idx = rng.integers(0, base, size=n)  # read-only region indices
+    lookback = rng.random(n) < deck.lookback_prob
+    lb_gap = rng.integers(1, max(2, deck.max_lookback + 1), size=n)
+    track_size = base + n + 1  # worst case: every iteration keeps its slot
+
+    keep_threshold = 1.0 - deck.keep_prob
+
+    def body(ctx, i):
+        o = ctx.load("OBS", i)  # untested read-only observations
+        ref = ctx.load("TRACK", int(ref_idx[i]))  # read-only track region
+        slot = ctx.peek("LSTTRK")
+        value = ref * 0.5 + o
+        back = slot - int(lb_gap[i])
+        if lookback[i] and back >= base:
+            # Correlate against a recent extension: a genuine flow
+            # dependence when that slot was produced by a lower processor.
+            value += 0.1 * ctx.load("TRACK", back)
+        ctx.store("TRACK", slot, value)  # tentative extension
+        if o > keep_threshold:  # loop-variant condition: keep the track
+            ctx.bump("LSTTRK")
+
+    track_init = np.zeros(track_size)
+    track_init[:base] = rng.random(base)
+
+    return SpeculativeLoop(
+        name=f"extend_400[{deck.name}]",
+        n_iterations=n,
+        body=body,
+        arrays=[
+            ArraySpec("TRACK", track_init, tested=True),
+            ArraySpec("OBS", obs, tested=False),
+        ],
+        inductions=[InductionSpec("LSTTRK", initial=base)],
+    )

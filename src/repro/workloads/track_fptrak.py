@@ -1,0 +1,93 @@
+"""FPTRAK 300 -- TRACK's track-file update loop.
+
+The paper describes it as "very similar to, yet simpler than, EXTEND 400":
+the array under test is privatized, and the same conditionally incremented
+counter indexes the appended records.  The kernel therefore reuses the
+EXTEND structure minus the cross-track reads: each iteration writes a
+scratch record (write-before-read -- the privatizable pattern), decides
+whether to append it, and only rarely (deck knob) inspects the previous
+append, which is the dependence that makes its PR input-dependent
+(Fig. 11a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loopir.induction import InductionSpec
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class FptrakDeck:
+    """One FPTRAK input deck."""
+
+    name: str
+    n: int
+    base_records: int = 32
+    append_prob: float = 0.5
+    inspect_prob: float = 0.0
+    max_inspect_gap: int = 24
+    """How far back an inspecting read may reach among recent appends."""
+    scratch_slots: int = 4
+    seed: int = 300
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.base_records < 1 or self.scratch_slots < 1:
+            raise ValueError("invalid deck sizes")
+        for p in (self.append_prob, self.inspect_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
+
+
+FPTRAK_DECKS: dict[str, FptrakDeck] = {
+    "clean": FptrakDeck("clean", n=3072),
+    "light-deps": FptrakDeck("light-deps", n=3072, inspect_prob=0.003),
+    "heavy-deps": FptrakDeck("heavy-deps", n=3072, inspect_prob=0.01),
+}
+
+
+def make_fptrak_loop(deck: FptrakDeck | str, instance: int = 0) -> SpeculativeLoop:
+    """Build one FPTRAK instantiation."""
+    if isinstance(deck, str):
+        deck = FPTRAK_DECKS[deck]
+    n = deck.n
+    base = deck.base_records
+    rng = make_rng(deck.seed, "fptrak", deck.name, instance)
+
+    meas = rng.random(n)
+    inspect = rng.random(n) < deck.inspect_prob
+    gaps = rng.integers(1, max(2, deck.max_inspect_gap + 1), size=n)
+    rec_size = base + n + 1
+    slots = deck.scratch_slots
+    append_threshold = 1.0 - deck.append_prob
+
+    def body(ctx, i):
+        m = ctx.load("MEAS", i)  # untested read-only measurements
+        # Privatizable scratch: written before read, shared slot indices.
+        slot = i % slots
+        ctx.store("SCRATCH", slot, m * 2.0)
+        work = ctx.load("SCRATCH", slot)
+        rec = ctx.peek("NRECS")
+        value = work + 0.25
+        back = rec - int(gaps[i])
+        if inspect[i] and back >= base:
+            value += 0.05 * ctx.load("RECORDS", back)
+        ctx.store("RECORDS", rec, value)
+        if m > append_threshold:
+            ctx.bump("NRECS")
+
+    return SpeculativeLoop(
+        name=f"fptrak_300[{deck.name}]",
+        n_iterations=n,
+        body=body,
+        arrays=[
+            ArraySpec("RECORDS", np.zeros(rec_size), tested=True),
+            ArraySpec("SCRATCH", np.zeros(slots), tested=True),
+            ArraySpec("MEAS", meas, tested=False),
+        ],
+        inductions=[InductionSpec("NRECS", initial=base)],
+    )

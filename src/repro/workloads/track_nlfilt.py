@@ -1,0 +1,144 @@
+"""NLFILT 300 -- TRACK's nonlinear filter loop.
+
+Paper characteristics (Section 5.2): the compiler-unanalyzable array is
+``NUSED``; its *write* reference is guarded by a loop-variant (input-
+dependent) condition, and the dependences it causes are mostly short
+distance.  The loop also carries large state that is modified conditionally
+-- which is why on-demand checkpointing is the single most important
+optimization for it (Fig. 12a) -- and irregular per-iteration work, which
+is what feedback-guided load balancing attacks.
+
+The kernel: iteration ``i`` always reads ``NUSED[i]``; when the guard
+(computed from the read-only signal input ``SIG``) fires, it writes
+``NUSED[i + d_i]`` -- a flow dependence of distance ``d_i`` whose sink is
+iteration ``i + d_i``.  Conditionally, it also rewrites its private slice
+of the large untested ``STATE`` array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class NlfiltDeck:
+    """One NLFILT input deck.
+
+    ``dep_prob`` is the probability an iteration's guarded write fires;
+    ``mean_distance`` sets the (geometric) dependence-distance scale --
+    small values produce the paper's "mostly short distances", large values
+    the long-distance pattern where the sliding window shines.
+    ``state_per_iter`` elements of conditionally modified untested state per
+    iteration drive the checkpointing comparison; ``work_cv`` sets the
+    coefficient of variation of per-iteration work (load imbalance).
+    """
+
+    name: str
+    n: int
+    dep_prob: float
+    mean_distance: float
+    state_per_iter: int = 4
+    state_touch: float = 0.45
+    """Fraction of iterations that rewrite their STATE slice; small values
+    make on-demand checkpointing far cheaper than full checkpointing."""
+    work_cv: float = 0.5
+    work_ramp: float = 0.0
+    """Systematic per-iteration cost trend: iteration ``i`` costs an extra
+    factor ``1 + work_ramp * i/n`` (later tracks carry more state).  This is
+    the structured imbalance that even blocks cannot absorb and the
+    feedback-guided balancer removes."""
+    seed: int = 2002
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("deck needs at least one iteration")
+        if not 0.0 <= self.dep_prob <= 1.0:
+            raise ValueError("dep_prob must be in [0, 1]")
+        if self.mean_distance < 1.0:
+            raise ValueError("mean_distance must be >= 1")
+
+
+#: Named decks.  "16-400" and "15-250" are the paper's Fig. 8 / Fig. 9
+#: inputs (larger deck with longer dependence distances vs. a smaller deck
+#: with denser short-distance dependences); the rest sweep the available
+#: parallelism for Fig. 7.
+NLFILT_DECKS: dict[str, NlfiltDeck] = {
+    "16-400": NlfiltDeck("16-400", n=6400, dep_prob=0.004, mean_distance=160.0),
+    "15-250": NlfiltDeck("15-250", n=4000, dep_prob=0.06, mean_distance=6.0),
+    "fully-par": NlfiltDeck("fully-par", n=4800, dep_prob=0.0, mean_distance=1.0),
+    "sparse-deps": NlfiltDeck("sparse-deps", n=4800, dep_prob=0.002, mean_distance=12.0),
+    "medium-deps": NlfiltDeck("medium-deps", n=4800, dep_prob=0.008, mean_distance=12.0),
+    "dense-deps": NlfiltDeck("dense-deps", n=4800, dep_prob=0.08, mean_distance=12.0),
+    # The Fig. 12(a) optimization-comparison deck: rare long-distance
+    # dependences (so redistribution pays), heavily imbalanced iteration
+    # costs (so feedback balancing pays), and a large conditionally
+    # modified state with a low touch rate (so on-demand checkpointing
+    # pays the most, as in the paper).
+    "opt-study": NlfiltDeck(
+        "opt-study", n=4800, dep_prob=0.0015, mean_distance=400.0,
+        state_per_iter=24, state_touch=0.1, work_cv=1.5, work_ramp=1.0,
+    ),
+}
+
+
+def make_nlfilt_loop(deck: NlfiltDeck | str, instance: int = 0) -> SpeculativeLoop:
+    """Build one NLFILT instantiation from a deck.
+
+    ``instance`` varies the seed stream, modelling the loop being re-entered
+    with evolving data over the program's life (the PR statistic aggregates
+    across instances via :func:`repro.core.runner.run_program`).
+    """
+    if isinstance(deck, str):
+        deck = NLFILT_DECKS[deck]
+    n = deck.n
+    rng = make_rng(deck.seed, "nlfilt", deck.name, instance)
+
+    sig = rng.random(n)
+    # Geometric dependence distances around the deck's mean.
+    distances = 1 + rng.geometric(1.0 / deck.mean_distance, size=n)
+    state_guard = sig > (1.0 - deck.state_touch)
+    # Irregular per-iteration work: gamma-distributed around 1.  The work
+    # profile is seeded *without* the instance number: the cost structure of
+    # a real irregular loop evolves slowly across instantiations, which is
+    # precisely what makes the previous instantiation's measured times a
+    # usable predictor for feedback-guided balancing (Section 5.1).
+    if deck.work_cv > 0:
+        work_rng = make_rng(deck.seed, "nlfilt-work", deck.name)
+        shape = 1.0 / (deck.work_cv**2)
+        work = work_rng.gamma(shape, 1.0 / shape, size=n)
+        work = np.maximum(work, 0.05)
+    else:
+        work = np.ones(n)
+    if deck.work_ramp:
+        work = work * (1.0 + deck.work_ramp * np.arange(n) / n)
+
+    state_n = max(1, n * deck.state_per_iter)
+    state_per_iter = deck.state_per_iter
+
+    def body(ctx, i):
+        v = ctx.load("NUSED", i)
+        s = ctx.load("SIG", i)  # read-only input signal (untested)
+        if s < deck.dep_prob:  # loop-variant guard on the write
+            sink = min(i + int(distances[i]), n - 1)
+            ctx.store("NUSED", sink, v + s)
+        if state_guard[i]:
+            base = i * state_per_iter
+            for k in range(state_per_iter):
+                ctx.store("STATE", base + k, v * 0.5 + k)
+
+    return SpeculativeLoop(
+        name=f"nlfilt_300[{deck.name}]",
+        n_iterations=n,
+        body=body,
+        arrays=[
+            ArraySpec("NUSED", rng.random(n), tested=True),
+            ArraySpec("SIG", sig, tested=False),
+            ArraySpec("STATE", np.zeros(state_n), tested=False),
+        ],
+        iter_work=lambda i: float(work[i]),
+    )

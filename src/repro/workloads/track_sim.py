@@ -1,0 +1,206 @@
+"""A persistent TRACK simulation: the three loops sharing state over time.
+
+The per-loop generators in :mod:`track_nlfilt` / :mod:`track_extend` /
+:mod:`track_fptrak` materialize fresh state per instantiation -- right for
+figure sweeps, but the real program is a *simulation*: every time step the
+tracker extends the shared track file with new detections (EXTEND), smooths
+the live tracks (NLFILT), and refreshes their records (FPTRAK), all against
+the same arrays.  :class:`TrackSimulation` models that: one persistent
+:class:`~repro.machine.memory.MemoryImage`, three speculative loops per
+step executed against it, PR and speedup aggregated over the program's
+life.
+
+Because each step's loops run against the state the previous steps
+produced, this is also the strongest end-to-end soundness test in the
+repository: any mis-commit anywhere compounds across steps and is caught
+by comparing against a 1-processor twin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import RuntimeConfig
+from repro.core.results import ProgramResult, RunResult
+from repro.core.runner import parallelize
+from repro.loopir.induction import InductionSpec
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.machine.costs import CostModel
+from repro.machine.memory import MemoryImage, SharedArray
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class TrackSimConfig:
+    """Shape of the simulated tracking problem."""
+
+    max_tracks: int = 4096
+    initial_tracks: int = 48
+    detections_per_step: int = 96
+    confirm_prob: float = 0.55
+    smooth_prob: float = 0.04
+    smooth_distance: int = 6
+    seed: int = 400
+
+    def __post_init__(self) -> None:
+        if self.initial_tracks >= self.max_tracks:
+            raise ValueError("initial_tracks must leave room to extend")
+        if not 0.0 <= self.confirm_prob <= 1.0:
+            raise ValueError("confirm_prob must be in [0, 1]")
+
+
+class TrackSimulation:
+    """The TRACK program with persistent shared state."""
+
+    def __init__(self, sim: TrackSimConfig | None = None) -> None:
+        self.sim = sim or TrackSimConfig()
+        rng = make_rng(self.sim.seed, "track-sim-init")
+        m = self.sim.max_tracks
+        self.memory = MemoryImage(
+            [
+                SharedArray("TRACK", np.zeros(m)),
+                SharedArray("RECORDS", np.zeros(m)),
+            ]
+        )
+        self.memory["TRACK"].data[: self.sim.initial_tracks] = rng.random(
+            self.sim.initial_tracks
+        )
+        self.n_tracks = self.sim.initial_tracks
+        self.step_index = 0
+        self.runs: list[RunResult] = []
+
+    # -- the three loops of one time step ---------------------------------------
+
+    def _extend_loop(self, obs: np.ndarray, ref_idx: np.ndarray) -> SpeculativeLoop:
+        base = self.n_tracks
+        threshold = 1.0 - self.sim.confirm_prob
+
+        def body(ctx, i):
+            o = ctx.load("OBS", i)
+            ref = ctx.load("TRACK", int(ref_idx[i]))
+            slot = ctx.peek("LSTTRK")
+            ctx.store("TRACK", slot, ref * 0.3 + o)
+            if o > threshold:
+                ctx.bump("LSTTRK")
+
+        return SpeculativeLoop(
+            f"sim_extend[{self.step_index}]",
+            len(obs),
+            body,
+            arrays=[
+                ArraySpec("TRACK", np.zeros(self.sim.max_tracks)),
+                ArraySpec("RECORDS", np.zeros(self.sim.max_tracks)),
+                ArraySpec("OBS", obs, tested=False),
+            ],
+            inductions=[InductionSpec("LSTTRK", initial=base)],
+        )
+
+    def _nlfilt_loop(self, sinks: np.ndarray) -> SpeculativeLoop:
+        n = self.n_tracks
+
+        def body(ctx, i):
+            v = ctx.load("TRACK", i)
+            sink = int(sinks[i])
+            if sink >= 0:
+                ctx.store("TRACK", min(sink, n - 1), v * 0.9)
+            else:
+                ctx.store("TRACK", i, v * 0.99)
+
+        return SpeculativeLoop(
+            f"sim_nlfilt[{self.step_index}]",
+            n,
+            body,
+            arrays=[
+                ArraySpec("TRACK", np.zeros(self.sim.max_tracks)),
+                ArraySpec("RECORDS", np.zeros(self.sim.max_tracks)),
+            ],
+        )
+
+    def _fptrak_loop(self) -> SpeculativeLoop:
+        def body(ctx, i):
+            t = ctx.load("TRACK", i)
+            r = ctx.load("RECORDS", i)
+            ctx.store("RECORDS", i, r * 0.5 + t)
+
+        return SpeculativeLoop(
+            f"sim_fptrak[{self.step_index}]",
+            self.n_tracks,
+            body,
+            arrays=[
+                ArraySpec("TRACK", np.zeros(self.sim.max_tracks)),
+                ArraySpec("RECORDS", np.zeros(self.sim.max_tracks)),
+            ],
+        )
+
+    # -- driving -----------------------------------------------------------------
+
+    def step(
+        self,
+        n_procs: int,
+        config: RuntimeConfig | None = None,
+        costs: CostModel | None = None,
+    ) -> list[RunResult]:
+        """Advance the simulation one time step on ``n_procs`` processors."""
+        config = config or RuntimeConfig.adaptive()
+        rng = make_rng(self.sim.seed, "track-sim-step", self.step_index)
+        room = self.sim.max_tracks - self.n_tracks - 1
+        n_obs = min(self.sim.detections_per_step, max(0, room))
+        obs = rng.random(n_obs)
+        ref_idx = rng.integers(0, self.n_tracks, size=max(1, n_obs))[:n_obs]
+
+        step_runs: list[RunResult] = []
+        if n_obs:
+            # OBS is per-step input data: (re)publish it into shared memory.
+            if "OBS" in self.memory:
+                self.memory["OBS"].data = obs.copy()
+            else:
+                self.memory.add(SharedArray("OBS", obs))
+            extend = self._extend_loop(obs, ref_idx)
+            result = parallelize(extend, n_procs, config, costs, memory=self.memory)
+            self.n_tracks = result.induction_finals["LSTTRK"]
+            step_runs.append(result)
+
+        # Guarded smoothing sinks: mostly none, occasionally a nearby track.
+        draws = rng.random(self.n_tracks)
+        distances = rng.integers(1, self.sim.smooth_distance + 1, size=self.n_tracks)
+        sinks = np.where(
+            draws < self.sim.smooth_prob,
+            np.arange(self.n_tracks) + distances,
+            -1,
+        )
+        nlfilt = self._nlfilt_loop(sinks)
+        step_runs.append(
+            parallelize(nlfilt, n_procs, config, costs, memory=self.memory)
+        )
+        fptrak = self._fptrak_loop()
+        step_runs.append(
+            parallelize(fptrak, n_procs, config, costs, memory=self.memory)
+        )
+
+        self.runs.extend(step_runs)
+        self.step_index += 1
+        return step_runs
+
+    def run(
+        self,
+        steps: int,
+        n_procs: int,
+        config: RuntimeConfig | None = None,
+        costs: CostModel | None = None,
+    ) -> ProgramResult:
+        """Run several time steps; aggregate PR/speedup over all loops."""
+        for _ in range(steps):
+            self.step(n_procs, config, costs)
+        program = ProgramResult(
+            loop_name=f"track_sim[{steps} steps]",
+            strategy=(config or RuntimeConfig.adaptive()).label(),
+            n_procs=n_procs,
+        )
+        for run in self.runs:
+            program.add(run)
+        return program
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        return self.memory.snapshot()

@@ -1,0 +1,50 @@
+"""The paper's hand-worked examples (Figs. 1 and 2), as executable loops.
+
+Fig. 1: an 8-iteration loop over 4 processors where a single flow
+dependence crosses from processor 2's block into processor 3's block
+(1-indexed in the paper); the NRD run commits processors 1-2 in the first
+stage and finishes the rest in a second stage -- "a total of two steps of
+two iterations each".
+
+Fig. 2: the same dependence shape under a sliding window of 4 iterations
+(super-iteration size 1): the first window commits the blocks before the
+sink and advances the commit point; two more windows finish the loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.workloads.synthetic import chain_loop
+
+#: Write targets K[i] and read sources L[i] of the Fig. 1 loop (0-indexed
+#: iterations 0..7 over processors {0,1}|{2,3}|{4,5}|{6,7}).  Iteration 3
+#: (processor 1) writes A[5]; iteration 4 (processor 2) reads A[5]: one
+#: flow arc from processor 1 to processor 2, earliest sink = processor 2.
+FIG1_K = (0, 1, 2, 5, 6, 7, 8, 9)
+FIG1_L = (9, 9, 9, 9, 5, 9, 9, 9)
+
+
+def fig1_loop() -> SpeculativeLoop:
+    """The Fig. 1(a) loop: ``B[i] = f(i); A[K[i]] = A[L[i]] + expr``."""
+
+    def body(ctx, i):
+        ctx.store("B", i, float(i) * 2.0)  # statically analyzable array B
+        v = ctx.load("A", FIG1_L[i])
+        ctx.store("A", FIG1_K[i], v + float(i))
+
+    return SpeculativeLoop(
+        name="fig1_example",
+        n_iterations=8,
+        body=body,
+        arrays=[
+            ArraySpec("A", np.arange(10, dtype=np.float64), tested=True),
+            ArraySpec("B", np.zeros(8), tested=False),
+        ],
+    )
+
+
+def fig2_loop() -> SpeculativeLoop:
+    """The Fig. 2 sliding-window example: one dependence ``2 -> 3``."""
+    return chain_loop(8, targets=[3], name="fig2_example")

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sequential import sequential_reference
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+
+
+def make_simple_loop(n: int = 64, stride: int = 7, offset: int = 3) -> SpeculativeLoop:
+    """A small loop with input-dependent writes: ``A[(i*stride+offset) % n]``.
+
+    Dense enough in dependences to exercise multi-stage recursion at
+    moderate processor counts.
+    """
+
+    def body(ctx, i):
+        x = ctx.load("A", i)
+        ctx.store("A", (i * stride + offset) % n, x + 1.0)
+
+    return SpeculativeLoop(
+        name=f"simple_{n}_{stride}_{offset}",
+        n_iterations=n,
+        body=body,
+        arrays=[ArraySpec("A", np.zeros(n))],
+    )
+
+
+def assert_matches_sequential(result, loop, tolerant: bool = False) -> None:
+    """The runtime's fundamental guarantee, as a test helper."""
+    reference = sequential_reference(loop)
+    if tolerant:
+        assert result.memory.allclose(reference), (
+            f"{result.strategy} run of {loop.name} diverged from sequential"
+        )
+    else:
+        assert result.memory.equals(reference), (
+            f"{result.strategy} run of {loop.name} diverged from sequential"
+        )
+
+
+@pytest.fixture
+def simple_loop() -> SpeculativeLoop:
+    return make_simple_loop()

@@ -1,0 +1,46 @@
+"""Every registered experiment runs at quick scale and yields a sane result.
+
+The per-figure benchmarks assert the paper shapes; this sweep guards the
+harness itself -- no experiment may crash, return an empty table, or
+produce data the JSON exporter cannot serialize.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import EXPERIMENTS, run_experiment
+from repro.bench.export import _jsonable
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    return {exp_id: run_experiment(exp_id, quick=True) for exp_id in EXPERIMENTS}
+
+
+def test_registry_is_populated(all_results):
+    assert len(all_results) >= 25
+
+
+def test_tables_are_rendered(all_results):
+    for exp_id, result in all_results.items():
+        assert result.table.strip(), f"{exp_id} rendered an empty table"
+        assert len(result.table.splitlines()) >= 3, f"{exp_id} table too small"
+
+
+def test_expectations_documented(all_results):
+    for exp_id, result in all_results.items():
+        assert len(result.expectation) > 40, (
+            f"{exp_id} lacks a meaningful paper-expectation note"
+        )
+
+
+def test_data_serializable(all_results):
+    for exp_id, result in all_results.items():
+        payload = json.dumps(_jsonable(result.data))
+        assert payload, exp_id
+
+
+def test_ids_consistent(all_results):
+    for exp_id, result in all_results.items():
+        assert result.exp_id == exp_id

@@ -1,0 +1,146 @@
+"""Tests for the comparison baselines: sequential, inspector/executor,
+DOACROSS."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.doacross import run_doacross
+from repro.baselines.inspector import (
+    dependence_edges_from_trace,
+    run_inspector_executor,
+)
+from repro.baselines.sequential import run_sequential, sequential_reference
+from repro.errors import InspectorUnavailableError
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.shadow.edges import EdgeKind
+from repro.workloads.synthetic import (
+    chain_loop,
+    fully_parallel_loop,
+    random_dependence_loop,
+)
+
+
+class TestSequential:
+    def test_total_time_is_work_only(self):
+        loop = fully_parallel_loop(64)
+        res = run_sequential(loop)
+        assert res.total_time == pytest.approx(64.0)
+        assert res.overhead_time == 0.0
+
+    def test_iter_work_includes_extra(self):
+        def body(ctx, i):
+            ctx.work(1.5)
+
+        loop = SpeculativeLoop(
+            "w", 4, body, arrays=[ArraySpec("A", np.zeros(1))]
+        )
+        res = run_sequential(loop)
+        assert res.total_time == pytest.approx(4 * 2.5)
+
+    def test_reference_snapshot(self):
+        loop = fully_parallel_loop(8)
+        ref = sequential_reference(loop)
+        assert np.allclose(ref["A"], np.arange(8.0) * 2.0 + 1.0)
+
+    def test_inductions_supported(self):
+        from repro.loopir.induction import InductionSpec
+
+        def body(ctx, i):
+            ctx.store("T", ctx.bump("k"), 1.0)
+
+        loop = SpeculativeLoop(
+            "ind", 4, body,
+            arrays=[ArraySpec("T", np.zeros(10))],
+            inductions=[InductionSpec("k", 2)],
+        )
+        res = run_sequential(loop)
+        assert res.induction_finals == {"k": 6}
+
+
+class TestTraceEdges:
+    def test_flow_from_trace(self):
+        trace = [(set(), {("A", 0)}), ({("A", 0)}, set())]
+        edges = dependence_edges_from_trace(trace)
+        assert edges.iteration_pairs([EdgeKind.FLOW]) == {(0, 1)}
+
+    def test_anti_from_trace(self):
+        trace = [({("A", 0)}, set()), (set(), {("A", 0)})]
+        edges = dependence_edges_from_trace(trace)
+        assert edges.iteration_pairs([EdgeKind.ANTI]) == {(0, 1)}
+
+    def test_output_from_trace(self):
+        trace = [(set(), {("A", 0)}), (set(), {("A", 0)})]
+        edges = dependence_edges_from_trace(trace)
+        assert edges.iteration_pairs([EdgeKind.OUTPUT]) == {(0, 1)}
+
+    def test_same_iteration_rw_no_edge(self):
+        trace = [({("A", 0)}, {("A", 0)})]
+        assert len(dependence_edges_from_trace(trace)) == 0
+
+
+class TestInspectorExecutor:
+    def test_executes_correctly(self):
+        loop = random_dependence_loop(64, density=0.2, max_distance=5, seed=4)
+        res = run_inspector_executor(loop, 4)
+        assert res.memory.equals(sequential_reference(loop))
+
+    def test_unavailable_inspector_raises(self):
+        loop = SpeculativeLoop(
+            "no-inspector", 4, lambda ctx, i: None,
+            arrays=[ArraySpec("A", np.zeros(4))],
+        )
+        with pytest.raises(InspectorUnavailableError):
+            run_inspector_executor(loop, 4)
+
+    def test_wrong_trace_length_raises(self):
+        loop = SpeculativeLoop(
+            "bad", 4, lambda ctx, i: None,
+            arrays=[ArraySpec("A", np.zeros(4))],
+            inspector=lambda mem: [(set(), set())],  # 1 != 4
+        )
+        with pytest.raises(InspectorUnavailableError):
+            run_inspector_executor(loop, 4)
+
+    def test_inspection_cost_charged(self):
+        loop = fully_parallel_loop(64)
+        with_ie = run_inspector_executor(loop, 4)
+        plain_seq = run_sequential(fully_parallel_loop(64))
+        # Faster than sequential, but pays inspection on top of execution.
+        assert with_ie.total_time < plain_seq.total_time
+        assert "inspector" in with_ie.strategy
+
+
+class TestDoacross:
+    def test_executes_correctly(self):
+        loop = chain_loop(64, targets=[10, 30])
+        res = run_doacross(loop, 4)
+        assert res.memory.equals(sequential_reference(loop))
+
+    def test_unavailable_inspector_raises(self):
+        loop = SpeculativeLoop(
+            "no-inspector", 4, lambda ctx, i: None,
+            arrays=[ArraySpec("A", np.zeros(4))],
+        )
+        with pytest.raises(InspectorUnavailableError):
+            run_doacross(loop, 4)
+
+    def test_full_chain_near_sequential(self):
+        n = 64
+        loop = chain_loop(n, targets=list(range(1, n)))
+        res = run_doacross(loop, 8)
+        assert res.speedup < 1.2  # flow chain serializes everything
+
+    def test_parallel_loop_pays_setup(self):
+        """Kazi & Lilja's weakness the paper cites: per-iteration setup and
+        broadcast are paid even by fully parallel loops."""
+        loop = fully_parallel_loop(256)
+        res = run_doacross(loop, 8)
+        assert res.speedup < 8.0
+        assert res.speedup > 1.0
+
+    def test_setup_scales_with_procs(self):
+        s8 = run_doacross(fully_parallel_loop(256), 8)
+        s2 = run_doacross(fully_parallel_loop(256), 2)
+        # Broadcast cost grows with p; per-proc work shrinks.  Efficiency
+        # (speedup/p) must degrade.
+        assert s8.speedup / 8 < s2.speedup / 2

@@ -1,0 +1,111 @@
+"""Tests for the experiment-snapshot regression diff."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import ComparisonReport, compare_data, compare_exports
+from repro.bench.export import export_experiments
+
+
+def write_snapshot(directory, payloads):
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {}
+    for name, data in payloads.items():
+        (directory / f"{name}.json").write_text(
+            json.dumps({"id": name, "data": data})
+        )
+        manifest[name] = {"title": name, "file": f"{name}.json"}
+    (directory / "index.json").write_text(json.dumps(manifest))
+
+
+class TestCompareData:
+    def test_identical_is_clean(self):
+        report = ComparisonReport(tolerance=0.1)
+        compare_data("x", {"a": [1.0, 2.0]}, {"a": [1.0, 2.0]}, 0.1, report)
+        assert report.clean
+
+    def test_small_drift_within_tolerance(self):
+        report = ComparisonReport(tolerance=0.1)
+        compare_data("x", {"a": 100.0}, {"a": 105.0}, 0.1, report)
+        assert report.clean
+
+    def test_large_drift_flagged(self):
+        report = ComparisonReport(tolerance=0.1)
+        compare_data("x", {"a": 100.0}, {"a": 150.0}, 0.1, report)
+        assert len(report.drifts) == 1
+        assert report.drifts[0].path == "a"
+        assert report.drifts[0].relative == pytest.approx(1 / 3)
+
+    def test_nested_paths(self):
+        report = ComparisonReport(tolerance=0.0)
+        compare_data(
+            "x",
+            {"series": {"s1": [1.0, 2.0]}},
+            {"series": {"s1": [1.0, 3.0]}},
+            0.0,
+            report,
+        )
+        assert report.drifts[0].path == "series.s1[1]"
+
+    def test_structure_change_detected(self):
+        report = ComparisonReport(tolerance=0.1)
+        compare_data("x", {"a": 1.0}, {"b": 1.0}, 0.1, report)
+        assert len(report.structure_changes) == 2  # a removed, b added
+
+    def test_string_change_is_structural(self):
+        report = ComparisonReport(tolerance=0.1)
+        compare_data("x", {"kind": "geometric"}, {"kind": "linear"}, 0.1, report)
+        assert report.structure_changes
+
+    def test_bools_not_treated_as_numbers(self):
+        report = ComparisonReport(tolerance=0.1)
+        compare_data("x", {"flag": True}, {"flag": False}, 0.1, report)
+        assert report.structure_changes and not report.drifts
+
+
+class TestCompareExports:
+    def test_same_snapshot_clean(self, tmp_path):
+        write_snapshot(tmp_path / "a", {"e1": {"v": 1.0}})
+        write_snapshot(tmp_path / "b", {"e1": {"v": 1.0}})
+        report = compare_exports(tmp_path / "a", tmp_path / "b")
+        assert report.clean
+        assert "no drift" in report.render()
+
+    def test_missing_and_added(self, tmp_path):
+        write_snapshot(tmp_path / "a", {"e1": {"v": 1.0}, "e2": {"v": 1.0}})
+        write_snapshot(tmp_path / "b", {"e1": {"v": 1.0}, "e3": {"v": 1.0}})
+        report = compare_exports(tmp_path / "a", tmp_path / "b")
+        assert report.missing == ["e2"]
+        assert report.added == ["e3"]
+        assert not report.clean
+
+    def test_drift_render(self, tmp_path):
+        write_snapshot(tmp_path / "a", {"e1": {"speedup": 4.0}})
+        write_snapshot(tmp_path / "b", {"e1": {"speedup": 2.0}})
+        report = compare_exports(tmp_path / "a", tmp_path / "b", tolerance=0.1)
+        assert "DRIFT e1:speedup" in report.render()
+
+    def test_missing_index_raises(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        write_snapshot(tmp_path / "b", {"e1": {"v": 1.0}})
+        with pytest.raises(FileNotFoundError):
+            compare_exports(tmp_path / "a", tmp_path / "b")
+
+    def test_cli_compare_flag(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        write_snapshot(tmp_path / "a", {"e1": {"speedup": 4.0}})
+        write_snapshot(tmp_path / "b", {"e1": {"speedup": 4.0}})
+        assert main(["--compare", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        write_snapshot(tmp_path / "c", {"e1": {"speedup": 1.0}})
+        assert main(["--compare", str(tmp_path / "a"), str(tmp_path / "c")]) == 1
+
+    def test_real_exports_self_compare_clean(self, tmp_path):
+        """Determinism end to end: two exports of the same experiment are
+        bit-identical, so the diff is empty at zero tolerance."""
+        export_experiments(tmp_path / "run1", ids=["fig01"], quick=True)
+        export_experiments(tmp_path / "run2", ids=["fig01"], quick=True)
+        report = compare_exports(tmp_path / "run1", tmp_path / "run2",
+                                 tolerance=0.0)
+        assert report.clean

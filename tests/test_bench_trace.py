@@ -1,0 +1,51 @@
+"""Tests for the run-trace renderers."""
+
+from repro.bench.trace import render_breakdown, render_program, render_stage_trace
+from repro.config import RuntimeConfig
+from repro.core.rlrpd import run_blocked
+from repro.core.runner import run_program
+from repro.workloads.synthetic import chain_loop, fully_parallel_loop
+
+
+class TestStageTrace:
+    def test_contains_stage_rows(self):
+        res = run_blocked(chain_loop(64, targets=[32]), 4, RuntimeConfig.nrd())
+        out = render_stage_trace(res)
+        lines = out.splitlines()
+        assert "fail" in out and "ok" in out
+        # title + header + rule + one row per stage
+        assert len(lines) == 3 + res.n_stages
+
+    def test_title_has_metrics(self):
+        res = run_blocked(fully_parallel_loop(32), 4, RuntimeConfig.nrd())
+        out = render_stage_trace(res)
+        assert "speedup" in out
+        assert "0 restarts" in out
+
+    def test_schedule_column_shows_blocks(self):
+        res = run_blocked(fully_parallel_loop(8), 2, RuntimeConfig.nrd())
+        out = render_stage_trace(res)
+        assert "p0[0,4)" in out
+
+
+class TestBreakdown:
+    def test_totals_row(self):
+        res = run_blocked(chain_loop(64, targets=[32]), 4, RuntimeConfig.nrd())
+        out = render_breakdown(res)
+        assert out.splitlines()[-1].startswith("total")
+
+    def test_only_used_categories(self):
+        res = run_blocked(fully_parallel_loop(32), 4, RuntimeConfig.nrd())
+        out = render_breakdown(res)
+        assert "work" in out
+        assert "redistribution" not in out  # nothing redistributed
+
+
+class TestProgram:
+    def test_one_row_per_instantiation(self):
+        prog = run_program(
+            [fully_parallel_loop(32) for _ in range(3)], 4, RuntimeConfig.nrd()
+        )
+        out = render_program(prog)
+        assert len(out.splitlines()) == 3 + 3
+        assert "PR=1.000" in out

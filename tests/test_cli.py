@@ -1,0 +1,75 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import WORKLOADS, main, resolve_workload
+
+
+class TestResolve:
+    def test_family_default_deck(self):
+        loop = resolve_workload("nlfilt")
+        assert "16-400" in loop.name
+
+    def test_family_with_deck(self):
+        loop = resolve_workload("extend:heavy-deps")
+        assert "heavy-deps" in loop.name
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            resolve_workload("nope")
+
+    def test_unknown_deck(self):
+        with pytest.raises(SystemExit):
+            resolve_workload("nlfilt:nope")
+
+    def test_deck_on_plain_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            resolve_workload("doall:whatever")
+
+    def test_every_registered_workload_resolves(self):
+        for family, factory in WORKLOADS.items():
+            decks = getattr(factory, "decks", [])
+            spec = f"{family}:{decks[0]}" if decks else family
+            loop = resolve_workload(spec)
+            assert loop.n_iterations > 0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "nlfilt" in out and "pointer-chase" in out
+
+    def test_run_blocked(self, capsys):
+        assert main(["run", "doall", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_run_sliding_window(self, capsys):
+        assert main(["run", "random-deps", "-p", "4", "--strategy", "sw",
+                     "--window", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "SW(w=16)" in out
+
+    def test_run_breakdown(self, capsys):
+        assert main(["run", "doall", "-p", "2", "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "breakdown" in out
+
+    def test_certify_ok(self, capsys):
+        assert main(["certify", "gather", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIED" in out
+
+    def test_certify_tolerant_bjt(self, capsys):
+        assert main(["certify", "bjt", "-p", "2", "--tolerant"]) == 0
+
+    def test_ddg(self, capsys):
+        assert main(["ddg", "forest", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+
+    def test_run_induction_workload(self, capsys):
+        assert main(["run", "extend:clean", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "induction" in out

@@ -1,0 +1,181 @@
+"""Unit tests for speculative block execution and virtual-time charging."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import (
+    SpeculativeContext,
+    execute_block,
+    make_processor_state,
+)
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.reductions import ReductionOp
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine
+from repro.machine.timeline import Category
+from repro.util.blocks import Block
+
+
+def make_loop(body, n=8, tested=("A",), untested=(), reductions=None):
+    arrays = [ArraySpec(name, np.arange(16.0), tested=True) for name in tested]
+    arrays += [ArraySpec(name, np.arange(16.0), tested=False) for name in untested]
+    return SpeculativeLoop(
+        "t", n, body, arrays=arrays, reductions=reductions or {}
+    )
+
+
+def setup(loop, n_procs=2):
+    machine = Machine(n_procs, memory=loop.materialize())
+    machine.begin_stage()
+    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
+    return machine, states
+
+
+class TestSpeculativeContext:
+    def test_tested_store_stays_private(self):
+        loop = make_loop(lambda ctx, i: ctx.store("A", i, -1.0))
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 4), None)
+        assert machine.memory["A"].data[0] == 0.0  # shared untouched
+        assert dict(states[0].views["A"].written_items())[0] == -1.0
+
+    def test_untested_store_writes_through(self):
+        loop = make_loop(
+            lambda ctx, i: ctx.store("B", i, -1.0), tested=(), untested=("B",)
+        )
+        machine, states = setup(loop)
+        ckpt = CheckpointManager(machine.memory, ["B"], on_demand=True)
+        ckpt.begin_stage()
+        execute_block(machine, loop, states[0], Block(0, 0, 4), ckpt)
+        assert machine.memory["B"].data[0] == -1.0
+
+    def test_untested_write_checkpoints_first_touch(self):
+        loop = make_loop(
+            lambda ctx, i: ctx.store("B", 0, float(i)),
+            tested=(), untested=("B",),
+        )
+        machine, states = setup(loop)
+        ckpt = CheckpointManager(machine.memory, ["B"], on_demand=True)
+        ckpt.begin_stage()
+        execute_block(machine, loop, states[0], Block(0, 0, 4), ckpt)
+        assert ckpt.elements_checkpointed == 1  # one element, many writes
+
+    def test_marking_charged_per_reference(self):
+        loop = make_loop(lambda ctx, i: ctx.store("A", i, 0.0))
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 4), None)
+        assert machine.timeline.current.category_total(Category.MARK) == (
+            pytest.approx(4 * machine.costs.mark)
+        )
+
+    def test_copyin_charged_once_per_element(self):
+        def body(ctx, i):
+            ctx.load("A", 0)
+            ctx.load("A", 0)
+
+        loop = make_loop(body)
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 4), None)
+        # Only the very first load of element 0 copies in.
+        assert machine.timeline.current.category_total(Category.COPY_IN) == (
+            pytest.approx(machine.costs.copy_in)
+        )
+
+    def test_base_work_charged(self):
+        loop = make_loop(lambda ctx, i: None)
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 4), None)
+        assert machine.timeline.current.category_total(Category.WORK) == (
+            pytest.approx(4 * machine.costs.omega)
+        )
+
+    def test_extra_work_charged(self):
+        loop = make_loop(lambda ctx, i: ctx.work(2.0))
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 1), None)
+        assert machine.timeline.current.category_total(Category.WORK) == (
+            pytest.approx(3.0 * machine.costs.omega)
+        )
+
+    def test_iter_times_recorded(self):
+        loop = make_loop(lambda ctx, i: None)
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 2, 5), None)
+        assert set(states[0].iter_times) == {2, 3, 4}
+        assert states[0].iter_work[2] == pytest.approx(machine.costs.omega)
+
+    def test_reduction_update_accumulates_partial(self):
+        loop = make_loop(
+            lambda ctx, i: ctx.update("A", 3, 1.0),
+            reductions={"A": ReductionOp.SUM},
+        )
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 4), None)
+        assert states[0].partials["A"][3] == 4.0
+        assert machine.memory["A"].data[3] == 3.0  # shared untouched
+
+    def test_load_of_reduction_array_rejected(self):
+        loop = make_loop(
+            lambda ctx, i: ctx.load("A", 0),
+            reductions={"A": ReductionOp.SUM},
+        )
+        machine, states = setup(loop)
+        with pytest.raises(ValueError):
+            execute_block(machine, loop, states[0], Block(0, 0, 1), None)
+
+    def test_update_without_operator_rejected(self):
+        loop = make_loop(lambda ctx, i: ctx.update("A", 0, 1.0))
+        machine, states = setup(loop)
+        with pytest.raises(ValueError):
+            execute_block(machine, loop, states[0], Block(0, 0, 1), None)
+
+    def test_bump_uninitialized_rejected(self):
+        loop = make_loop(lambda ctx, i: ctx.bump("k"))
+        machine, states = setup(loop)
+        with pytest.raises(KeyError):
+            execute_block(machine, loop, states[0], Block(0, 0, 1), None)
+
+    def test_bump_with_offsets(self):
+        seen = []
+        loop = make_loop(lambda ctx, i: seen.append(ctx.bump("k")))
+        machine, states = setup(loop)
+        ctx = execute_block(
+            machine, loop, states[0], Block(0, 0, 3), None, inductions={"k": 10}
+        )
+        assert seen == [10, 11, 12]
+        assert ctx.induction_values() == {"k": 13}
+
+    def test_shadow_marks_reads_and_writes(self):
+        def body(ctx, i):
+            ctx.load("A", i)
+            ctx.store("A", i + 8, 0.0)
+
+        loop = make_loop(body)
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 4), None)
+        sh = states[0].shadows["A"]
+        assert sh.exposed_read_set() == {0, 1, 2, 3}
+        assert sh.write_set() == {8, 9, 10, 11}
+
+
+class TestProcessorState:
+    def test_distinct_refs_and_written(self):
+        def body(ctx, i):
+            ctx.load("A", i)
+            ctx.store("A", i, 1.0)
+
+        loop = make_loop(body)
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 4), None)
+        assert states[0].distinct_refs() == 4
+        assert states[0].n_written() == 4
+
+    def test_reset_keeps_iter_times(self):
+        loop = make_loop(lambda ctx, i: ctx.store("A", i, 1.0))
+        machine, states = setup(loop)
+        execute_block(machine, loop, states[0], Block(0, 0, 4), None)
+        states[0].reset()
+        assert states[0].n_written() == 0
+        assert states[0].shadows["A"].is_clear()
+        assert len(states[0].iter_times) == 4  # measurements persist

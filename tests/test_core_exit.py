@@ -1,0 +1,133 @@
+"""Tests for speculative premature-exit loops (the DCDCMP-70 mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.lrpd import run_doall_lrpd
+from repro.core.rlrpd import run_blocked
+from repro.core.window import run_sliding_window
+from repro.errors import ConfigurationError
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from tests.conftest import assert_matches_sequential
+
+
+def exit_loop_at(n, exit_at, dep_targets=(), name="exiting"):
+    """A loop writing A[i] = i that exits after iteration ``exit_at``;
+    optional chain dependences (iteration t reads A[t-1])."""
+    targets = frozenset(dep_targets)
+
+    def body(ctx, i):
+        value = float(i)
+        if i in targets:
+            value += ctx.load("A", i - 1)
+        ctx.store("A", i, value)
+        if i == exit_at:
+            ctx.exit_loop()
+
+    return SpeculativeLoop(
+        name, n, body, arrays=[ArraySpec("A", np.zeros(n))]
+    )
+
+
+class TestSequentialSemantics:
+    def test_sequential_stops_after_exit(self):
+        from repro.baselines.sequential import run_sequential
+
+        loop = exit_loop_at(32, exit_at=10)
+        res = run_sequential(loop)
+        assert res.exit_iteration == 10
+        assert res.memory["A"].data[10] == 10.0
+        assert res.memory["A"].data[11] == 0.0  # never executed
+
+    def test_exit_iteration_completes(self):
+        from repro.baselines.sequential import sequential_reference
+
+        ref = sequential_reference(exit_loop_at(8, exit_at=3))
+        assert ref["A"][3] == 3.0
+
+
+class TestSpeculativeExit:
+    @pytest.mark.parametrize("exit_at", [0, 5, 17, 31])
+    @pytest.mark.parametrize("p", [1, 4, 8])
+    def test_matches_sequential(self, exit_at, p):
+        loop = exit_loop_at(32, exit_at=exit_at)
+        res = run_blocked(loop, p, RuntimeConfig.nrd())
+        assert res.exit_iteration == exit_at
+        assert_matches_sequential(res, loop)
+
+    def test_single_stage_despite_exit(self):
+        """The whole point: the exit does not force sequential execution."""
+        loop = exit_loop_at(64, exit_at=40)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 1
+        assert res.n_restarts == 0
+
+    def test_speculated_tail_is_overhead_not_state(self):
+        loop = exit_loop_at(64, exit_at=20)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        # Iterations past 20 ran speculatively (wasted work) but left no
+        # trace in shared memory.
+        assert res.memory["A"].data[21] == 0.0
+        assert res.wasted_work > 0
+
+    def test_sequential_work_counts_only_committed(self):
+        loop = exit_loop_at(64, exit_at=20)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.sequential_work == pytest.approx(21.0)
+
+    def test_exit_after_dependence_is_revalidated(self):
+        """An exit signalled by a processor whose own work is invalid must
+        not be trusted: the dependence recursion re-executes and
+        re-discovers (or refutes) it."""
+        # Arc 39->40 crosses into proc 5's block; exit at 50 sits on proc
+        # 6, beyond the sink, so its first sighting is untrustworthy.
+        loop = exit_loop_at(64, exit_at=50, dep_targets=[40])
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.exit_iteration == 50
+        assert_matches_sequential(res, loop)
+        assert res.n_restarts >= 1
+
+    def test_exit_before_dependence_wins(self):
+        """An exit below the earliest sink makes the dependence moot."""
+        loop = exit_loop_at(64, exit_at=10, dep_targets=[40])
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.exit_iteration == 10
+        assert res.n_stages == 1
+        assert_matches_sequential(res, loop)
+
+    def test_untested_state_restored_past_exit(self):
+        def body(ctx, i):
+            ctx.store("B", i, float(i) + 1.0)
+            if i == 12:
+                ctx.exit_loop()
+
+        loop = SpeculativeLoop(
+            "exit-untested", 32, body,
+            arrays=[ArraySpec("B", np.zeros(32), tested=False)],
+        )
+        res = run_blocked(loop, 4, RuntimeConfig.nrd())
+        assert_matches_sequential(res, loop)
+        assert res.memory["B"].data[20] == 0.0  # speculated write rolled back
+
+
+class TestDoallBaselineWithExit:
+    def test_doall_lrpd_falls_back_to_sequential(self):
+        loop = exit_loop_at(32, exit_at=10)
+        res = run_doall_lrpd(loop, 4)
+        assert res.n_restarts == 1  # the old test cannot handle exits
+        assert_matches_sequential(res, loop)
+
+
+class TestUnsupportedRunners:
+    def test_sliding_window_rejects_exits(self):
+        with pytest.raises(ConfigurationError):
+            run_sliding_window(
+                exit_loop_at(32, exit_at=5), 4, RuntimeConfig.sw(window_size=8)
+            )
+
+    def test_iterwise_rejects_exits(self):
+        from repro.core.iterwise import run_blocked_iterwise
+
+        with pytest.raises(ConfigurationError):
+            run_blocked_iterwise(exit_loop_at(32, exit_at=5), 4)

@@ -1,0 +1,129 @@
+"""Tests for the two-phase speculative-induction runner (EXTEND pattern)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.induction_runner import run_induction
+from repro.errors import ConfigurationError
+from repro.loopir.induction import InductionSpec
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from tests.conftest import assert_matches_sequential
+
+
+def make_extend_like(n=32, base=4, keep_mod=2, lookback_at=()):
+    """A miniature EXTEND: conditionally append to a growing array."""
+    lookback = frozenset(lookback_at)
+
+    def body(ctx, i):
+        slot = ctx.peek("K")
+        value = float(i)
+        if i in lookback and slot > base:
+            value += ctx.load("T", slot - 1)
+        ctx.store("T", slot, value)
+        if i % keep_mod == 0:  # deterministic loop-variant condition
+            ctx.bump("K")
+
+    return SpeculativeLoop(
+        "mini_extend", n, body,
+        arrays=[ArraySpec("T", np.zeros(base + n + 1), tested=True)],
+        inductions=[InductionSpec("K", initial=base)],
+    )
+
+
+class TestCleanRuns:
+    def test_two_stages_per_recursion(self):
+        loop = make_extend_like()
+        res = run_induction(loop, 4)
+        assert res.n_stages == 2  # range collection + re-execution
+        assert res.n_restarts == 0
+        assert_matches_sequential(res, loop)
+
+    def test_final_induction_value(self):
+        loop = make_extend_like(n=32, base=4, keep_mod=2)
+        res = run_induction(loop, 4)
+        assert res.induction_finals == {"K": 4 + 16}
+
+    def test_speedup_roughly_half_of_doall(self):
+        loop = make_extend_like(n=4000, keep_mod=3)
+        res = run_induction(loop, 8)
+        # Two doalls bound the speedup near p/2 (minus overheads).
+        assert 2.0 < res.speedup < 4.2
+
+    def test_range_collection_is_side_effect_free(self):
+        loop = make_extend_like()
+        res = run_induction(loop, 4)
+        # Re-run sequentially and compare: phase A must not have leaked
+        # wrong-offset writes into shared memory.
+        assert_matches_sequential(res, loop)
+
+    def test_single_processor(self):
+        loop = make_extend_like()
+        res = run_induction(loop, 1)
+        assert_matches_sequential(res, loop)
+
+
+class TestDependences:
+    def test_cross_proc_lookback_triggers_recursion(self):
+        # Lookbacks on every processor's first appended slot: with 4 procs
+        # and blocks of 8, iteration 8 reads the slot appended by proc 0.
+        loop = make_extend_like(n=32, lookback_at=[8])
+        res = run_induction(loop, 4)
+        assert res.n_restarts >= 1
+        assert_matches_sequential(res, loop)
+
+    def test_heavy_lookbacks_still_correct(self):
+        loop = make_extend_like(n=64, lookback_at=range(1, 64, 5))
+        res = run_induction(loop, 8)
+        assert_matches_sequential(res, loop)
+
+    def test_intra_proc_lookback_no_restart(self):
+        # Iteration 3 looks back at a slot written by iteration 2 on the
+        # same processor: private data, no cross-processor dependence.
+        loop = make_extend_like(n=32, base=4, keep_mod=1, lookback_at=[3])
+        res = run_induction(loop, 4)
+        assert res.n_restarts == 0
+        assert_matches_sequential(res, loop)
+
+
+class TestIncrementStability:
+    def test_data_dependent_increment_mismatch_detected(self):
+        """A counter whose control flow reads counter-indexed data violates
+        the technique's contract; phases disagree and the runner must fall
+        back to recursion instead of committing wrong state."""
+        n, base = 16, 2
+
+        def body(ctx, i):
+            slot = ctx.peek("K")
+            ctx.store("T", slot, float(i + 1))
+            if slot > base and ctx.load("T", slot - 1) > 4.0:
+                ctx.bump("K")
+            elif i % 2 == 0:
+                ctx.bump("K")
+
+        loop = SpeculativeLoop(
+            "unstable", n, body,
+            arrays=[ArraySpec("T", np.zeros(base + n + 2), tested=True)],
+            inductions=[InductionSpec("K", initial=base)],
+        )
+        res = run_induction(loop, 4)
+        assert_matches_sequential(res, loop)
+
+
+class TestValidation:
+    def test_rejects_non_induction_loop(self):
+        loop = SpeculativeLoop(
+            "plain", 4, lambda ctx, i: None,
+            arrays=[ArraySpec("A", np.zeros(4))],
+        )
+        with pytest.raises(ConfigurationError):
+            run_induction(loop, 2)
+
+    def test_range_collection_not_counted_as_restart(self):
+        loop = make_extend_like()
+        res = run_induction(loop, 4)
+        assert res.parallelism_ratio == 1.0
+
+    def test_strategy_label(self):
+        res = run_induction(make_extend_like(), 2)
+        assert "induction" in res.strategy

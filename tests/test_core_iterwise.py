@@ -1,0 +1,136 @@
+"""Tests for the iteration-wise R-LRPD variant."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.iterwise import run_blocked_iterwise
+from repro.core.rlrpd import run_blocked
+from repro.errors import ConfigurationError
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.reductions import ReductionOp
+from repro.workloads.synthetic import (
+    chain_loop,
+    fully_parallel_loop,
+    random_dependence_loop,
+)
+from tests.conftest import assert_matches_sequential, make_simple_loop
+
+
+class TestGranularity:
+    def test_commit_point_is_the_exact_sink_iteration(self):
+        # Arc 20 -> 38 crosses from processor 1 into the middle of
+        # processor 2's block: the processor-wise test rolls back to the
+        # block start (32); the iteration-wise test commits up to 38.
+        def make():
+            def body(ctx, i):
+                if i == 38:
+                    ctx.load("A", 20)
+                ctx.store("A", i, float(i))
+
+            return SpeculativeLoop(
+                "midblock", 64, body, arrays=[ArraySpec("A", np.zeros(64))]
+            )
+
+        res = run_blocked_iterwise(make(), 4, RuntimeConfig.nrd())
+        assert res.stages[0].failed
+        assert res.stages[0].committed_iterations == 38
+        procwise = run_blocked(make(), 4, RuntimeConfig.nrd())
+        assert procwise.stages[0].committed_iterations == 32
+
+    def test_fewer_or_equal_reexecuted_iterations(self):
+        loop_a = random_dependence_loop(128, 0.1, 6, seed=21)
+        loop_b = random_dependence_loop(128, 0.1, 6, seed=21)
+        fine = run_blocked_iterwise(loop_a, 8, RuntimeConfig.nrd())
+        coarse = run_blocked(loop_b, 8, RuntimeConfig.nrd())
+        assert fine.wasted_work <= coarse.wasted_work + 1e-9
+
+    def test_higher_marking_overhead(self):
+        """The price of iteration granularity: more marking/analysis time
+        (the trace-proportional structures the paper avoids)."""
+        from repro.machine.timeline import Category
+
+        loop_a = fully_parallel_loop(256)
+        loop_b = fully_parallel_loop(256)
+        fine = run_blocked_iterwise(loop_a, 8, RuntimeConfig.nrd())
+        coarse = run_blocked(loop_b, 8, RuntimeConfig.nrd())
+        assert fine.timeline.charged_category(Category.MARK) > (
+            coarse.timeline.charged_category(Category.MARK)
+        )
+
+    def test_partial_block_values_committed_in_order(self):
+        # Two writes to the same element inside the committed prefix: the
+        # later one must win.
+        def body(ctx, i):
+            ctx.store("A", 0, float(i))
+            if i == 13:
+                ctx.load("A", 5)  # exposed read; element 5 written by iter 5
+            ctx.store("A", 5 if i == 5 else 1 + i, float(i))
+
+        loop = SpeculativeLoop(
+            "order", 16, body, arrays=[ArraySpec("A", np.zeros(18))]
+        )
+        res = run_blocked_iterwise(loop, 4, RuntimeConfig.nrd())
+        assert_matches_sequential(res, loop)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("cfg", [RuntimeConfig.nrd(), RuntimeConfig.rd(),
+                                     RuntimeConfig.adaptive()])
+    @pytest.mark.parametrize("p", [2, 5, 8])
+    def test_matches_sequential(self, cfg, p):
+        loop = make_simple_loop(96)
+        res = run_blocked_iterwise(loop, p, cfg)
+        assert_matches_sequential(res, loop)
+
+    def test_fully_parallel_single_stage(self):
+        loop = fully_parallel_loop(64)
+        res = run_blocked_iterwise(loop, 8)
+        assert res.n_stages == 1
+        assert res.parallelism_ratio == 1.0
+
+    def test_dense_dependences(self):
+        loop = random_dependence_loop(100, 0.4, 3, seed=8)
+        res = run_blocked_iterwise(loop, 8, RuntimeConfig.rd())
+        assert_matches_sequential(res, loop)
+
+    def test_commit_monotone(self):
+        loop = make_simple_loop(120)
+        res = run_blocked_iterwise(loop, 8, RuntimeConfig.rd())
+        remaining = [s.remaining_after for s in res.stages]
+        assert all(a > b for a, b in zip(remaining, remaining[1:]))
+
+    def test_iteration_accounting_exact(self):
+        loop = make_simple_loop(120)
+        res = run_blocked_iterwise(loop, 8, RuntimeConfig.nrd())
+        assert sum(s.committed_iterations for s in res.stages) == 120
+        assert set(res.iteration_times) == set(range(120))
+
+
+class TestValidation:
+    def test_rejects_untested_arrays(self):
+        def body(ctx, i):
+            ctx.store("B", i, 1.0)
+
+        loop = SpeculativeLoop(
+            "u", 4, body, arrays=[ArraySpec("B", np.zeros(4), tested=False)]
+        )
+        with pytest.raises(ConfigurationError):
+            run_blocked_iterwise(loop, 2)
+
+    def test_rejects_reductions(self):
+        loop = SpeculativeLoop(
+            "r", 4, lambda ctx, i: ctx.update("H", 0, 1.0),
+            arrays=[ArraySpec("H", np.zeros(2))],
+            reductions={"H": ReductionOp.SUM},
+        )
+        with pytest.raises(ConfigurationError):
+            run_blocked_iterwise(loop, 2)
+
+    def test_rejects_sliding_window_config(self):
+        with pytest.raises(ConfigurationError):
+            run_blocked_iterwise(fully_parallel_loop(8), 2, RuntimeConfig.sw(4))
+
+    def test_strategy_label(self):
+        res = run_blocked_iterwise(fully_parallel_loop(8), 2)
+        assert "iterwise" in res.strategy

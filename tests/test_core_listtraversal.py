@@ -1,0 +1,154 @@
+"""Tests for speculative linked-list traversal distribution."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.listtraversal import (
+    LinkedListLoop,
+    run_list_traversal,
+    walk_list,
+)
+from repro.errors import SpeculationError
+from repro.loopir.loop import ArraySpec
+from repro.workloads.spice import SPICE_DECKS, make_bjt_list_loop
+
+
+def simple_list_loop(n=16, shuffle_seed=3, dep_positions=()):
+    """Nodes in shuffled list order; node work writes OUT[node]; optional
+    dependences between consecutive *positions*."""
+    rng = np.random.default_rng(shuffle_seed)
+    order = rng.permutation(n)
+    nxt = np.full(n, -1.0)
+    for a, b in zip(order, order[1:]):
+        nxt[a] = float(b)
+    deps = frozenset(dep_positions)
+
+    def body(ctx, node, position):
+        value = float(node)
+        if position in deps and position > 0:
+            prev_node = int(order[position - 1])
+            value += ctx.load("OUT", prev_node)
+        ctx.store("OUT", node, value + position)
+
+    return (
+        LinkedListLoop(
+            name="list-demo",
+            head=int(order[0]),
+            next_array="NEXT",
+            body=body,
+            arrays=[
+                ArraySpec("OUT", np.zeros(n), tested=True),
+                ArraySpec("NEXT", nxt, tested=False),
+            ],
+        ),
+        order,
+    )
+
+
+class TestWalkList:
+    def test_collects_in_order(self):
+        nxt = np.array([2.0, -1.0, 1.0])
+        assert walk_list(nxt, 0, 10) == [0, 2, 1]
+
+    def test_cycle_detected(self):
+        nxt = np.array([1.0, 0.0])
+        with pytest.raises(SpeculationError, match="cycles"):
+            walk_list(nxt, 0, 10)
+
+    def test_limit_enforced(self):
+        nxt = np.array([1.0, 2.0, 3.0, -1.0])
+        with pytest.raises(SpeculationError, match="maximum"):
+            walk_list(nxt, 0, 2)
+
+    def test_out_of_range_pointer(self):
+        nxt = np.array([7.0])
+        with pytest.raises(SpeculationError, match="outside"):
+            walk_list(nxt, 0, 10)
+
+    def test_empty_list(self):
+        assert walk_list(np.array([-1.0]), -1, 10) == []
+
+
+class TestTraversalRun:
+    def test_visits_every_node_once(self):
+        llloop, order = simple_list_loop(16)
+        result = run_list_traversal(llloop, 4)
+        assert sorted(result.nodes) == list(range(16))
+        assert result.nodes == list(order)
+
+    def test_state_matches_single_proc_run(self):
+        llloop, _ = simple_list_loop(32)
+        parallel = run_list_traversal(llloop, 8)
+        serial_loop, _ = simple_list_loop(32)
+        serial = run_list_traversal(serial_loop, 1)
+        assert parallel.memory.equals(serial.memory.snapshot())
+
+    def test_position_dependences_detected(self):
+        # Position 9 reads position 8's output: with blocks of 4 over 4
+        # procs the arc crosses a block boundary and forces a restart.
+        llloop, _ = simple_list_loop(16, dep_positions=[8])
+        result = run_list_traversal(llloop, 4)
+        assert result.run.n_restarts >= 1
+        serial_loop, _ = simple_list_loop(16, dep_positions=[8])
+        serial = run_list_traversal(serial_loop, 1)
+        assert result.memory.equals(serial.memory.snapshot())
+
+    def test_distributed_traversal_cheaper_on_long_lists(self):
+        # Short lists: the extra barrier dominates and the serial walk wins;
+        # long lists: the distributed chase amortizes over the processors.
+        long_loop, _ = simple_list_loop(4096)
+        fast = run_list_traversal(long_loop, 8, distributed_traversal=True)
+        long_loop2, _ = simple_list_loop(4096)
+        slow = run_list_traversal(long_loop2, 8, distributed_traversal=False)
+        assert fast.traversal_time < slow.traversal_time
+
+        short_loop, _ = simple_list_loop(16)
+        fast_short = run_list_traversal(short_loop, 8, distributed_traversal=True)
+        short_loop2, _ = simple_list_loop(16)
+        slow_short = run_list_traversal(short_loop2, 8, distributed_traversal=False)
+        assert slow_short.traversal_time < fast_short.traversal_time
+
+    def test_traversal_counted_in_speedup(self):
+        llloop, _ = simple_list_loop(64)
+        result = run_list_traversal(llloop, 8)
+        assert result.total_time > result.run.total_time
+        assert result.speedup < result.run.speedup
+
+    def test_summary_fields(self):
+        llloop, _ = simple_list_loop(8)
+        result = run_list_traversal(llloop, 2)
+        s = result.summary()
+        assert s["nodes"] == 8
+        assert s["traversal"] > 0
+
+    def test_next_array_must_be_declared(self):
+        with pytest.raises(ValueError):
+            LinkedListLoop(
+                name="bad", head=0, next_array="MISSING",
+                body=lambda ctx, n, k: None,
+                arrays=[ArraySpec("A", np.zeros(2))],
+            )
+
+
+class TestBjtListWorkload:
+    def make_deck(self):
+        return dataclasses.replace(
+            SPICE_DECKS["adder.128"], devices=256, workspace=1 << 12
+        )
+
+    def test_single_stage_with_reductions(self):
+        result = run_list_traversal(make_bjt_list_loop(self.make_deck()), 8)
+        assert result.run.n_stages == 1
+        assert len(result.nodes) == 256
+
+    def test_matches_serial_traversal(self):
+        par = run_list_traversal(make_bjt_list_loop(self.make_deck()), 8)
+        ser = run_list_traversal(make_bjt_list_loop(self.make_deck()), 1)
+        assert par.memory.allclose(ser.memory.snapshot())
+
+    def test_speedup_despite_traversal(self):
+        result = run_list_traversal(make_bjt_list_loop(self.make_deck()), 8)
+        assert result.speedup > 4.0

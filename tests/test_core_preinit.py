@@ -1,0 +1,116 @@
+"""Tests for the pre-initialization copy-in option (Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.rlrpd import run_blocked
+from repro.core.window import run_sliding_window
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.machine.costs import CostModel
+from repro.machine.timeline import Category
+from repro.workloads.synthetic import reduction_loop
+from tests.conftest import assert_matches_sequential, make_simple_loop
+
+
+def dense_reread_loop(n=64, m=32):
+    """Every iteration reads many distinct shared elements: the access
+    pattern where pre-initialization's bulk copy beats per-miss copy-in."""
+
+    def body(ctx, i):
+        acc = 0.0
+        for k in range(8):
+            acc += ctx.load("A", (i + k * 7) % m)
+        ctx.store("A", i % m, acc * 0.01)
+
+    return SpeculativeLoop(
+        "dense-reread", n, body, arrays=[ArraySpec("A", np.ones(m))]
+    )
+
+
+def sparse_touch_loop(n=64, m=4096):
+    """Each iteration touches one element of a big array: on-demand wins."""
+
+    def body(ctx, i):
+        x = ctx.load("A", (i * 61) % m)
+        ctx.store("A", (i * 61) % m, x + 1.0)
+
+    return SpeculativeLoop(
+        "sparse-touch", n, body,
+        arrays=[ArraySpec("A", np.zeros(m), tested=True, sparse=False)],
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("cfg", [
+        RuntimeConfig.nrd(pre_initialize=True),
+        RuntimeConfig.rd(pre_initialize=True),
+        RuntimeConfig.sw(window_size=16, pre_initialize=True),
+    ], ids=lambda c: c.label())
+    def test_matches_sequential(self, cfg):
+        loop = make_simple_loop(96)
+        if cfg.strategy.value == "sliding_window":
+            res = run_sliding_window(loop, 8, cfg)
+        else:
+            res = run_blocked(loop, 8, cfg)
+        assert_matches_sequential(res, loop)
+
+    def test_same_state_as_on_demand(self):
+        a = run_blocked(make_simple_loop(64), 4, RuntimeConfig.nrd())
+        b = run_blocked(
+            make_simple_loop(64), 4, RuntimeConfig.nrd(pre_initialize=True)
+        )
+        assert a.memory.equals(b.memory.snapshot())
+
+    def test_reductions_not_preloaded(self):
+        loop = reduction_loop(64, n_bins=4, seed=0)
+        res = run_blocked(loop, 4, RuntimeConfig.nrd(pre_initialize=True))
+        assert_matches_sequential(res, loop)  # identity-start partials intact
+
+
+class TestCostTradeoff:
+    def test_preinit_wins_on_dense_rereads(self):
+        costs = CostModel()
+        demand = run_blocked(dense_reread_loop(), 4, RuntimeConfig.nrd(), costs=costs)
+        pre = run_blocked(
+            dense_reread_loop(), 4,
+            RuntimeConfig.nrd(pre_initialize=True), costs=costs,
+        )
+        assert pre.timeline.charged_category(Category.COPY_IN) < (
+            demand.timeline.charged_category(Category.COPY_IN)
+        )
+        assert pre.total_time < demand.total_time
+
+    def test_on_demand_wins_on_sparse_touch(self):
+        costs = CostModel()
+        demand = run_blocked(sparse_touch_loop(), 4, RuntimeConfig.nrd(), costs=costs)
+        pre = run_blocked(
+            sparse_touch_loop(), 4,
+            RuntimeConfig.nrd(pre_initialize=True), costs=costs,
+        )
+        assert demand.timeline.charged_category(Category.COPY_IN) < (
+            pre.timeline.charged_category(Category.COPY_IN)
+        )
+
+    def test_sparse_views_stay_on_demand(self):
+        # A sparse-represented array ignores pre_initialize entirely.
+        def body(ctx, i):
+            ctx.store("A", i, 1.0)
+
+        loop = SpeculativeLoop(
+            "sparse-rep", 16, body,
+            arrays=[ArraySpec("A", np.zeros(1 << 20), tested=True, sparse=True)],
+        )
+        costs = CostModel()
+        res = run_blocked(loop, 4, RuntimeConfig.nrd(pre_initialize=True), costs=costs)
+        # No million-element bulk copies happened.
+        assert res.timeline.charged_category(Category.COPY_IN) < 1.0
+
+    def test_preload_charged_per_stage(self):
+        costs = CostModel(bulk_copy_per_elem=1.0)
+        res = run_blocked(
+            dense_reread_loop(n=64, m=32), 4,
+            RuntimeConfig.nrd(pre_initialize=True), costs=costs,
+        )
+        # 4 procs x 32 elements in stage 0 at least.
+        assert res.timeline.charged_category(Category.COPY_IN) >= 128.0

@@ -1,0 +1,248 @@
+"""Tests for the blocked Recursive LRPD driver (NRD / RD / adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig, TestCondition
+from repro.core.rlrpd import run_blocked
+from repro.errors import ConfigurationError
+from repro.loopir.induction import InductionSpec
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.machine.costs import CostModel
+from repro.workloads.synthetic import (
+    chain_loop,
+    fully_parallel_loop,
+    linear_chain_targets,
+    privatizable_loop,
+    reduction_loop,
+)
+from tests.conftest import assert_matches_sequential, make_simple_loop
+
+
+class TestFullyParallel:
+    def test_single_stage(self):
+        loop = fully_parallel_loop(64)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 1
+        assert res.n_restarts == 0
+        assert res.parallelism_ratio == 1.0
+        assert_matches_sequential(res, loop)
+
+    def test_speedup_near_linear(self):
+        loop = fully_parallel_loop(800)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.speedup > 6.0
+
+    def test_single_processor(self):
+        loop = fully_parallel_loop(16)
+        res = run_blocked(loop, 1, RuntimeConfig.nrd())
+        assert res.n_stages == 1
+        assert_matches_sequential(res, loop)
+
+
+class TestPartiallyParallel:
+    def test_one_boundary_dep_two_stages(self):
+        # One dependence crossing the middle boundary: commit half, redo half.
+        loop = chain_loop(64, targets=[32])
+        res = run_blocked(loop, 4, RuntimeConfig.nrd())
+        assert res.n_stages == 2
+        assert res.stages[0].committed_iterations == 32
+        assert_matches_sequential(res, loop)
+
+    def test_nrd_sequentialized_loop_p_stages(self):
+        """A dependence at every block boundary: NRD needs exactly p stages
+        (the paper's beta = (p-1)/p case)."""
+        p, n = 4, 64
+        loop = chain_loop(n, linear_chain_targets(n, p))
+        res = run_blocked(loop, p, RuntimeConfig.nrd())
+        assert res.n_stages == p
+        assert res.parallelism_ratio == pytest.approx(1.0 / p)
+        assert_matches_sequential(res, loop)
+
+    def test_rd_halving(self):
+        loop = chain_loop(64, targets=[32, 48, 56])
+        res = run_blocked(loop, 8, RuntimeConfig.rd())
+        remaining = [s.remaining_after for s in res.stages]
+        assert remaining == [32, 16, 8, 0]
+        assert_matches_sequential(res, loop)
+
+    def test_commit_point_monotone(self):
+        loop = make_simple_loop(128)
+        res = run_blocked(loop, 8, RuntimeConfig.adaptive())
+        remaining = [s.remaining_after for s in res.stages]
+        assert all(a > b for a, b in zip(remaining, remaining[1:]))
+
+    def test_first_stage_always_commits_first_block(self):
+        loop = make_simple_loop(128)
+        res = run_blocked(loop, 8, RuntimeConfig.rd())
+        assert all(s.committed_iterations > 0 for s in res.stages)
+
+
+class TestRedistributionPolicies:
+    def make(self):
+        return chain_loop(256, targets=[128, 192, 224, 240])
+
+    def test_never_reuses_failed_blocks(self):
+        res = run_blocked(self.make(), 8, RuntimeConfig.nrd())
+        assert all(s.redistributed_iterations == 0 for s in res.stages)
+
+    def test_always_redistributes_every_failure(self):
+        res = run_blocked(self.make(), 8, RuntimeConfig.rd())
+        later = res.stages[1:]
+        assert all(s.redistributed_iterations > 0 for s in later)
+
+    def test_adaptive_stops_when_threshold_crossed(self):
+        costs = CostModel(omega=1.0, ell=0.5, sync=20.0)
+        # threshold = p*s/(omega-ell) = 8*20/0.5 = 320 > all remainders
+        res = run_blocked(self.make(), 8, RuntimeConfig.adaptive(), costs=costs)
+        assert all(s.redistributed_iterations == 0 for s in res.stages[1:])
+
+    def test_adaptive_redistributes_above_threshold(self):
+        costs = CostModel(omega=1.0, ell=0.1, sync=0.1)
+        res = run_blocked(self.make(), 8, RuntimeConfig.adaptive(), costs=costs)
+        assert res.stages[1].redistributed_iterations > 0
+
+    def test_policies_agree_on_final_state(self):
+        for cfg in (RuntimeConfig.nrd(), RuntimeConfig.rd(), RuntimeConfig.adaptive()):
+            loop = self.make()
+            assert_matches_sequential(run_blocked(loop, 8, cfg), loop)
+
+
+class TestPrivatizationAndReductions:
+    def test_privatizable_temp_single_stage(self):
+        loop = privatizable_loop(64)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 1
+        assert_matches_sequential(res, loop)
+
+    def test_reduction_single_stage_exact(self):
+        loop = reduction_loop(128, n_bins=8, seed=1)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 1
+        assert_matches_sequential(res, loop)  # integer increments: exact
+
+    def test_reduction_commits_into_shared(self):
+        loop = reduction_loop(100, n_bins=4, seed=2)
+        res = run_blocked(loop, 4, RuntimeConfig.nrd())
+        assert res.memory["H"].data.sum() == pytest.approx(100.0)
+
+
+class TestUntestedArrays:
+    def make_loop(self, n=32):
+        def body(ctx, i):
+            x = ctx.load("A", i)
+            ctx.store("A", (i * 11 + 5) % n, x + 1.0)
+            ctx.store("B", i, float(i) * 3.0)  # statically analyzable
+
+        return SpeculativeLoop(
+            "untested", n, body,
+            arrays=[
+                ArraySpec("A", np.zeros(n), tested=True),
+                ArraySpec("B", np.zeros(n), tested=False),
+            ],
+        )
+
+    @pytest.mark.parametrize("on_demand", [True, False])
+    def test_untested_state_correct_after_restarts(self, on_demand):
+        loop = self.make_loop()
+        cfg = RuntimeConfig.rd(on_demand_checkpoint=on_demand)
+        res = run_blocked(loop, 4, cfg)
+        assert res.n_restarts > 0  # the loop does have boundary deps
+        assert_matches_sequential(res, loop)
+
+    def test_restoration_counted(self):
+        loop = self.make_loop()
+        res = run_blocked(loop, 4, RuntimeConfig.rd())
+        failed_stages = [s for s in res.stages if s.failed]
+        assert any(s.restored_elements > 0 for s in failed_stages)
+
+
+class TestAccounting:
+    def test_sequential_work_equals_committed_work(self):
+        loop = make_simple_loop(96)
+        res = run_blocked(loop, 8, RuntimeConfig.rd())
+        assert res.sequential_work == pytest.approx(
+            sum(s.committed_work for s in res.stages)
+        )
+
+    def test_sequential_work_equals_total_work_multiplier(self):
+        loop = fully_parallel_loop(50)
+        res = run_blocked(loop, 4, RuntimeConfig.nrd())
+        assert res.sequential_work == pytest.approx(50.0)
+
+    def test_wasted_work_nonnegative(self):
+        loop = make_simple_loop(96)
+        res = run_blocked(loop, 8, RuntimeConfig.rd())
+        assert res.wasted_work >= -1e-9
+
+    def test_iteration_times_cover_all_iterations(self):
+        loop = make_simple_loop(96)
+        res = run_blocked(loop, 8, RuntimeConfig.rd())
+        assert set(res.iteration_times) == set(range(96))
+
+    def test_restarts_equal_failed_stages(self):
+        loop = make_simple_loop(96)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.n_restarts == sum(1 for s in res.stages if s.failed)
+
+    def test_summary_fields(self):
+        res = run_blocked(fully_parallel_loop(16), 2, RuntimeConfig.nrd())
+        summary = res.summary()
+        assert summary["p"] == 2
+        assert summary["PR"] == 1.0
+        assert summary["speedup"] > 0
+
+
+class TestWeightedScheduling:
+    def test_weights_change_blocks(self):
+        n = 64
+        loop = fully_parallel_loop(n, work=1.0)
+        weights = np.ones(n)
+        weights[: n // 2] = 10.0  # front half is heavy
+        res = run_blocked(loop, 4, RuntimeConfig.nrd(), weights=weights)
+        first_block = res.stages[0].blocks[0]
+        assert len(first_block) < n // 4  # heavy region split finer
+
+    def test_weighted_run_still_correct(self):
+        loop = make_simple_loop(64)
+        rng = np.random.default_rng(3)
+        res = run_blocked(
+            loop, 4, RuntimeConfig.rd(), weights=rng.random(64) + 0.1
+        )
+        assert_matches_sequential(res, loop)
+
+
+class TestValidation:
+    def test_rejects_sliding_window_config(self):
+        with pytest.raises(ConfigurationError):
+            run_blocked(fully_parallel_loop(8), 2, RuntimeConfig.sw(4))
+
+    def test_rejects_privatization_condition(self):
+        with pytest.raises(ConfigurationError):
+            run_blocked(
+                fully_parallel_loop(8), 2,
+                RuntimeConfig.nrd(condition=TestCondition.PRIVATIZATION),
+            )
+
+    def test_rejects_induction_loops(self):
+        loop = SpeculativeLoop(
+            "ind", 4, lambda ctx, i: ctx.bump("k"), arrays=[],
+            inductions=[InductionSpec("k")],
+        )
+        with pytest.raises(ConfigurationError):
+            run_blocked(loop, 2, RuntimeConfig.nrd())
+
+    def test_zero_iterations(self):
+        loop = fully_parallel_loop(1)
+        # n=0 via a degenerate spec
+        empty = SpeculativeLoop(
+            "empty", 0, loop.body, arrays=[ArraySpec("A", np.zeros(4))]
+        )
+        res = run_blocked(empty, 4, RuntimeConfig.nrd())
+        assert res.n_stages == 0
+        assert res.total_time == 0.0
+
+    def test_more_procs_than_iterations(self):
+        loop = fully_parallel_loop(3)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert_matches_sequential(res, loop)

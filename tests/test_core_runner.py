@@ -1,0 +1,96 @@
+"""Tests for the top-level dispatch and program runners."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.runner import parallelize, run_program
+from repro.loopir.induction import InductionSpec
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.machine.memory import MemoryImage, SharedArray
+from repro.workloads.synthetic import fully_parallel_loop
+from repro.workloads.track_extend import EXTEND_DECKS, make_extend_loop
+
+import dataclasses
+
+
+class TestDispatch:
+    def test_blocked_by_default(self):
+        res = parallelize(fully_parallel_loop(32), 4)
+        assert res.strategy == "RD-adaptive"
+
+    def test_sliding_window_config_routes_to_sw(self):
+        res = parallelize(fully_parallel_loop(32), 4, RuntimeConfig.sw(8))
+        assert res.strategy.startswith("SW")
+
+    def test_induction_loops_route_to_induction_runner(self):
+        deck = dataclasses.replace(EXTEND_DECKS["clean"], n=64)
+        res = parallelize(make_extend_loop(deck), 4, RuntimeConfig.sw(8))
+        # Induction takes precedence over the SW config.
+        assert "induction" in res.strategy
+
+    def test_default_config_is_adaptive(self):
+        res = parallelize(fully_parallel_loop(16), 2)
+        assert res.strategy == "RD-adaptive"
+
+
+class TestMemoryThreading:
+    def test_explicit_memory_reused(self):
+        """Program-level drivers can thread one shared image through
+        successive loop invocations."""
+
+        def body(ctx, i):
+            x = ctx.load("A", i)
+            ctx.store("A", i, x + 1.0)
+
+        loop = SpeculativeLoop(
+            "threaded", 16, body, arrays=[ArraySpec("A", np.zeros(16))]
+        )
+        memory = MemoryImage([SharedArray("A", np.zeros(16))])
+        parallelize(loop, 4, memory=memory)
+        parallelize(loop, 4, memory=memory)
+        assert (memory["A"].data == 2.0).all()
+
+    def test_fresh_memory_by_default(self):
+        loop = fully_parallel_loop(8)
+        r1 = parallelize(loop, 2)
+        r2 = parallelize(loop, 2)
+        assert r1.memory is not r2.memory
+        assert r1.memory.equals(r2.memory.snapshot())
+
+
+class TestRunProgram:
+    def test_strategy_labels_from_first_run(self):
+        prog = run_program(
+            [fully_parallel_loop(16), fully_parallel_loop(16)], 2,
+            RuntimeConfig.nrd(),
+        )
+        assert prog.strategy == "NRD"
+
+    def test_generator_input_accepted(self):
+        prog = run_program(
+            (fully_parallel_loop(16) for _ in range(2)), 2, RuntimeConfig.nrd()
+        )
+        assert prog.n_instantiations == 2
+
+    def test_balancer_not_consulted_when_disabled(self):
+        from repro.sched.feedback import FeedbackBalancer
+
+        balancer = FeedbackBalancer()
+        run_program(
+            [fully_parallel_loop(16)], 2,
+            RuntimeConfig.nrd(feedback_balancing=False),
+            balancer=balancer,
+        )
+        assert balancer.known_loops() == []
+
+    def test_balancer_records_when_enabled(self):
+        from repro.sched.feedback import FeedbackBalancer
+
+        balancer = FeedbackBalancer()
+        run_program(
+            [fully_parallel_loop(16)], 2,
+            RuntimeConfig.nrd(feedback_balancing=True),
+            balancer=balancer,
+        )
+        assert balancer.known_loops() == ["doall"]

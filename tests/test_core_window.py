@@ -1,0 +1,171 @@
+"""Tests for the sliding-window strategy."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.window import default_window, run_sliding_window
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import chain_loop, fully_parallel_loop
+from repro.workloads.worked_examples import fig2_loop
+from tests.conftest import assert_matches_sequential, make_simple_loop
+
+
+class TestBasics:
+    def test_fully_parallel_one_stage_per_window(self):
+        loop = fully_parallel_loop(64)
+        res = run_sliding_window(loop, 4, RuntimeConfig.sw(window_size=16))
+        # 64 iterations / window 16 = 4 clean stages.
+        assert res.n_stages == 4
+        assert res.n_restarts == 0
+        assert_matches_sequential(res, loop)
+
+    def test_window_default(self):
+        assert default_window(8) == 16
+        loop = fully_parallel_loop(32)
+        res = run_sliding_window(loop, 8, RuntimeConfig.sw())
+        assert res.n_stages == 2
+
+    def test_per_strip_synchronization_cost(self):
+        """SW pays one barrier per strip; blocked pays one total -- the
+        paper's stated trade-off for fully parallel loops."""
+        from repro.core.rlrpd import run_blocked
+        from repro.machine.timeline import Category
+
+        loop = fully_parallel_loop(128)
+        sw = run_sliding_window(loop, 8, RuntimeConfig.sw(window_size=16))
+        blocked = run_blocked(fully_parallel_loop(128), 8, RuntimeConfig.nrd())
+        assert sw.timeline.total_category(Category.SYNC) > (
+            blocked.timeline.total_category(Category.SYNC)
+        )
+        assert sw.speedup < blocked.speedup
+
+    def test_matches_sequential_with_dependences(self):
+        loop = make_simple_loop(96)
+        res = run_sliding_window(loop, 8, RuntimeConfig.sw(window_size=24))
+        assert_matches_sequential(res, loop)
+
+
+class TestCommitPointAdvance:
+    def test_fig2_trace(self):
+        """The paper's Fig. 2: window 4, dependence between blocks 2 and 3."""
+        res = run_sliding_window(fig2_loop(), 4, RuntimeConfig.sw(window_size=4))
+        assert [s.committed_iterations for s in res.stages] == [3, 4, 1]
+        assert [s.failed for s in res.stages] == [True, False, False]
+        assert res.n_restarts == 1
+
+    def test_commit_point_monotone(self):
+        loop = make_simple_loop(96)
+        res = run_sliding_window(loop, 8, RuntimeConfig.sw(window_size=16))
+        remaining = [s.remaining_after for s in res.stages]
+        assert all(a > b for a, b in zip(remaining, remaining[1:]))
+
+    def test_failed_block_reexecutes_on_original_proc(self):
+        """Circular assignment: block j always runs on processor j mod p."""
+        # Arc 9 -> 10 falls mid-window (blocks 4 and 5 of size 2), so block
+        # 5 fails once and re-executes.
+        loop = chain_loop(32, targets=[10])
+        res = run_sliding_window(loop, 4, RuntimeConfig.sw(window_size=8))
+        attempts = [
+            b for s in res.stages for b in s.blocks if b.start == 10
+        ]
+        assert len(attempts) >= 2
+        assert all(b.proc == attempts[0].proc for b in attempts)
+
+
+class TestDistanceSensitivity:
+    def test_long_distance_deps_invisible_to_small_window(self):
+        """Dependences longer than the window never cause a restart: the
+        source commits before the sink is scheduled."""
+        n = 128
+        loop = chain_loop(n, targets=[64])  # distance-1 arc at boundary 64
+        # Window of 16 with b=4: by the time iteration 64 runs, iteration
+        # 63 is committed.
+        res = run_sliding_window(loop, 4, RuntimeConfig.sw(window_size=16))
+        assert res.n_restarts <= 1  # the arc may fall inside one window once
+
+    def test_short_distance_deps_hurt_small_windows(self):
+        from repro.workloads.synthetic import random_dependence_loop
+
+        loop_small = random_dependence_loop(256, density=0.2, max_distance=3, seed=5)
+        loop_large = random_dependence_loop(256, density=0.2, max_distance=3, seed=5)
+        small = run_sliding_window(loop_small, 4, RuntimeConfig.sw(window_size=4))
+        large = run_sliding_window(loop_large, 4, RuntimeConfig.sw(window_size=64))
+        # Tiny super-iterations put nearly every short arc across a block
+        # boundary; bigger blocks internalize them.
+        assert small.n_restarts >= large.n_restarts
+
+
+class TestAnalysisOverheadClaim:
+    def test_sw_reanalyzes_reused_elements(self):
+        """The paper: 'The SW strategy has potentially more analysis
+        overhead because it may have to go over the shadows of the memory
+        elements that are reused in every iteration.'  A loop re-reading
+        one hot element pays analysis for it once per window under SW,
+        once in total under the blocked test."""
+        import numpy as np
+
+        from repro.core.rlrpd import run_blocked
+        from repro.loopir.loop import ArraySpec, SpeculativeLoop
+        from repro.machine.timeline import Category
+
+        def body(ctx, i):
+            for k in range(16):  # elements reused in every iteration
+                ctx.load("A", k)
+            ctx.store("A", 16 + i, 1.0)
+
+        def make():
+            return SpeculativeLoop(
+                "hot-elem", 128, body, arrays=[ArraySpec("A", np.ones(16 + 128))]
+            )
+
+        sw = run_sliding_window(make(), 4, RuntimeConfig.sw(window_size=8))
+        blocked = run_blocked(make(), 4, RuntimeConfig.nrd())
+        assert sw.timeline.charged_category(Category.ANALYSIS) > (
+            2 * blocked.timeline.charged_category(Category.ANALYSIS)
+        )
+
+
+class TestAdaptiveWindow:
+    def test_adaptive_grows_block_after_failure(self):
+        from repro.workloads.synthetic import random_dependence_loop
+
+        loop = random_dependence_loop(256, density=0.3, max_distance=2, seed=9)
+        fixed = run_sliding_window(
+            random_dependence_loop(256, density=0.3, max_distance=2, seed=9),
+            4,
+            RuntimeConfig.sw(window_size=8),
+        )
+        adaptive = run_sliding_window(
+            loop, 4, RuntimeConfig.sw(window_size=8, adaptive_window=True)
+        )
+        assert adaptive.n_restarts <= fixed.n_restarts
+        assert_matches_sequential(adaptive, loop)
+
+    def test_adaptive_still_correct(self):
+        loop = make_simple_loop(100)
+        res = run_sliding_window(
+            loop, 8, RuntimeConfig.sw(window_size=16, adaptive_window=True)
+        )
+        assert_matches_sequential(res, loop)
+
+
+class TestValidation:
+    def test_rejects_blocked_config(self):
+        with pytest.raises(ConfigurationError):
+            run_sliding_window(fully_parallel_loop(8), 2, RuntimeConfig.nrd())
+
+    def test_window_smaller_than_procs(self):
+        loop = fully_parallel_loop(16)
+        res = run_sliding_window(loop, 8, RuntimeConfig.sw(window_size=4))
+        assert_matches_sequential(res, loop)
+
+    def test_window_larger_than_loop(self):
+        loop = fully_parallel_loop(8)
+        res = run_sliding_window(loop, 4, RuntimeConfig.sw(window_size=100))
+        assert res.n_stages == 1
+        assert_matches_sequential(res, loop)
+
+    def test_uneven_tail(self):
+        loop = fully_parallel_loop(13)
+        res = run_sliding_window(loop, 4, RuntimeConfig.sw(window_size=8))
+        assert_matches_sequential(res, loop)

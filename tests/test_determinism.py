@@ -1,0 +1,85 @@
+"""Determinism: every run of the simulator is bit-for-bit repeatable.
+
+The whole reproduction rests on this -- the virtual machine must contain
+no hidden global state, no wall-clock, no unseeded randomness.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.ddg import extract_ddg
+from repro.core.runner import parallelize, run_program
+from repro.errors import SpeculationError
+from repro.workloads.spice import SPICE_DECKS, make_dcdcmp15_loop
+from repro.workloads.synthetic import random_dependence_loop
+from repro.workloads.track_nlfilt import NLFILT_DECKS, make_nlfilt_loop
+
+
+def snapshot(result):
+    return {
+        "stages": [
+            (s.index, s.committed_iterations, s.remaining_after, s.failed,
+             round(s.span, 12))
+            for s in result.stages
+        ],
+        "total": round(result.total_time, 12),
+        "work": round(result.sequential_work, 12),
+        "memory": {k: v.tobytes() for k, v in result.memory.snapshot().items()},
+    }
+
+
+class TestRunDeterminism:
+    @pytest.mark.parametrize("cfg", [
+        RuntimeConfig.nrd(),
+        RuntimeConfig.adaptive(feedback_balancing=False),
+        RuntimeConfig.sw(window_size=24),
+    ], ids=lambda c: c.label())
+    def test_identical_runs(self, cfg):
+        def make():
+            return random_dependence_loop(200, 0.15, 6, seed=77)
+
+        a = snapshot(parallelize(make(), 8, cfg))
+        b = snapshot(parallelize(make(), 8, cfg))
+        assert a == b
+
+    def test_workload_generators_are_pure(self):
+        deck = dataclasses.replace(NLFILT_DECKS["medium-deps"], n=400)
+        a = snapshot(parallelize(make_nlfilt_loop(deck, instance=2), 8))
+        b = snapshot(parallelize(make_nlfilt_loop(deck, instance=2), 8))
+        assert a == b
+
+    def test_ddg_extraction_deterministic(self):
+        deck = dataclasses.replace(SPICE_DECKS["adder.128"], lu_rows=430)
+        e1 = extract_ddg(make_dcdcmp15_loop(deck), 8, RuntimeConfig.sw(64))
+        e2 = extract_ddg(make_dcdcmp15_loop(deck), 8, RuntimeConfig.sw(64))
+        assert sorted(
+            (e.src, e.dst, e.kind.value, e.array, e.index) for e in e1.edges
+        ) == sorted(
+            (e.src, e.dst, e.kind.value, e.array, e.index) for e in e2.edges
+        )
+
+    def test_program_runs_deterministic(self):
+        deck = dataclasses.replace(NLFILT_DECKS["sparse-deps"], n=400)
+
+        def instantiations():
+            return (make_nlfilt_loop(deck, instance=k) for k in range(3))
+
+        cfg = RuntimeConfig.adaptive(feedback_balancing=True)
+        p1 = run_program(instantiations(), 8, cfg)
+        p2 = run_program(instantiations(), 8, cfg)
+        assert p1.parallelism_ratio == p2.parallelism_ratio
+        assert p1.total_time == pytest.approx(p2.total_time, rel=0, abs=0)
+
+
+class TestSafetyValves:
+    def test_max_stages_raises(self):
+        loop = random_dependence_loop(64, 0.4, 4, seed=5)
+        with pytest.raises(SpeculationError, match="max_stages"):
+            parallelize(loop, 8, RuntimeConfig.nrd(max_stages=1))
+
+    def test_max_stages_generous_enough_normally(self):
+        loop = random_dependence_loop(64, 0.4, 4, seed=5)
+        result = parallelize(loop, 8, RuntimeConfig.nrd())
+        assert result.n_stages <= 8

@@ -1,0 +1,73 @@
+"""Documentation consistency guards.
+
+Cheap checks that keep the prose honest as the code moves: the README and
+docs must mention the public API they describe, DESIGN.md's experiment
+index must match the registry, and every bench file must map to a
+registered experiment.
+"""
+
+import pathlib
+import re
+
+import repro
+from repro.bench import EXPERIMENTS
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDesignIndex:
+    def test_every_experiment_has_a_bench_or_note(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        referenced: set[str] = set()
+        for path in (ROOT / "benchmarks").glob("bench_*.py"):
+            referenced.update(
+                re.findall(r'run_figure\(benchmark, "([^"]+)"\)', path.read_text())
+            )
+        for exp_id in EXPERIMENTS:
+            assert exp_id in referenced or exp_id in design, (
+                f"experiment {exp_id} has neither a bench file nor a DESIGN note"
+            )
+
+    def test_bench_files_reference_real_experiments(self):
+        for path in (ROOT / "benchmarks").glob("bench_*.py"):
+            text = path.read_text()
+            ids = re.findall(r'run_figure\(benchmark, "([^"]+)"\)', text)
+            assert ids, f"{path.name} runs no experiment"
+            for exp_id in ids:
+                assert exp_id in EXPERIMENTS, (
+                    f"{path.name} references unknown experiment {exp_id!r}"
+                )
+
+
+class TestApiDocs:
+    def test_api_doc_mentions_core_symbols(self):
+        api = (ROOT / "docs" / "api.md").read_text()
+        for symbol in (
+            "SpeculativeLoop", "ArraySpec", "RuntimeConfig", "parallelize",
+            "run_program", "extract_ddg", "wavefront_schedule", "certify",
+            "CostModel", "Topology", "FeedbackBalancer", "StrategyPredictor",
+        ):
+            assert symbol in api, f"docs/api.md does not mention {symbol}"
+
+    def test_public_api_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_readme_mentions_docs(self):
+        readme = (ROOT / "README.md").read_text()
+        for doc in ("architecture", "runtime-semantics", "cost-model"):
+            assert doc in readme
+
+
+class TestExperimentsFile:
+    def test_experiments_md_covers_registry(self):
+        experiments_md = (ROOT / "EXPERIMENTS.md").read_text()
+        missing = [
+            exp_id for exp_id in EXPERIMENTS
+            if f"## {exp_id}:" not in experiments_md
+        ]
+        # Regeneration may lag a new experiment by one commit; cap the gap.
+        assert len(missing) <= 2, (
+            f"EXPERIMENTS.md stale, missing {missing}; "
+            "regenerate with `python -m repro.bench`"
+        )

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion and prints output.
+
+The examples are part of the public surface (README points at them); a
+refactor that breaks an import or an API call must fail the suite, not the
+first user.
+"""
+
+import importlib.util
+import io
+import pathlib
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    module = load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    assert len(output.strip()) > 0, f"{path.name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+def test_quickstart_verifies_against_sequential():
+    module = load_module(EXAMPLES_DIR / "quickstart.py")
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    assert "verified" in buffer.getvalue()

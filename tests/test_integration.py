@@ -1,0 +1,153 @@
+"""Cross-module integration: every strategy x every workload must reproduce
+the sequential state, and the headline paper claims must hold in shape."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.ddg import extract_ddg
+from repro.core.lrpd import run_doall_lrpd
+from repro.core.runner import parallelize, run_program
+from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.core.window import run_sliding_window
+from repro.workloads.fma3d import make_quad_loop
+from repro.workloads.spice import SPICE_DECKS, make_bjt_loop, make_dcdcmp15_loop
+from repro.workloads.synthetic import (
+    chain_loop,
+    fully_parallel_loop,
+    geometric_chain_targets,
+    random_dependence_loop,
+)
+from repro.workloads.track_extend import EXTEND_DECKS, make_extend_loop
+from repro.workloads.track_fptrak import FPTRAK_DECKS, make_fptrak_loop
+from repro.workloads.track_nlfilt import NLFILT_DECKS, make_nlfilt_loop
+from tests.conftest import assert_matches_sequential, make_simple_loop
+
+
+def _loops():
+    yield "simple", lambda: make_simple_loop(120), False
+    yield "fully-parallel", lambda: fully_parallel_loop(120), False
+    yield "chain", lambda: chain_loop(120, geometric_chain_targets(120, 0.5)), False
+    yield "random", lambda: random_dependence_loop(120, 0.15, 6, seed=2), False
+    yield (
+        "nlfilt",
+        lambda: make_nlfilt_loop(
+            dataclasses.replace(NLFILT_DECKS["medium-deps"], n=400)
+        ),
+        False,
+    )
+    yield (
+        "bjt",
+        lambda: make_bjt_loop(
+            dataclasses.replace(SPICE_DECKS["adder.128"], devices=200, workspace=1 << 12)
+        ),
+        True,
+    )
+    yield "fma3d", lambda: make_quad_loop("train"), False
+
+
+CONFIGS = [
+    RuntimeConfig.nrd(),
+    RuntimeConfig.rd(),
+    RuntimeConfig.adaptive(),
+    RuntimeConfig.nrd(on_demand_checkpoint=False),
+    RuntimeConfig.rd(pre_initialize=True),
+    RuntimeConfig.sw(window_size=16),
+    RuntimeConfig.sw(window_size=48, adaptive_window=True),
+    RuntimeConfig.sw(window_size=16, pre_initialize=True),
+]
+
+
+@pytest.mark.parametrize("name,factory,tolerant", list(_loops()))
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.label())
+@pytest.mark.parametrize("n_procs", [3, 8])
+def test_every_strategy_matches_sequential(name, factory, tolerant, config, n_procs):
+    """The fundamental soundness matrix."""
+    loop = factory()
+    result = parallelize(loop, n_procs, config)
+    assert_matches_sequential(result, loop, tolerant=tolerant)
+
+
+@pytest.mark.parametrize("n_procs", [2, 5, 8])
+def test_induction_loops_match_sequential(n_procs):
+    for deck_map, factory in [
+        (EXTEND_DECKS, make_extend_loop),
+        (FPTRAK_DECKS, make_fptrak_loop),
+    ]:
+        for name in deck_map:
+            deck = dataclasses.replace(deck_map[name], n=300)
+            loop = factory(deck)
+            assert_matches_sequential(parallelize(loop, n_procs), loop)
+
+
+class TestPaperHeadlines:
+    """Shape-level claims from the abstract and introduction."""
+
+    def test_rlrpd_bounds_slowdown_where_doall_lrpd_does_not(self):
+        """'...limits potential slowdowns to the overhead of the run-time
+        dependence test itself' -- vs the doall test's slowdown equal to the
+        whole speculative execution."""
+        n = 512
+        loop_r = chain_loop(n, targets=[n // 2])
+        loop_d = chain_loop(n, targets=[n // 2])
+        rlrpd = parallelize(loop_r, 8, RuntimeConfig.nrd())
+        doall = run_doall_lrpd(loop_d, 8)
+        assert rlrpd.speedup > 1.0        # partial parallelism extracted
+        assert doall.speedup < 1.0        # speculation + serial re-run
+        assert rlrpd.total_time < doall.total_time
+
+    def test_nrd_worst_case_near_sequential_plus_overhead(self):
+        """Fully sequentialized loop under NRD: T_par <= T_seq * (1 + eps)
+        with eps the testing overhead, never a catastrophic slowdown."""
+        from repro.workloads.synthetic import linear_chain_targets
+
+        n, p = 512, 8
+        loop = chain_loop(n, linear_chain_targets(n, p))
+        res = parallelize(loop, p, RuntimeConfig.nrd())
+        assert res.total_time < 1.5 * res.sequential_work
+
+    def test_more_processors_more_restarts(self):
+        """PR depends on p because only inter-processor dependences restart
+        the test (Section 5.2)."""
+        deck = dataclasses.replace(NLFILT_DECKS["medium-deps"], n=800)
+        pr = []
+        for p in (2, 4, 8):
+            prog = run_program(
+                (make_nlfilt_loop(deck, instance=k) for k in range(2)),
+                p,
+                RuntimeConfig.adaptive(),
+            )
+            pr.append(prog.parallelism_ratio)
+        assert pr[0] >= pr[-1]
+
+    def test_wavefront_pipeline_on_lu(self):
+        """Section 3 + Fig. 6: extract DDG once, schedule by wavefronts,
+        beat the plain recursive schedule."""
+        deck = dataclasses.replace(SPICE_DECKS["adder.128"], lu_rows=430)
+        loop = make_dcdcmp15_loop(deck)
+        plain = parallelize(make_dcdcmp15_loop(deck), 8, RuntimeConfig.adaptive())
+        ddg = extract_ddg(loop, 8, RuntimeConfig.sw(window_size=64))
+        sched = wavefront_schedule(ddg.graph(), loop.n_iterations)
+        wf = execute_wavefront(loop, sched, 8)
+        assert wf.speedup > 2 * max(plain.speedup, 0.1)
+
+    def test_fully_parallel_loop_single_stage_all_strategies(self):
+        """FMA3D's story: a statically unanalyzable but parallel loop costs
+        one stage regardless of strategy."""
+        for cfg in (RuntimeConfig.nrd(), RuntimeConfig.rd()):
+            res = parallelize(make_quad_loop("train"), 8, cfg)
+            assert res.n_stages == 1
+
+    def test_memory_overhead_is_bounded_by_touched_elements(self):
+        """The method 'requires less memory overhead' than inspector-based
+        techniques (no reference trace): the sparse shadows scale with
+        touched elements, not trace length."""
+        deck = dataclasses.replace(
+            SPICE_DECKS["adder.128"], devices=200, workspace=1 << 20
+        )
+        loop = make_bjt_loop(deck)
+        res = parallelize(loop, 4)
+        # Sparse representation: distinct marked refs << workspace size.
+        total_refs = sum(s.committed_elements for s in res.stages)
+        assert total_refs < 4096

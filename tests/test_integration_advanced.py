@@ -1,0 +1,158 @@
+"""Advanced integration scenarios: feature interplay across subsystems."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.induction_runner import run_induction
+from repro.core.rlrpd import run_blocked
+from repro.core.runner import parallelize, run_program
+from repro.loopir.induction import InductionSpec
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.reductions import ReductionOp
+from repro.machine.topology import Topology
+from tests.conftest import assert_matches_sequential
+
+
+class TestMixedArrayKinds:
+    def make_loop(self, n=64):
+        """Dense tested + sparse tested + untested + reduction, one loop."""
+
+        def body(ctx, i):
+            x = ctx.load("DENSE", i)
+            big_addr = (i * 9173) % (1 << 18)
+            ctx.store("SPARSE", big_addr, x + 1.0)
+            y = ctx.load("SPARSE", big_addr)
+            ctx.store("DENSE", (i * 5 + 2) % n, y * 0.5)
+            ctx.store("LOG", i, float(i))          # untested, own element
+            ctx.update("SUMS", i % 4, 1.0)          # integer reduction
+
+        return SpeculativeLoop(
+            "mixed", n, body,
+            arrays=[
+                ArraySpec("DENSE", np.arange(float(n)), tested=True, sparse=False),
+                ArraySpec("SPARSE", np.zeros(1 << 18), tested=True, sparse=True),
+                ArraySpec("LOG", np.zeros(n), tested=False),
+                ArraySpec("SUMS", np.zeros(4), tested=True),
+            ],
+            reductions={"SUMS": ReductionOp.SUM},
+        )
+
+    @pytest.mark.parametrize("cfg", [
+        RuntimeConfig.nrd(),
+        RuntimeConfig.rd(),
+        RuntimeConfig.sw(window_size=16),
+    ], ids=lambda c: c.label())
+    def test_all_kinds_together(self, cfg):
+        loop = self.make_loop()
+        res = parallelize(loop, 8, cfg)
+        assert_matches_sequential(res, loop)
+
+    def test_restarts_do_not_corrupt_reductions(self):
+        loop = self.make_loop()
+        res = parallelize(loop, 8, RuntimeConfig.rd())
+        assert res.n_restarts > 0  # DENSE writes collide across procs
+        assert res.memory["SUMS"].data.sum() == 64.0
+
+
+class TestInductionWithUntested:
+    def test_untested_state_correct_across_phases(self):
+        """Phase A privatizes even untested arrays (wrong-offset writes must
+        vanish); phase B writes them through under checkpoint."""
+
+        def body(ctx, i):
+            slot = ctx.peek("K")
+            ctx.store("T", slot, float(i))
+            ctx.store("B", i, float(slot))  # untested, per-iteration element
+            if i % 3 == 0:
+                ctx.bump("K")
+
+        loop = SpeculativeLoop(
+            "ind-untested", 48, body,
+            arrays=[
+                ArraySpec("T", np.zeros(64), tested=True),
+                ArraySpec("B", np.zeros(48), tested=False),
+            ],
+            inductions=[InductionSpec("K", initial=2)],
+        )
+        res = run_induction(loop, 4)
+        assert_matches_sequential(res, loop)
+        # B records the true induction values, proving phase A leaked nothing.
+        assert res.memory["B"].data[0] == 2.0
+
+
+class TestFeedbackWithRestarts:
+    def test_balancer_survives_partially_parallel_runs(self):
+        """Measured times come from the final committed executions even when
+        iterations re-execute in later stages."""
+
+        def make(k):
+            def body(ctx, i):
+                x = ctx.load("A", i)
+                if i == 50:
+                    x += ctx.load("A", 10)
+                ctx.store("A", i, x + 1.0)
+
+            return SpeculativeLoop(
+                f"fb-restart", 100, body,
+                arrays=[ArraySpec("A", np.zeros(100))],
+                iter_work=lambda i: 1.0 + i / 50.0,
+            )
+
+        prog = run_program(
+            (make(k) for k in range(3)),
+            4,
+            RuntimeConfig.adaptive(feedback_balancing=True),
+        )
+        assert prog.n_instantiations == 3
+        for run in prog.runs:
+            assert set(run.iteration_times) == set(range(100))
+
+
+class TestTopologyWithFeedback:
+    def test_combined_features_still_sound(self):
+        from repro.workloads.synthetic import chain_loop, geometric_chain_targets
+
+        loop = chain_loop(256, geometric_chain_targets(256, 0.5))
+        res = run_blocked(
+            loop, 8,
+            RuntimeConfig.rd(feedback_balancing=True),
+            weights=np.ones(256),
+            topology=Topology.numa(8, 2, remote_factor=1.5),
+        )
+        assert_matches_sequential(res, loop)
+        assert any(s.migration_distance > 0 for s in res.stages)
+
+
+class TestExitWithReductions:
+    def test_reduction_partials_respect_exit(self):
+        def body(ctx, i):
+            ctx.update("H", i % 2, 1.0)
+            if i == 9:
+                ctx.exit_loop()
+
+        loop = SpeculativeLoop(
+            "exit-red", 64, body,
+            arrays=[ArraySpec("H", np.zeros(2))],
+            reductions={"H": ReductionOp.SUM},
+        )
+        res = run_blocked(loop, 4, RuntimeConfig.nrd())
+        assert res.exit_iteration == 9
+        assert res.memory["H"].data.sum() == 10.0
+        assert_matches_sequential(res, loop)
+
+
+class TestProgramLevelComposition:
+    def test_program_mixes_strategies_per_loop_kind(self):
+        """One 'program' using the blocked runner, the SW runner and the
+        induction runner in sequence, PR aggregated across all."""
+        from repro.workloads.synthetic import fully_parallel_loop
+        from repro.workloads.track_extend import EXTEND_DECKS, make_extend_loop
+
+        deck = dataclasses.replace(EXTEND_DECKS["clean"], n=128)
+        loops = [fully_parallel_loop(128), make_extend_loop(deck)]
+        prog = run_program(loops, 4, RuntimeConfig.adaptive())
+        assert prog.n_instantiations == 2
+        assert prog.parallelism_ratio == 1.0

@@ -1,0 +1,189 @@
+"""Unit tests for the loop IR: specs, contexts, reductions, inductions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.loopir.context import SequentialContext
+from repro.loopir.induction import InductionSpec
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.reductions import ReductionOp
+from repro.machine.memory import MemoryImage, SharedArray
+
+
+class TestReductionOp:
+    def test_sum_identity(self):
+        assert ReductionOp.SUM.identity == 0.0
+        assert ReductionOp.SUM.combine(2, 3) == 5
+
+    def test_prod_identity(self):
+        assert ReductionOp.PROD.identity == 1.0
+        assert ReductionOp.PROD.combine(2, 3) == 6
+
+    def test_min_identity(self):
+        assert ReductionOp.MIN.identity == math.inf
+        assert ReductionOp.MIN.combine(2, 3) == 2
+
+    def test_max_identity(self):
+        assert ReductionOp.MAX.identity == -math.inf
+        assert ReductionOp.MAX.combine(2, 3) == 3
+
+    @pytest.mark.parametrize("op", list(ReductionOp))
+    def test_identity_is_neutral(self, op):
+        assert op.combine(op.identity, 7.0) == 7.0
+        assert op.combine(7.0, op.identity) == 7.0
+
+    @pytest.mark.parametrize("op", list(ReductionOp))
+    def test_commutative(self, op):
+        assert op.combine(3.0, 5.0) == op.combine(5.0, 3.0)
+
+
+class TestArraySpec:
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ArraySpec("A", np.zeros((2, 2)))
+
+    def test_make_shared_copies(self):
+        spec = ArraySpec("A", np.arange(3.0))
+        shared = spec.make_shared()
+        shared.data[0] = 9
+        assert spec.initial[0] == 0.0
+
+
+class TestSpeculativeLoop:
+    def body(self, ctx, i):
+        pass
+
+    def test_duplicate_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            SpeculativeLoop(
+                "x", 4, self.body,
+                arrays=[ArraySpec("A", np.zeros(2)), ArraySpec("A", np.zeros(2))],
+            )
+
+    def test_reduction_must_be_tested(self):
+        with pytest.raises(ValueError):
+            SpeculativeLoop(
+                "x", 4, self.body,
+                arrays=[ArraySpec("A", np.zeros(2), tested=False)],
+                reductions={"A": ReductionOp.SUM},
+            )
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            SpeculativeLoop("x", -1, self.body, arrays=[])
+
+    def test_duplicate_inductions_rejected(self):
+        with pytest.raises(ValueError):
+            SpeculativeLoop(
+                "x", 4, self.body, arrays=[],
+                inductions=[InductionSpec("k"), InductionSpec("k")],
+            )
+
+    def test_tested_untested_partition(self):
+        loop = SpeculativeLoop(
+            "x", 4, self.body,
+            arrays=[
+                ArraySpec("A", np.zeros(2), tested=True),
+                ArraySpec("B", np.zeros(2), tested=False),
+            ],
+        )
+        assert loop.tested_names == ["A"]
+        assert loop.untested_names == ["B"]
+
+    def test_work_of_default_uniform(self):
+        loop = SpeculativeLoop("x", 4, self.body, arrays=[])
+        assert loop.work_of(0) == 1.0
+        assert loop.total_work() == 4.0
+
+    def test_work_of_custom(self):
+        loop = SpeculativeLoop(
+            "x", 4, self.body, arrays=[], iter_work=lambda i: float(i)
+        )
+        assert loop.total_work() == 6.0
+
+    def test_negative_work_rejected(self):
+        loop = SpeculativeLoop(
+            "x", 4, self.body, arrays=[], iter_work=lambda i: -1.0
+        )
+        with pytest.raises(ValueError):
+            loop.work_of(0)
+
+    def test_materialize_fresh_every_time(self):
+        loop = SpeculativeLoop(
+            "x", 4, self.body, arrays=[ArraySpec("A", np.zeros(2))]
+        )
+        m1 = loop.materialize()
+        m1["A"].data[0] = 5
+        m2 = loop.materialize()
+        assert m2["A"].data[0] == 0.0
+
+    def test_initial_inductions(self):
+        loop = SpeculativeLoop(
+            "x", 4, self.body, arrays=[],
+            inductions=[InductionSpec("k", initial=10)],
+        )
+        assert loop.initial_inductions() == {"k": 10}
+
+
+class TestInductionSpec:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            InductionSpec("")
+
+
+class TestSequentialContext:
+    def make_memory(self):
+        return MemoryImage([SharedArray("A", np.arange(8.0))])
+
+    def test_load_store(self):
+        mem = self.make_memory()
+        ctx = SequentialContext(mem)
+        assert ctx.load("A", 3) == 3.0
+        ctx.store("A", 3, 42.0)
+        assert mem["A"].data[3] == 42.0
+
+    def test_update_applies_operator(self):
+        mem = self.make_memory()
+        ctx = SequentialContext(mem, reductions={"A": ReductionOp.SUM})
+        ctx.update("A", 2, 10.0)
+        assert mem["A"].data[2] == 12.0
+
+    def test_load_of_reduction_array_rejected(self):
+        ctx = SequentialContext(self.make_memory(), reductions={"A": ReductionOp.SUM})
+        with pytest.raises(ValueError):
+            ctx.load("A", 0)
+        with pytest.raises(ValueError):
+            ctx.store("A", 0, 1.0)
+
+    def test_update_without_declaration_rejected(self):
+        ctx = SequentialContext(self.make_memory())
+        with pytest.raises(ValueError):
+            ctx.update("A", 0, 1.0)
+
+    def test_bump_semantics(self):
+        ctx = SequentialContext(self.make_memory(), inductions={"k": 5})
+        assert ctx.bump("k") == 5
+        assert ctx.bump("k") == 6
+        assert ctx.peek("k") == 7
+        assert ctx.induction_values() == {"k": 7}
+
+    def test_work_accumulates(self):
+        ctx = SequentialContext(self.make_memory())
+        ctx.work(2.5)
+        ctx.work(1.0)
+        assert ctx.extra_work == 3.5
+
+    def test_negative_work_rejected(self):
+        ctx = SequentialContext(self.make_memory())
+        with pytest.raises(ValueError):
+            ctx.work(-1.0)
+
+    def test_trace_records_accesses(self):
+        ctx = SequentialContext(self.make_memory(), trace=True)
+        ctx.iteration = 4
+        ctx.load("A", 1)
+        ctx.store("A", 2, 0.0)
+        kinds = [(r.iteration, r.kind, r.array, r.index) for r in ctx.records]
+        assert kinds == [(4, "r", "A", 1), (4, "w", "A", 2)]

@@ -1,0 +1,109 @@
+"""Tests for the machine topology and distance-aware redistribution."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.rlrpd import run_blocked
+from repro.machine.machine import Machine
+from repro.machine.timeline import Category
+from repro.machine.topology import Topology
+from repro.workloads.synthetic import chain_loop, geometric_chain_targets
+from tests.conftest import assert_matches_sequential
+
+
+class TestTopology:
+    def test_flat_is_free(self):
+        topo = Topology.flat(4)
+        assert topo.migration_multiplier(0, 3) == 1.0
+        assert topo.distance(0, 3) == 0.0
+
+    def test_ring_distances(self):
+        topo = Topology.ring(8)
+        assert topo.distance(0, 1) == 1.0
+        assert topo.distance(0, 4) == 4.0
+        assert topo.distance(0, 7) == 1.0  # wraps around
+
+    def test_numa_distances(self):
+        topo = Topology.numa(8, nodes=2)
+        assert topo.distance(0, 3) == 0.0  # same node
+        assert topo.distance(0, 4) == 1.0  # across nodes
+        assert topo.distance(5, 7) == 0.0
+
+    def test_migration_multiplier(self):
+        topo = Topology.ring(4, remote_factor=0.5)
+        assert topo.migration_multiplier(0, 2) == 1.0 + 0.5 * 2.0
+        assert topo.migration_multiplier(1, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Topology(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            Topology(np.array([[1.0, 0.0], [0.0, 0.0]]))  # self-distance
+        with pytest.raises(ValueError):
+            Topology(np.array([[0.0, 1.0], [2.0, 0.0]]))  # asymmetric
+        with pytest.raises(ValueError):
+            Topology(np.zeros((2, 2)), remote_factor=-1.0)
+        with pytest.raises(ValueError):
+            Topology.numa(4, nodes=0)
+
+    def test_machine_rejects_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Machine(8, topology=Topology.flat(4))
+
+
+class TestDistanceAwareRedistribution:
+    def make_loop(self, n=256):
+        return chain_loop(n, geometric_chain_targets(n, 0.5))
+
+    def test_still_correct(self):
+        loop = self.make_loop()
+        res = run_blocked(
+            loop, 8, RuntimeConfig.rd(), topology=Topology.ring(8, 1.0)
+        )
+        assert_matches_sequential(res, loop)
+
+    def test_migration_distance_recorded(self):
+        res = run_blocked(
+            self.make_loop(), 8, RuntimeConfig.rd(),
+            topology=Topology.ring(8, 1.0),
+        )
+        assert any(s.migration_distance > 0 for s in res.stages)
+
+    def test_flat_topology_distance_zero(self):
+        res = run_blocked(
+            self.make_loop(), 8, RuntimeConfig.rd(), topology=Topology.flat(8)
+        )
+        assert all(s.migration_distance == 0 for s in res.stages)
+
+    def test_remote_machine_pays_more(self):
+        near = run_blocked(
+            self.make_loop(), 8, RuntimeConfig.rd(), topology=Topology.flat(8)
+        )
+        far = run_blocked(
+            self.make_loop(), 8, RuntimeConfig.rd(),
+            topology=Topology.ring(8, remote_factor=2.0),
+        )
+        assert far.timeline.charged_category(Category.REDISTRIBUTION) > (
+            near.timeline.charged_category(Category.REDISTRIBUTION)
+        )
+        assert far.total_time > near.total_time
+
+    def test_nrd_never_migrates(self):
+        res = run_blocked(
+            self.make_loop(), 8, RuntimeConfig.nrd(),
+            topology=Topology.ring(8, 2.0),
+        )
+        assert all(s.migration_distance == 0 for s in res.stages)
+        assert res.timeline.charged_category(Category.REDISTRIBUTION) == 0.0
+
+    def test_first_stage_is_first_touch(self):
+        """Stage 0 assigns owners without migration cost (the paper's
+        'initial speculative run is assumed not to incur a redistribution
+        overhead')."""
+        res = run_blocked(
+            self.make_loop(), 8, RuntimeConfig.rd(),
+            topology=Topology.ring(8, 1.0),
+        )
+        assert res.stages[0].redistributed_iterations == 0
+        assert res.stages[0].migration_distance == 0.0

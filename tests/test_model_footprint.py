@@ -1,0 +1,80 @@
+"""Tests for the memory-footprint estimates."""
+
+import numpy as np
+import pytest
+
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.model.footprint import (
+    DENSE_SHADOW_BYTES_PER_ELEM,
+    INSPECTOR_BYTES_PER_REF,
+    estimate_footprints,
+)
+from repro.workloads.synthetic import fully_parallel_loop
+
+
+class TestEstimates:
+    def test_dense_shadow_scales_with_array_and_procs(self):
+        report = estimate_footprints(fully_parallel_loop(128), 4)
+        assert report.procwise_bytes == pytest.approx(
+            4 * 128 * DENSE_SHADOW_BYTES_PER_ELEM
+        )
+
+    def test_inspector_scales_with_trace(self):
+        report = estimate_footprints(fully_parallel_loop(128), 4)
+        # Each iteration: 1 read + 1 write.
+        assert report.trace_length == 256
+        assert report.inspector_bytes == pytest.approx(256 * INSPECTOR_BYTES_PER_REF)
+
+    def test_sparse_array_counts_touched_only(self):
+        def body(ctx, i):
+            ctx.store("A", i * 1000, 1.0)
+
+        loop = SpeculativeLoop(
+            "sparse", 16, body,
+            arrays=[ArraySpec("A", np.zeros(1 << 20), tested=True, sparse=True)],
+        )
+        report = estimate_footprints(loop, 4)
+        assert report.distinct_touched == 16
+        # Nowhere near 1M-element dense planes.
+        assert report.procwise_bytes < 16 * 64
+
+    def test_untested_arrays_not_shadowed(self):
+        def body(ctx, i):
+            ctx.load("RO", i)
+            ctx.store("A", i, 1.0)
+
+        loop = SpeculativeLoop(
+            "ro", 32, body,
+            arrays=[
+                ArraySpec("A", np.zeros(32), tested=True),
+                ArraySpec("RO", np.ones(32), tested=False),
+            ],
+        )
+        report = estimate_footprints(loop, 2)
+        assert report.procwise_bytes == pytest.approx(
+            2 * 32 * DENSE_SHADOW_BYTES_PER_ELEM
+        )
+        # The inspector still records the untested reads.
+        assert report.trace_length == 64
+
+    def test_rereads_inflate_trace_not_shadows(self):
+        def body(ctx, i):
+            for _ in range(8):
+                ctx.load("A", 0)
+            ctx.store("A", i, 1.0)
+
+        loop = SpeculativeLoop(
+            "reread", 32, body, arrays=[ArraySpec("A", np.zeros(32))]
+        )
+        report = estimate_footprints(loop, 2)
+        assert report.trace_length == 32 * 9
+        # Dense shadow size is fixed regardless of the re-read count.
+        assert report.procwise_bytes == pytest.approx(
+            2 * 32 * DENSE_SHADOW_BYTES_PER_ELEM
+        )
+
+    def test_rows_shape(self):
+        report = estimate_footprints(fully_parallel_loop(16), 2)
+        rows = report.rows()
+        assert len(rows) == 3
+        assert rows[0][0] == "processor-wise LRPD"

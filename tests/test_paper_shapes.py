@@ -1,0 +1,128 @@
+"""The paper's headline result shapes, asserted at test scale.
+
+The benchmark suite regenerates the full figures; these tests pin the
+*conclusions* -- who wins, in which regime -- so a regression that flips a
+figure's story fails ``pytest tests/`` too, not just the benchmarks.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.ddg import extract_ddg
+from repro.core.rlrpd import run_blocked
+from repro.core.runner import parallelize, run_program
+from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.core.window import run_sliding_window
+from repro.machine.costs import CostModel
+from repro.machine.timeline import Category
+from repro.workloads.spice import SPICE_DECKS, make_dcdcmp15_loop
+from repro.workloads.synthetic import chain_loop, geometric_chain_targets
+from repro.workloads.track_nlfilt import NLFILT_DECKS, make_nlfilt_loop
+
+
+class TestFig4Shape:
+    """Never / adaptive / always redistribution on the alpha=1/2 loop."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        n, p = 1024, 8
+        costs = CostModel(omega=1.0, ell=0.3, sync=20.0)
+        targets = geometric_chain_targets(n, 0.5)
+        return {
+            label: run_blocked(chain_loop(n, targets), p, cfg, costs=costs)
+            for label, cfg in [
+                ("never", RuntimeConfig.nrd()),
+                ("adaptive", RuntimeConfig.adaptive()),
+                ("always", RuntimeConfig.rd()),
+            ]
+        }
+
+    def test_nrd_worst_by_wide_margin(self, runs):
+        assert runs["never"].total_time > 1.15 * runs["always"].total_time
+        assert runs["never"].total_time > 1.15 * runs["adaptive"].total_time
+
+    def test_adaptive_at_least_matches_always(self, runs):
+        assert runs["adaptive"].total_time <= runs["always"].total_time * 1.02
+
+    def test_adaptive_prefix_tracks_always(self, runs):
+        """Early stages redistribute identically; divergence starts only
+        once Eq. (4) stops paying."""
+        a = runs["adaptive"].stage_spans()
+        b = runs["always"].stage_spans()
+        assert a[:3] == pytest.approx(b[:3])
+
+
+class TestFig8Fig9Flip:
+    """SW wins on the long-distance deck, blocked wins on the short one."""
+
+    def best_sw(self, deck, p=8):
+        best = 0.0
+        for w in (p, 2 * p, 4 * p, 8 * p):
+            res = run_sliding_window(
+                make_nlfilt_loop(deck), p, RuntimeConfig.sw(window_size=w)
+            )
+            best = max(best, res.speedup)
+        return best
+
+    def best_blocked(self, deck, p=8):
+        return max(
+            run_blocked(make_nlfilt_loop(deck), p, cfg).speedup
+            for cfg in (RuntimeConfig.nrd(), RuntimeConfig.rd())
+        )
+
+    def test_long_distance_favors_sw(self):
+        deck = dataclasses.replace(NLFILT_DECKS["16-400"], n=1600)
+        assert self.best_sw(deck) > self.best_blocked(deck)
+
+    def test_short_distance_favors_blocked(self):
+        deck = dataclasses.replace(NLFILT_DECKS["15-250"], n=1000)
+        assert self.best_blocked(deck) > self.best_sw(deck)
+
+
+class TestFig12aShape:
+    def test_all_optimizations_best_none_worst(self):
+        deck = dataclasses.replace(NLFILT_DECKS["opt-study"], n=1200)
+        all_opts = RuntimeConfig.adaptive(
+            on_demand_checkpoint=True, feedback_balancing=True
+        )
+
+        def speedup(cfg):
+            return run_program(
+                (make_nlfilt_loop(deck, instance=k) for k in range(3)), 8, cfg
+            ).speedup
+
+        s_all = speedup(all_opts)
+        s_none = speedup(RuntimeConfig.nrd(on_demand_checkpoint=False))
+        assert s_all > s_none * 1.2
+
+    def test_on_demand_checkpointing_slashes_volume(self):
+        deck = dataclasses.replace(NLFILT_DECKS["opt-study"], n=1200)
+        on = parallelize(
+            make_nlfilt_loop(deck), 8, RuntimeConfig.adaptive()
+        )
+        off = parallelize(
+            make_nlfilt_loop(deck), 8,
+            RuntimeConfig.adaptive(on_demand_checkpoint=False),
+        )
+        # Wall-clock checkpointing cost (the full copy is one serialized
+        # bulk pass; on-demand spreads tiny first-touch charges across the
+        # processors doing useful work).
+        assert off.timeline.total_category(Category.CHECKPOINT) > (
+            5 * on.timeline.total_category(Category.CHECKPOINT)
+        )
+
+
+class TestFig6Shape:
+    def test_wavefront_lu_beats_plain_by_a_wide_margin(self):
+        deck = dataclasses.replace(SPICE_DECKS["adder.128"], lu_rows=860)
+        loop = make_dcdcmp15_loop(deck)
+        plain = parallelize(make_dcdcmp15_loop(deck), 8, RuntimeConfig.adaptive())
+        ddg = extract_ddg(loop, 8, RuntimeConfig.sw(window_size=128))
+        sched = wavefront_schedule(ddg.graph(), loop.n_iterations)
+        wf = execute_wavefront(loop, sched, 8)
+        assert wf.speedup > 3 * max(plain.speedup, 0.1)
+        # Critical path matches the deck's designed n/parallelism ratio.
+        ratio = loop.n_iterations / sched.critical_path
+        assert ratio == pytest.approx(deck.target_parallelism, rel=0.2)

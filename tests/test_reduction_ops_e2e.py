@@ -1,0 +1,81 @@
+"""End-to-end coverage of every reduction operator through the runtime."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.runner import parallelize
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.reductions import ReductionOp
+from tests.conftest import assert_matches_sequential
+
+
+def reduction_workload(op: ReductionOp, n=96, bins=6, seed=9):
+    rng = np.random.default_rng(seed)
+    targets = rng.integers(0, bins, size=n)
+    # Integer-valued contributions keep SUM/PROD exact; MIN/MAX are always
+    # exact (selection, not arithmetic).
+    values = rng.integers(1, 4, size=n).astype(np.float64)
+    if op is ReductionOp.PROD:
+        # Keep magnitudes bounded: mostly ones, a few twos.
+        values = np.where(rng.random(n) < 0.1, 2.0, 1.0)
+
+    init = {
+        ReductionOp.SUM: np.zeros(bins),
+        ReductionOp.PROD: np.ones(bins),
+        ReductionOp.MIN: np.full(bins, 100.0),
+        ReductionOp.MAX: np.full(bins, -100.0),
+    }[op]
+
+    def body(ctx, i):
+        ctx.update("R", int(targets[i]), float(values[i]))
+
+    return SpeculativeLoop(
+        f"red-{op.value}", n, body,
+        arrays=[ArraySpec("R", init)],
+        reductions={"R": op},
+    )
+
+
+@pytest.mark.parametrize("op", list(ReductionOp))
+@pytest.mark.parametrize("cfg", [
+    RuntimeConfig.nrd(),
+    RuntimeConfig.rd(),
+    RuntimeConfig.sw(window_size=16),
+], ids=lambda c: c.label())
+def test_every_operator_every_strategy(op, cfg):
+    loop = reduction_workload(op)
+    res = parallelize(loop, 8, cfg)
+    assert res.n_restarts == 0  # pure reductions never fail speculation
+    assert_matches_sequential(res, loop)
+
+
+@pytest.mark.parametrize("op", [ReductionOp.MIN, ReductionOp.MAX])
+def test_selection_ops_identity_respected(op):
+    """Bins never updated keep their initial values, not the identity."""
+    loop = reduction_workload(op, n=4, bins=8)
+    res = parallelize(loop, 2)
+    data = res.memory["R"].data
+    untouched = 100.0 if op is ReductionOp.MIN else -100.0
+    assert untouched in data  # at least one bin was never hit
+
+
+def test_mixed_ops_two_arrays():
+    """Two reduction arrays with different operators in one loop."""
+
+    def body(ctx, i):
+        ctx.update("S", i % 3, 1.0)
+        ctx.update("M", i % 3, float(i))
+
+    loop = SpeculativeLoop(
+        "two-reds", 60, body,
+        arrays=[
+            ArraySpec("S", np.zeros(3)),
+            ArraySpec("M", np.full(3, -1.0)),
+        ],
+        reductions={"S": ReductionOp.SUM, "M": ReductionOp.MAX},
+    )
+    res = parallelize(loop, 4)
+    assert_matches_sequential(res, loop)
+    assert list(res.memory["S"].data) == [20.0, 20.0, 20.0]
+    assert list(res.memory["M"].data) == [57.0, 58.0, 59.0]

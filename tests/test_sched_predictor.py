@@ -1,0 +1,224 @@
+"""Tests for history-based strategy and window prediction."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.runner import parallelize, run_program, run_program_predictive
+from repro.sched.predictor import StrategyPredictor, WindowPredictor
+from repro.workloads.synthetic import fully_parallel_loop, random_dependence_loop
+from repro.workloads.track_nlfilt import NLFILT_DECKS, make_nlfilt_loop
+
+
+CANDIDATES = [
+    RuntimeConfig.nrd(),
+    RuntimeConfig.adaptive(),
+    RuntimeConfig.sw(window_size=16),
+]
+
+
+class TestStrategyPredictor:
+    def test_explores_each_candidate_once(self):
+        pred = StrategyPredictor(CANDIDATES)
+        chosen = []
+        for _ in range(3):
+            cfg = pred.choose("x")
+            chosen.append(cfg.label())
+            pred.record("x", cfg, parallelize(fully_parallel_loop(64), 4, cfg))
+        assert set(chosen) == {c.label() for c in CANDIDATES}
+
+    def test_exploits_best_after_exploration(self):
+        pred = StrategyPredictor(CANDIDATES)
+        # Fully parallel loop: blocked strategies beat the per-strip-sync SW.
+        for _ in range(3):
+            cfg = pred.choose("x")
+            pred.record("x", cfg, parallelize(fully_parallel_loop(64), 4, cfg))
+        assert pred.choose("x").label() in ("NRD", "RD-adaptive")
+
+    def test_per_loop_histories_independent(self):
+        pred = StrategyPredictor(CANDIDATES)
+        cfg = pred.choose("a")
+        pred.record("a", cfg, parallelize(fully_parallel_loop(64), 4, cfg))
+        # Loop "b" has seen nothing: exploration restarts from the first
+        # candidate.
+        assert pred.choose("b").label() == CANDIDATES[0].label()
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyPredictor([])
+
+    def test_invalid_explore_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyPredictor(CANDIDATES, explore_rounds=0)
+
+    def test_degradation_triggers_reexploration(self):
+        pred = StrategyPredictor(CANDIDATES, degrade_tolerance=0.8)
+        # Explore all candidates on an easy loop.
+        for _ in range(3):
+            cfg = pred.choose("x")
+            pred.record("x", cfg, parallelize(fully_parallel_loop(64), 4, cfg))
+        best = pred.choose("x")
+        # The loop's behavior shifts: the chosen config suddenly crawls.
+        bad = parallelize(
+            random_dependence_loop(64, density=0.5, max_distance=2, seed=1),
+            4,
+            best,
+        )
+        pred.record("x", best, bad)
+        # Exploration reopens: the next choice revisits candidates.
+        labels = {pred.choose("x").label()}
+        cfg = pred.choose("x")
+        pred.record("x", cfg, parallelize(fully_parallel_loop(64), 4, cfg))
+        labels.add(pred.choose("x").label())
+        assert len(labels) >= 1  # re-exploration did not deadlock
+
+    def test_end_to_end_converges_to_winner(self):
+        """On a parallel program, the predictive runner matches the best
+        fixed strategy after the exploration phase."""
+        deck = dataclasses.replace(NLFILT_DECKS["fully-par"], n=400)
+        loops = [make_nlfilt_loop(deck, instance=k) for k in range(6)]
+        pred = StrategyPredictor(CANDIDATES)
+        adaptive_prog = run_program(
+            (make_nlfilt_loop(deck, instance=k) for k in range(6)),
+            8,
+            RuntimeConfig.adaptive(),
+        )
+        predictive_prog = run_program_predictive(loops, 8, pred)
+        # The last runs must use the winning strategy, so the tail speedups
+        # match the fixed-best program's.
+        assert predictive_prog.runs[-1].speedup == pytest.approx(
+            adaptive_prog.runs[-1].speedup, rel=0.05
+        )
+
+
+class TestWindowPredictor:
+    def _result(self, speedup):
+        """A minimal RunResult stand-in carrying only a speedup."""
+
+        class R:
+            pass
+
+        r = R()
+        r.speedup = speedup
+        return r
+
+    def test_initial_window(self):
+        pred = WindowPredictor(initial=16)
+        assert pred.window_for("x") == 16
+
+    def test_first_move_grows(self):
+        pred = WindowPredictor(initial=16)
+        pred.record("x", self._result(2.0))
+        assert pred.window_for("x") == 32
+
+    def test_keeps_growing_while_improving(self):
+        pred = WindowPredictor(initial=16, maximum=256)
+        for s in (2.0, 2.5, 3.0):
+            pred.record("x", self._result(s))
+        assert pred.window_for("x") == 128
+
+    def test_reverses_on_regression(self):
+        pred = WindowPredictor(initial=16, maximum=256)
+        pred.record("x", self._result(3.0))  # -> 32
+        pred.record("x", self._result(2.0))  # worse: reverse -> 16
+        assert pred.window_for("x") == 16
+
+    def test_bounds_respected_and_probe_back(self):
+        pred = WindowPredictor(initial=8, minimum=4, maximum=16)
+        pred.record("x", self._result(1.0))  # -> 16 (cap)
+        pred.record("x", self._result(2.0))  # improving, pinned: probes back
+        assert 4 <= pred.window_for("x") <= 16
+
+    def test_hill_climb_finds_better_window_end_to_end(self):
+        """On the long-distance deck the climber must end at a window no
+        worse than where it started."""
+        deck_loop = lambda k: make_nlfilt_loop(  # noqa: E731
+            dataclasses.replace(NLFILT_DECKS["16-400"], n=800), instance=k
+        )
+        pred = WindowPredictor(initial=8, maximum=512)
+        speedups = []
+        for k in range(6):
+            loop = deck_loop(k)
+            res = parallelize(loop, 8, pred.config_for(loop.name))
+            pred.record(loop.name, res)
+            speedups.append(res.speedup)
+        assert max(speedups[2:]) >= speedups[0]
+
+    def test_config_for(self):
+        pred = WindowPredictor(initial=8)
+        cfg = pred.config_for("x")
+        assert cfg.window_size == 8
+
+    def test_per_loop_state(self):
+        pred = WindowPredictor(initial=8)
+        pred.record("a", self._result(1.0))
+        assert pred.window_for("a") == 16
+        assert pred.window_for("b") == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowPredictor(initial=1, minimum=2)
+        with pytest.raises(ValueError):
+            WindowPredictor(initial=32, maximum=16)
+
+
+class TestSecondOrderFeedback:
+    def test_extrapolates_trend(self):
+        from repro.sched.feedback import FeedbackBalancer
+
+        b = FeedbackBalancer(order=2)
+        b.record("x", {0: 1.0, 1: 1.0}, 2)
+        b.record("x", {0: 2.0, 1: 3.0}, 2)
+        pred = b.predict("x", 2)
+        assert pred[0] == pytest.approx(3.0)  # 2 + (2 - 1)
+        assert pred[1] == pytest.approx(5.0)  # 3 + (3 - 1)
+
+    def test_clamped_at_zero(self):
+        from repro.sched.feedback import FeedbackBalancer
+
+        b = FeedbackBalancer(order=2)
+        b.record("x", {0: 5.0}, 1)
+        b.record("x", {0: 1.0}, 1)
+        assert b.predict("x", 1)[0] == 0.0
+
+    def test_order_one_ignores_previous(self):
+        from repro.sched.feedback import FeedbackBalancer
+
+        b = FeedbackBalancer(order=1)
+        b.record("x", {0: 1.0}, 1)
+        b.record("x", {0: 2.0}, 1)
+        assert b.predict("x", 1)[0] == pytest.approx(2.0)
+
+    def test_invalid_order(self):
+        from repro.sched.feedback import FeedbackBalancer
+
+        with pytest.raises(ValueError):
+            FeedbackBalancer(order=3)
+
+    def test_second_order_beats_first_on_drifting_ramp(self):
+        """A ramp whose slope grows each instantiation: the first-order
+        predictor lags one instantiation behind; the second-order one
+        extrapolates the trend."""
+        import numpy as np
+
+        from repro.sched.feedback import FeedbackBalancer
+        from repro.util.blocks import partition_weighted
+
+        def profile(k):
+            # Instantiation k has ramp slope proportional to k.
+            return 1.0 + np.linspace(0.0, 2.0 + 2.0 * k, 256)
+
+        def bottleneck(weights, actual):
+            blocks = partition_weighted(0, 256, list(range(8)), weights)
+            return max(actual[b.start : b.stop].sum() for b in blocks)
+
+        first, second = FeedbackBalancer(order=1), FeedbackBalancer(order=2)
+        for k in range(3):
+            w = profile(k)
+            for b in (first, second):
+                b.record("x", {i: w[i] for i in range(256)}, 256)
+        actual = profile(3)
+        t1 = bottleneck(first.predict("x", 256), actual)
+        t2 = bottleneck(second.predict("x", 256), actual)
+        assert t2 <= t1 + 1e-9

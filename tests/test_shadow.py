@@ -1,0 +1,226 @@
+"""Unit tests for the shadow structures (dense, sparse, mark lists, tables)."""
+
+import pytest
+
+from repro.shadow import DenseShadow, SparseShadow, make_shadow
+from repro.shadow.edges import DependenceEdge, EdgeKind, InvertedEdgeTable
+from repro.shadow.lastref import LastReferenceTable
+from repro.shadow.marklist import IterationMarks, MarkList
+
+
+@pytest.mark.parametrize("shadow_cls", [DenseShadow, SparseShadow])
+class TestShadowMarking:
+    """The paper's marking semantics, identical in both representations."""
+
+    def test_fresh_shadow_clear(self, shadow_cls):
+        sh = shadow_cls(16)
+        assert sh.is_clear()
+        assert sh.distinct_refs() == 0
+
+    def test_read_first_is_exposed(self, shadow_cls):
+        sh = shadow_cls(16)
+        sh.mark_read(3)
+        assert 3 in sh.exposed_read_set()
+        assert 3 in sh.any_read_set()
+
+    def test_write_then_read_not_exposed(self, shadow_cls):
+        """If the Write occurs first, subsequent Reads do not set the read
+        bit (paper, Section 2)."""
+        sh = shadow_cls(16)
+        sh.mark_write(3)
+        sh.mark_read(3)
+        assert 3 not in sh.exposed_read_set()
+        assert 3 in sh.any_read_set()
+
+    def test_read_then_write_stays_exposed(self, shadow_cls):
+        """If the Read occurs before the Write, both bits remain set --
+        the element is not privatizable on this processor."""
+        sh = shadow_cls(16)
+        sh.mark_read(3)
+        sh.mark_write(3)
+        assert 3 in sh.exposed_read_set()
+        assert 3 in sh.write_set()
+
+    def test_repeated_marks_idempotent(self, shadow_cls):
+        sh = shadow_cls(16)
+        for _ in range(3):
+            sh.mark_write(5)
+            sh.mark_read(5)
+        assert sh.distinct_refs() == 1
+
+    def test_update_separate_plane(self, shadow_cls):
+        sh = shadow_cls(16)
+        sh.mark_update(7)
+        assert 7 in sh.update_set()
+        assert 7 not in sh.write_set()
+        assert 7 not in sh.any_read_set()
+
+    def test_distinct_refs_unions_planes(self, shadow_cls):
+        sh = shadow_cls(16)
+        sh.mark_read(1)
+        sh.mark_write(2)
+        sh.mark_update(3)
+        sh.mark_write(1)  # overlaps the read
+        assert sh.distinct_refs() == 3
+
+    def test_reset(self, shadow_cls):
+        sh = shadow_cls(16)
+        sh.mark_read(0)
+        sh.mark_write(1)
+        sh.mark_update(2)
+        sh.reset()
+        assert sh.is_clear()
+
+    def test_out_of_range(self, shadow_cls):
+        sh = shadow_cls(4)
+        with pytest.raises(IndexError):
+            sh.mark_read(4)
+        with pytest.raises(IndexError):
+            sh.mark_write(-1)
+
+
+class TestMakeShadow:
+    def test_small_dense(self):
+        assert isinstance(make_shadow(100), DenseShadow)
+
+    def test_large_sparse(self):
+        assert isinstance(make_shadow(1 << 20), SparseShadow)
+
+    def test_forced(self):
+        assert isinstance(make_shadow(100, sparse=True), SparseShadow)
+        assert isinstance(make_shadow(1 << 20, sparse=False), DenseShadow)
+
+
+class TestMarkList:
+    def test_levels_in_iteration_order(self):
+        ml = MarkList("A", proc=2)
+        ml.open_level(4).mark_write(0)
+        ml.open_level(5).mark_read(0)
+        assert len(ml) == 2
+        assert ml.level(0).iteration == 4
+        assert ml.level(1).iteration == 5
+
+    def test_non_increasing_iteration_rejected(self):
+        ml = MarkList("A", proc=0)
+        ml.open_level(4)
+        with pytest.raises(ValueError):
+            ml.open_level(4)
+
+    def test_iteration_marks_intra_iteration_cover(self):
+        marks = IterationMarks(0)
+        marks.mark_write(3)
+        marks.mark_read(3)  # covered by the iteration's own write
+        assert 3 not in marks.exposed_reads
+
+    def test_iteration_marks_exposed(self):
+        marks = IterationMarks(0)
+        marks.mark_read(3)
+        marks.mark_write(3)
+        assert 3 in marks.exposed_reads
+
+    def test_distinct_refs(self):
+        ml = MarkList("A", proc=0)
+        lvl = ml.open_level(0)
+        lvl.mark_read(1)
+        lvl.mark_write(2)
+        lvl2 = ml.open_level(1)
+        lvl2.mark_update(3)
+        assert ml.distinct_refs() == 3
+
+    def test_reset(self):
+        ml = MarkList("A", proc=0)
+        ml.open_level(0)
+        ml.reset()
+        assert len(ml) == 0
+
+
+class TestLastReferenceTable:
+    def test_records_latest_write(self):
+        t = LastReferenceTable()
+        t.record_write("A", 3, 10)
+        t.record_write("A", 3, 5)  # older, must not regress
+        assert t.last_write("A", 3) == 10
+
+    def test_unknown_returns_none(self):
+        t = LastReferenceTable()
+        assert t.last_write("A", 0) is None
+        assert t.readers_since_write("A", 0) == frozenset()
+
+    def test_all_readers_since_write_kept(self):
+        """Regression for a hypothesis-found bug: a write must see *every*
+        reader since the previous write, not only the latest one, or anti
+        dependences are dropped."""
+        t = LastReferenceTable()
+        t.record_read("A", 1, 2)
+        t.record_read("A", 1, 3)
+        assert t.readers_since_write("A", 1) == frozenset({2, 3})
+
+    def test_write_clears_reader_set(self):
+        t = LastReferenceTable()
+        t.record_read("A", 1, 2)
+        t.record_write("A", 1, 4)
+        assert t.readers_since_write("A", 1) == frozenset()
+        t.record_read("A", 1, 5)
+        assert t.readers_since_write("A", 1) == frozenset({5})
+
+    def test_reads_do_not_create_write_entries(self):
+        t = LastReferenceTable()
+        t.record_read("A", 1, 7)
+        assert t.last_write("A", 1) is None
+
+    def test_len_counts_written_addresses(self):
+        t = LastReferenceTable()
+        t.record_write("A", 0, 1)
+        t.record_write("B", 0, 1)
+        t.record_write("A", 0, 2)
+        assert len(t) == 2
+
+    def test_reset(self):
+        t = LastReferenceTable()
+        t.record_write("A", 0, 1)
+        t.record_read("A", 0, 2)
+        t.reset()
+        assert len(t) == 0
+        assert t.readers_since_write("A", 0) == frozenset()
+
+
+class TestInvertedEdgeTable:
+    def test_edges_deduplicate(self):
+        table = InvertedEdgeTable()
+        e = DependenceEdge(1, 2, EdgeKind.FLOW, "A", 0)
+        table.log(e)
+        table.log(DependenceEdge(1, 2, EdgeKind.FLOW, "A", 0))
+        assert len(table) == 1
+
+    def test_backward_edge_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceEdge(2, 1, EdgeKind.FLOW, "A", 0)
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            DependenceEdge(2, 2, EdgeKind.FLOW, "A", 0)
+
+    def test_distance(self):
+        assert DependenceEdge(1, 5, EdgeKind.ANTI, "A", 0).distance == 4
+
+    def test_kind_filter(self):
+        table = InvertedEdgeTable()
+        table.log(DependenceEdge(1, 2, EdgeKind.FLOW, "A", 0))
+        table.log(DependenceEdge(1, 3, EdgeKind.ANTI, "A", 0))
+        assert len(table.edges(EdgeKind.FLOW)) == 1
+        assert table.iteration_pairs([EdgeKind.ANTI]) == {(1, 3)}
+
+    def test_to_graph_collapses_kinds(self):
+        table = InvertedEdgeTable()
+        table.log(DependenceEdge(1, 2, EdgeKind.FLOW, "A", 0))
+        table.log(DependenceEdge(1, 2, EdgeKind.OUTPUT, "A", 1))
+        g = table.to_graph(4)
+        assert g.number_of_edges() == 1
+        assert g[1][2]["kinds"] == {EdgeKind.FLOW, EdgeKind.OUTPUT}
+        assert g.number_of_nodes() == 4
+
+    def test_iteration_order_sorted(self):
+        table = InvertedEdgeTable()
+        table.log(DependenceEdge(5, 6, EdgeKind.FLOW, "A", 0))
+        table.log(DependenceEdge(1, 2, EdgeKind.FLOW, "A", 0))
+        assert [e.src for e in table] == [1, 5]

@@ -1,0 +1,76 @@
+"""Driver-level verification of the documented timeline semantics.
+
+docs/cost-model.md promises: processors overlap within a stage, commit and
+restore overlap across the two disjoint groups, and the barrier serializes.
+These tests verify the promises on *real runs* (via the raw timeline
+records), not on hand-built records.
+"""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.rlrpd import run_blocked
+from repro.machine.costs import CostModel
+from repro.machine.timeline import GLOBAL, Category
+from repro.workloads.synthetic import chain_loop, fully_parallel_loop
+
+
+class TestStageSpanSemantics:
+    def test_span_below_sum_of_charges(self):
+        """Parallel execution: the stage span must be far below the total
+        charged time once several processors participate."""
+        res = run_blocked(fully_parallel_loop(512), 8, RuntimeConfig.nrd())
+        record = res.timeline.stages[0]
+        total_charged = sum(record.category_total(c) for c in Category)
+        assert record.span() < total_charged / 4
+
+    def test_span_equals_max_proc_plus_global(self):
+        res = run_blocked(fully_parallel_loop(64), 4, RuntimeConfig.nrd())
+        record = res.timeline.stages[0]
+        parallel = max(
+            record.proc_time(p) for p in record.per_proc if p != GLOBAL
+        )
+        assert record.span() == pytest.approx(
+            parallel + record.proc_time(GLOBAL)
+        )
+
+    def test_commit_restore_overlap_in_failed_stage(self):
+        """In a failing stage the committing processors pay commit and the
+        failing ones pay re-init; the span reflects the max of the two
+        groups plus global charges, never their sum."""
+        costs = CostModel(commit_per_elem=0.5, reinit_per_elem=0.5)
+        loop = chain_loop(64, targets=[32])
+        res = run_blocked(loop, 4, RuntimeConfig.nrd(), costs=costs)
+        assert res.stages[0].failed
+        record = res.timeline.stages[0]
+        overlap_bound = max(
+            record.proc_time(p) for p in record.per_proc if p != GLOBAL
+        )
+        assert record.span() <= overlap_bound + record.proc_time(GLOBAL) + 1e-9
+        # Both phases really happened on disjoint processors.
+        commit_procs = {
+            p for p in record.per_proc
+            if p != GLOBAL and record.per_proc[p].get(Category.COMMIT)
+        }
+        reinit_procs = {
+            p for p in record.per_proc
+            if p != GLOBAL and record.per_proc[p].get(Category.REINIT)
+        }
+        assert commit_procs and reinit_procs
+        assert not commit_procs & reinit_procs
+
+    def test_barrier_serializes(self):
+        costs = CostModel(sync=100.0)
+        res = run_blocked(fully_parallel_loop(64), 8, RuntimeConfig.nrd(), costs=costs)
+        record = res.timeline.stages[0]
+        # The barrier appears in full in the span regardless of p.
+        assert record.span() >= 100.0
+        assert record.proc_time(GLOBAL) >= 100.0
+
+    def test_one_barrier_per_stage(self):
+        costs = CostModel(sync=10.0)
+        loop = chain_loop(64, targets=[32])
+        res = run_blocked(loop, 4, RuntimeConfig.nrd(), costs=costs)
+        assert res.timeline.charged_category(Category.SYNC) == pytest.approx(
+            10.0 * res.n_stages
+        )

@@ -1,0 +1,154 @@
+"""Unit tests for the packed bitset."""
+
+import numpy as np
+import pytest
+
+from repro.util.bitset import BitSet
+
+
+class TestBasics:
+    def test_new_bitset_is_empty(self):
+        bs = BitSet(100)
+        assert len(bs) == 0
+        assert not bs
+
+    def test_set_and_test(self):
+        bs = BitSet(100)
+        bs.set(0)
+        bs.set(63)
+        bs.set(64)
+        bs.set(99)
+        assert bs.test(0) and bs.test(63) and bs.test(64) and bs.test(99)
+        assert not bs.test(1) and not bs.test(65)
+
+    def test_set_is_idempotent(self):
+        bs = BitSet(10)
+        bs.set(5)
+        bs.set(5)
+        assert len(bs) == 1
+
+    def test_clear(self):
+        bs = BitSet(10)
+        bs.set(5)
+        bs.clear(5)
+        assert not bs.test(5)
+        assert len(bs) == 0
+
+    def test_contains_protocol(self):
+        bs = BitSet(10)
+        bs.set(3)
+        assert 3 in bs
+        assert 4 not in bs
+
+    def test_iteration_yields_sorted_indices(self):
+        bs = BitSet(200)
+        for i in (150, 3, 64, 190):
+            bs.set(i)
+        assert list(bs) == [3, 64, 150, 190]
+
+    def test_size_zero(self):
+        bs = BitSet(0)
+        assert len(bs) == 0
+        assert list(bs) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet(-1)
+
+    def test_out_of_range_rejected(self):
+        bs = BitSet(10)
+        with pytest.raises(IndexError):
+            bs.set(10)
+        with pytest.raises(IndexError):
+            bs.test(-1)
+
+    def test_word_boundary_exactly_64(self):
+        bs = BitSet(64)
+        bs.set(63)
+        assert bs.test(63)
+        with pytest.raises(IndexError):
+            bs.set(64)
+
+
+class TestBulkOps:
+    def test_set_many(self):
+        bs = BitSet(1000)
+        idx = np.array([1, 5, 999, 64, 65])
+        bs.set_many(idx)
+        assert sorted(bs.to_indices()) == [1, 5, 64, 65, 999]
+
+    def test_set_many_empty(self):
+        bs = BitSet(10)
+        bs.set_many(np.array([], dtype=np.int64))
+        assert len(bs) == 0
+
+    def test_set_many_duplicates(self):
+        bs = BitSet(10)
+        bs.set_many(np.array([3, 3, 3]))
+        assert len(bs) == 1
+
+    def test_set_many_out_of_range(self):
+        bs = BitSet(10)
+        with pytest.raises(IndexError):
+            bs.set_many(np.array([5, 10]))
+
+    def test_reset(self):
+        bs = BitSet(100)
+        bs.set_many(np.arange(50))
+        bs.reset()
+        assert len(bs) == 0
+
+
+class TestAlgebra:
+    def make(self, indices, size=128):
+        bs = BitSet(size)
+        for i in indices:
+            bs.set(i)
+        return bs
+
+    def test_or(self):
+        a, b = self.make([1, 2]), self.make([2, 3])
+        assert sorted((a | b).to_indices()) == [1, 2, 3]
+
+    def test_and(self):
+        a, b = self.make([1, 2, 64]), self.make([2, 64, 99])
+        assert sorted((a & b).to_indices()) == [2, 64]
+
+    def test_xor(self):
+        a, b = self.make([1, 2]), self.make([2, 3])
+        assert sorted((a ^ b).to_indices()) == [1, 3]
+
+    def test_sub(self):
+        a, b = self.make([1, 2, 3]), self.make([2])
+        assert sorted((a - b).to_indices()) == [1, 3]
+
+    def test_ior(self):
+        a, b = self.make([1]), self.make([2])
+        a |= b
+        assert sorted(a.to_indices()) == [1, 2]
+
+    def test_intersects(self):
+        a, b, c = self.make([1, 70]), self.make([70]), self.make([2])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet(10) | BitSet(20)
+
+    def test_equality(self):
+        assert self.make([1, 2]) == self.make([1, 2])
+        assert self.make([1]) != self.make([2])
+        assert BitSet(10) != BitSet(11)
+
+    def test_copy_is_independent(self):
+        a = self.make([5])
+        b = a.copy()
+        b.set(6)
+        assert not a.test(6)
+        assert b.test(5)
+
+    def test_binary_ops_do_not_mutate(self):
+        a, b = self.make([1]), self.make([2])
+        _ = a | b
+        assert list(a) == [1] and list(b) == [2]

@@ -1,0 +1,82 @@
+"""Unit tests for RNG streams and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.util.tables import format_series, format_table
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = make_rng(7, "x").random(5)
+        b = make_rng(7, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1, "x").random(5)
+        b = make_rng(2, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_int_stream_components(self):
+        a = make_rng(7, "x", 0).random(3)
+        b = make_rng(7, "x", 1).random(3)
+        assert not np.array_equal(a, b)
+
+    def test_stream_name_hash_is_stable(self):
+        # Regression guard: the FNV-1a fold must not change between runs
+        # (python's hash() is salted; ours must not be).
+        v = make_rng(0, "stable-check").integers(0, 1 << 30)
+        assert v == make_rng(0, "stable-check").integers(0, 1 << 30)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]])
+        assert "3.142" in out
+
+    def test_tiny_float_uses_sig_figs(self):
+        out = format_table(["x"], [[0.000123]])
+        assert "0.000123" in out
+
+    def test_nan_renders_dash(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_bool_renders_yes_no(self):
+        out = format_table(["x"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSeries:
+    def test_column_per_series(self):
+        out = format_series("p", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+        header = out.splitlines()[0]
+        assert "p" in header and "s1" in header and "s2" in header
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("p", [1, 2], {"s": [1]})
+
+    def test_values_in_rows(self):
+        out = format_series("p", [4], {"speedup": [3.5]})
+        assert "3.5" in out

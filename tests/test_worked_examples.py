@@ -1,0 +1,128 @@
+"""The paper's Figs. 1-2 worked examples, verified step by step."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.rlrpd import run_blocked
+from repro.core.window import run_sliding_window
+from repro.workloads.worked_examples import FIG1_K, FIG1_L, fig1_loop, fig2_loop
+from tests.conftest import assert_matches_sequential
+
+
+class TestFig1:
+    """8 iterations, 4 processors, one arc from processor 1 to processor 2;
+    the paper's loop finishes 'in a total of two steps of two iterations
+    each' under NRD."""
+
+    def test_two_stages(self):
+        res = run_blocked(fig1_loop(), 4, RuntimeConfig.nrd())
+        assert res.n_stages == 2
+
+    def test_first_stage_commits_first_two_procs(self):
+        res = run_blocked(fig1_loop(), 4, RuntimeConfig.nrd())
+        first = res.stages[0]
+        assert first.failed
+        assert first.earliest_sink_pos == 2
+        assert first.committed_iterations == 4
+
+    def test_second_stage_commits_rest(self):
+        res = run_blocked(fig1_loop(), 4, RuntimeConfig.nrd())
+        second = res.stages[1]
+        assert not second.failed
+        assert second.committed_iterations == 4
+        assert second.remaining_after == 0
+
+    def test_nrd_second_stage_runs_on_failed_procs(self):
+        res = run_blocked(fig1_loop(), 4, RuntimeConfig.nrd())
+        procs = {b.proc for b in res.stages[1].blocks}
+        assert procs == {2, 3}
+
+    def test_rd_second_stage_spreads_over_all(self):
+        res = run_blocked(fig1_loop(), 4, RuntimeConfig.rd())
+        procs = {b.proc for b in res.stages[1].blocks if len(b)}
+        assert procs == {0, 1, 2, 3}
+
+    def test_final_state_matches_sequential(self):
+        loop = fig1_loop()
+        res = run_blocked(loop, 4, RuntimeConfig.nrd())
+        assert_matches_sequential(res, loop)
+
+    def test_untested_b_array_correct(self):
+        loop = fig1_loop()
+        res = run_blocked(loop, 4, RuntimeConfig.nrd())
+        assert list(res.memory["B"].data) == [2.0 * i for i in range(8)]
+
+    def test_dependence_is_where_designed(self):
+        # Iteration 3 writes A[5]; iteration 4 reads A[5].
+        assert FIG1_K[3] == FIG1_L[4] == 5
+
+
+class TestFig1MarkingState:
+    """White-box check of the Fig. 1(c) shadow state after the first doall."""
+
+    def run_first_stage(self):
+        from repro.core.analysis import analyze_stage
+        from repro.core.executor import execute_block, make_processor_state
+        from repro.machine.machine import Machine
+        from repro.util.blocks import partition_even
+
+        loop = fig1_loop()
+        machine = Machine(4, memory=loop.materialize())
+        machine.begin_stage()
+        states = {p: make_processor_state(machine, loop, p) for p in range(4)}
+        blocks = partition_even(0, 8, [0, 1, 2, 3])
+        for block in blocks:
+            execute_block(machine, loop, states[block.proc], block, None)
+        return states, analyze_stage(
+            [(b.proc, states[b.proc].shadows) for b in blocks]
+        )
+
+    def test_write_marks_follow_k(self):
+        states, _ = self.run_first_stage()
+        assert states[1].shadows["A"].write_set() == {FIG1_K[2], FIG1_K[3]}
+
+    def test_read_marks_are_exposed(self):
+        states, _ = self.run_first_stage()
+        # Processor 2 read A[5] (iteration 4) before ever writing it.
+        assert 5 in states[2].shadows["A"].exposed_read_set()
+
+    def test_single_arc_from_proc1_to_proc2(self):
+        _, analysis = self.run_first_stage()
+        assert len(analysis.arcs) == 1
+        [arc] = analysis.arcs
+        assert (arc.src_pos, arc.dst_pos, arc.index) == (1, 2, 5)
+
+    def test_untested_b_not_marked(self):
+        states, _ = self.run_first_stage()
+        assert "B" not in states[0].shadows  # untested arrays have no shadow
+
+
+class TestFig2:
+    """Window of 4, super-iteration 1, one arc into block 3: the first
+    window commits the blocks before the sink and advances the commit
+    point; the loop needs three windows."""
+
+    def test_three_stages(self):
+        res = run_sliding_window(fig2_loop(), 4, RuntimeConfig.sw(window_size=4))
+        assert res.n_stages == 3
+
+    def test_commit_trace(self):
+        res = run_sliding_window(fig2_loop(), 4, RuntimeConfig.sw(window_size=4))
+        assert [s.committed_iterations for s in res.stages] == [3, 4, 1]
+
+    def test_single_restart(self):
+        res = run_sliding_window(fig2_loop(), 4, RuntimeConfig.sw(window_size=4))
+        assert res.n_restarts == 1
+
+    def test_final_state(self):
+        loop = fig2_loop()
+        res = run_sliding_window(loop, 4, RuntimeConfig.sw(window_size=4))
+        assert_matches_sequential(res, loop)
+
+    def test_failed_iteration_rescheduled_same_proc(self):
+        res = run_sliding_window(fig2_loop(), 4, RuntimeConfig.sw(window_size=4))
+        attempts = [
+            b for s in res.stages for b in s.blocks if b.start == 3
+        ]
+        assert len(attempts) == 2
+        assert attempts[0].proc == attempts[1].proc

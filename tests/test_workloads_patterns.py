@@ -1,0 +1,116 @@
+"""Tests for the access-pattern workload taxonomy."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.ddg import extract_ddg
+from repro.core.runner import parallelize
+from repro.core.wavefront import wavefront_schedule
+from repro.workloads.patterns import (
+    gather_loop,
+    pointer_chase_loop,
+    scatter_loop,
+    stencil_loop,
+    transitive_update_loop,
+)
+from tests.conftest import assert_matches_sequential
+
+
+class TestStencil:
+    def test_every_boundary_fails(self):
+        loop = stencil_loop(64, radius=1)
+        res = parallelize(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 8  # sequentialized at processor granularity
+        assert_matches_sequential(res, loop)
+
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            stencil_loop(16, radius=0)
+
+    def test_ddg_is_a_chain_lattice(self):
+        loop = stencil_loop(32, radius=2)
+        ddg = extract_ddg(loop, 4, RuntimeConfig.sw(window_size=8))
+        sched = wavefront_schedule(ddg.graph(), 32)
+        assert sched.critical_path == 32  # distance-1 edges chain everything
+
+
+class TestGather:
+    def test_fully_parallel(self):
+        loop = gather_loop(128, fan_in=4, seed=2)
+        res = parallelize(loop, 8)
+        assert res.n_stages == 1
+        assert res.parallelism_ratio == 1.0
+        assert_matches_sequential(res, loop)
+
+    def test_deterministic(self):
+        from repro.baselines.sequential import sequential_reference
+
+        a = sequential_reference(gather_loop(64, seed=5))
+        b = sequential_reference(gather_loop(64, seed=5))
+        assert (a["OUT"] == b["OUT"]).all()
+
+
+class TestScatter:
+    def test_output_deps_absorbed(self):
+        """Colliding scatter targets are output dependences only:
+        last-value commit keeps the loop a one-stage doall."""
+        loop = scatter_loop(128, n_targets=16, seed=3)
+        res = parallelize(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 1
+        assert_matches_sequential(res, loop)
+
+    def test_read_back_creates_flow_deps(self):
+        loop = scatter_loop(128, n_targets=16, read_back=True, seed=3)
+        res = parallelize(loop, 8, RuntimeConfig.nrd())
+        assert res.n_restarts > 0
+        assert_matches_sequential(res, loop)
+
+
+class TestPointerChase:
+    def test_fully_sequential_but_bounded_slowdown(self):
+        """The R-LRPD guarantee on the worst case: near-sequential time,
+        never a blow-up."""
+        loop = pointer_chase_loop(128, seed=1)
+        res = parallelize(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 8
+        assert res.total_time < 1.6 * res.sequential_work
+        assert_matches_sequential(res, loop)
+
+    def test_chain_critical_path(self):
+        loop = pointer_chase_loop(48, seed=1)
+        ddg = extract_ddg(loop, 4, RuntimeConfig.sw(window_size=8))
+        sched = wavefront_schedule(ddg.graph(), 48)
+        assert sched.critical_path == 48
+
+    def test_inspector_agrees(self):
+        from repro.baselines.inspector import run_inspector_executor
+
+        loop = pointer_chase_loop(48, seed=1)
+        res = run_inspector_executor(loop, 4)
+        assert_matches_sequential(res, loop)
+
+
+class TestForest:
+    def test_shallow_critical_path(self):
+        loop = transitive_update_loop(512, seed=4)
+        ddg = extract_ddg(loop, 8, RuntimeConfig.sw(window_size=64))
+        sched = wavefront_schedule(ddg.graph(), 512)
+        assert sched.critical_path < 64  # O(log n) depth, lots of slack
+
+    def test_branching_flattens_tree(self):
+        deep = transitive_update_loop(512, branching=1, seed=4, name="deep")
+        shallow = transitive_update_loop(512, branching=4, seed=4, name="shallow")
+        cp = {}
+        for loop in (deep, shallow):
+            ddg = extract_ddg(loop, 8, RuntimeConfig.sw(window_size=64))
+            cp[loop.name] = wavefront_schedule(ddg.graph(), 512).critical_path
+        assert cp["shallow"] <= cp["deep"]
+
+    def test_matches_sequential_under_all(self):
+        for cfg in (RuntimeConfig.nrd(), RuntimeConfig.sw(window_size=32)):
+            loop = transitive_update_loop(256, seed=4)
+            assert_matches_sequential(parallelize(loop, 8, cfg), loop)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transitive_update_loop(16, branching=0)

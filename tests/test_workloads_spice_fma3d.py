@@ -1,0 +1,121 @@
+"""Tests for the SPICE and FMA3D workload kernels."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.ddg import extract_ddg
+from repro.core.runner import parallelize
+from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.workloads.fma3d import FMA3D_DECKS, Fma3dDeck, make_quad_loop
+from repro.workloads.spice import (
+    SPICE_DECKS,
+    SpiceDeck,
+    make_bjt_loop,
+    make_dcdcmp15_loop,
+    make_dcdcmp70_loop,
+)
+from tests.conftest import assert_matches_sequential
+
+SMALL_SPICE = dataclasses.replace(
+    SPICE_DECKS["adder.128"], lu_rows=430, devices=256, workspace=1 << 14
+)
+
+
+class TestDcdcmp15:
+    def test_deck_validation(self):
+        with pytest.raises(ValueError):
+            SpiceDeck("bad", lu_rows=0)
+        with pytest.raises(ValueError):
+            SpiceDeck("bad", lu_rows=10, target_parallelism=0.5)
+        with pytest.raises(ValueError):
+            SpiceDeck("bad", lu_rows=10, exit_fraction=0.0)
+
+    def test_critical_path_matches_target(self):
+        loop = make_dcdcmp15_loop(SMALL_SPICE)
+        ddg = extract_ddg(loop, 8, RuntimeConfig.sw(window_size=64))
+        sched = wavefront_schedule(ddg.graph(), loop.n_iterations)
+        target_cp = SMALL_SPICE.lu_rows / SMALL_SPICE.target_parallelism
+        assert sched.critical_path == pytest.approx(target_cp, rel=0.15)
+
+    def test_all_preds_precede_row(self):
+        loop = make_dcdcmp15_loop(SMALL_SPICE)
+        trace = loop.inspector(loop.materialize())
+        for i, (reads, writes) in enumerate(trace):
+            assert len(writes) == 1
+
+    def test_wavefront_beats_plain_rlrpd(self):
+        loop = make_dcdcmp15_loop(SMALL_SPICE)
+        plain = parallelize(make_dcdcmp15_loop(SMALL_SPICE), 8, RuntimeConfig.adaptive())
+        ddg = extract_ddg(loop, 8, RuntimeConfig.sw(window_size=64))
+        sched = wavefront_schedule(ddg.graph(), loop.n_iterations)
+        wf = execute_wavefront(loop, sched, 8)
+        assert wf.speedup > plain.speedup
+        assert_matches_sequential(wf, loop)
+
+    def test_uses_sparse_shadows(self):
+        # The VALUE workspace is huge; the spec must request sparse views.
+        loop = make_dcdcmp15_loop(SMALL_SPICE)
+        assert loop.array_specs["VALUE"].sparse is True
+
+
+class TestDcdcmp70AndBjt:
+    def test_loop70_single_stage_with_exit(self):
+        loop = make_dcdcmp70_loop(SMALL_SPICE)
+        res = parallelize(loop, 8)
+        assert res.n_stages == 1
+        assert res.exit_iteration == int(
+            SMALL_SPICE.lu_rows * SMALL_SPICE.exit_fraction
+        )
+        assert_matches_sequential(res, loop)
+
+    def test_loop70_exit_matches_sequential_exit(self):
+        from repro.baselines.sequential import run_sequential
+
+        loop = make_dcdcmp70_loop(SMALL_SPICE)
+        seq = run_sequential(make_dcdcmp70_loop(SMALL_SPICE))
+        spec = parallelize(loop, 4)
+        assert spec.exit_iteration == seq.exit_iteration
+
+    def test_bjt_reduction_single_stage(self):
+        loop = make_bjt_loop(SMALL_SPICE)
+        res = parallelize(loop, 8)
+        assert res.n_stages == 1
+        assert_matches_sequential(res, loop, tolerant=True)
+
+    def test_bjt_values_accumulate(self):
+        from repro.baselines.sequential import sequential_reference
+
+        ref = sequential_reference(make_bjt_loop(SMALL_SPICE))
+        assert ref["Y"].sum() > 0
+
+
+class TestFma3dQuad:
+    def test_deck_validation(self):
+        with pytest.raises(ValueError):
+            Fma3dDeck("bad", n_elements=0)
+
+    def test_fully_parallel_one_stage(self):
+        loop = make_quad_loop(FMA3D_DECKS["train"])
+        res = parallelize(loop, 8)
+        assert res.n_stages == 1
+        assert res.parallelism_ratio == 1.0
+        assert_matches_sequential(res, loop)
+
+    def test_speedup_scales(self):
+        s2 = parallelize(make_quad_loop("train"), 2).speedup
+        s8 = parallelize(make_quad_loop("train"), 8).speedup
+        assert s8 > 3 * s2 / 2
+
+    def test_permutation_makes_writes_disjoint(self):
+        loop = make_quad_loop("train")
+        res = parallelize(loop, 4)
+        assert res.stages[0].n_arcs == 0
+
+    def test_instances_vary(self):
+        from repro.baselines.sequential import sequential_reference
+
+        a = sequential_reference(make_quad_loop("train", instance=0))
+        b = sequential_reference(make_quad_loop("train", instance=1))
+        assert not (a["STRESS"] == b["STRESS"]).all()

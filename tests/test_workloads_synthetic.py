@@ -1,0 +1,127 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.rlrpd import run_blocked
+from repro.workloads.synthetic import (
+    chain_loop,
+    copyin_loop,
+    fully_parallel_loop,
+    geometric_chain_targets,
+    geometric_rd_targets,
+    linear_chain_targets,
+    privatizable_loop,
+    random_dependence_loop,
+    reduction_loop,
+)
+from tests.conftest import assert_matches_sequential
+
+
+class TestChainLoop:
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            chain_loop(8, targets=[0])
+        with pytest.raises(ValueError):
+            chain_loop(8, targets=[8])
+
+    def test_sequential_values(self):
+        from repro.baselines.sequential import sequential_reference
+
+        ref = sequential_reference(chain_loop(4, targets=[2]))
+        # A[i] = i except A[2] = 2 + A[1] = 3.
+        assert list(ref["A"]) == [0.0, 1.0, 3.0, 3.0]
+
+    def test_inspector_matches_body(self):
+        loop = chain_loop(16, targets=[5, 9])
+        trace = loop.inspector(loop.materialize())
+        assert len(trace) == 16
+        assert trace[5][0] == {("A", 4)}
+        assert trace[6][0] == set()
+
+    def test_dependences_only_at_targets(self):
+        loop = chain_loop(64, targets=[32])
+        res = run_blocked(loop, 2, RuntimeConfig.nrd())
+        assert res.n_stages == 2
+        res2 = run_blocked(chain_loop(64, targets=[]), 2, RuntimeConfig.nrd())
+        assert res2.n_stages == 1
+
+
+class TestTargetGenerators:
+    def test_geometric_targets_half(self):
+        assert geometric_chain_targets(1024, 0.5)[:3] == [512, 768, 896]
+
+    def test_geometric_targets_strictly_increasing(self):
+        t = geometric_chain_targets(1000, 0.7)
+        assert all(a < b for a, b in zip(t, t[1:]))
+
+    def test_geometric_targets_bounded(self):
+        t = geometric_chain_targets(100, 0.5, max_targets=3)
+        assert len(t) <= 3
+
+    def test_rd_targets_commit_expected_fraction(self):
+        """The RD-aligned generator's defining property: an always-
+        redistribute run commits ~(1-alpha) of the remainder per stage."""
+        n, p, alpha = 1200, 8, 0.3
+        loop = chain_loop(n, geometric_rd_targets(n, alpha, p))
+        res = run_blocked(loop, p, RuntimeConfig.rd())
+        remaining = [s.remaining_after for s in res.stages[:-1] if s.failed]
+        series = [n] + remaining
+        ratios = [b / a for a, b in zip(series, series[1:])]
+        assert all(abs(r - alpha) < 0.15 for r in ratios)
+
+    def test_linear_targets_sequentialize_nrd(self):
+        n, p = 256, 8
+        loop = chain_loop(n, linear_chain_targets(n, p))
+        res = run_blocked(loop, p, RuntimeConfig.nrd())
+        assert res.n_stages == p
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_chain_targets(100, 1.0)
+        with pytest.raises(ValueError):
+            geometric_rd_targets(100, 0.0, 4)
+
+
+class TestOtherGenerators:
+    def test_fully_parallel_has_inspector(self):
+        loop = fully_parallel_loop(8)
+        assert len(loop.inspector(loop.materialize())) == 8
+
+    def test_privatizable_correct_under_speculation(self):
+        loop = privatizable_loop(64, n_temp=4)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 1
+        assert_matches_sequential(res, loop)
+
+    def test_copyin_loop_anti_only(self):
+        loop = copyin_loop(64)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 1  # copy-in absorbs the anti dependences
+        assert_matches_sequential(res, loop)
+
+    def test_reduction_loop_deterministic(self):
+        a = reduction_loop(64, seed=5)
+        b = reduction_loop(64, seed=5)
+        from repro.baselines.sequential import sequential_reference
+
+        assert sequential_reference(a)["H"].tolist() == (
+            sequential_reference(b)["H"].tolist()
+        )
+
+    def test_random_loop_density_zero_is_parallel(self):
+        loop = random_dependence_loop(64, density=0.0, max_distance=4)
+        res = run_blocked(loop, 8, RuntimeConfig.nrd())
+        assert res.n_stages == 1
+
+    def test_random_loop_validation(self):
+        with pytest.raises(ValueError):
+            random_dependence_loop(10, density=1.5, max_distance=2)
+        with pytest.raises(ValueError):
+            random_dependence_loop(10, density=0.5, max_distance=0)
+
+    def test_random_loop_inspector_consistent(self):
+        loop = random_dependence_loop(32, density=0.5, max_distance=4, seed=1)
+        trace = loop.inspector(loop.materialize())
+        # Every iteration writes its own element.
+        assert all(("A", i) in w for i, (_, w) in enumerate(trace))

@@ -1,0 +1,130 @@
+"""Tests for the TRACK workload kernels (NLFILT, EXTEND, FPTRAK)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.runner import parallelize
+from repro.core.window import run_sliding_window
+from repro.workloads.track_extend import EXTEND_DECKS, ExtendDeck, make_extend_loop
+from repro.workloads.track_fptrak import FPTRAK_DECKS, FptrakDeck, make_fptrak_loop
+from repro.workloads.track_nlfilt import NLFILT_DECKS, NlfiltDeck, make_nlfilt_loop
+from tests.conftest import assert_matches_sequential
+
+
+SMALL_NLFILT = dataclasses.replace(NLFILT_DECKS["medium-deps"], n=600)
+SMALL_EXTEND = dataclasses.replace(EXTEND_DECKS["light-deps"], n=512)
+SMALL_FPTRAK = dataclasses.replace(FPTRAK_DECKS["light-deps"], n=512)
+
+
+class TestNlfilt:
+    def test_deck_validation(self):
+        with pytest.raises(ValueError):
+            NlfiltDeck("bad", n=0, dep_prob=0.1, mean_distance=2.0)
+        with pytest.raises(ValueError):
+            NlfiltDeck("bad", n=10, dep_prob=1.5, mean_distance=2.0)
+        with pytest.raises(ValueError):
+            NlfiltDeck("bad", n=10, dep_prob=0.1, mean_distance=0.5)
+
+    def test_deterministic_per_instance(self):
+        from repro.baselines.sequential import sequential_reference
+
+        a = sequential_reference(make_nlfilt_loop(SMALL_NLFILT, instance=1))
+        b = sequential_reference(make_nlfilt_loop(SMALL_NLFILT, instance=1))
+        assert all((a[k] == b[k]).all() for k in a)
+
+    def test_instances_differ(self):
+        from repro.baselines.sequential import sequential_reference
+
+        a = sequential_reference(make_nlfilt_loop(SMALL_NLFILT, instance=0))
+        b = sequential_reference(make_nlfilt_loop(SMALL_NLFILT, instance=1))
+        assert not (a["NUSED"] == b["NUSED"]).all()
+
+    def test_fully_par_deck_single_stage(self):
+        deck = dataclasses.replace(NLFILT_DECKS["fully-par"], n=400)
+        res = parallelize(make_nlfilt_loop(deck), 8)
+        assert res.n_stages == 1
+
+    @pytest.mark.parametrize("strategy", ["blocked", "sw"])
+    def test_correct_under_both_strategies(self, strategy):
+        loop = make_nlfilt_loop(SMALL_NLFILT)
+        if strategy == "blocked":
+            res = parallelize(loop, 8, RuntimeConfig.adaptive())
+        else:
+            res = run_sliding_window(loop, 8, RuntimeConfig.sw(window_size=32))
+        assert_matches_sequential(res, loop)
+
+    def test_untested_state_survives_restarts(self):
+        deck = dataclasses.replace(NLFILT_DECKS["dense-deps"], n=600)
+        loop = make_nlfilt_loop(deck)
+        res = parallelize(loop, 8, RuntimeConfig.rd())
+        assert res.n_restarts > 0
+        assert_matches_sequential(res, loop)
+
+    def test_work_ramp_profile(self):
+        deck = dataclasses.replace(SMALL_NLFILT, work_ramp=2.0, work_cv=0.0)
+        loop = make_nlfilt_loop(deck)
+        assert loop.work_of(deck.n - 1) > 2.5 * loop.work_of(0)
+
+
+class TestExtend:
+    def test_deck_validation(self):
+        with pytest.raises(ValueError):
+            ExtendDeck("bad", n=0)
+        with pytest.raises(ValueError):
+            ExtendDeck("bad", n=10, keep_prob=2.0)
+
+    def test_clean_deck_no_restarts(self):
+        deck = dataclasses.replace(EXTEND_DECKS["clean"], n=512)
+        res = parallelize(make_extend_loop(deck), 8)
+        assert res.n_restarts == 0
+        assert res.n_stages == 2
+
+    def test_induction_final_counts_kept_tracks(self):
+        loop = make_extend_loop(SMALL_EXTEND)
+        res = parallelize(loop, 4)
+        from repro.baselines.sequential import run_sequential
+
+        seq = run_sequential(make_extend_loop(SMALL_EXTEND))
+        assert res.induction_finals == seq.induction_finals
+
+    def test_correct_with_lookback_deps(self):
+        deck = dataclasses.replace(EXTEND_DECKS["heavy-deps"], n=512)
+        loop = make_extend_loop(deck)
+        res = parallelize(loop, 8)
+        assert_matches_sequential(res, loop)
+
+    def test_lookback_lowers_pr(self):
+        clean = parallelize(
+            make_extend_loop(dataclasses.replace(EXTEND_DECKS["clean"], n=1024)), 8
+        )
+        heavy = parallelize(
+            make_extend_loop(dataclasses.replace(EXTEND_DECKS["heavy-deps"], n=1024)), 8
+        )
+        assert heavy.parallelism_ratio < clean.parallelism_ratio
+
+
+class TestFptrak:
+    def test_deck_validation(self):
+        with pytest.raises(ValueError):
+            FptrakDeck("bad", n=10, scratch_slots=0)
+
+    def test_scratch_is_privatizable(self):
+        """The scratch array is written before read in every iteration --
+        shared across all processors yet never a dependence source."""
+        deck = dataclasses.replace(FPTRAK_DECKS["clean"], n=512)
+        res = parallelize(make_fptrak_loop(deck), 8)
+        assert res.n_restarts == 0
+
+    def test_correct_with_inspection_deps(self):
+        deck = dataclasses.replace(FPTRAK_DECKS["heavy-deps"], n=512)
+        loop = make_fptrak_loop(deck)
+        res = parallelize(loop, 8)
+        assert_matches_sequential(res, loop)
+
+    def test_matches_sequential_all_decks(self):
+        for name in FPTRAK_DECKS:
+            deck = dataclasses.replace(FPTRAK_DECKS[name], n=256)
+            loop = make_fptrak_loop(deck)
+            assert_matches_sequential(parallelize(loop, 4), loop)

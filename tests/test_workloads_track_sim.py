@@ -1,0 +1,85 @@
+"""Tests for the persistent TRACK simulation."""
+
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.workloads.track_sim import TrackSimConfig, TrackSimulation
+
+
+class TestBasics:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrackSimConfig(max_tracks=10, initial_tracks=10)
+        with pytest.raises(ValueError):
+            TrackSimConfig(confirm_prob=1.5)
+
+    def test_tracks_grow_over_steps(self):
+        sim = TrackSimulation(TrackSimConfig(max_tracks=1024, initial_tracks=16))
+        start = sim.n_tracks
+        sim.step(4)
+        sim.step(4)
+        assert sim.n_tracks > start
+
+    def test_three_loops_per_step(self):
+        sim = TrackSimulation(TrackSimConfig(max_tracks=1024))
+        runs = sim.step(4)
+        assert len(runs) == 3
+        names = [r.loop_name for r in runs]
+        assert any("extend" in n for n in names)
+        assert any("nlfilt" in n for n in names)
+        assert any("fptrak" in n for n in names)
+
+    def test_capacity_respected(self):
+        sim = TrackSimulation(
+            TrackSimConfig(max_tracks=80, initial_tracks=16,
+                           detections_per_step=64)
+        )
+        for _ in range(6):
+            sim.step(2)
+        assert sim.n_tracks < 80
+
+
+class TestCrossStepSoundness:
+    """The compounding-state oracle: a p=8 simulation must match a p=1 twin
+    bit for bit after every step."""
+
+    @pytest.mark.parametrize("config", [
+        RuntimeConfig.nrd(),
+        RuntimeConfig.adaptive(),
+    ], ids=lambda c: c.label())
+    def test_matches_single_proc_twin(self, config):
+        cfg = TrackSimConfig(max_tracks=1024, initial_tracks=24,
+                             detections_per_step=48, smooth_prob=0.08)
+        parallel = TrackSimulation(cfg)
+        twin = TrackSimulation(cfg)
+        for _ in range(4):
+            parallel.step(8, config)
+            twin.step(1, config)
+            assert parallel.n_tracks == twin.n_tracks
+            assert parallel.memory.equals(twin.snapshot())
+
+    def test_restarts_occur_and_do_not_corrupt(self):
+        cfg = TrackSimConfig(max_tracks=2048, initial_tracks=256,
+                             detections_per_step=64, smooth_prob=0.2,
+                             smooth_distance=12)
+        parallel = TrackSimulation(cfg)
+        twin = TrackSimulation(cfg)
+        program = parallel.run(3, 8)
+        twin.run(3, 1)
+        assert program.n_restarts > 0  # the smoothing deps really fired
+        assert parallel.memory.equals(twin.snapshot())
+
+
+class TestProgramAggregation:
+    def test_program_result_covers_all_loops(self):
+        sim = TrackSimulation(TrackSimConfig(max_tracks=1024))
+        program = sim.run(3, 4)
+        assert program.n_instantiations == 9  # 3 loops x 3 steps
+        assert 0.0 < program.parallelism_ratio <= 1.0
+        assert program.speedup > 1.0
+
+    def test_deterministic(self):
+        a = TrackSimulation(TrackSimConfig(max_tracks=512)).run(2, 4)
+        b = TrackSimulation(TrackSimConfig(max_tracks=512)).run(2, 4)
+        assert a.total_time == b.total_time
+        assert a.n_restarts == b.n_restarts
