@@ -47,11 +47,20 @@ from repro.core import (
 from repro.errors import (
     CheckpointError,
     ConfigurationError,
+    FaultError,
     InspectorUnavailableError,
     NoProgressError,
     ReproError,
     ScheduleError,
+    SelfCheckError,
     SpeculationError,
+)
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    random_plan,
 )
 from repro.loopir import (
     ArraySpec,
@@ -127,6 +136,12 @@ __all__ = [
     "StrategyPredictor",
     "WindowPredictor",
     "run_program_predictive",
+    # fault injection & self-verification
+    "FaultPlan",
+    "FaultEvent",
+    "FaultKind",
+    "FaultInjector",
+    "random_plan",
     # baselines
     "run_sequential",
     "sequential_reference",
@@ -140,4 +155,6 @@ __all__ = [
     "InspectorUnavailableError",
     "CheckpointError",
     "ScheduleError",
+    "FaultError",
+    "SelfCheckError",
 ]

@@ -605,7 +605,8 @@ def ablation_baselines(quick: bool) -> ExperimentResult:
             ("sequential", lambda lp: run_sequential(lp)),
             ("LRPD doall", lambda lp: run_doall_lrpd(lp, p)),
             ("R-LRPD adaptive", lambda lp: run_blocked(lp, p, RuntimeConfig.adaptive())),
-            ("R-LRPD SW", lambda lp: run_sliding_window(lp, p, RuntimeConfig.sw(window_size=4 * p))),
+            ("R-LRPD SW",
+             lambda lp: run_sliding_window(lp, p, RuntimeConfig.sw(window_size=4 * p))),
             ("inspector/executor", lambda lp: run_inspector_executor(lp, p)),
             ("DOACROSS", lambda lp: run_doacross(lp, p)),
         ]

@@ -24,6 +24,7 @@ from repro.core.ddg import extract_ddg
 from repro.core.runner import parallelize
 from repro.core.verify import certify
 from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.faults import random_plan
 from repro.loopir.loop import SpeculativeLoop
 from repro.workloads import (
     EXTEND_DECKS,
@@ -109,15 +110,29 @@ def resolve_workload(spec: str) -> SpeculativeLoop:
         raise SystemExit(f"workload {family!r}: {exc}") from None
 
 
+def _seed(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("seed must be non-negative")
+    return value
+
+
 def config_from_args(args) -> RuntimeConfig:
+    overrides = {}
+    if getattr(args, "faults", None) is not None:
+        overrides["fault_plan"] = random_plan(args.faults, n_procs=args.procs)
+    if getattr(args, "self_check", False):
+        overrides["self_check"] = True
     if args.strategy == "nrd":
-        return RuntimeConfig.nrd()
+        return RuntimeConfig.nrd(**overrides)
     if args.strategy == "rd":
-        return RuntimeConfig.rd()
+        return RuntimeConfig.rd(**overrides)
     if args.strategy == "adaptive":
-        return RuntimeConfig.adaptive(feedback_balancing=args.feedback)
+        return RuntimeConfig.adaptive(
+            feedback_balancing=args.feedback, **overrides
+        )
     if args.strategy == "sw":
-        return RuntimeConfig.sw(window_size=args.window)
+        return RuntimeConfig.sw(window_size=args.window, **overrides)
     raise SystemExit(f"unknown strategy {args.strategy!r}")
 
 
@@ -134,6 +149,17 @@ def cmd_run(args) -> int:
     config = config_from_args(args)
     result = parallelize(loop, args.procs, config)
     print(render_stage_trace(result))
+    if result.faults_survived or result.retries:
+        counts = ", ".join(
+            f"{kind}: {count}"
+            for kind, count in sorted(result.fault_counts.items())
+        )
+        dead = ",".join(map(str, result.dead_procs)) or "none"
+        print(
+            f"faults survived: {result.faults_survived} ({counts}); "
+            f"fault retries: {result.retries}; "
+            f"degraded stages: {result.degraded_stages}; dead procs: {dead}"
+        )
     if args.breakdown:
         print()
         print(render_breakdown(result))
@@ -190,6 +216,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--window", type=int, default=None, help="SW window size")
     run_p.add_argument("--feedback", action="store_true", help="feedback balancing")
     run_p.add_argument("--breakdown", action="store_true", help="cost breakdown table")
+    run_p.add_argument(
+        "--faults", type=_seed, default=None, metavar="SEED",
+        help="inject a reproducible random fault plan derived from SEED",
+    )
+    run_p.add_argument(
+        "--self-check", action="store_true", dest="self_check",
+        help="verify untested isolation per stage and the final memory "
+        "against a sequential replay",
+    )
     run_p.set_defaults(fn=cmd_run)
 
     cert_p = sub.add_parser("certify", help="verify all strategies vs sequential")

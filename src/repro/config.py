@@ -14,8 +14,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.plan import FaultPlan
 
 
 class Strategy(enum.Enum):
@@ -53,7 +57,13 @@ class RuntimeConfig:
     """One complete runtime configuration."""
 
     strategy: Strategy = Strategy.BLOCKED
-    redistribution: RedistributionPolicy = RedistributionPolicy.ADAPTIVE
+    redistribution: RedistributionPolicy | None = None
+    """Blocked-strategy failure policy.  ``None`` selects the strategy's
+    default (``ADAPTIVE`` for blocked, ``NEVER`` for the sliding window,
+    whose circular assignment rule admits no other policy); explicitly
+    passing a non-``NEVER`` policy together with the sliding window is a
+    contradiction and raises :class:`ConfigurationError`."""
+
     condition: TestCondition = TestCondition.COPY_IN
     window_size: int | None = None
     """Sliding-window width in iterations (``None`` = 2 blocks/processor)."""
@@ -79,19 +89,46 @@ class RuntimeConfig:
     max_stages: int = 100_000
     """Safety valve against runtime bugs; never hit in correct operation."""
 
+    fault_plan: "FaultPlan | None" = None
+    """Deterministic fault-injection schedule for this run (``None`` = a
+    fault-free machine).  See :mod:`repro.faults`."""
+
+    self_check: bool = False
+    """Continuously verify the runtime's own guarantees: per-stage
+    untested-array isolation, plus an end-of-run comparison of final shared
+    memory against a sequential replay.  Raises
+    :class:`~repro.errors.SelfCheckError` on violation."""
+
+    max_fault_retries: int = 3
+    """Consecutive zero-progress stage retries tolerated when injected
+    faults (not data dependences) wipe out a whole stage; exceeding the
+    bound raises :class:`~repro.errors.FaultError`."""
+
     def __post_init__(self) -> None:
         if self.window_size is not None and self.window_size < 1:
             raise ConfigurationError("window_size must be >= 1")
         if self.max_stages < 1:
             raise ConfigurationError("max_stages must be >= 1")
-        if (
+        if self.max_fault_retries < 0:
+            raise ConfigurationError("max_fault_retries must be >= 0")
+        if self.redistribution is None:
+            # The sliding window has its own (circular) assignment rule;
+            # blocked-redistribution policies do not apply to it.
+            default = (
+                RedistributionPolicy.NEVER
+                if self.strategy is Strategy.SLIDING_WINDOW
+                else RedistributionPolicy.ADAPTIVE
+            )
+            object.__setattr__(self, "redistribution", default)
+        elif (
             self.strategy is Strategy.SLIDING_WINDOW
             and self.redistribution is not RedistributionPolicy.NEVER
         ):
-            # The sliding window has its own (circular) assignment rule;
-            # blocked-redistribution policies do not apply to it.
-            object.__setattr__(
-                self, "redistribution", RedistributionPolicy.NEVER
+            raise ConfigurationError(
+                f"redistribution={self.redistribution.value!r} conflicts with "
+                "the sliding-window strategy (its circular assignment rule "
+                "re-executes failed blocks in place); omit the policy or "
+                "pass RedistributionPolicy.NEVER"
             )
 
     # -- canonical configurations ---------------------------------------------

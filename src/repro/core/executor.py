@@ -105,7 +105,11 @@ class SpeculativeContext(IterationContext):
         "_iter_time",
         "_iter_work",
         "_costs",
+        "_slowdown",
+        "_untested_log",
         "exit_iteration",
+        "fault",
+        "fault_permanent",
     )
 
     def __init__(
@@ -115,6 +119,8 @@ class SpeculativeContext(IterationContext):
         state: ProcessorState,
         checkpoints: CheckpointManager | None,
         inductions: dict[str, int] | None = None,
+        slowdown: float = 1.0,
+        untested_log=None,
     ) -> None:
         super().__init__()
         self._machine = machine
@@ -128,7 +134,17 @@ class SpeculativeContext(IterationContext):
         self._iter_time = 0.0
         self._iter_work = 0.0
         self._costs = machine.costs
+        # Straggler fault: every charge of this block is stretched by the
+        # multiplier, but iter_work stays nominal -- the useful work done
+        # is unchanged, only the time to do it grows.
+        self._slowdown = slowdown
+        # Self-check: per-stage recorder of untested-array traffic.
+        self._untested_log = untested_log
         self.exit_iteration: int | None = None
+        self.fault: str | None = None
+        """Fault class that aborted this block (``None`` = ran clean)."""
+        self.fault_permanent = False
+        """A fail-stop fault removed the processor for good."""
 
     # -- wiring used by the drivers --------------------------------------------
 
@@ -148,8 +164,9 @@ class SpeculativeContext(IterationContext):
         return dict(self._inductions)
 
     def _charge(self, category: Category, amount: float) -> None:
-        self._machine.charge(self._state.proc, category, amount)
-        self._iter_time += amount
+        charged = amount * self._slowdown
+        self._machine.charge(self._state.proc, category, charged)
+        self._iter_time += charged
         if category is Category.WORK:
             self._iter_work += amount
 
@@ -163,6 +180,8 @@ class SpeculativeContext(IterationContext):
         view = self._state.views.get(name)
         if view is None:
             # Untested array: direct shared read, no instrumentation.
+            if self._untested_log is not None:
+                self._untested_log.note_read(self._state.proc, name, index)
             return self._machine.memory[name].data[index]
         value, copied_in = view.load(index)
         self._state.shadows[name].mark_read(index)
@@ -180,6 +199,8 @@ class SpeculativeContext(IterationContext):
             )
         view = self._state.views.get(name)
         if view is None:
+            if self._untested_log is not None:
+                self._untested_log.note_write(self._state.proc, name, index)
             if self._ckpt is not None and name in self._ckpt.names:
                 saved = self._ckpt.note_write(self._state.proc, name, index)
                 if saved:
@@ -241,16 +262,44 @@ def execute_block(
     checkpoints: CheckpointManager | None,
     inductions: dict[str, int] | None = None,
     marklists: dict[str, "object"] | None = None,
+    injector=None,
+    stage: int = 0,
+    untested_log=None,
 ) -> SpeculativeContext:
     """Run ``block``'s iterations on ``block.proc``, charging virtual time.
 
     ``marklists`` (array name -> :class:`~repro.shadow.marklist.MarkList`)
     switches on iteration-level marking for DDG extraction.  Returns the
     context so callers can read final induction values.
+
+    ``injector`` (a :class:`~repro.faults.injector.FaultInjector`) arms
+    this block for fault injection under the driver's stage counter
+    ``stage``: a planned straggler stretches every charge, and a planned
+    fail-stop kills the processor at an iteration boundary mid-block --
+    the context comes back with ``ctx.fault`` set and the partial work
+    (including untested writes, already logged by the checkpoint) awaiting
+    the driver's rollback.  ``untested_log`` records untested-array
+    traffic for the self-check isolation verifier.
     """
-    ctx = SpeculativeContext(machine, loop, state, checkpoints, inductions)
+    slowdown = 1.0
+    death: tuple[int, bool] | None = None
+    if injector is not None:
+        slowdown = injector.slowdown(stage, block.proc)
+        death = injector.fail_stop_point(stage, block.proc, len(block))
+    ctx = SpeculativeContext(
+        machine, loop, state, checkpoints, inductions,
+        slowdown=slowdown, untested_log=untested_log,
+    )
     omega = machine.costs.omega
+    completed = 0
     for i in block.iterations():
+        if death is not None and completed >= death[0]:
+            # Fail-stop: the processor dies here; everything it did this
+            # stage (private state, untested writes) is garbage to roll
+            # back, and any exit it signalled cannot be trusted.
+            ctx.fault = "fail-stop"
+            ctx.fault_permanent = death[1]
+            break
         ctx.begin_iteration(i)
         if marklists is not None:
             ctx.set_iteration_marks(
@@ -263,6 +312,7 @@ def execute_block(
         measured, work_only = ctx.end_iteration()
         state.iter_times[i] = measured
         state.iter_work[i] = work_only
+        completed += 1
         if ctx.exit_iteration is not None:
             # The iteration that signalled the exit completes; the rest of
             # the block never executes (speculatively validated later).

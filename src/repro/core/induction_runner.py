@@ -33,10 +33,18 @@ from repro.core.results import RunResult, StageResult
 from repro.core.stage import (
     charge_analysis,
     charge_checkpoint_begin,
+    charge_checkpoint_fault_recovery,
     committed_work,
     perform_restore,
 )
-from repro.errors import ConfigurationError, NoProgressError, SpeculationError
+from repro.errors import (
+    ConfigurationError,
+    FaultError,
+    NoProgressError,
+    SpeculationError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.selfcheck import UntestedAccessLog, check_final_state
 from repro.loopir.loop import SpeculativeLoop
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.costs import CostModel
@@ -81,21 +89,33 @@ def run_induction(
         else None
     )
 
+    injector = FaultInjector(config.fault_plan) if config.fault_plan else None
+    untested_log = (
+        UntestedAccessLog() if (config.self_check and untested) else None
+    )
+    initial_state = machine.memory.snapshot() if config.self_check else None
+
     n = loop.n_iterations
-    all_procs = list(range(n_procs))
+    alive = list(range(n_procs))
     ivar_base = loop.initial_inductions()
     committed_upto = 0
     stage_results: list[StageResult] = []
     sequential_work = 0.0
     final_iter_times: dict[int, float] = {}
     stage_idx = 0
+    retries = 0
+    degraded_stages = 0
+    zero_commit_streak = 0
 
     while committed_upto < n:
         if stage_idx >= config.max_stages:
             raise SpeculationError(
                 f"{loop.name}: exceeded max_stages={config.max_stages}"
             )
-        blocks = partition_even(committed_upto, n, all_procs)
+        degraded = len(alive) < n_procs
+        if degraded:
+            degraded_stages += 1
+        blocks = partition_even(committed_upto, n, alive)
         nonempty = [b for b in blocks if len(b)]
 
         # ---- Phase A: range collection ------------------------------------------
@@ -127,6 +147,7 @@ def run_induction(
                 redistributed_iterations=0,
                 span=record_a.span(),
                 breakdown=record_a.breakdown(),
+                degraded=degraded,
             )
         )
         stage_idx += 1
@@ -140,29 +161,55 @@ def run_induction(
                 running[name] += increments[block.proc][name]
 
         # ---- Phase B: re-execution with corrected offsets --------------------------
+        # Faults strike phase B only: range collection is a side-effect-free
+        # private doall, so the interesting failure surface -- speculative
+        # state that must be rolled back -- exists only in the re-execution.
         record_b = machine.begin_stage()
-        charge_checkpoint_begin(machine, ckpt)
-        states = {p: make_processor_state(machine, loop, p) for p in all_procs}
+        charge_checkpoint_begin(machine, ckpt, injector, stage_idx)
+        if untested_log is not None:
+            untested_log.reset()
+        states = {p: make_processor_state(machine, loop, p) for p in alive}
         phase_b_finals: dict[int, dict[str, int]] = {}
-        for block in nonempty:
+        faulted: dict[int, str] = {}  # block position -> fault class
+        for pos, block in enumerate(nonempty):
             start = {
                 name: ivar_base[name] + offsets[block.proc][name]
                 for name in ivar_base
             }
             ctx = execute_block(
-                machine, loop, states[block.proc], block, ckpt, inductions=start
+                machine, loop, states[block.proc], block, ckpt,
+                inductions=start, injector=injector, stage=stage_idx,
+                untested_log=untested_log,
             )
             phase_b_finals[block.proc] = ctx.induction_values()
+            if ctx.fault is not None:
+                faulted[pos] = ctx.fault
+                if ctx.fault_permanent and len(alive) > 1:
+                    alive.remove(block.proc)
+                    injector.mark_dead(block.proc)
+            elif (
+                injector is not None
+                and injector.corrupt(stage_idx, block.proc, states[block.proc])
+                is not None
+            ):
+                faulted[pos] = "corrupt-write"
         machine.barrier()
+        charge_checkpoint_fault_recovery(machine, ckpt, injector, stage_idx)
 
         groups = [(b.proc, states[b.proc].shadows) for b in nonempty]
         analysis = analyze_stage(groups)
         charge_analysis(machine, analysis, [b.proc for b in nonempty])
+        if untested_log is not None:
+            untested_log.verify(loop.name, stage_idx)
         f_pos = analysis.earliest_sink_pos
 
         # An increment mismatch means the counter's control flow read data
-        # whose address depended on the counter -- treat as a sink.
+        # whose address depended on the counter -- treat as a sink.  A
+        # faulted block's counter is untrusted garbage, not a mismatch; the
+        # fault merge below already forces its re-execution.
         for pos, block in enumerate(nonempty):
+            if pos in faulted:
+                continue
             expected = {
                 name: ivar_base[name]
                 + offsets[block.proc][name]
@@ -173,12 +220,53 @@ def run_induction(
                 f_pos = pos if f_pos is None else min(f_pos, pos)
                 break
 
+        fault_pos = min(faulted) if faulted else None
+        if fault_pos is not None and (f_pos is None or fault_pos < f_pos):
+            f_pos = fault_pos
+            retries += 1
+        faulted_procs = sorted(nonempty[pos].proc for pos in faulted)
+
         committing = nonempty if f_pos is None else nonempty[:f_pos]
         failing = [] if f_pos is None else nonempty[f_pos:]
         if not committing:
-            raise NoProgressError(
-                f"{loop.name}: induction stage {stage_idx} committed nothing"
+            if fault_pos != 0:
+                raise NoProgressError(
+                    f"{loop.name}: induction stage {stage_idx} committed nothing"
+                )
+            zero_commit_streak += 1
+            if zero_commit_streak > config.max_fault_retries:
+                raise FaultError(
+                    f"gave up after {zero_commit_streak} consecutive "
+                    "zero-progress stages wiped out by injected faults "
+                    f"(max_fault_retries={config.max_fault_retries})",
+                    loop=loop.name,
+                    stage=stage_idx,
+                    proc=nonempty[0].proc,
+                )
+            restored = perform_restore(machine, ckpt, [b.proc for b in failing])
+            reinit_states(machine, [states[b.proc] for b in failing])
+            stage_results.append(
+                StageResult(
+                    index=stage_idx,
+                    blocks=list(nonempty),
+                    failed=True,
+                    earliest_sink_pos=f_pos,
+                    committed_iterations=0,
+                    remaining_after=n - committed_upto,
+                    committed_work=0.0,
+                    n_arcs=len(analysis.arcs),
+                    committed_elements=0,
+                    restored_elements=restored,
+                    redistributed_iterations=0,
+                    span=record_b.span(),
+                    breakdown=record_b.breakdown(),
+                    faulted_procs=faulted_procs,
+                    degraded=degraded,
+                )
             )
+            stage_idx += 1
+            continue
+        zero_commit_streak = 0
 
         committed_elements = commit_states(
             machine, loop, [states[b.proc] for b in committing]
@@ -215,11 +303,15 @@ def run_induction(
                 redistributed_iterations=0,
                 span=record_b.span(),
                 breakdown=record_b.breakdown(),
+                faulted_procs=faulted_procs,
+                degraded=degraded,
             )
         )
         stage_idx += 1
 
-    return RunResult(
+    if config.self_check:
+        check_final_state(loop, machine.memory, initial_state)
+    result = RunResult(
         loop_name=loop.name,
         strategy="R-LRPD+induction",
         n_procs=n_procs,
@@ -231,3 +323,10 @@ def run_induction(
         induction_finals=dict(ivar_base),
         memory=machine.memory,
     )
+    if injector is not None:
+        result.retries = retries
+        result.faults_survived = injector.total_injected
+        result.fault_counts = injector.counts()
+        result.degraded_stages = degraded_stages
+        result.dead_procs = sorted(injector.dead)
+    return result

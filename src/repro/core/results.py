@@ -40,6 +40,12 @@ class StageResult:
     migration_distance: float = 0.0
     """Topology distance summed over migrated iterations (0 on flat/ccUMA)."""
     breakdown: dict[Category, float] = field(default_factory=dict)
+    faulted_procs: list[int] = field(default_factory=list)
+    """Processors whose blocks were lost to an injected fault this stage
+    (fail-stop or detected write corruption); empty on clean stages."""
+    degraded: bool = False
+    """The stage was scheduled on fewer processors than the machine owns
+    (an earlier permanent fail-stop shrank the pool)."""
 
     @property
     def attempted_iterations(self) -> int:
@@ -71,6 +77,27 @@ class RunResult:
     exit_iteration: int | None = None
     """Iteration at which a premature exit was validated (``None`` = ran
     to completion)."""
+
+    retries: int = 0
+    """Stage re-executions forced by injected faults (a stage counts once
+    when a fault, not a data dependence, set or advanced its failure
+    point)."""
+
+    faults_survived: int = 0
+    """Injected faults the run absorbed.  A returned result implies every
+    fired fault was recovered, so this equals the fired count; an
+    unrecoverable fault raises :class:`~repro.errors.FaultError` instead."""
+
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    """Survived faults by class (``fail-stop`` / ``corrupt-write`` /
+    ``straggler`` / ``checkpoint``); empty for fault-free machines."""
+
+    degraded_stages: int = 0
+    """Stages executed on a shrunken processor pool after permanent
+    fail-stop deaths."""
+
+    dead_procs: list[int] = field(default_factory=list)
+    """Processors permanently lost to fail-stop faults during the run."""
 
     # -- derived metrics ---------------------------------------------------------
 
@@ -114,7 +141,7 @@ class RunResult:
 
     def summary(self) -> dict[str, float | int | str]:
         """Flat record for benchmark tables."""
-        return {
+        record: dict[str, float | int | str] = {
             "loop": self.loop_name,
             "strategy": self.strategy,
             "p": self.n_procs,
@@ -126,6 +153,11 @@ class RunResult:
             "speedup": self.speedup,
             "overhead": self.overhead_time,
         }
+        if self.faults_survived or self.retries:
+            record["faults"] = self.faults_survived
+            record["fault_retries"] = self.retries
+            record["degraded_stages"] = self.degraded_stages
+        return record
 
 
 @dataclass(slots=True)

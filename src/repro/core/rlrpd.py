@@ -28,12 +28,20 @@ from repro.core.results import RunResult, StageResult
 from repro.core.stage import (
     charge_analysis,
     charge_checkpoint_begin,
+    charge_checkpoint_fault_recovery,
     charge_redistribution,
     charge_redistribution_topo,
     committed_work,
     perform_restore,
 )
-from repro.errors import ConfigurationError, NoProgressError, SpeculationError
+from repro.errors import (
+    ConfigurationError,
+    FaultError,
+    NoProgressError,
+    SpeculationError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.selfcheck import UntestedAccessLog, check_final_state
 from repro.loopir.loop import SpeculativeLoop
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.costs import CostModel
@@ -106,16 +114,39 @@ def run_blocked(
     states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
     owner = np.full(loop.n_iterations, -1, dtype=np.int64)
     untested = loop.untested_names
-    ckpt = CheckpointManager(machine.memory, untested, config.on_demand_checkpoint) if untested else None
+    ckpt = (
+        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
+        if untested else None
+    )
+
+    injector = FaultInjector(config.fault_plan) if config.fault_plan else None
+    untested_log = (
+        UntestedAccessLog() if (config.self_check and untested) else None
+    )
+    initial_state = machine.memory.snapshot() if config.self_check else None
 
     n = loop.n_iterations
-    all_procs = list(range(n_procs))
+    alive = list(range(n_procs))
     committed_upto = 0
     stage_results: list[StageResult] = []
     sequential_work = 0.0
     final_iter_times: dict[int, float] = {}
     pending_blocks: list[Block] = []  # failed blocks awaiting NRD re-execution
     stage_idx = 0
+    retries = 0
+    degraded_stages = 0
+    zero_commit_streak = 0
+
+    def _finalize(result: RunResult) -> RunResult:
+        if config.self_check:
+            check_final_state(loop, machine.memory, initial_state)
+        if injector is not None:
+            result.retries = retries
+            result.faults_survived = injector.total_injected
+            result.fault_counts = injector.counts()
+            result.degraded_stages = degraded_stages
+            result.dead_procs = sorted(injector.dead)
+        return result
 
     while committed_upto < n:
         if stage_idx >= config.max_stages:
@@ -123,31 +154,54 @@ def run_blocked(
                 f"{loop.name}: exceeded max_stages={config.max_stages}"
             )
         remaining = n - committed_upto
+        degraded = len(alive) < n_procs
+        if degraded:
+            degraded_stages += 1
 
         # -- schedule this stage ------------------------------------------------
         if stage_idx == 0:
-            blocks = _partition(0, n, all_procs, weights)
+            blocks = _partition(0, n, alive, weights)
             redistributing = False
         else:
             policy = config.redistribution
             if policy is RedistributionPolicy.ALWAYS:
                 redistributing = True
             elif policy is RedistributionPolicy.ADAPTIVE:
-                redistributing = machine.costs.should_redistribute(remaining, n_procs)
+                redistributing = machine.costs.should_redistribute(
+                    remaining, len(alive)
+                )
             else:
                 redistributing = False
             if redistributing:
-                blocks = _partition(committed_upto, n, all_procs, weights)
+                blocks = _partition(committed_upto, n, alive, weights)
             else:
                 blocks = pending_blocks
 
         nonempty = [b for b in blocks if len(b)]
+        orphan_rebalanced = False
+        if (
+            not redistributing
+            and degraded
+            and any(b.proc not in alive for b in nonempty)
+        ):
+            # NRD keeps failed blocks on their owners -- unless an owner is
+            # dead.  The pending range is re-blocked once over the
+            # survivors (a block cannot simply be handed to a survivor that
+            # already holds one: a processor's shadow marks must form a
+            # single analysis group).  Only the iterations that actually
+            # moved are charged, below.
+            nonempty = [
+                b
+                for b in _partition(committed_upto, n, alive, weights)
+                if len(b)
+            ]
+            orphan_rebalanced = True
         if not nonempty:
             raise SpeculationError(f"{loop.name}: empty schedule with work left")
 
         # -- execute -------------------------------------------------------------
         record = machine.begin_stage()
-        charge_checkpoint_begin(machine, ckpt)
+        charge_checkpoint_begin(machine, ckpt, injector, stage_idx)
         if weights is not None and stage_idx == 0:
             # Timer instrumentation + parallel prefix of the balancer.
             machine.charge_global(
@@ -169,28 +223,68 @@ def run_blocked(
                 redistributed, migration_distance = charge_redistribution_topo(
                     machine, nonempty, owner
                 )
+        elif orphan_rebalanced:
+            redistributed, migration_distance = charge_redistribution_topo(
+                machine, nonempty, owner
+            )
+        if untested_log is not None:
+            untested_log.reset()
         exits: dict[int, int] = {}  # block position -> exit iteration
+        faulted: dict[int, str] = {}  # block position -> fault class
         reduction_names = frozenset(loop.reductions)
         for pos, block in enumerate(nonempty):
             if config.pre_initialize:
                 states[block.proc].preload(machine, skip=reduction_names)
-            ctx = execute_block(machine, loop, states[block.proc], block, ckpt)
+            ctx = execute_block(
+                machine, loop, states[block.proc], block, ckpt,
+                injector=injector, stage=stage_idx, untested_log=untested_log,
+            )
             if len(block):
                 owner[block.start : block.stop] = block.proc
-            if ctx.exit_iteration is not None:
+            if ctx.fault is not None:
+                # A faulted block's work (and any exit it signalled) is
+                # untrusted; its processor joins the failed set below.
+                faulted[pos] = ctx.fault
+                if ctx.fault_permanent and len(alive) > 1:
+                    alive.remove(block.proc)
+                    injector.mark_dead(block.proc)
+            elif (
+                injector is not None
+                and injector.corrupt(stage_idx, block.proc, states[block.proc])
+                is not None
+            ):
+                # Corrupted speculative write, caught by the stage's
+                # integrity check: discard the block's private state and
+                # re-execute, same as a failed-speculation processor.
+                faulted[pos] = "corrupt-write"
+            elif ctx.exit_iteration is not None:
                 exits[pos] = ctx.exit_iteration
         machine.barrier()
+        charge_checkpoint_fault_recovery(machine, ckpt, injector, stage_idx)
 
         # -- analyze -------------------------------------------------------------
         groups = [(b.proc, states[b.proc].shadows) for b in nonempty]
         analysis = analyze_stage(groups)
         charge_analysis(machine, analysis, [b.proc for b in nonempty])
+        if untested_log is not None:
+            untested_log.verify(loop.name, stage_idx)
 
+        # The effective failure point folds injected faults into the
+        # recursion: everything from the first faulted block on re-executes,
+        # exactly like blocks past the earliest dependence sink.
         f_pos = analysis.earliest_sink_pos
+        fault_pos = min(faulted) if faulted else None
+        if fault_pos is not None and (f_pos is None or fault_pos < f_pos):
+            f_pos = fault_pos
+            # The fault (not a data dependence) set the failure point, so
+            # this stage's re-execution is charged to fault recovery.
+            retries += 1
+        faulted_procs = sorted(nonempty[pos].proc for pos in faulted)
 
         # -- premature exit (DCDCMP loop 70 style) ---------------------------------
         # An exit is trustworthy only if its processor's own work is: its
-        # block must lie strictly before the earliest dependence sink.
+        # block must lie strictly before the earliest failure point
+        # (dependence sink or faulted block).
         valid_exits = {
             pos: e
             for pos, e in exits.items()
@@ -236,9 +330,11 @@ def run_blocked(
                     span=record.span(),
                     migration_distance=migration_distance,
                     breakdown=record.breakdown(),
+                    faulted_procs=faulted_procs,
+                    degraded=degraded,
                 )
             )
-            return RunResult(
+            return _finalize(RunResult(
                 loop_name=loop.name,
                 strategy=config.label(),
                 n_procs=n_procs,
@@ -249,14 +345,54 @@ def run_blocked(
                 iteration_times=final_iter_times,
                 memory=machine.memory,
                 exit_iteration=e,
-            )
+            ))
         committing = nonempty if f_pos is None else nonempty[:f_pos]
         failing = [] if f_pos is None else nonempty[f_pos:]
         if not committing:
-            raise NoProgressError(
-                f"{loop.name}: stage {stage_idx} committed nothing "
-                f"(earliest sink at position {f_pos})"
+            # The lowest-ranked block can never be an analysis sink, so a
+            # zero-commit stage is provably fault-caused: roll everything
+            # back and retry, up to the configured bound.
+            if fault_pos != 0:
+                raise NoProgressError(
+                    f"{loop.name}: stage {stage_idx} committed nothing "
+                    f"(earliest sink at position {f_pos})"
+                )
+            zero_commit_streak += 1
+            if zero_commit_streak > config.max_fault_retries:
+                raise FaultError(
+                    f"gave up after {zero_commit_streak} consecutive "
+                    "zero-progress stages wiped out by injected faults "
+                    f"(max_fault_retries={config.max_fault_retries})",
+                    loop=loop.name,
+                    stage=stage_idx,
+                    proc=nonempty[0].proc,
+                )
+            restored = perform_restore(machine, ckpt, [b.proc for b in failing])
+            reinit_states(machine, [states[b.proc] for b in failing])
+            stage_results.append(
+                StageResult(
+                    index=stage_idx,
+                    blocks=list(nonempty),
+                    failed=True,
+                    earliest_sink_pos=f_pos,
+                    committed_iterations=0,
+                    remaining_after=remaining,
+                    committed_work=0.0,
+                    n_arcs=len(analysis.arcs),
+                    committed_elements=0,
+                    restored_elements=restored,
+                    redistributed_iterations=redistributed,
+                    span=record.span(),
+                    migration_distance=migration_distance,
+                    breakdown=record.breakdown(),
+                    faulted_procs=faulted_procs,
+                    degraded=degraded,
+                )
             )
+            pending_blocks = failing
+            stage_idx += 1
+            continue
+        zero_commit_streak = 0
 
         # -- commit / restore / re-init -------------------------------------------
         committed_elements = commit_states(
@@ -296,12 +432,14 @@ def run_blocked(
                 span=record.span(),
                 migration_distance=migration_distance,
                 breakdown=record.breakdown(),
+                faulted_procs=faulted_procs,
+                degraded=degraded,
             )
         )
         pending_blocks = failing
         stage_idx += 1
 
-    result = RunResult(
+    return _finalize(RunResult(
         loop_name=loop.name,
         strategy=config.label(),
         n_procs=n_procs,
@@ -311,5 +449,4 @@ def run_blocked(
         sequential_work=sequential_work,
         iteration_times=final_iter_times,
         memory=machine.memory,
-    )
-    return result
+    ))

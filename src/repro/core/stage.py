@@ -19,17 +19,64 @@ from repro.machine.machine import Machine
 from repro.machine.timeline import Category
 
 
-def charge_checkpoint_begin(machine: Machine, ckpt: CheckpointManager | None) -> int:
-    """Start a checkpoint epoch; charge the full-copy cost if not on-demand."""
+def charge_checkpoint_begin(
+    machine: Machine,
+    ckpt: CheckpointManager | None,
+    injector=None,
+    stage: int = 0,
+) -> int:
+    """Start a checkpoint epoch; charge the full-copy cost if not on-demand.
+
+    A planned checkpoint-storage fault loses the stage-begin full copy; it
+    is detected immediately and rewritten, so the copy cost is charged
+    twice.  On-demand checkpointing saves nothing at stage begin -- its
+    storage fault strikes the first-touch log instead and is recovered
+    after the barrier (:func:`charge_checkpoint_fault_recovery`).
+    """
     if ckpt is None:
         return 0
     elements = ckpt.begin_stage()
+    copies = 1
+    if (
+        elements
+        and injector is not None
+        and not ckpt.on_demand
+        and injector.checkpoint_fault(stage) is not None
+    ):
+        copies = 2
     if elements:
         machine.charge_global(
             Category.CHECKPOINT,
-            machine.costs.checkpoint_per_elem * elements / machine.n_procs,
+            machine.costs.checkpoint_per_elem * elements * copies / machine.n_procs,
         )
     return elements
+
+
+def charge_checkpoint_fault_recovery(
+    machine: Machine,
+    ckpt: CheckpointManager | None,
+    injector,
+    stage: int,
+) -> bool:
+    """Recover an on-demand checkpoint log lost to a storage fault.
+
+    Called after the execution barrier: the first-touch log collected this
+    stage is re-saved (the in-memory old values survive, only the stable
+    copy was lost), charged as a parallel re-write of the saved elements.
+    Returns whether a fault fired.
+    """
+    if ckpt is None or injector is None or not ckpt.on_demand:
+        return False
+    if injector.checkpoint_fault(stage) is None:
+        return False
+    if ckpt.elements_checkpointed:
+        machine.charge_global(
+            Category.CHECKPOINT,
+            machine.costs.checkpoint_per_elem
+            * ckpt.elements_checkpointed
+            / machine.n_procs,
+        )
+    return True
 
 
 def charge_analysis(

@@ -1,0 +1,42 @@
+"""Deterministic fault injection and runtime self-verification.
+
+The R-LRPD recovery protocol -- commit the prefix, roll back untested
+state, re-execute the remainder -- is a general fault-recovery mechanism,
+not just a misspeculation handler.  This package turns that observation
+into an exercisable subsystem: seeded :class:`FaultPlan`\\ s inject
+fail-stop processor deaths, transient write corruption, stragglers and
+checkpoint-storage faults into the drivers, and the self-check machinery
+continuously verifies the sequential-equivalence guarantee those recoveries
+must preserve.
+
+Quick start::
+
+    from repro import RuntimeConfig, parallelize
+    from repro.faults import random_plan
+
+    plan = random_plan(seed=7, n_procs=8)
+    config = RuntimeConfig.adaptive(fault_plan=plan, self_check=True)
+    result = parallelize(loop, 8, config)
+    print(result.faults_survived, result.retries, result.degraded_stages)
+"""
+
+from repro.faults.chaos import random_plan
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import ANY_PROC, FaultEvent, FaultKind, FaultPlan
+from repro.faults.selfcheck import (
+    UntestedAccessLog,
+    check_final_state,
+    sequential_final_state,
+)
+
+__all__ = [
+    "ANY_PROC",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
+    "random_plan",
+    "UntestedAccessLog",
+    "check_final_state",
+    "sequential_final_state",
+]

@@ -1,0 +1,102 @@
+"""Seeded random fault-plan generation (chaos testing).
+
+One integer seed expands -- through the repository's deterministic
+:func:`~repro.util.rng.make_rng` stream derivation -- into a full
+:class:`~repro.faults.plan.FaultPlan`: per (stage, processor) cell an
+independent draw decides whether each fault class fires and with what
+parameters.  The expansion is order-independent and stable under unrelated
+code changes, so a chaos sweep recorded by seed is reproducible forever.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.util.rng import make_rng
+
+#: Default number of stages the generated plan covers.  Fault decisions
+#: beyond the horizon simply never fire; runs normally finish well inside
+#: it (NRD needs at most ``p`` stages).
+DEFAULT_HORIZON = 64
+
+
+def random_plan(
+    seed: int,
+    n_procs: int,
+    n_stages: int = DEFAULT_HORIZON,
+    fail_stop_rate: float = 0.04,
+    permanent_rate: float = 0.25,
+    corrupt_rate: float = 0.04,
+    straggler_rate: float = 0.08,
+    checkpoint_rate: float = 0.05,
+    max_slowdown: float = 4.0,
+) -> FaultPlan:
+    """Generate a deterministic fault plan from a single seed.
+
+    ``*_rate`` parameters are per-(stage, processor) firing probabilities
+    (``checkpoint_rate`` is per stage).  ``permanent_rate`` is the
+    probability that a fail-stop is permanent; at most ``n_procs - 1``
+    permanent deaths are planned so the machine always keeps one survivor
+    (the injector enforces the same floor at run time).
+    """
+    if seed < 0:
+        raise ValueError(f"seed must be non-negative, got {seed}")
+    if n_procs < 1:
+        raise ValueError(f"need at least one processor, got {n_procs}")
+    if n_stages < 0:
+        raise ValueError(f"n_stages must be >= 0, got {n_stages}")
+    for name, rate in (
+        ("fail_stop_rate", fail_stop_rate),
+        ("permanent_rate", permanent_rate),
+        ("corrupt_rate", corrupt_rate),
+        ("straggler_rate", straggler_rate),
+        ("checkpoint_rate", checkpoint_rate),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+    if max_slowdown < 1.0:
+        raise ValueError("max_slowdown must be >= 1")
+
+    events: list[FaultEvent] = []
+    permanent_budget = n_procs - 1
+    for stage in range(n_stages):
+        stage_rng = make_rng(seed, "faults", "stage", stage)
+        if stage_rng.random() < checkpoint_rate:
+            events.append(FaultEvent(FaultKind.CHECKPOINT, stage))
+        for proc in range(n_procs):
+            rng = make_rng(seed, "faults", "cell", stage, proc)
+            if rng.random() < fail_stop_rate:
+                permanent = (
+                    permanent_budget > 0 and rng.random() < permanent_rate
+                )
+                if permanent:
+                    permanent_budget -= 1
+                events.append(
+                    FaultEvent(
+                        FaultKind.FAIL_STOP,
+                        stage,
+                        proc,
+                        permanent=permanent,
+                        after_fraction=float(rng.random()),
+                    )
+                )
+                # A dead processor cannot also corrupt or straggle.
+                continue
+            if rng.random() < corrupt_rate:
+                events.append(
+                    FaultEvent(
+                        FaultKind.CORRUPT_WRITE,
+                        stage,
+                        proc,
+                        magnitude=float(rng.uniform(0.5, 8.0)),
+                    )
+                )
+            if rng.random() < straggler_rate:
+                events.append(
+                    FaultEvent(
+                        FaultKind.STRAGGLER,
+                        stage,
+                        proc,
+                        slowdown=float(rng.uniform(1.5, max_slowdown)),
+                    )
+                )
+    return FaultPlan(events=tuple(events), seed=seed)

@@ -1,0 +1,109 @@
+"""The run-time fault injector.
+
+One :class:`FaultInjector` accompanies one run.  The drivers consult it at
+well-defined points -- stage begin (checkpoint faults), block dispatch
+(stragglers, fail-stop points) and post-execution (write corruption) -- and
+it answers purely from the immutable :class:`~repro.faults.plan.FaultPlan`,
+so a faulted run is exactly as deterministic as a clean one.  The injector
+additionally owns the cross-stage mutable fault state: which processors
+have permanently died, and how many faults of each class actually fired.
+
+A fault that fired is *survived* when the run completes: the recovery
+machinery (rollback + re-execution, degraded re-blocking) either absorbs
+every fault or raises :class:`~repro.errors.FaultError`, so a returned
+:class:`~repro.core.results.RunResult` reports ``faults_survived`` equal to
+the fired count.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+
+class FaultInjector:
+    """Per-run stateful view of a fault plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.dead: set[int] = set()
+        self.injected: dict[FaultKind, int] = {kind: 0 for kind in FaultKind}
+        self._fired: set[tuple[FaultKind, int, int]] = set()
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _record(self, event: FaultEvent) -> bool:
+        """Count the event once, no matter how often it is re-queried."""
+        key = (event.kind, event.stage, event.proc)
+        if key in self._fired:
+            return False
+        self._fired.add(key)
+        self.injected[event.kind] += 1
+        return True
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def counts(self) -> dict[str, int]:
+        """Fired-fault counts keyed by fault-kind value (report-friendly)."""
+        return {kind.value: n for kind, n in self.injected.items() if n}
+
+    def mark_dead(self, proc: int) -> None:
+        self.dead.add(proc)
+
+    def alive(self, procs) -> list[int]:
+        return [p for p in procs if p not in self.dead]
+
+    # -- injection points --------------------------------------------------------
+
+    def slowdown(self, stage: int, proc: int) -> float:
+        """Straggler multiplier for this processor's charges this stage."""
+        event = self.plan.straggler(stage, proc)
+        if event is None or proc in self.dead:
+            return 1.0
+        self._record(event)
+        return event.slowdown
+
+    def fail_stop_point(
+        self, stage: int, proc: int, block_len: int
+    ) -> tuple[int, bool] | None:
+        """Death point of this processor's block, if it fail-stops.
+
+        Returns ``(iterations completed before death, permanent)``; death
+        happens at an iteration boundary, strictly before the block ends,
+        so a fail-stop always loses work.  ``None`` means no fault.
+        """
+        event = self.plan.fail_stop(stage, proc)
+        if event is None or block_len <= 0:
+            return None
+        self._record(event)
+        completed = min(int(block_len * event.after_fraction), block_len - 1)
+        return completed, event.permanent
+
+    def corrupt(self, stage: int, proc: int, state) -> FaultEvent | None:
+        """Flip one speculatively written private value of ``state``.
+
+        The lowest written index of the first (alphabetically) written
+        tested array is perturbed by the event's magnitude -- a transient
+        soft error in private speculative storage.  Returns the event if a
+        value was actually corrupted; a block that wrote nothing offers no
+        target and the event is vacuous (not counted).
+        """
+        event = self.plan.corruption(stage, proc)
+        if event is None or proc in self.dead:
+            return None
+        for name in sorted(state.views):
+            view = state.views[name]
+            for index, value in view.written_items():
+                view.store(index, value + event.magnitude)
+                self._record(event)
+                return event
+        return None
+
+    def checkpoint_fault(self, stage: int) -> FaultEvent | None:
+        """Checkpoint-storage fault for this stage, if planned."""
+        event = self.plan.checkpoint_fault(stage)
+        if event is None:
+            return None
+        self._record(event)
+        return event

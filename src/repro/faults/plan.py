@@ -1,0 +1,149 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a frozen, declarative description of every fault the
+simulated machine will suffer during one run: which stage, which processor,
+which fault class, and the class-specific parameters.  Because the plan is
+fixed up front (either hand-written for targeted tests or generated from a
+single seed by :func:`repro.faults.chaos.random_plan`), a faulted run is as
+reproducible as a fault-free one -- the acceptance bar for the whole
+subsystem is that a fixed seed reproduces the identical :class:`RunResult`.
+
+Stages are addressed by the driver's stage counter (the ``index`` field of
+:class:`~repro.core.results.StageResult`), processors by machine rank.
+
+Fault classes
+-------------
+
+* ``FAIL_STOP`` -- the processor dies mid-block after completing a fraction
+  of its iterations; its private state is lost and its untested writes must
+  be rolled back.  ``permanent=True`` removes the processor for the rest of
+  the run (degraded-mode re-blocking over the survivors).
+* ``CORRUPT_WRITE`` -- a transient soft error flips one speculatively
+  written private value after the block executes; the runtime's integrity
+  check detects it during analysis and the block re-executes.
+* ``STRAGGLER`` -- every virtual-time charge of the processor during the
+  stage is multiplied by ``slowdown`` (cost-model slowdown, e.g. thermal
+  throttling or an interfering job).  Purely a performance fault.
+* ``CHECKPOINT`` -- the checkpoint storage write at stage begin is lost and
+  must be rewritten (charged again); on-demand checkpointing instead
+  re-saves its first-touch log after the execution barrier.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault classes."""
+
+    FAIL_STOP = "fail-stop"
+    CORRUPT_WRITE = "corrupt-write"
+    STRAGGLER = "straggler"
+    CHECKPOINT = "checkpoint"
+
+
+#: Processor id used by machine-wide faults (``CHECKPOINT``).
+ANY_PROC = -1
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One planned fault occurrence."""
+
+    kind: FaultKind
+    stage: int
+    proc: int = ANY_PROC
+    permanent: bool = False
+    """``FAIL_STOP`` only: the processor never rejoins the machine."""
+
+    after_fraction: float = 0.5
+    """``FAIL_STOP`` only: fraction of the block's iterations completed
+    before the processor dies (death happens at an iteration boundary)."""
+
+    magnitude: float = 1.0
+    """``CORRUPT_WRITE`` only: additive perturbation applied to the first
+    speculatively written private element."""
+
+    slowdown: float = 1.0
+    """``STRAGGLER`` only: virtual-time multiplier (>= 1)."""
+
+    def __post_init__(self) -> None:
+        if self.stage < 0:
+            raise ValueError(f"fault stage must be >= 0, got {self.stage}")
+        if self.kind is FaultKind.CHECKPOINT:
+            if self.proc != ANY_PROC:
+                raise ValueError("checkpoint faults are machine-wide; omit proc")
+        elif self.proc < 0:
+            raise ValueError(f"{self.kind.value} fault needs a processor id")
+        if not 0.0 <= self.after_fraction < 1.0:
+            raise ValueError("after_fraction must lie in [0, 1)")
+        if not (math.isfinite(self.magnitude) and self.magnitude != 0.0):
+            raise ValueError("corruption magnitude must be finite and nonzero")
+        if not (math.isfinite(self.slowdown) and self.slowdown >= 1.0):
+            raise ValueError("straggler slowdown must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of :class:`FaultEvent` occurrences.
+
+    ``seed`` records the provenance of generated plans (``None`` for
+    hand-written ones); it is carried into reports so a chaotic run can be
+    reproduced from its output alone.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int | None = None
+    _index: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        index: dict[tuple[FaultKind, int, int], FaultEvent] = {}
+        for event in self.events:
+            key = (event.kind, event.stage, event.proc)
+            # First event wins on duplicate targeting (keeps generated
+            # plans simple: one draw per (kind, stage, proc) cell).
+            index.setdefault(key, event)
+        object.__setattr__(self, "_index", index)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # -- lookups used by the injector ------------------------------------------
+
+    def fail_stop(self, stage: int, proc: int) -> FaultEvent | None:
+        return self._index.get((FaultKind.FAIL_STOP, stage, proc))
+
+    def corruption(self, stage: int, proc: int) -> FaultEvent | None:
+        return self._index.get((FaultKind.CORRUPT_WRITE, stage, proc))
+
+    def straggler(self, stage: int, proc: int) -> FaultEvent | None:
+        return self._index.get((FaultKind.STRAGGLER, stage, proc))
+
+    def checkpoint_fault(self, stage: int) -> FaultEvent | None:
+        return self._index.get((FaultKind.CHECKPOINT, stage, ANY_PROC))
+
+    def describe(self) -> str:
+        """One line per event, in (stage, proc) order (reports / debugging)."""
+        lines = []
+        for ev in sorted(self.events, key=lambda e: (e.stage, e.proc, e.kind.value)):
+            extra = ""
+            if ev.kind is FaultKind.FAIL_STOP:
+                extra = f" after={ev.after_fraction:.2f}" + (
+                    " permanent" if ev.permanent else ""
+                )
+            elif ev.kind is FaultKind.STRAGGLER:
+                extra = f" x{ev.slowdown:.2f}"
+            elif ev.kind is FaultKind.CORRUPT_WRITE:
+                extra = f" magnitude={ev.magnitude:g}"
+            target = "machine" if ev.proc == ANY_PROC else f"proc {ev.proc}"
+            lines.append(f"stage {ev.stage}: {ev.kind.value} on {target}{extra}")
+        header = f"FaultPlan({len(self.events)} events"
+        header += f", seed={self.seed})" if self.seed is not None else ")"
+        return "\n".join([header, *lines]) if lines else header

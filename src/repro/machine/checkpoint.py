@@ -44,6 +44,7 @@ class CheckpointManager:
         # name -> index -> set of procs that wrote it this stage.
         self._writers: dict[str, dict[int, set[int]]] = {}
         self.elements_checkpointed = 0
+        self._stage_active = False
 
     @property
     def names(self) -> list[str]:
@@ -56,6 +57,7 @@ class CheckpointManager:
         self._writers = {name: {} for name in self._names}
         self._full = {}
         self.elements_checkpointed = 0
+        self._stage_active = True
         if not self.on_demand:
             for name in self._names:
                 data = self._memory[name].data
@@ -70,6 +72,12 @@ class CheckpointManager:
         (1 for an on-demand first touch, else 0) so the caller can charge
         virtual time.
         """
+        if not self._stage_active:
+            raise CheckpointError(
+                f"note_write({name!r}) before begin_stage(): the checkpoint "
+                "epoch has not been opened; drivers must call begin_stage() "
+                "once per speculative stage before any untested write"
+            )
         if name not in self._saved:
             raise CheckpointError(f"array {name!r} is not under checkpoint")
         writers = self._writers[name].setdefault(index, set())

@@ -40,7 +40,7 @@ class DependenceEdge:
     def __post_init__(self) -> None:
         if self.src >= self.dst:
             raise ValueError(
-                f"dependence edges point forward in iteration order; got "
+                "dependence edges point forward in iteration order; got "
                 f"{self.src} -> {self.dst}"
             )
 

@@ -26,7 +26,7 @@ def make_rng(seed: int | None, *stream: str | int) -> np.random.Generator:
         else:
             # Stable 32-bit hash of the stream name (hash() is salted).
             h = 2166136261
-            for ch in part.encode("utf-8"):
+            for ch in part.encode():
                 h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
             keys.append(h)
     return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=keys))

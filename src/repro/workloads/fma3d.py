@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.loopir.loop import ArraySpec, SpeculativeLoop
 from repro.util.rng import make_rng

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench import EXPERIMENTS, ExperimentResult, list_experiments, run_experiment
+from repro.bench import ExperimentResult, list_experiments, run_experiment
 from repro.bench.report import generate_report
 
 

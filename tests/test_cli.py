@@ -73,3 +73,18 @@ class TestCommands:
         assert main(["run", "extend:clean", "-p", "4"]) == 0
         out = capsys.readouterr().out
         assert "induction" in out
+
+    def test_run_with_faults_reports_survival(self, capsys):
+        # Seed 1 is known (and pinned by determinism) to fire faults on
+        # this workload within the first stages.
+        assert main(["run", "random-deps", "-p", "8", "--strategy", "sw",
+                     "--faults", "1", "--self-check"]) == 0
+        out = capsys.readouterr().out
+        assert "faults survived:" in out
+        assert "fault retries:" in out
+
+    def test_run_self_check_alone(self, capsys):
+        assert main(["run", "scatter", "-p", "4", "--self-check"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "faults survived" not in out  # fault-free machine

@@ -37,13 +37,31 @@ class TestRuntimeConfig:
     def test_sw_auto_label(self):
         assert RuntimeConfig.sw().label() == "SW(w=auto)"
 
-    def test_sw_forces_never_redistribution(self):
+    def test_sw_defaults_to_never_redistribution(self):
+        cfg = RuntimeConfig(strategy=Strategy.SLIDING_WINDOW, window_size=8)
+        assert cfg.redistribution is RedistributionPolicy.NEVER
+
+    def test_sw_explicit_never_is_accepted(self):
         cfg = RuntimeConfig(
             strategy=Strategy.SLIDING_WINDOW,
-            redistribution=RedistributionPolicy.ALWAYS,
+            redistribution=RedistributionPolicy.NEVER,
             window_size=8,
         )
         assert cfg.redistribution is RedistributionPolicy.NEVER
+
+    @pytest.mark.parametrize(
+        "policy", [RedistributionPolicy.ALWAYS, RedistributionPolicy.ADAPTIVE]
+    )
+    def test_sw_rejects_explicit_redistribution(self, policy):
+        with pytest.raises(ConfigurationError, match="sliding-window"):
+            RuntimeConfig(
+                strategy=Strategy.SLIDING_WINDOW,
+                redistribution=policy,
+                window_size=8,
+            )
+
+    def test_blocked_defaults_to_adaptive_redistribution(self):
+        assert RuntimeConfig().redistribution is RedistributionPolicy.ADAPTIVE
 
     def test_invalid_window_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,6 +1,5 @@
 """Unit tests for the analysis phase: earliest sink, doall validity."""
 
-import pytest
 
 from repro.config import TestCondition
 from repro.core.analysis import DependenceArc, analyze_stage, doall_valid

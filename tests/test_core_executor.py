@@ -4,14 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.executor import (
-    SpeculativeContext,
     execute_block,
     make_processor_state,
 )
 from repro.loopir.loop import ArraySpec, SpeculativeLoop
 from repro.loopir.reductions import ReductionOp
 from repro.machine.checkpoint import CheckpointManager
-from repro.machine.costs import CostModel
 from repro.machine.machine import Machine
 from repro.machine.timeline import Category
 from repro.util.blocks import Block

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import RuntimeConfig
 from repro.core.induction_runner import run_induction
 from repro.errors import ConfigurationError
 from repro.loopir.induction import InductionSpec

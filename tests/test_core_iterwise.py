@@ -10,7 +10,6 @@ from repro.errors import ConfigurationError
 from repro.loopir.loop import ArraySpec, SpeculativeLoop
 from repro.loopir.reductions import ReductionOp
 from repro.workloads.synthetic import (
-    chain_loop,
     fully_parallel_loop,
     random_dependence_loop,
 )

@@ -5,7 +5,6 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.config import RuntimeConfig
 from repro.core.listtraversal import (
     LinkedListLoop,
     run_list_traversal,

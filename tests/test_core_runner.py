@@ -1,11 +1,9 @@
 """Tests for the top-level dispatch and program runners."""
 
 import numpy as np
-import pytest
 
 from repro.config import RuntimeConfig
 from repro.core.runner import parallelize, run_program
-from repro.loopir.induction import InductionSpec
 from repro.loopir.loop import ArraySpec, SpeculativeLoop
 from repro.machine.memory import MemoryImage, SharedArray
 from repro.workloads.synthetic import fully_parallel_loop

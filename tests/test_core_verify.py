@@ -1,7 +1,6 @@
 """Tests for the loop-certification utility."""
 
 import numpy as np
-import pytest
 
 from repro.config import RuntimeConfig
 from repro.core.verify import Certificate, certify, default_strategies

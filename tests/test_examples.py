@@ -8,7 +8,6 @@ first user.
 import importlib.util
 import io
 import pathlib
-import sys
 from contextlib import redirect_stdout
 
 import pytest

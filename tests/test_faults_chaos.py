@@ -1,0 +1,113 @@
+"""Randomized chaos testing: seeded fault storms across every strategy.
+
+The subsystem's acceptance bar (ISSUE): under every fault class, on all
+three strategies, the final shared memory is bit-identical to the
+sequential execution, and a fixed seed reproduces the identical run.
+"""
+
+import pytest
+
+from repro.baselines.sequential import sequential_reference
+from repro.config import RuntimeConfig
+from repro.core.runner import parallelize
+from repro.errors import FaultError
+from repro.faults import random_plan
+from repro.workloads import EXTEND_DECKS, NLFILT_DECKS, make_extend_loop, make_nlfilt_loop
+from repro.workloads.synthetic import random_dependence_loop
+
+from tests.conftest import make_simple_loop
+
+P = 8
+
+CONFIGS = {
+    "NRD": RuntimeConfig.nrd,
+    "RD": RuntimeConfig.rd,
+    "SW": lambda **kw: RuntimeConfig.sw(2 * P, **kw),
+}
+
+
+def storm(seed):
+    """A dense plan exercising every fault class."""
+    return random_plan(
+        seed, n_procs=P,
+        fail_stop_rate=0.08, permanent_rate=0.3, corrupt_rate=0.08,
+        straggler_rate=0.15, checkpoint_rate=0.2,
+    )
+
+
+def run_with_faults(make_loop, config_name, seed, **config_kw):
+    config = CONFIGS[config_name](
+        fault_plan=storm(seed), self_check=True, max_fault_retries=10,
+        **config_kw,
+    )
+    return parallelize(make_loop(), P, config)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("seed", range(5))
+class TestChaosMatchesOracle:
+    def test_dependence_loop(self, config_name, seed):
+        make_loop = lambda: random_dependence_loop(  # noqa: E731
+            384, density=0.05, max_distance=8
+        )
+        result = run_with_faults(make_loop, config_name, seed)
+        assert result.memory.equals(sequential_reference(make_loop()))
+        assert result.faults_survived == sum(
+            result.fault_counts.values()
+        )
+
+    def test_untested_state_loop(self, config_name, seed):
+        make_loop = lambda: make_nlfilt_loop(NLFILT_DECKS["16-400"])  # noqa: E731
+        result = run_with_faults(make_loop, config_name, seed)
+        assert result.memory.equals(sequential_reference(make_loop()))
+
+
+@pytest.mark.parametrize("seed", range(3))
+class TestChaosInduction:
+    def test_induction_loop(self, seed):
+        make_loop = lambda: make_extend_loop(EXTEND_DECKS["heavy-deps"])  # noqa: E731
+        config = RuntimeConfig.rd(
+            fault_plan=storm(seed), self_check=True, max_fault_retries=10
+        )
+        result = parallelize(make_loop(), P, config)
+        assert result.memory.equals(sequential_reference(make_loop()))
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_fixed_seed_reproduces_the_run(self, config_name):
+        results = [
+            run_with_faults(make_simple_loop, config_name, seed=4)
+            for _ in range(2)
+        ]
+        a, b = results
+        assert a.summary() == b.summary()
+        assert a.fault_counts == b.fault_counts
+        assert a.retries == b.retries
+        assert a.dead_procs == b.dead_procs
+        assert a.degraded_stages == b.degraded_stages
+        assert [s.span for s in a.stages] == [s.span for s in b.stages]
+        assert [s.faulted_procs for s in a.stages] == [
+            s.faulted_procs for s in b.stages
+        ]
+
+    def test_full_vs_ondemand_checkpoint_same_result(self):
+        ref = sequential_reference(make_nlfilt_loop(NLFILT_DECKS["16-400"]))
+        for on_demand in (True, False):
+            result = run_with_faults(
+                lambda: make_nlfilt_loop(NLFILT_DECKS["16-400"]),
+                "RD", seed=1, on_demand_checkpoint=on_demand,
+            )
+            assert result.memory.equals(ref)
+
+
+class TestUnrecoverableStorm:
+    def test_total_storm_raises_fault_error(self):
+        # Every (stage, proc) cell fail-stops with zero progress: no stage
+        # can ever commit, so the bounded retry gives up deterministically.
+        hopeless = random_plan(
+            0, n_procs=4, n_stages=64, fail_stop_rate=1.0, permanent_rate=0.0
+        )
+        config = RuntimeConfig.nrd(fault_plan=hopeless, max_fault_retries=3)
+        with pytest.raises(FaultError, match="max_fault_retries"):
+            parallelize(make_simple_loop(), 4, config)

@@ -1,0 +1,95 @@
+"""Regression: premature loop exits interacting with mid-block fail-stop.
+
+An exit signalled by a processor that later turns out to be faulted (or
+that sits beyond a faulted block) cannot be trusted: the iterations that
+*decide* the exit may re-execute differently after rollback.  The exit must
+only be validated once every iteration up to it has committed, and the
+final memory must equal the sequential prefix semantics exactly.
+"""
+
+import pytest
+
+from repro.baselines.sequential import sequential_reference
+from repro.config import RuntimeConfig
+from repro.core.runner import parallelize
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+from tests.test_core_exit import exit_loop_at
+
+
+def fail_stop(stage, proc, *, after=0.5, permanent=False):
+    return FaultEvent(
+        FaultKind.FAIL_STOP, stage=stage, proc=proc,
+        permanent=permanent, after_fraction=after,
+    )
+
+
+class TestExitWithFailStop:
+    def test_exit_block_itself_faults(self):
+        # p=4, n=32: proc 2 owns [16, 24) and signals the exit at 20 -- but
+        # dies at 20 before reporting.  The exit must re-emerge on
+        # re-execution and still validate.
+        plan = FaultPlan(events=(fail_stop(0, 2, after=0.5),))
+        loop = exit_loop_at(32, exit_at=20)
+        result = parallelize(loop, 4, RuntimeConfig.nrd(fault_plan=plan))
+        assert result.exit_iteration == 20
+        ref = sequential_reference(exit_loop_at(32, exit_at=20))
+        assert result.memory.equals(ref)
+        assert result.retries == 1
+
+    def test_fault_before_exit_invalidates_it(self):
+        # Proc 1 ([8, 16)) faults; proc 2's exit at 20 lies beyond the
+        # failure point, so it must NOT be validated this stage -- iteration
+        # 20 re-executes after the hole is filled.
+        plan = FaultPlan(events=(fail_stop(0, 1, after=0.0),))
+        loop = exit_loop_at(32, exit_at=20)
+        result = parallelize(loop, 4, RuntimeConfig.nrd(fault_plan=plan))
+        assert result.exit_iteration == 20
+        ref = sequential_reference(exit_loop_at(32, exit_at=20))
+        assert result.memory.equals(ref)
+        assert result.stages[0].faulted_procs == [1]
+        # The committed prefix never includes iterations past the exit.
+        assert result.memory["A"].data[21] == 0.0
+
+    def test_fault_after_exit_is_harmless(self):
+        # Proc 3 ([24, 32)) faults, but those iterations are discarded by
+        # the validated exit at 20 anyway.
+        plan = FaultPlan(events=(fail_stop(0, 3, after=0.0),))
+        loop = exit_loop_at(32, exit_at=20)
+        result = parallelize(loop, 4, RuntimeConfig.nrd(fault_plan=plan))
+        assert result.exit_iteration == 20
+        ref = sequential_reference(exit_loop_at(32, exit_at=20))
+        assert result.memory.equals(ref)
+        # No extra stage: the exit validated in the presence of the fault.
+        assert result.n_stages == 1
+
+    def test_exit_with_dependences_and_permanent_death(self):
+        plan = FaultPlan(events=(fail_stop(0, 1, permanent=True),))
+        loop = exit_loop_at(32, exit_at=20, dep_targets=(18,))
+        result = parallelize(
+            loop, 4, RuntimeConfig.nrd(fault_plan=plan, self_check=False)
+        )
+        assert result.exit_iteration == 20
+        ref = sequential_reference(
+            exit_loop_at(32, exit_at=20, dep_targets=(18,))
+        )
+        assert result.memory.equals(ref)
+        assert result.dead_procs == [1]
+
+    @pytest.mark.parametrize("exit_at", [0, 7, 15, 31])
+    def test_exit_positions_under_storm(self, exit_at):
+        events = tuple(
+            fail_stop(stage, proc, after=0.25)
+            for stage in range(3)
+            for proc in (1, 3)
+        )
+        loop = exit_loop_at(32, exit_at=exit_at)
+        result = parallelize(
+            loop, 4,
+            RuntimeConfig.nrd(
+                fault_plan=FaultPlan(events=events), max_fault_retries=8
+            ),
+        )
+        assert result.exit_iteration == exit_at
+        ref = sequential_reference(exit_loop_at(32, exit_at=exit_at))
+        assert result.memory.equals(ref)

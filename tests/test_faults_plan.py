@@ -1,0 +1,210 @@
+"""Unit tests for fault plans, the chaos generator and the injector."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ANY_PROC,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    random_plan,
+)
+from repro.machine.memory import SharedArray, make_private_view
+
+
+class TestFaultEvent:
+    def test_defaults(self):
+        ev = FaultEvent(FaultKind.FAIL_STOP, stage=2, proc=1)
+        assert not ev.permanent
+        assert ev.after_fraction == 0.5
+
+    def test_negative_stage_rejected(self):
+        with pytest.raises(ValueError, match="stage"):
+            FaultEvent(FaultKind.STRAGGLER, stage=-1, proc=0)
+
+    def test_processor_fault_needs_proc(self):
+        with pytest.raises(ValueError, match="processor"):
+            FaultEvent(FaultKind.FAIL_STOP, stage=0)
+
+    def test_checkpoint_fault_is_machine_wide(self):
+        with pytest.raises(ValueError, match="machine-wide"):
+            FaultEvent(FaultKind.CHECKPOINT, stage=0, proc=3)
+        assert FaultEvent(FaultKind.CHECKPOINT, stage=0).proc == ANY_PROC
+
+    def test_after_fraction_bounds(self):
+        with pytest.raises(ValueError, match="after_fraction"):
+            FaultEvent(FaultKind.FAIL_STOP, stage=0, proc=0, after_fraction=1.0)
+
+    def test_zero_magnitude_rejected(self):
+        with pytest.raises(ValueError, match="magnitude"):
+            FaultEvent(FaultKind.CORRUPT_WRITE, stage=0, proc=0, magnitude=0.0)
+
+    def test_slowdown_below_one_rejected(self):
+        with pytest.raises(ValueError, match="slowdown"):
+            FaultEvent(FaultKind.STRAGGLER, stage=0, proc=0, slowdown=0.5)
+
+
+class TestFaultPlan:
+    def test_lookups(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(FaultKind.FAIL_STOP, stage=1, proc=2),
+                FaultEvent(FaultKind.STRAGGLER, stage=0, proc=0, slowdown=2.0),
+                FaultEvent(FaultKind.CHECKPOINT, stage=3),
+            )
+        )
+        assert plan.fail_stop(1, 2) is not None
+        assert plan.fail_stop(1, 3) is None
+        assert plan.fail_stop(0, 2) is None
+        assert plan.straggler(0, 0).slowdown == 2.0
+        assert plan.checkpoint_fault(3) is not None
+        assert plan.checkpoint_fault(2) is None
+        assert len(plan) == 3 and bool(plan)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+
+    def test_first_event_wins_on_duplicates(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent(FaultKind.STRAGGLER, stage=0, proc=0, slowdown=2.0),
+                FaultEvent(FaultKind.STRAGGLER, stage=0, proc=0, slowdown=9.0),
+            )
+        )
+        assert plan.straggler(0, 0).slowdown == 2.0
+
+    def test_describe_mentions_every_event(self):
+        plan = random_plan(7, n_procs=4, n_stages=16)
+        text = plan.describe()
+        assert "seed=7" in text
+        assert text.count("\n") == len(plan)
+
+
+class TestRandomPlan:
+    def test_deterministic_for_seed(self):
+        assert random_plan(11, n_procs=8) == random_plan(11, n_procs=8)
+
+    def test_different_seeds_differ(self):
+        a = random_plan(1, n_procs=8, fail_stop_rate=0.3)
+        b = random_plan(2, n_procs=8, fail_stop_rate=0.3)
+        assert a.events != b.events
+
+    def test_rate_zero_yields_empty_plan(self):
+        plan = random_plan(
+            5, n_procs=8,
+            fail_stop_rate=0.0, corrupt_rate=0.0,
+            straggler_rate=0.0, checkpoint_rate=0.0,
+        )
+        assert len(plan) == 0
+
+    def test_rate_one_fires_everywhere(self):
+        plan = random_plan(
+            5, n_procs=2, n_stages=4,
+            fail_stop_rate=1.0, checkpoint_rate=1.0,
+        )
+        fail_stops = [
+            ev for ev in plan.events if ev.kind is FaultKind.FAIL_STOP
+        ]
+        assert len(fail_stops) == 8  # every (stage, proc) cell
+        assert sum(
+            1 for ev in plan.events if ev.kind is FaultKind.CHECKPOINT
+        ) == 4
+
+    def test_permanent_deaths_keep_one_survivor(self):
+        plan = random_plan(
+            3, n_procs=4, n_stages=32,
+            fail_stop_rate=1.0, permanent_rate=1.0,
+        )
+        permanent = [ev for ev in plan.events if ev.permanent]
+        assert len(permanent) == 3  # n_procs - 1
+
+    def test_dead_cell_cannot_also_straggle(self):
+        plan = random_plan(
+            9, n_procs=4, n_stages=32,
+            fail_stop_rate=1.0, straggler_rate=1.0, corrupt_rate=1.0,
+        )
+        cells = {(ev.stage, ev.proc) for ev in plan.events
+                 if ev.kind is FaultKind.FAIL_STOP}
+        for ev in plan.events:
+            if ev.kind in (FaultKind.STRAGGLER, FaultKind.CORRUPT_WRITE):
+                assert (ev.stage, ev.proc) not in cells
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="corrupt_rate"):
+            random_plan(0, n_procs=4, corrupt_rate=1.5)
+
+    def test_no_procs_rejected(self):
+        with pytest.raises(ValueError, match="processor"):
+            random_plan(0, n_procs=0)
+
+
+class _FakeState:
+    """Just enough ProcessorState surface for FaultInjector.corrupt."""
+
+    def __init__(self, views):
+        self.views = views
+
+
+class TestFaultInjector:
+    def test_slowdown_defaults_to_one(self):
+        inj = FaultInjector(FaultPlan())
+        assert inj.slowdown(0, 0) == 1.0
+        assert inj.total_injected == 0
+
+    def test_fail_stop_point_boundaries(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.FAIL_STOP, stage=0, proc=1,
+                       after_fraction=0.0),
+            FaultEvent(FaultKind.FAIL_STOP, stage=1, proc=1,
+                       after_fraction=0.99, permanent=True),
+        ))
+        inj = FaultInjector(plan)
+        assert inj.fail_stop_point(0, 1, 10) == (0, False)
+        # Death is strictly before the block's end: always loses work.
+        assert inj.fail_stop_point(1, 1, 10) == (9, True)
+        assert inj.fail_stop_point(0, 0, 10) is None
+
+    def test_events_counted_once(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.STRAGGLER, stage=0, proc=0, slowdown=3.0),
+        ))
+        inj = FaultInjector(plan)
+        inj.slowdown(0, 0)
+        inj.slowdown(0, 0)
+        assert inj.injected[FaultKind.STRAGGLER] == 1
+        assert inj.counts() == {"straggler": 1}
+
+    def test_dead_proc_does_not_straggle(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.STRAGGLER, stage=0, proc=2, slowdown=3.0),
+        ))
+        inj = FaultInjector(plan)
+        inj.mark_dead(2)
+        assert inj.slowdown(0, 2) == 1.0
+        assert inj.alive([0, 1, 2, 3]) == [0, 1, 3]
+
+    def test_corrupt_perturbs_first_written_value(self):
+        shared = SharedArray("A", np.zeros(8))
+        view = make_private_view(shared, sparse=False)
+        view.store(3, 5.0)
+        state = _FakeState({"A": view})
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.CORRUPT_WRITE, stage=0, proc=0,
+                       magnitude=2.5),
+        ))
+        inj = FaultInjector(plan)
+        assert inj.corrupt(0, 0, state) is not None
+        assert view.load(3)[0] == 7.5
+        assert inj.counts() == {"corrupt-write": 1}
+
+    def test_corrupt_is_vacuous_without_writes(self):
+        shared = SharedArray("A", np.zeros(8))
+        state = _FakeState({"A": make_private_view(shared, sparse=False)})
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.CORRUPT_WRITE, stage=0, proc=0),
+        ))
+        inj = FaultInjector(plan)
+        assert inj.corrupt(0, 0, state) is None
+        assert inj.total_injected == 0

@@ -1,0 +1,281 @@
+"""Recovery semantics under targeted (hand-written) fault plans."""
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.runner import parallelize
+from repro.errors import FaultError, SelfCheckError
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.faults.selfcheck import check_final_state
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.machine.timeline import Category
+from repro.workloads import EXTEND_DECKS, make_extend_loop
+
+from tests.conftest import assert_matches_sequential, make_simple_loop
+
+
+def doall_loop(n=64, name="doall_faults"):
+    def body(ctx, i):
+        x = ctx.load("A", i)
+        ctx.store("A", i, x + float(i))
+
+    return SpeculativeLoop(
+        name, n, body, arrays=[ArraySpec("A", np.zeros(n))]
+    )
+
+
+def untested_loop(n=64, name="untested_faults"):
+    """Disjoint per-iteration writes to a statically analyzable array."""
+
+    def body(ctx, i):
+        ctx.work(1.0)
+        ctx.store("B", i, float(i) + 1.0)
+
+    return SpeculativeLoop(
+        name, n, body, arrays=[ArraySpec("B", np.zeros(n), tested=False)]
+    )
+
+
+def fail_stop(stage, proc, *, permanent=False, after=0.5):
+    return FaultEvent(
+        FaultKind.FAIL_STOP, stage=stage, proc=proc,
+        permanent=permanent, after_fraction=after,
+    )
+
+
+class TestFailStop:
+    def test_transient_death_recovers(self):
+        plan = FaultPlan(events=(fail_stop(0, 2),))
+        result = parallelize(
+            doall_loop(), 4, RuntimeConfig.nrd(fault_plan=plan)
+        )
+        assert_matches_sequential(result, doall_loop())
+        assert result.retries == 1
+        assert result.faults_survived == 1
+        assert result.fault_counts == {"fail-stop": 1}
+        assert result.stages[0].faulted_procs == [2]
+        assert result.stages[0].failed
+        assert result.dead_procs == []
+        assert result.degraded_stages == 0
+
+    def test_blocks_before_the_fault_commit(self):
+        plan = FaultPlan(events=(fail_stop(0, 2),))
+        result = parallelize(
+            doall_loop(), 4, RuntimeConfig.nrd(fault_plan=plan)
+        )
+        # Fully parallel loop: positions 0 and 1 commit, 2.. re-execute.
+        assert result.stages[0].committed_iterations == 32
+        assert result.n_stages == 2
+
+    def test_permanent_death_degrades_the_machine(self):
+        plan = FaultPlan(events=(fail_stop(0, 1, permanent=True),))
+        loop = make_simple_loop()
+        result = parallelize(
+            loop, 4, RuntimeConfig.nrd(fault_plan=plan)
+        )
+        assert_matches_sequential(result, make_simple_loop())
+        assert result.dead_procs == [1]
+        assert result.degraded_stages >= 1
+        assert any(s.degraded for s in result.stages)
+
+    def test_permanent_death_under_rd(self):
+        plan = FaultPlan(events=(fail_stop(0, 1, permanent=True),))
+        result = parallelize(
+            doall_loop(), 4, RuntimeConfig.rd(fault_plan=plan)
+        )
+        assert_matches_sequential(result, doall_loop())
+        assert result.dead_procs == [1]
+        # Degraded stages never schedule the dead processor.
+        for stage in result.stages[1:]:
+            assert all(b.proc != 1 for b in stage.blocks)
+
+    def test_sliding_window_fail_stop(self):
+        plan = FaultPlan(events=(fail_stop(0, 0),))
+        result = parallelize(
+            doall_loop(), 4, RuntimeConfig.sw(8, fault_plan=plan)
+        )
+        assert_matches_sequential(result, doall_loop())
+        assert result.retries == 1
+        assert result.stages[0].committed_iterations == 0
+
+    def test_induction_runner_fail_stop(self):
+        deck = EXTEND_DECKS["clean"]
+        plan = FaultPlan(events=(fail_stop(1, 1),))  # phase B of round one
+        result = parallelize(
+            make_extend_loop(deck), 4, RuntimeConfig.rd(fault_plan=plan)
+        )
+        assert_matches_sequential(result, make_extend_loop(deck))
+        assert result.retries == 1
+        assert result.fault_counts == {"fail-stop": 1}
+
+    def test_last_survivor_cannot_die(self):
+        plan = FaultPlan(events=(
+            fail_stop(0, 0, permanent=True, after=0.0),
+        ))
+        result = parallelize(
+            doall_loop(), 1,
+            RuntimeConfig.nrd(fault_plan=plan, max_fault_retries=3),
+        )
+        # The only processor's permanent death is downgraded to transient.
+        assert_matches_sequential(result, doall_loop())
+        assert result.dead_procs == []
+
+
+class TestZeroCommitRetry:
+    def test_bounded_retries_then_fault_error(self):
+        plan = FaultPlan(events=(
+            fail_stop(0, 0, after=0.0),
+            fail_stop(1, 0, after=0.0),
+            fail_stop(2, 0, after=0.0),
+        ))
+        with pytest.raises(FaultError) as exc:
+            parallelize(
+                doall_loop(), 4,
+                RuntimeConfig.nrd(fault_plan=plan, max_fault_retries=2),
+            )
+        assert exc.value.loop == "doall_faults"
+        assert exc.value.stage == 2
+
+    def test_zero_retries_budget(self):
+        plan = FaultPlan(events=(fail_stop(0, 0, after=0.0),))
+        with pytest.raises(FaultError):
+            parallelize(
+                doall_loop(), 4,
+                RuntimeConfig.nrd(fault_plan=plan, max_fault_retries=0),
+            )
+
+    def test_recovery_within_budget(self):
+        plan = FaultPlan(events=(
+            fail_stop(0, 0, after=0.0),
+            fail_stop(1, 0, after=0.0),
+        ))
+        result = parallelize(
+            doall_loop(), 4,
+            RuntimeConfig.nrd(fault_plan=plan, max_fault_retries=2),
+        )
+        assert_matches_sequential(result, doall_loop())
+        assert result.retries == 2
+        assert result.stages[0].committed_iterations == 0
+        assert result.stages[1].committed_iterations == 0
+
+
+class TestStraggler:
+    def test_slows_the_run_without_changing_results(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.STRAGGLER, stage=0, proc=0, slowdown=3.0),
+        ))
+        clean = parallelize(doall_loop(), 4, RuntimeConfig.nrd())
+        slow = parallelize(
+            doall_loop(), 4, RuntimeConfig.nrd(fault_plan=plan)
+        )
+        assert_matches_sequential(slow, doall_loop())
+        assert slow.fault_counts == {"straggler": 1}
+        assert slow.retries == 0
+        assert slow.n_restarts == 0
+        # The useful-work denominator is invariant; only elapsed time grows.
+        assert slow.sequential_work == pytest.approx(clean.sequential_work)
+        assert slow.total_time > clean.total_time
+
+
+class TestCorruptWrite:
+    def test_detected_and_reexecuted(self):
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.CORRUPT_WRITE, stage=0, proc=1,
+                       magnitude=100.0),
+        ))
+        result = parallelize(
+            doall_loop(), 4, RuntimeConfig.nrd(fault_plan=plan)
+        )
+        assert_matches_sequential(result, doall_loop())
+        assert result.fault_counts == {"corrupt-write": 1}
+        assert result.retries == 1
+        assert result.stages[0].faulted_procs == [1]
+
+    def test_vacuous_when_block_writes_nothing(self):
+        def body(ctx, i):
+            if i < 16:  # only processor 0's block writes
+                ctx.store("A", i, 1.0)
+
+        loop = SpeculativeLoop(
+            "sparse_writes", 64, body, arrays=[ArraySpec("A", np.zeros(64))]
+        )
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.CORRUPT_WRITE, stage=0, proc=2),
+        ))
+        result = parallelize(loop, 4, RuntimeConfig.nrd(fault_plan=plan))
+        assert result.faults_survived == 0
+        assert result.retries == 0
+
+
+class TestCheckpointFault:
+    @pytest.mark.parametrize("on_demand", [True, False])
+    def test_recharges_checkpoint_cost(self, on_demand):
+        plan = FaultPlan(events=(FaultEvent(FaultKind.CHECKPOINT, stage=0),))
+        clean = parallelize(
+            untested_loop(), 4,
+            RuntimeConfig.nrd(on_demand_checkpoint=on_demand),
+        )
+        faulted = parallelize(
+            untested_loop(), 4,
+            RuntimeConfig.nrd(fault_plan=plan, on_demand_checkpoint=on_demand),
+        )
+        assert_matches_sequential(faulted, untested_loop())
+        assert faulted.fault_counts == {"checkpoint": 1}
+        assert faulted.retries == 0
+        assert (
+            faulted.timeline.charged_category(Category.CHECKPOINT)
+            > clean.timeline.charged_category(Category.CHECKPOINT)
+        )
+
+    def test_no_checkpointed_arrays_means_no_fault(self):
+        plan = FaultPlan(events=(FaultEvent(FaultKind.CHECKPOINT, stage=0),))
+        result = parallelize(
+            doall_loop(), 4, RuntimeConfig.nrd(fault_plan=plan)
+        )
+        assert result.faults_survived == 0
+
+
+class TestSelfCheck:
+    def test_clean_run_passes(self):
+        loop = make_simple_loop()
+        result = parallelize(
+            loop, 4, RuntimeConfig.adaptive(self_check=True)
+        )
+        assert_matches_sequential(result, make_simple_loop())
+
+    def test_catches_untested_isolation_violation(self):
+        # B carries a cross-processor flow dependence but is (wrongly)
+        # declared statically analyzable.
+        def body(ctx, i):
+            prev = ctx.load("B", i - 1) if i else 0.0
+            ctx.store("B", i, prev + 1.0)
+
+        loop = SpeculativeLoop(
+            "mis_declared", 32, body,
+            arrays=[ArraySpec("B", np.zeros(32), tested=False)],
+        )
+        with pytest.raises(SelfCheckError) as exc:
+            parallelize(loop, 4, RuntimeConfig.nrd(self_check=True))
+        assert exc.value.loop == "mis_declared"
+        assert exc.value.stage == 0
+
+    def test_final_state_divergence_detected(self):
+        loop = doall_loop()
+        result = parallelize(loop, 4, RuntimeConfig.nrd())
+        snapshot = {"A": np.zeros(64)}
+        result.memory["A"].data[7] += 1.0  # simulated silent corruption
+        with pytest.raises(SelfCheckError, match="sequential oracle"):
+            check_final_state(loop, result.memory, snapshot)
+
+    def test_self_check_composes_with_faults(self):
+        plan = FaultPlan(events=(
+            fail_stop(0, 1),
+            FaultEvent(FaultKind.CORRUPT_WRITE, stage=0, proc=2),
+        ))
+        result = parallelize(
+            doall_loop(), 4,
+            RuntimeConfig.rd(fault_plan=plan, self_check=True),
+        )
+        assert_matches_sequential(result, doall_loop())
+        assert result.faults_survived == 2

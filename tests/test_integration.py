@@ -10,7 +10,6 @@ from repro.core.ddg import extract_ddg
 from repro.core.lrpd import run_doall_lrpd
 from repro.core.runner import parallelize, run_program
 from repro.core.wavefront import execute_wavefront, wavefront_schedule
-from repro.core.window import run_sliding_window
 from repro.workloads.fma3d import make_quad_loop
 from repro.workloads.spice import SPICE_DECKS, make_bjt_loop, make_dcdcmp15_loop
 from repro.workloads.synthetic import (

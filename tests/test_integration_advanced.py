@@ -96,7 +96,7 @@ class TestFeedbackWithRestarts:
                 ctx.store("A", i, x + 1.0)
 
             return SpeculativeLoop(
-                f"fb-restart", 100, body,
+                "fb-restart", 100, body,
                 arrays=[ArraySpec("A", np.zeros(100))],
                 iter_work=lambda i: 1.0 + i / 50.0,
             )

@@ -84,6 +84,17 @@ class TestContractEnforcement:
         with pytest.raises(CheckpointError):
             ckpt.note_write(0, "C", 0)
 
+    @pytest.mark.parametrize("on_demand", [True, False])
+    def test_write_before_begin_stage_rejected(self, on_demand):
+        ckpt = CheckpointManager(make_memory(), ["B"], on_demand=on_demand)
+        with pytest.raises(CheckpointError, match="begin_stage"):
+            ckpt.note_write(0, "B", 3)
+
+    def test_begin_stage_opens_the_epoch(self):
+        ckpt = CheckpointManager(make_memory(), ["B"], on_demand=True)
+        ckpt.begin_stage()
+        assert ckpt.note_write(0, "B", 3) == 1  # no lifecycle error
+
     def test_restore_clears_failed_logs(self):
         # After restoration the failed processors re-execute and re-write;
         # their old logs must not leak into the next stage's restore.

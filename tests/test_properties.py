@@ -11,7 +11,6 @@ execution of the identical loop.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.sequential import sequential_reference
@@ -22,7 +21,6 @@ from repro.core.runner import parallelize
 from repro.core.wavefront import execute_wavefront, wavefront_schedule
 from repro.loopir.induction import InductionSpec
 from repro.loopir.loop import ArraySpec, SpeculativeLoop
-from repro.shadow.edges import EdgeKind
 from repro.util.bitset import BitSet
 from repro.util.blocks import partition_weighted, validate_blocks
 
@@ -133,7 +131,6 @@ class TestDDGProperties:
         result = extract_ddg(loop, p, RuntimeConfig.sw(window_size=window))
 
         # Ground truth from the sequential semantics of the table.
-        shared = np.arange(float(m))
         last_write: dict[int, int] = {}
         truth: set[tuple[int, int]] = set()
         for i in range(n):

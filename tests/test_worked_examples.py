@@ -1,6 +1,5 @@
 """The paper's Figs. 1-2 worked examples, verified step by step."""
 
-import pytest
 
 from repro.config import RuntimeConfig
 from repro.core.rlrpd import run_blocked

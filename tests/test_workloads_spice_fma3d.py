@@ -42,7 +42,7 @@ class TestDcdcmp15:
     def test_all_preds_precede_row(self):
         loop = make_dcdcmp15_loop(SMALL_SPICE)
         trace = loop.inspector(loop.materialize())
-        for i, (reads, writes) in enumerate(trace):
+        for _reads, writes in trace:
             assert len(writes) == 1
 
     def test_wavefront_beats_plain_rlrpd(self):

@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import pytest
 
 from repro.workloads.spice import SPICE_DECKS
 from repro.workloads.spice_sim import SpiceSimulation, run_spice_program
