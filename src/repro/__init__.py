@@ -30,19 +30,36 @@ from repro.config import (
 )
 from repro.core import (
     DDGResult,
+    EngineStrategy,
     ProgramResult,
     RunResult,
+    StageEngine,
     StageResult,
     WavefrontSchedule,
     execute_wavefront,
     extract_ddg,
     parallelize,
+    register_strategy,
+    require_fault_support,
+    resolve_strategy,
     run_blocked,
     run_blocked_iterwise,
     run_doall_lrpd,
+    run_induction,
     run_program,
     run_sliding_window,
+    strategy_for_config,
+    strategy_names,
     wavefront_schedule,
+)
+from repro.obs import (
+    AggregatingSink,
+    CliProgressSink,
+    EventSink,
+    JsonlTraceSink,
+    RecordingSink,
+    event_from_dict,
+    validate_events,
 )
 from repro.errors import (
     CheckpointError,
@@ -117,12 +134,29 @@ __all__ = [
     "run_list_traversal",
     "certify",
     "Certificate",
+    # engine & strategy registry
+    "StageEngine",
+    "EngineStrategy",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_for_config",
+    "strategy_names",
+    "require_fault_support",
+    # stage-event observability
+    "EventSink",
+    "RecordingSink",
+    "JsonlTraceSink",
+    "CliProgressSink",
+    "AggregatingSink",
+    "validate_events",
+    "event_from_dict",
     # runtime
     "parallelize",
     "run_program",
     "run_blocked",
     "run_blocked_iterwise",
     "run_sliding_window",
+    "run_induction",
     "run_doall_lrpd",
     "extract_ddg",
     "wavefront_schedule",

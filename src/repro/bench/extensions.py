@@ -10,10 +10,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.bench.harness import ExperimentResult, register
+from repro.bench.harness import ExperimentResult, register, run_registered
 from repro.config import RuntimeConfig
 from repro.core.ddg import extract_ddg
-from repro.core.iterwise import run_blocked_iterwise
 from repro.core.listsched import execute_list_schedule, list_schedule
 from repro.core.rlrpd import run_blocked
 from repro.core.runner import run_program, run_program_predictive
@@ -43,8 +42,8 @@ def ablation_iterwise(quick: bool) -> ExperimentResult:
     ]
     rows = []
     for label, factory in loops:
-        coarse = run_blocked(factory(), p, RuntimeConfig.nrd())
-        fine = run_blocked_iterwise(factory(), p, RuntimeConfig.nrd())
+        coarse = run_registered("nrd", factory(), p)
+        fine = run_registered("iterwise", factory(), p, RuntimeConfig.nrd())
         rows.append(
             [
                 label,

@@ -39,6 +39,20 @@ ExperimentFn = Callable[[bool], ExperimentResult]
 EXPERIMENTS: dict[str, ExperimentFn] = {}
 
 
+def run_registered(strategy_name: str, loop, n_procs: int, config=None, **kwargs):
+    """Run one loop under a strategy resolved from the engine registry.
+
+    Experiments compare strategies by name; going through the registry
+    keeps them in lockstep with whatever the CLI and runner dispatch to
+    (``config=None`` uses the strategy's own default configuration).
+    """
+    from repro.core.engine import StageEngine, resolve_strategy
+
+    cls = resolve_strategy(strategy_name)
+    config = config or cls.default_config()
+    return StageEngine(loop, n_procs, cls(), config, **kwargs).run()
+
+
 def register(exp_id: str) -> Callable[[ExperimentFn], ExperimentFn]:
     """Register an experiment under a stable id (e.g. ``fig07``)."""
 

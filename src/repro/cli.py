@@ -4,12 +4,14 @@ Usage (also via ``python -m repro``)::
 
     python -m repro list                          # available workloads
     python -m repro run nlfilt:16-400 -p 8 --strategy sw --window 64
-    python -m repro run extend:clean -p 8 --trace --breakdown
+    python -m repro run extend:clean -p 8 --trace run.jsonl --breakdown
     python -m repro certify scatter -p 8          # all strategies vs oracle
     python -m repro ddg spice15:adder.128 -p 8    # extraction + wavefront
 
 Workloads are addressed as ``family[:deck]``; omit the deck for the
-family's default.
+family's default.  Strategies come from the engine registry
+(:mod:`repro.core.engine`), so a strategy registered by a plugin module
+is runnable here without touching this file.
 """
 
 from __future__ import annotations
@@ -21,10 +23,13 @@ from typing import Callable
 from repro.bench.trace import render_breakdown, render_stage_trace
 from repro.config import RuntimeConfig
 from repro.core.ddg import extract_ddg
+from repro.core.engine import resolve_strategy, strategy_names
 from repro.core.runner import parallelize
 from repro.core.verify import certify
 from repro.core.wavefront import execute_wavefront, wavefront_schedule
+from repro.errors import ConfigurationError
 from repro.faults import random_plan
+from repro.obs.sinks import CliProgressSink
 from repro.loopir.loop import SpeculativeLoop
 from repro.workloads import (
     EXTEND_DECKS,
@@ -123,17 +128,17 @@ def config_from_args(args) -> RuntimeConfig:
         overrides["fault_plan"] = random_plan(args.faults, n_procs=args.procs)
     if getattr(args, "self_check", False):
         overrides["self_check"] = True
-    if args.strategy == "nrd":
-        return RuntimeConfig.nrd(**overrides)
-    if args.strategy == "rd":
-        return RuntimeConfig.rd(**overrides)
+    if getattr(args, "trace", None) is not None:
+        overrides["trace_path"] = args.trace
     if args.strategy == "adaptive":
-        return RuntimeConfig.adaptive(
-            feedback_balancing=args.feedback, **overrides
-        )
+        overrides["feedback_balancing"] = args.feedback
     if args.strategy == "sw":
-        return RuntimeConfig.sw(window_size=args.window, **overrides)
-    raise SystemExit(f"unknown strategy {args.strategy!r}")
+        overrides["window_size"] = args.window
+    try:
+        strategy_cls = resolve_strategy(args.strategy)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    return strategy_cls.default_config(**overrides)
 
 
 def cmd_list(args) -> int:
@@ -147,7 +152,19 @@ def cmd_list(args) -> int:
 def cmd_run(args) -> int:
     loop = resolve_workload(args.workload)
     config = config_from_args(args)
-    result = parallelize(loop, args.procs, config)
+    sinks = [CliProgressSink(sys.stdout)] if args.progress else []
+    # Strategies whose behavior is not expressible as a RuntimeConfig
+    # (iteration-wise commit, explicit induction selection) bypass the
+    # config dispatch and run their registered class directly.
+    strategy = None
+    if args.strategy in ("iterwise", "induction"):
+        strategy = resolve_strategy(args.strategy)()
+    try:
+        result = parallelize(
+            loop, args.procs, config, strategy=strategy, sinks=sinks
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
     print(render_stage_trace(result))
     if result.faults_survived or result.retries:
         counts = ", ".join(
@@ -211,11 +228,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one workload under one strategy")
     add_common(run_p)
     run_p.add_argument(
-        "--strategy", choices=["nrd", "rd", "adaptive", "sw"], default="adaptive"
+        "--strategy", choices=strategy_names(), default="adaptive"
     )
     run_p.add_argument("--window", type=int, default=None, help="SW window size")
     run_p.add_argument("--feedback", action="store_true", help="feedback balancing")
     run_p.add_argument("--breakdown", action="store_true", help="cost breakdown table")
+    run_p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL stage-event trace of the run to PATH",
+    )
+    run_p.add_argument(
+        "--progress", action="store_true",
+        help="narrate stages live from the event stream",
+    )
     run_p.add_argument(
         "--faults", type=_seed, default=None, metavar="SEED",
         help="inject a reproducible random fault plan derived from SEED",

@@ -104,6 +104,11 @@ class RuntimeConfig:
     faults (not data dependences) wipe out a whole stage; exceeding the
     bound raises :class:`~repro.errors.FaultError`."""
 
+    trace_path: str | None = None
+    """Write a JSONL stage-event trace of the run to this path (``None`` =
+    no trace).  Every engine-based run emits the same typed event stream
+    (:mod:`repro.obs.events`); this flag attaches the on-disk sink."""
+
     def __post_init__(self) -> None:
         if self.window_size is not None and self.window_size < 1:
             raise ConfigurationError("window_size must be >= 1")

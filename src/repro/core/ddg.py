@@ -28,20 +28,20 @@ import networkx as nx
 from repro.config import RuntimeConfig, Strategy
 from repro.core.analysis import analyze_stage
 from repro.core.commit import commit_states, reinit_states
-from repro.core.executor import execute_block, make_processor_state
+from repro.core.engine import require_fault_support
+from repro.core.executor import execute_block
 from repro.core.results import RunResult, StageResult
 from repro.core.stage import (
     charge_analysis,
     charge_checkpoint_begin,
     committed_work,
+    make_speculative_machine,
     perform_restore,
 )
 from repro.core.window import default_window
 from repro.errors import ConfigurationError, NoProgressError, SpeculationError
 from repro.loopir.loop import SpeculativeLoop
-from repro.machine.checkpoint import CheckpointManager
 from repro.machine.costs import CostModel
-from repro.machine.machine import Machine
 from repro.machine.memory import MemoryImage
 from repro.shadow.edges import DependenceEdge, EdgeKind, InvertedEdgeTable
 from repro.shadow.lastref import LastReferenceTable
@@ -109,6 +109,7 @@ def extract_ddg(
 ) -> DDGResult:
     """Execute ``loop`` under the SW R-LRPD test while extracting its DDG."""
     config = config or RuntimeConfig.sw()
+    require_fault_support(config, "DDG extraction")
     if config.strategy is not Strategy.SLIDING_WINDOW:
         raise ConfigurationError("DDG extraction uses the sliding-window strategy")
     if loop.inductions:
@@ -116,13 +117,8 @@ def extract_ddg(
             "DDG extraction does not support speculative inductions"
         )
 
-    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
-    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
-    untested = loop.untested_names
-    ckpt = (
-        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
-        if untested
-        else None
+    machine, states, ckpt = make_speculative_machine(
+        loop, n_procs, config, costs, memory
     )
 
     n = loop.n_iterations

@@ -1,0 +1,741 @@
+"""The StageEngine: one owner for the speculate→analyze→commit lifecycle.
+
+Every R-LRPD flavor is the same recursion -- execute speculatively, find
+the earliest cross-processor dependence sink, commit the valid prefix,
+restore and retry the rest -- differing only in *policy*: how remaining
+iterations are scheduled, where failed work re-executes, what granularity
+the commit point moves at, and what pre/post phases wrap a stage.  The
+engine implements the recursion exactly once:
+
+* partition/schedule the remaining iterations (delegated to the strategy);
+* checkpoint untested state, execute every block under fault injection;
+* analyze for the earliest sink, merge injected faults into the failure
+  point, validate premature exits;
+* commit the valid prefix, restore and re-initialize the rest;
+* charge every virtual-time cost, enforce ``max_fault_retries`` over
+  consecutive zero-commit stages, shrink the processor pool on permanent
+  fail-stop deaths, and run the ``--self-check`` oracle.
+
+Strategies are small policy objects subclassing :class:`Strategy` and
+registered by name (:func:`register_strategy`); the concrete policies live
+next to their documentation: ``BlockedNRD``/``BlockedRD``/``AdaptiveBlocked``
+in :mod:`repro.core.rlrpd`, ``SlidingWindow`` in :mod:`repro.core.window`,
+``InductionTwoPhase`` in :mod:`repro.core.induction_runner`, and
+``IterwiseBlocked`` in :mod:`repro.core.iterwise`.
+
+The engine narrates each run as a typed event stream (:mod:`repro.obs`):
+``RunBegin (StageBegin BlockExecuted* FaultInjected* DependenceFound?
+(Commit|Retry) Restore? StageEnd)+ RunEnd``.  An
+:class:`~repro.obs.sinks.AggregatingSink` subscribed to that stream is
+what populates the result's per-stage records, so traces and results can
+never disagree; a JSONL trace sink is attached whenever
+``config.trace_path`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import (
+    RedistributionPolicy,
+    RuntimeConfig,
+    Strategy as ScheduleKind,
+)
+from repro.core.analysis import analyze_stage
+from repro.core.commit import commit_states, reinit_states
+from repro.core.executor import execute_block, make_processor_state
+from repro.core.results import RunResult, StageResult
+from repro.core.stage import (
+    charge_analysis,
+    charge_checkpoint_begin,
+    charge_checkpoint_fault_recovery,
+    committed_work,
+    perform_restore,
+)
+from repro.errors import (
+    ConfigurationError,
+    FaultError,
+    NoProgressError,
+    SpeculationError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.selfcheck import UntestedAccessLog, check_final_state
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.costs import CostModel
+from repro.machine.machine import Machine
+from repro.machine.memory import MemoryImage
+from repro.machine.topology import Topology
+from repro.obs.events import (
+    BlockExecuted,
+    Commit,
+    DependenceFound,
+    FaultInjected,
+    Restore,
+    Retry,
+    RunBegin,
+    RunEnd,
+    StageBegin,
+    StageEnd,
+)
+from repro.obs.sinks import AggregatingSink, EventBus, EventSink, JsonlTraceSink
+from repro.util.blocks import Block
+
+
+class Strategy:
+    """Policy object supplying what differs between R-LRPD flavors.
+
+    The defaults implement the processor-wise blocked behavior; a strategy
+    overrides only the hooks where its policy departs from it.  Hooks are
+    invoked by :class:`StageEngine` in a fixed order per stage::
+
+        schedule -> pre_stage -> [begin_stage] -> charge_schedule ->
+        begin_stage_states -> (before_block -> execute -> after_block)* ->
+        [barrier] -> analyze -> adjust_sink -> on_failure_point ->
+        commit -> advance -> after_stage
+
+    Strategies may keep per-run mutable state on ``self``; one instance
+    serves exactly one engine run.
+    """
+
+    #: Registry key (``register_strategy`` requires it to be non-empty).
+    name = ""
+    #: How a premature ``ctx.exit_loop()`` is treated: ``"collect"``
+    #: validates it against the failure point (blocked drivers),
+    #: ``"reject"`` raises ``ConfigurationError``, ``"ignore"`` drops it.
+    exit_mode = "reject"
+    #: Noun used in the FaultError raised when the zero-commit retry
+    #: budget is exhausted ("stages" / "windows").
+    zero_noun = "stages"
+
+    # -- lifecycle hooks -------------------------------------------------------
+
+    def validate(self, loop: SpeculativeLoop, config: RuntimeConfig) -> None:
+        """Reject loop/config combinations this strategy cannot run."""
+
+    def setup(self, eng: "StageEngine") -> None:
+        """One-time per-run state; default: private state per processor."""
+        eng.states = {
+            p: make_processor_state(eng.machine, eng.loop, p)
+            for p in range(eng.n_procs)
+        }
+
+    def run_label(self, eng: "StageEngine") -> str:
+        return eng.config.label()
+
+    def schedule(self, eng: "StageEngine") -> list[Block]:
+        """Non-empty blocks for this stage (raise SpeculationError if none)."""
+        raise NotImplementedError
+
+    def pre_stage(self, eng: "StageEngine", blocks: list[Block]) -> None:
+        """Optional extra phase before the speculative stage (e.g. the
+        induction recipe's range-collection doall), emitted as its own
+        stage."""
+
+    def charge_schedule(
+        self, eng: "StageEngine", blocks: list[Block]
+    ) -> tuple[int, float]:
+        """Charge scheduling/redistribution costs; return
+        ``(migrated iterations, migration distance)``."""
+        return 0, 0.0
+
+    def begin_stage_states(self, eng: "StageEngine", blocks: list[Block]) -> None:
+        """Refresh per-stage private state (default: states persist)."""
+
+    def before_block(self, eng: "StageEngine", block: Block) -> None:
+        if eng.config.pre_initialize:
+            eng.states[block.proc].preload(eng.machine, skip=eng.reduction_names)
+
+    def exec_kwargs(self, eng: "StageEngine", pos: int, block: Block) -> dict:
+        """Extra keyword arguments for ``execute_block``."""
+        return {}
+
+    def after_block(self, eng: "StageEngine", pos: int, block: Block, ctx) -> None:
+        """Bookkeeping right after one block executed (owner maps, extra
+        marking charges, induction finals)."""
+
+    def analyze(
+        self, eng: "StageEngine", blocks: list[Block]
+    ) -> tuple[int | None, int]:
+        """Run the dependence test; charge it; return
+        ``(earliest sink block position | None, n_arcs)``."""
+        groups = [(b.proc, eng.states[b.proc].shadows) for b in blocks]
+        analysis = analyze_stage(groups)
+        charge_analysis(eng.machine, analysis, [b.proc for b in blocks])
+        return analysis.earliest_sink_pos, len(analysis.arcs)
+
+    def adjust_sink(
+        self, eng: "StageEngine", blocks: list[Block], f_pos: int | None
+    ) -> int | None:
+        """Fold strategy-specific failure conditions (e.g. induction
+        increment mismatches) into the failure point."""
+        return f_pos
+
+    def on_failure_point(
+        self,
+        eng: "StageEngine",
+        blocks: list[Block],
+        f_pos: int | None,
+        fault_forced: bool,
+    ) -> None:
+        """Observe the merged failure point before the commit phase."""
+
+    def sink_field(self, eng: "StageEngine", f_pos: int | None) -> int | None:
+        """Value recorded as ``StageResult.earliest_sink_pos`` (block
+        position by default; the iteration-wise test reports an iteration)."""
+        return f_pos
+
+    def partial_progress(
+        self, eng: "StageEngine", blocks: list[Block], f_pos: int | None
+    ) -> bool:
+        """Whether the stage advances the commit point even though no block
+        commits wholesale (iteration-granularity prefix commit)."""
+        return False
+
+    def commit(
+        self, eng: "StageEngine", committing: list[Block], failing: list[Block]
+    ) -> tuple[int, float]:
+        """Copy out the valid prefix; return ``(elements, stage work)``."""
+        committed_elements = commit_states(
+            eng.machine, eng.loop, [eng.states[b.proc] for b in committing]
+        )
+        stage_work = committed_work(eng.states, committing)
+        for block in committing:
+            times = eng.states[block.proc].iter_times
+            for i in block.iterations():
+                eng.final_iter_times[i] = times[i]
+        return committed_elements, stage_work
+
+    def advance(self, eng: "StageEngine", committing: list[Block]) -> int:
+        return committing[-1].stop
+
+    def committed_iterations(
+        self, eng: "StageEngine", committing: list[Block], advance: int
+    ) -> int:
+        return sum(len(b) for b in committing)
+
+    def zero_commit_message(self, eng: "StageEngine", f_pos: int | None) -> str:
+        return (
+            f"{eng.loop.name}: stage {eng.stage_idx} committed nothing "
+            f"(earliest sink at position {f_pos})"
+        )
+
+    def advance_stall_message(self, eng: "StageEngine") -> str:
+        return (
+            f"{eng.loop.name}: stage {eng.stage_idx} failed to advance "
+            "the commit point"
+        )
+
+    def after_stage(
+        self,
+        eng: "StageEngine",
+        committing: list[Block],
+        failing: list[Block],
+        f_pos: int | None,
+    ) -> None:
+        """Post-commit policy updates (pending blocks, window re-grid,
+        induction base advance)."""
+
+    def after_zero_commit(self, eng: "StageEngine", failing: list[Block]) -> None:
+        """Policy updates after a fault-caused zero-commit retry."""
+
+    def result_extras(self, eng: "StageEngine") -> dict:
+        """Extra ``RunResult`` constructor fields (e.g. induction finals)."""
+        return {}
+
+
+# -- strategy registry ----------------------------------------------------------
+
+STRATEGIES: dict[str, type[Strategy]] = {}
+
+
+def register_strategy(cls: type[Strategy]) -> type[Strategy]:
+    """Class decorator: make ``cls`` resolvable by its ``name``."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def _ensure_registered() -> None:
+    # Strategies live next to their documentation in the driver modules;
+    # importing them populates the registry.
+    import repro.core.induction_runner  # noqa: F401
+    import repro.core.iterwise  # noqa: F401
+    import repro.core.rlrpd  # noqa: F401
+    import repro.core.window  # noqa: F401
+
+
+def strategy_names() -> list[str]:
+    _ensure_registered()
+    return sorted(STRATEGIES)
+
+
+def resolve_strategy(name: str) -> type[Strategy]:
+    """Look a strategy class up by registry name."""
+    _ensure_registered()
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; registered: {', '.join(sorted(STRATEGIES))}"
+        ) from None
+
+
+def strategy_for_config(
+    loop: SpeculativeLoop, config: RuntimeConfig
+) -> Strategy:
+    """The strategy a (loop, config) pair dispatches to.
+
+    Loops with induction variables need the two-phase recipe; otherwise the
+    configured schedule kind (and, for blocked, redistribution policy)
+    selects the registered policy object.
+    """
+    _ensure_registered()
+    if loop.inductions:
+        return STRATEGIES["induction"]()
+    if config.strategy is ScheduleKind.SLIDING_WINDOW:
+        return STRATEGIES["sw"]()
+    key = {
+        RedistributionPolicy.NEVER: "nrd",
+        RedistributionPolicy.ALWAYS: "rd",
+        RedistributionPolicy.ADAPTIVE: "adaptive",
+    }[config.redistribution]
+    return STRATEGIES[key]()
+
+
+def require_fault_support(config: RuntimeConfig | None, runner: str) -> None:
+    """Refuse fault injection / self-check on runners that ignore them.
+
+    Engine-based strategies all support both; baselines that bypass the
+    engine (the doall LRPD test, DDG extraction) call this so a requested
+    ``--faults``/``--self-check`` fails loudly instead of silently doing
+    nothing.
+    """
+    if config is None:
+        return
+    if config.fault_plan is not None:
+        raise ConfigurationError(
+            f"{runner} does not support fault injection; drop the fault "
+            "plan or use an engine-based strategy "
+            f"({', '.join(strategy_names())})"
+        )
+    if config.self_check:
+        raise ConfigurationError(
+            f"{runner} does not support --self-check; drop it or use an "
+            f"engine-based strategy ({', '.join(strategy_names())})"
+        )
+
+
+# -- the engine ------------------------------------------------------------------
+
+
+class StageEngine:
+    """Run one loop instantiation under one strategy.
+
+    Owns the machine, the speculative processor states, checkpointing,
+    fault injection, the self-check oracle and the event bus; consults the
+    strategy only at the policy hooks.  Construct and call :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        loop: SpeculativeLoop,
+        n_procs: int,
+        strategy: Strategy,
+        config: RuntimeConfig,
+        costs: CostModel | None = None,
+        weights: np.ndarray | None = None,
+        memory: MemoryImage | None = None,
+        topology: Topology | None = None,
+        sinks: Sequence[EventSink] = (),
+    ) -> None:
+        strategy.validate(loop, config)
+        self.loop = loop
+        self.n_procs = n_procs
+        self.strategy = strategy
+        self.config = config
+        self.weights = weights
+        self.topology = topology
+        self.machine = Machine(
+            n_procs, costs=costs, memory=memory or loop.materialize(),
+            topology=topology,
+        )
+        untested = loop.untested_names
+        self.ckpt = (
+            CheckpointManager(self.machine.memory, untested,
+                              config.on_demand_checkpoint)
+            if untested else None
+        )
+        self.injector = (
+            FaultInjector(config.fault_plan) if config.fault_plan else None
+        )
+        self.untested_log = (
+            UntestedAccessLog() if (config.self_check and untested) else None
+        )
+        self.initial_state = (
+            self.machine.memory.snapshot() if config.self_check else None
+        )
+
+        self.n = loop.n_iterations
+        self.alive = list(range(n_procs))
+        self.reduction_names = frozenset(loop.reductions)
+        self.committed_upto = 0
+        self.sequential_work = 0.0
+        self.final_iter_times: dict[int, float] = {}
+        self.stage_idx = 0
+        self.retries = 0
+        self.degraded_stages = 0
+        self.zero_commit_streak = 0
+        self.exit_iteration: int | None = None
+        self.remaining = self.n
+        self.degraded = False
+        self.faulted: dict[int, str] = {}
+        self.states = {}
+
+        strategy.setup(self)
+        self.label = strategy.run_label(self)
+
+        self._agg = AggregatingSink()
+        bus_sinks: list[EventSink] = [self._agg, *sinks]
+        if config.trace_path:
+            bus_sinks.append(JsonlTraceSink(config.trace_path))
+        self.bus = EventBus(bus_sinks)
+
+    # -- event plumbing ---------------------------------------------------------
+
+    def emit(self, event) -> None:
+        self.bus.emit(event)
+
+    def _end_stage(self, result: StageResult) -> None:
+        """Close the open stage: emit StageEnd (the aggregating sink files
+        the result) and advance the stage counter."""
+        self.emit(StageEnd(stage=result.index, result=result))
+        self.stage_idx += 1
+
+    # -- run --------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        self.emit(RunBegin(
+            loop=self.loop.name, strategy=self.label,
+            n_procs=self.n_procs, n_iterations=self.n,
+        ))
+        try:
+            result = self._run_loop()
+            self.emit(RunEnd(
+                loop=self.loop.name, strategy=self.label,
+                stages=result.n_stages, restarts=result.n_restarts,
+                total_time=result.total_time,
+                sequential_work=result.sequential_work,
+                exit_iteration=result.exit_iteration,
+                faults_survived=result.faults_survived,
+                retries=result.retries,
+            ))
+            return result
+        finally:
+            self.bus.close()
+
+    def _run_loop(self) -> RunResult:
+        loop, config, machine = self.loop, self.config, self.machine
+        strategy = self.strategy
+        n = self.n
+        while self.committed_upto < n:
+            if self.stage_idx >= config.max_stages:
+                raise SpeculationError(
+                    f"{loop.name}: exceeded max_stages={config.max_stages}"
+                )
+            self.remaining = n - self.committed_upto
+            self.degraded = len(self.alive) < self.n_procs
+            if self.degraded:
+                self.degraded_stages += 1
+
+            blocks = strategy.schedule(self)
+            strategy.pre_stage(self, blocks)
+            stage = self.stage_idx
+            self.emit(StageBegin(
+                stage=stage, blocks=list(blocks),
+                remaining=n - self.committed_upto, degraded=self.degraded,
+            ))
+
+            # -- checkpoint + execute under fault injection ---------------------
+            record = machine.begin_stage()
+            charge_checkpoint_begin(machine, self.ckpt, self.injector, stage)
+            redistributed, migration = strategy.charge_schedule(self, blocks)
+            if self.untested_log is not None:
+                self.untested_log.reset()
+            strategy.begin_stage_states(self, blocks)
+            exits: dict[int, int] = {}  # block position -> exit iteration
+            faulted: dict[int, str] = {}  # block position -> fault class
+            self.faulted = faulted
+            for pos, block in enumerate(blocks):
+                strategy.before_block(self, block)
+                ctx = execute_block(
+                    machine, loop, self.states[block.proc], block, self.ckpt,
+                    injector=self.injector, stage=stage,
+                    untested_log=self.untested_log,
+                    **strategy.exec_kwargs(self, pos, block),
+                )
+                strategy.after_block(self, pos, block, ctx)
+                if ctx.fault is not None:
+                    # A faulted block's work (and any exit it signalled) is
+                    # untrusted; its processor joins the failed set below.
+                    faulted[pos] = ctx.fault
+                    if ctx.fault_permanent and len(self.alive) > 1:
+                        self.alive.remove(block.proc)
+                        self.injector.mark_dead(block.proc)
+                elif (
+                    self.injector is not None
+                    and self.injector.corrupt(
+                        stage, block.proc, self.states[block.proc]
+                    ) is not None
+                ):
+                    # Corrupted speculative write, caught by the stage's
+                    # integrity check: discard the block's private state and
+                    # re-execute, same as a failed-speculation processor.
+                    faulted[pos] = "corrupt-write"
+                elif ctx.exit_iteration is not None:
+                    if strategy.exit_mode == "collect":
+                        exits[pos] = ctx.exit_iteration
+                    elif strategy.exit_mode == "reject":
+                        raise ConfigurationError(
+                            f"{loop.name}: premature exits need the blocked runner"
+                        )
+                self.emit(BlockExecuted(
+                    stage=stage, pos=pos, proc=block.proc,
+                    start=block.start, stop=block.stop,
+                    fault=faulted.get(pos), exit_iteration=ctx.exit_iteration,
+                ))
+                if pos in faulted:
+                    self.emit(FaultInjected(
+                        stage=stage, proc=block.proc, fault=faulted[pos],
+                    ))
+            machine.barrier()
+            charge_checkpoint_fault_recovery(machine, self.ckpt, self.injector, stage)
+
+            # -- analyze --------------------------------------------------------
+            f_pos, n_arcs = strategy.analyze(self, blocks)
+            if self.untested_log is not None:
+                self.untested_log.verify(loop.name, stage)
+            f_pos = strategy.adjust_sink(self, blocks, f_pos)
+
+            # The effective failure point folds injected faults into the
+            # recursion: everything from the first faulted block on
+            # re-executes, exactly like blocks past the earliest sink.
+            fault_pos = min(faulted) if faulted else None
+            fault_forced = fault_pos is not None and (
+                f_pos is None or fault_pos < f_pos
+            )
+            if fault_forced:
+                f_pos = fault_pos
+                # The fault (not a data dependence) set the failure point,
+                # so this stage's re-execution is charged to fault recovery.
+                self.retries += 1
+            strategy.on_failure_point(self, blocks, f_pos, fault_forced)
+            faulted_procs = sorted(blocks[pos].proc for pos in faulted)
+            self.emit(DependenceFound(
+                stage=stage, earliest_sink_pos=strategy.sink_field(self, f_pos),
+                n_arcs=n_arcs, fault_forced=fault_forced,
+            ))
+
+            # -- premature exit (DCDCMP loop 70 style) --------------------------
+            # An exit is trustworthy only if its processor's own work is:
+            # its block must lie strictly before the earliest failure point.
+            valid_exits = {
+                pos: e for pos, e in exits.items()
+                if f_pos is None or pos < f_pos
+            }
+            if valid_exits:
+                return self._commit_exit(
+                    blocks, valid_exits, stage, record, n_arcs,
+                    redistributed, migration, faulted_procs,
+                )
+
+            committing = blocks if f_pos is None else blocks[:f_pos]
+            failing = [] if f_pos is None else blocks[f_pos:]
+            if not committing and not strategy.partial_progress(self, blocks, f_pos):
+                # The lowest-ranked block can never be an analysis sink, so
+                # a zero-commit stage is provably fault-caused: roll
+                # everything back and retry, up to the configured bound.
+                if fault_pos != 0:
+                    raise NoProgressError(strategy.zero_commit_message(self, f_pos))
+                self.zero_commit_streak += 1
+                if self.zero_commit_streak > config.max_fault_retries:
+                    raise FaultError(
+                        f"gave up after {self.zero_commit_streak} consecutive "
+                        f"zero-progress {strategy.zero_noun} wiped out by "
+                        "injected faults "
+                        f"(max_fault_retries={config.max_fault_retries})",
+                        loop=loop.name,
+                        stage=stage,
+                        proc=blocks[0].proc,
+                    )
+                self.emit(Retry(stage=stage, streak=self.zero_commit_streak))
+                restored = perform_restore(
+                    machine, self.ckpt, [b.proc for b in failing]
+                )
+                reinit_states(machine, [self.states[b.proc] for b in failing])
+                if failing:
+                    self.emit(Restore(
+                        stage=stage, elements=restored,
+                        procs=[b.proc for b in failing],
+                    ))
+                self._end_stage(StageResult(
+                    index=stage,
+                    blocks=list(blocks),
+                    failed=True,
+                    earliest_sink_pos=strategy.sink_field(self, f_pos),
+                    committed_iterations=0,
+                    remaining_after=n - self.committed_upto,
+                    committed_work=0.0,
+                    n_arcs=n_arcs,
+                    committed_elements=0,
+                    restored_elements=restored,
+                    redistributed_iterations=redistributed,
+                    span=record.span(),
+                    migration_distance=migration,
+                    breakdown=record.breakdown(),
+                    faulted_procs=faulted_procs,
+                    degraded=self.degraded,
+                ))
+                strategy.after_zero_commit(self, failing)
+                continue
+            self.zero_commit_streak = 0
+
+            # -- commit / restore / re-init -------------------------------------
+            committed_elements, stage_work = strategy.commit(self, committing, failing)
+            self.sequential_work += stage_work
+            restored = perform_restore(machine, self.ckpt, [b.proc for b in failing])
+            reinit_states(machine, [self.states[b.proc] for b in failing])
+            for block in committing:
+                self.states[block.proc].reset()  # committed data is shared now
+
+            advance = strategy.advance(self, committing)
+            if advance <= self.committed_upto:
+                raise NoProgressError(strategy.advance_stall_message(self))
+            committed_iters = strategy.committed_iterations(self, committing, advance)
+            self.committed_upto = advance
+            self.emit(Commit(
+                stage=stage, iterations=committed_iters,
+                elements=committed_elements, work=stage_work,
+                committed_upto=advance,
+            ))
+            if failing:
+                self.emit(Restore(
+                    stage=stage, elements=restored,
+                    procs=[b.proc for b in failing],
+                ))
+            self._end_stage(StageResult(
+                index=stage,
+                blocks=list(blocks),
+                failed=f_pos is not None,
+                earliest_sink_pos=strategy.sink_field(self, f_pos),
+                committed_iterations=committed_iters,
+                remaining_after=n - self.committed_upto,
+                committed_work=stage_work,
+                n_arcs=n_arcs,
+                committed_elements=committed_elements,
+                restored_elements=restored,
+                redistributed_iterations=redistributed,
+                span=record.span(),
+                migration_distance=migration,
+                breakdown=record.breakdown(),
+                faulted_procs=faulted_procs,
+                degraded=self.degraded,
+            ))
+            strategy.after_stage(self, committing, failing, f_pos)
+
+        return self._finalize()
+
+    def _commit_exit(
+        self,
+        blocks: list[Block],
+        valid_exits: dict[int, int],
+        stage: int,
+        record,
+        n_arcs: int,
+        redistributed: int,
+        migration: float,
+        faulted_procs: list[int],
+    ) -> RunResult:
+        """Commit up to and including a validated premature exit; done."""
+        machine, loop = self.machine, self.loop
+        pos_e = min(valid_exits)
+        e = valid_exits[pos_e]
+        exit_block = blocks[pos_e]
+        committing = blocks[:pos_e]
+        committed_elements = commit_states(
+            machine, loop,
+            [self.states[b.proc] for b in committing]
+            + [self.states[exit_block.proc]],
+        )
+        stage_work = committed_work(self.states, committing)
+        for block in committing:
+            times = self.states[block.proc].iter_times
+            for i in block.iterations():
+                self.final_iter_times[i] = times[i]
+        prefix = range(exit_block.start, e + 1)
+        times = self.states[exit_block.proc].iter_times
+        works = self.states[exit_block.proc].iter_work
+        for i in prefix:
+            self.final_iter_times[i] = times[i]
+            stage_work += works[i]
+        self.sequential_work += stage_work
+        discarded = blocks[pos_e + 1 :]
+        restored = perform_restore(machine, self.ckpt, [b.proc for b in discarded])
+        reinit_states(machine, [self.states[b.proc] for b in discarded])
+        committed_iters = (e + 1) - self.committed_upto
+        self.emit(Commit(
+            stage=stage, iterations=committed_iters,
+            elements=committed_elements, work=stage_work, committed_upto=e + 1,
+        ))
+        if discarded:
+            self.emit(Restore(
+                stage=stage, elements=restored,
+                procs=[b.proc for b in discarded],
+            ))
+        self._end_stage(StageResult(
+            index=stage,
+            blocks=list(blocks),
+            failed=False,
+            earliest_sink_pos=None,
+            committed_iterations=committed_iters,
+            remaining_after=0,
+            committed_work=stage_work,
+            n_arcs=n_arcs,
+            committed_elements=committed_elements,
+            restored_elements=restored,
+            redistributed_iterations=redistributed,
+            span=record.span(),
+            migration_distance=migration,
+            breakdown=record.breakdown(),
+            faulted_procs=faulted_procs,
+            degraded=self.degraded,
+        ))
+        self.exit_iteration = e
+        return self._finalize()
+
+    def _finalize(self) -> RunResult:
+        if self.config.self_check:
+            check_final_state(self.loop, self.machine.memory, self.initial_state)
+        result = RunResult(
+            loop_name=self.loop.name,
+            strategy=self.label,
+            n_procs=self.n_procs,
+            n_iterations=self.n,
+            stages=self._agg.stages,
+            timeline=self.machine.timeline,
+            sequential_work=self.sequential_work,
+            iteration_times=self.final_iter_times,
+            memory=self.machine.memory,
+            exit_iteration=self.exit_iteration,
+            **self.strategy.result_extras(self),
+        )
+        if self.injector is not None:
+            result.retries = self.retries
+            result.faults_survived = self.injector.total_injected
+            result.fault_counts = self.injector.counts()
+            result.degraded_stages = self.degraded_stages
+            result.dead_procs = sorted(self.injector.dead)
+        return result

@@ -21,37 +21,28 @@ valid prefix commits and both phases repeat on the remainder (with the
 committed counter value as the new base).  A processor whose increment
 count differs between the two phases read data whose location depended on
 the counter; it is conservatively treated as a dependence sink.
+
+The recursion runs in :class:`~repro.core.engine.StageEngine`; this module
+contributes the two-phase policy (range collection as a ``pre_stage``,
+offset-corrected re-execution, increment-mismatch sinks), registered as
+``induction``.
 """
 
 from __future__ import annotations
 
 from repro.config import RuntimeConfig
-from repro.core.analysis import analyze_stage
-from repro.core.commit import commit_states, reinit_states
-from repro.core.executor import execute_block, make_processor_state, ProcessorState
+from repro.core.engine import StageEngine, register_strategy
+from repro.core.engine import Strategy as EngineStrategy
+from repro.core.executor import ProcessorState, execute_block, make_processor_state
 from repro.core.results import RunResult, StageResult
-from repro.core.stage import (
-    charge_analysis,
-    charge_checkpoint_begin,
-    charge_checkpoint_fault_recovery,
-    committed_work,
-    perform_restore,
-)
-from repro.errors import (
-    ConfigurationError,
-    FaultError,
-    NoProgressError,
-    SpeculationError,
-)
-from repro.faults.injector import FaultInjector
-from repro.faults.selfcheck import UntestedAccessLog, check_final_state
+from repro.errors import ConfigurationError
 from repro.loopir.loop import SpeculativeLoop
-from repro.machine.checkpoint import CheckpointManager
 from repro.machine.costs import CostModel
 from repro.machine.machine import Machine
 from repro.machine.memory import MemoryImage, make_private_view
+from repro.obs.events import BlockExecuted, StageBegin
 from repro.shadow import make_shadow
-from repro.util.blocks import partition_even
+from repro.util.blocks import Block, partition_even
 
 
 def _phase_a_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> ProcessorState:
@@ -67,6 +58,153 @@ def _phase_a_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> Proces
     return ProcessorState(proc=proc, views=views, shadows=shadows)
 
 
+@register_strategy
+class InductionTwoPhase(EngineStrategy):
+    """Range-collection doall + prefix sum + offset-corrected re-execution."""
+
+    name = "induction"
+    exit_mode = "ignore"
+
+    def __init__(self) -> None:
+        self.ivar_base: dict[str, int] = {}
+        self._increments: dict[int, dict[str, int]] = {}
+        self._offsets: dict[int, dict[str, int]] = {}
+        self._finals: dict[int, dict[str, int]] = {}
+
+    @classmethod
+    def default_config(cls, **overrides) -> RuntimeConfig:
+        return RuntimeConfig.rd(**overrides)
+
+    def validate(self, loop: SpeculativeLoop, config: RuntimeConfig) -> None:
+        if not loop.inductions:
+            raise ConfigurationError(
+                f"loop {loop.name!r} has no induction variables; use run_blocked"
+            )
+
+    def setup(self, eng: StageEngine) -> None:
+        # Phase B creates fresh states per stage (the surviving pool may
+        # have shrunk); nothing persists across stages but the counter base.
+        self.ivar_base = eng.loop.initial_inductions()
+
+    def run_label(self, eng: StageEngine) -> str:
+        return "R-LRPD+induction"
+
+    def schedule(self, eng: StageEngine) -> list[Block]:
+        blocks = partition_even(eng.committed_upto, eng.n, eng.alive)
+        return [b for b in blocks if len(b)]
+
+    def pre_stage(self, eng: StageEngine, blocks: list[Block]) -> None:
+        """Phase A: side-effect-free range collection, its own stage.
+
+        Faults strike phase B only: range collection is a private doall, so
+        the interesting failure surface -- speculative state that must be
+        rolled back -- exists only in the re-execution.
+        """
+        machine, loop = eng.machine, eng.loop
+        stage = eng.stage_idx
+        eng.emit(StageBegin(
+            stage=stage, blocks=list(blocks),
+            remaining=eng.n - eng.committed_upto, degraded=eng.degraded,
+        ))
+        record_a = machine.begin_stage()
+        increments: dict[int, dict[str, int]] = {}
+        for pos, block in enumerate(blocks):
+            state = _phase_a_state(machine, loop, block.proc)
+            ctx = execute_block(
+                machine, loop, state, block, None, inductions=dict(self.ivar_base)
+            )
+            finals = ctx.induction_values()
+            increments[block.proc] = {
+                name: finals[name] - self.ivar_base[name] for name in self.ivar_base
+            }
+            eng.emit(BlockExecuted(
+                stage=stage, pos=pos, proc=block.proc,
+                start=block.start, stop=block.stop,
+            ))
+        machine.barrier()
+        eng._end_stage(StageResult(
+            index=stage,
+            blocks=list(blocks),
+            # Range collection is a *planned* extra doall, not a failed
+            # speculation: it does not count as a restart for PR (the
+            # doubled execution time already shows up in the speedup).
+            failed=False,
+            earliest_sink_pos=None,
+            committed_iterations=0,
+            remaining_after=eng.n - eng.committed_upto,
+            committed_work=0.0,
+            n_arcs=0,
+            committed_elements=0,
+            restored_elements=0,
+            redistributed_iterations=0,
+            span=record_a.span(),
+            breakdown=record_a.breakdown(),
+            degraded=eng.degraded,
+        ))
+        self._increments = increments
+
+        # Prefix sums give per-processor starting offsets.
+        offsets: dict[int, dict[str, int]] = {}
+        running = {name: 0 for name in self.ivar_base}
+        for block in blocks:
+            offsets[block.proc] = dict(running)
+            for name in self.ivar_base:
+                running[name] += increments[block.proc][name]
+        self._offsets = offsets
+
+    def begin_stage_states(self, eng: StageEngine, blocks: list[Block]) -> None:
+        eng.states = {
+            p: make_processor_state(eng.machine, eng.loop, p) for p in eng.alive
+        }
+        self._finals = {}
+
+    def before_block(self, eng: StageEngine, block: Block) -> None:
+        pass  # phase B always starts cold: offsets correct the copy-in
+
+    def exec_kwargs(self, eng: StageEngine, pos: int, block: Block) -> dict:
+        start = {
+            name: self.ivar_base[name] + self._offsets[block.proc][name]
+            for name in self.ivar_base
+        }
+        return {"inductions": start}
+
+    def after_block(self, eng: StageEngine, pos: int, block: Block, ctx) -> None:
+        self._finals[block.proc] = ctx.induction_values()
+
+    def adjust_sink(
+        self, eng: StageEngine, blocks: list[Block], f_pos: int | None
+    ) -> int | None:
+        # An increment mismatch means the counter's control flow read data
+        # whose address depended on the counter -- treat as a sink.  A
+        # faulted block's counter is untrusted garbage, not a mismatch; the
+        # fault merge already forces its re-execution.
+        for pos, block in enumerate(blocks):
+            if pos in eng.faulted:
+                continue
+            expected = {
+                name: self.ivar_base[name]
+                + self._offsets[block.proc][name]
+                + self._increments[block.proc][name]
+                for name in self.ivar_base
+            }
+            if self._finals[block.proc] != expected:
+                f_pos = pos if f_pos is None else min(f_pos, pos)
+                break
+        return f_pos
+
+    def zero_commit_message(self, eng: StageEngine, f_pos: int | None) -> str:
+        return f"{eng.loop.name}: induction stage {eng.stage_idx} committed nothing"
+
+    def after_stage(self, eng, committing, failing, f_pos) -> None:
+        # Advance the committed counter values past the committing prefix.
+        for block in committing:
+            for name in self.ivar_base:
+                self.ivar_base[name] += self._increments[block.proc][name]
+
+    def result_extras(self, eng: StageEngine) -> dict:
+        return {"induction_finals": dict(self.ivar_base)}
+
+
 def run_induction(
     loop: SpeculativeLoop,
     n_procs: int,
@@ -76,257 +214,6 @@ def run_induction(
 ) -> RunResult:
     """Parallelize a loop with speculative induction variables."""
     config = config or RuntimeConfig.rd()
-    if not loop.inductions:
-        raise ConfigurationError(
-            f"loop {loop.name!r} has no induction variables; use run_blocked"
-        )
-
-    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
-    untested = loop.untested_names
-    ckpt = (
-        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
-        if untested
-        else None
-    )
-
-    injector = FaultInjector(config.fault_plan) if config.fault_plan else None
-    untested_log = (
-        UntestedAccessLog() if (config.self_check and untested) else None
-    )
-    initial_state = machine.memory.snapshot() if config.self_check else None
-
-    n = loop.n_iterations
-    alive = list(range(n_procs))
-    ivar_base = loop.initial_inductions()
-    committed_upto = 0
-    stage_results: list[StageResult] = []
-    sequential_work = 0.0
-    final_iter_times: dict[int, float] = {}
-    stage_idx = 0
-    retries = 0
-    degraded_stages = 0
-    zero_commit_streak = 0
-
-    while committed_upto < n:
-        if stage_idx >= config.max_stages:
-            raise SpeculationError(
-                f"{loop.name}: exceeded max_stages={config.max_stages}"
-            )
-        degraded = len(alive) < n_procs
-        if degraded:
-            degraded_stages += 1
-        blocks = partition_even(committed_upto, n, alive)
-        nonempty = [b for b in blocks if len(b)]
-
-        # ---- Phase A: range collection ------------------------------------------
-        record_a = machine.begin_stage()
-        increments: dict[int, dict[str, int]] = {}
-        for block in nonempty:
-            state = _phase_a_state(machine, loop, block.proc)
-            ctx = execute_block(machine, loop, state, block, None, inductions=dict(ivar_base))
-            finals = ctx.induction_values()
-            increments[block.proc] = {
-                name: finals[name] - ivar_base[name] for name in ivar_base
-            }
-        machine.barrier()
-        stage_results.append(
-            StageResult(
-                index=stage_idx,
-                blocks=list(nonempty),
-                # Range collection is a *planned* extra doall, not a failed
-                # speculation: it does not count as a restart for PR (the
-                # doubled execution time already shows up in the speedup).
-                failed=False,
-                earliest_sink_pos=None,
-                committed_iterations=0,
-                remaining_after=n - committed_upto,
-                committed_work=0.0,
-                n_arcs=0,
-                committed_elements=0,
-                restored_elements=0,
-                redistributed_iterations=0,
-                span=record_a.span(),
-                breakdown=record_a.breakdown(),
-                degraded=degraded,
-            )
-        )
-        stage_idx += 1
-
-        # ---- Prefix sums give per-processor starting offsets ----------------------
-        offsets: dict[int, dict[str, int]] = {}
-        running = {name: 0 for name in ivar_base}
-        for block in nonempty:
-            offsets[block.proc] = dict(running)
-            for name in ivar_base:
-                running[name] += increments[block.proc][name]
-
-        # ---- Phase B: re-execution with corrected offsets --------------------------
-        # Faults strike phase B only: range collection is a side-effect-free
-        # private doall, so the interesting failure surface -- speculative
-        # state that must be rolled back -- exists only in the re-execution.
-        record_b = machine.begin_stage()
-        charge_checkpoint_begin(machine, ckpt, injector, stage_idx)
-        if untested_log is not None:
-            untested_log.reset()
-        states = {p: make_processor_state(machine, loop, p) for p in alive}
-        phase_b_finals: dict[int, dict[str, int]] = {}
-        faulted: dict[int, str] = {}  # block position -> fault class
-        for pos, block in enumerate(nonempty):
-            start = {
-                name: ivar_base[name] + offsets[block.proc][name]
-                for name in ivar_base
-            }
-            ctx = execute_block(
-                machine, loop, states[block.proc], block, ckpt,
-                inductions=start, injector=injector, stage=stage_idx,
-                untested_log=untested_log,
-            )
-            phase_b_finals[block.proc] = ctx.induction_values()
-            if ctx.fault is not None:
-                faulted[pos] = ctx.fault
-                if ctx.fault_permanent and len(alive) > 1:
-                    alive.remove(block.proc)
-                    injector.mark_dead(block.proc)
-            elif (
-                injector is not None
-                and injector.corrupt(stage_idx, block.proc, states[block.proc])
-                is not None
-            ):
-                faulted[pos] = "corrupt-write"
-        machine.barrier()
-        charge_checkpoint_fault_recovery(machine, ckpt, injector, stage_idx)
-
-        groups = [(b.proc, states[b.proc].shadows) for b in nonempty]
-        analysis = analyze_stage(groups)
-        charge_analysis(machine, analysis, [b.proc for b in nonempty])
-        if untested_log is not None:
-            untested_log.verify(loop.name, stage_idx)
-        f_pos = analysis.earliest_sink_pos
-
-        # An increment mismatch means the counter's control flow read data
-        # whose address depended on the counter -- treat as a sink.  A
-        # faulted block's counter is untrusted garbage, not a mismatch; the
-        # fault merge below already forces its re-execution.
-        for pos, block in enumerate(nonempty):
-            if pos in faulted:
-                continue
-            expected = {
-                name: ivar_base[name]
-                + offsets[block.proc][name]
-                + increments[block.proc][name]
-                for name in ivar_base
-            }
-            if phase_b_finals[block.proc] != expected:
-                f_pos = pos if f_pos is None else min(f_pos, pos)
-                break
-
-        fault_pos = min(faulted) if faulted else None
-        if fault_pos is not None and (f_pos is None or fault_pos < f_pos):
-            f_pos = fault_pos
-            retries += 1
-        faulted_procs = sorted(nonempty[pos].proc for pos in faulted)
-
-        committing = nonempty if f_pos is None else nonempty[:f_pos]
-        failing = [] if f_pos is None else nonempty[f_pos:]
-        if not committing:
-            if fault_pos != 0:
-                raise NoProgressError(
-                    f"{loop.name}: induction stage {stage_idx} committed nothing"
-                )
-            zero_commit_streak += 1
-            if zero_commit_streak > config.max_fault_retries:
-                raise FaultError(
-                    f"gave up after {zero_commit_streak} consecutive "
-                    "zero-progress stages wiped out by injected faults "
-                    f"(max_fault_retries={config.max_fault_retries})",
-                    loop=loop.name,
-                    stage=stage_idx,
-                    proc=nonempty[0].proc,
-                )
-            restored = perform_restore(machine, ckpt, [b.proc for b in failing])
-            reinit_states(machine, [states[b.proc] for b in failing])
-            stage_results.append(
-                StageResult(
-                    index=stage_idx,
-                    blocks=list(nonempty),
-                    failed=True,
-                    earliest_sink_pos=f_pos,
-                    committed_iterations=0,
-                    remaining_after=n - committed_upto,
-                    committed_work=0.0,
-                    n_arcs=len(analysis.arcs),
-                    committed_elements=0,
-                    restored_elements=restored,
-                    redistributed_iterations=0,
-                    span=record_b.span(),
-                    breakdown=record_b.breakdown(),
-                    faulted_procs=faulted_procs,
-                    degraded=degraded,
-                )
-            )
-            stage_idx += 1
-            continue
-        zero_commit_streak = 0
-
-        committed_elements = commit_states(
-            machine, loop, [states[b.proc] for b in committing]
-        )
-        stage_work = committed_work(states, committing)
-        sequential_work += stage_work
-        for block in committing:
-            times = states[block.proc].iter_times
-            for i in block.iterations():
-                final_iter_times[i] = times[i]
-        restored = perform_restore(machine, ckpt, [b.proc for b in failing])
-        reinit_states(machine, [states[b.proc] for b in failing])
-        for block in committing:
-            states[block.proc].reset()
-
-        # Advance the committed counter values past the committing prefix.
-        for block in committing:
-            for name in ivar_base:
-                ivar_base[name] += increments[block.proc][name]
-
-        committed_upto = committing[-1].stop
-        stage_results.append(
-            StageResult(
-                index=stage_idx,
-                blocks=list(nonempty),
-                failed=f_pos is not None,
-                earliest_sink_pos=f_pos,
-                committed_iterations=sum(len(b) for b in committing),
-                remaining_after=n - committed_upto,
-                committed_work=stage_work,
-                n_arcs=len(analysis.arcs),
-                committed_elements=committed_elements,
-                restored_elements=restored,
-                redistributed_iterations=0,
-                span=record_b.span(),
-                breakdown=record_b.breakdown(),
-                faulted_procs=faulted_procs,
-                degraded=degraded,
-            )
-        )
-        stage_idx += 1
-
-    if config.self_check:
-        check_final_state(loop, machine.memory, initial_state)
-    result = RunResult(
-        loop_name=loop.name,
-        strategy="R-LRPD+induction",
-        n_procs=n_procs,
-        n_iterations=n,
-        stages=stage_results,
-        timeline=machine.timeline,
-        sequential_work=sequential_work,
-        iteration_times=final_iter_times,
-        induction_finals=dict(ivar_base),
-        memory=machine.memory,
-    )
-    if injector is not None:
-        result.retries = retries
-        result.faults_survived = injector.total_injected
-        result.fault_counts = injector.counts()
-        result.degraded_stages = degraded_stages
-        result.dead_procs = sorted(injector.dead)
-    return result
+    return StageEngine(
+        loop, n_procs, InductionTwoPhase(), config, costs=costs, memory=memory,
+    ).run()

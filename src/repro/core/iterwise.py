@@ -13,6 +13,14 @@ very overhead the processor-wise simplification avoids (Section 2).
 This module implements that finer-granularity variant as an extension, so
 the trade-off is measurable: fewer re-executed iterations per failure
 against higher marking/analysis volume.
+
+Running on :class:`~repro.core.engine.StageEngine` (as the registered
+``iterwise`` strategy) gives this variant the full shared lifecycle --
+including fault injection, pool shrink on permanent deaths, zero-commit
+retry bounds and the ``--self-check`` oracle, none of which the
+pre-engine driver had.  When a fault forces the failure point below the
+analysis sink, the partial-prefix commit is clamped to the faulted
+block's start (a faulted block's value log is untrusted).
 """
 
 from __future__ import annotations
@@ -20,13 +28,13 @@ from __future__ import annotations
 import math
 
 from repro.config import RedistributionPolicy, RuntimeConfig, Strategy
-from repro.core.commit import commit_states, reinit_states
-from repro.core.executor import ProcessorState, execute_block, make_processor_state
-from repro.core.results import RunResult, StageResult
-from repro.core.stage import charge_checkpoint_begin, charge_redistribution
-from repro.errors import ConfigurationError, NoProgressError, SpeculationError
+from repro.core.engine import StageEngine, register_strategy
+from repro.core.engine import Strategy as EngineStrategy
+from repro.core.commit import commit_states
+from repro.core.results import RunResult
+from repro.core.stage import charge_redistribution
+from repro.errors import ConfigurationError, SpeculationError
 from repro.loopir.loop import SpeculativeLoop
-from repro.machine.checkpoint import CheckpointManager
 from repro.machine.costs import CostModel
 from repro.machine.machine import Machine
 from repro.machine.memory import MemoryImage
@@ -38,17 +46,24 @@ from repro.util.blocks import Block, partition_even
 def _iterwise_analysis(
     blocks: list[Block],
     marklists: dict[int, dict[str, MarkList]],
+    skip: frozenset[int] = frozenset(),
 ) -> tuple[int | None, int]:
     """Earliest sink *iteration* over all cross-processor flow arcs.
 
     Scans blocks in iteration order, maintaining the earliest writing
     iteration per element; an exposed read on a *different* processor than
-    the writer is an arc.  Returns ``(sink_iteration | None, n_arcs)``.
+    the writer is an arc.  ``skip`` holds faulted block positions, whose
+    mark lists are truncated (fail-stop) or untrusted (corrupt write); the
+    fault merge forces everything from the first faulted position to
+    re-execute, so their marks must not influence the verdict.  Returns
+    ``(sink_iteration | None, n_arcs)``.
     """
     writer: dict[tuple[str, int], tuple[int, int]] = {}  # addr -> (iter, proc)
     sink: int | None = None
     n_arcs = 0
-    for block in blocks:
+    for pos, block in enumerate(blocks):
+        if pos in skip:
+            continue
         lists = marklists[block.proc]
         for k, i in enumerate(block.iterations()):
             if sink is not None and i >= sink:
@@ -92,6 +107,217 @@ def _commit_prefix(
     return n_elems
 
 
+@register_strategy
+class IterwiseBlocked(EngineStrategy):
+    """Blocked schedule with iteration-granularity commit."""
+
+    name = "iterwise"
+
+    def __init__(self) -> None:
+        self.pending: list[Block] = []
+        self.marklists: dict[int, dict[str, MarkList]] = {}
+        self._redistributing = False
+        self._sink: int | None = None  # earliest sink iteration this stage
+        self._partial: Block | None = None
+
+    @classmethod
+    def default_config(cls, **overrides) -> RuntimeConfig:
+        return RuntimeConfig.adaptive(**overrides)
+
+    def validate(self, loop: SpeculativeLoop, config: RuntimeConfig) -> None:
+        if config.strategy is not Strategy.BLOCKED:
+            raise ConfigurationError("run_blocked_iterwise needs a blocked strategy")
+        if loop.inductions:
+            raise ConfigurationError("iteration-wise test does not support inductions")
+        if loop.untested_names:
+            raise ConfigurationError(
+                "iteration-wise commit requires all arrays tested; declare "
+                f"{loop.untested_names} tested or use the processor-wise test"
+            )
+        if loop.reductions:
+            raise ConfigurationError(
+                "iteration-wise commit does not support reductions yet"
+            )
+
+    def run_label(self, eng: StageEngine) -> str:
+        return f"R-LRPD-iterwise({eng.config.label()})"
+
+    def schedule(self, eng: StageEngine) -> list[Block]:
+        if eng.stage_idx == 0:
+            blocks = partition_even(0, eng.n, eng.alive)
+            self._redistributing = False
+        else:
+            policy = eng.config.redistribution
+            self._redistributing = policy is RedistributionPolicy.ALWAYS or (
+                policy is RedistributionPolicy.ADAPTIVE
+                and eng.machine.costs.should_redistribute(
+                    eng.remaining, len(eng.alive)
+                )
+            )
+            blocks = (
+                partition_even(eng.committed_upto, eng.n, eng.alive)
+                if self._redistributing
+                else self.pending
+            )
+        nonempty = [b for b in blocks if len(b)]
+        if not self._redistributing and eng.degraded and any(
+            b.proc not in eng.alive for b in nonempty
+        ):
+            # A pending block's owner died: re-block the remainder over the
+            # survivors (same rule as the processor-wise NRD driver).
+            nonempty = [
+                b for b in partition_even(eng.committed_upto, eng.n, eng.alive)
+                if len(b)
+            ]
+        if not nonempty:
+            raise SpeculationError(f"{eng.loop.name}: empty schedule with work left")
+        return nonempty
+
+    def charge_schedule(
+        self, eng: StageEngine, blocks: list[Block]
+    ) -> tuple[int, float]:
+        if eng.stage_idx > 0 and self._redistributing:
+            redistributed = charge_redistribution(
+                eng.machine, ((b.proc, len(b)) for b in blocks),
+                eng.machine.costs.ell,
+            )
+        else:
+            redistributed = 0
+        return redistributed, 0.0
+
+    def begin_stage_states(self, eng: StageEngine, blocks: list[Block]) -> None:
+        self.marklists = {}
+        self._partial = None
+
+    def before_block(self, eng: StageEngine, block: Block) -> None:
+        pass  # per-iteration value logs subsume bulk pre-initialization
+
+    def exec_kwargs(self, eng: StageEngine, pos: int, block: Block) -> dict:
+        ml = {
+            name: MarkList(name, block.proc, log_values=True)
+            for name in eng.loop.tested_names
+        }
+        self.marklists[block.proc] = ml
+        return {"marklists": ml}
+
+    def after_block(self, eng: StageEngine, pos: int, block: Block, ctx) -> None:
+        # Iteration-level marking costs an extra pass over the marks.
+        extra_refs = sum(
+            m.distinct_refs() for m in self.marklists[block.proc].values()
+        )
+        eng.machine.charge(
+            block.proc, Category.MARK, eng.machine.costs.mark * extra_refs
+        )
+
+    def analyze(
+        self, eng: StageEngine, blocks: list[Block]
+    ) -> tuple[int | None, int]:
+        sink, n_arcs = _iterwise_analysis(
+            blocks, self.marklists, skip=frozenset(eng.faulted)
+        )
+        # Iteration-level analysis scans every level, not distinct refs.
+        log_p = max(1.0, math.log2(max(1, len(blocks))))
+        for block in blocks:
+            refs = sum(
+                m.distinct_refs() for m in self.marklists[block.proc].values()
+            )
+            eng.machine.charge(
+                block.proc, Category.ANALYSIS,
+                eng.machine.costs.analysis_per_ref * refs * log_p,
+            )
+        self._sink = sink
+        if sink is None:
+            return None, n_arcs
+        # Block-position failure point: first block not entirely before the
+        # sink iteration (the engine's commit split works on positions).
+        return sum(1 for b in blocks if b.stop <= sink), n_arcs
+
+    def on_failure_point(
+        self, eng: StageEngine, blocks: list[Block], f_pos: int | None,
+        fault_forced: bool,
+    ) -> None:
+        if fault_forced:
+            # A faulted block's value log is untrusted: clamp the commit
+            # point to the faulted block's start (no partial prefix).
+            self._sink = blocks[f_pos].start
+
+    def sink_field(self, eng: StageEngine, f_pos: int | None) -> int | None:
+        return self._sink  # an iteration, not a position
+
+    def partial_progress(
+        self, eng: StageEngine, blocks: list[Block], f_pos: int | None
+    ) -> bool:
+        return (
+            self._sink is not None
+            and f_pos is not None
+            and f_pos < len(blocks)
+            and self._sink > blocks[f_pos].start
+        )
+
+    def commit(
+        self, eng: StageEngine, committing: list[Block], failing: list[Block]
+    ) -> tuple[int, float]:
+        machine, loop = eng.machine, eng.loop
+        committed_elements = commit_states(
+            machine, loop, [eng.states[b.proc] for b in committing]
+        )
+        stage_work = 0.0
+        for block in committing:
+            times = eng.states[block.proc].iter_times
+            works = eng.states[block.proc].iter_work
+            for i in block.iterations():
+                eng.final_iter_times[i] = times[i]
+                stage_work += works[i]
+        sink = self._sink
+        partial = None
+        if sink is not None:
+            partial = next(
+                (b for b in failing if b.start <= sink < b.stop), None
+            )
+        if partial is not None and sink is not None and sink > partial.start:
+            committed_elements += _commit_prefix(
+                machine, loop, partial, self.marklists[partial.proc], sink
+            )
+            times = eng.states[partial.proc].iter_times
+            works = eng.states[partial.proc].iter_work
+            for i in range(partial.start, sink):
+                eng.final_iter_times[i] = times[i]
+                stage_work += works[i]
+        self._partial = partial
+        return committed_elements, stage_work
+
+    def advance(self, eng: StageEngine, committing: list[Block]) -> int:
+        return eng.n if self._sink is None else self._sink
+
+    def committed_iterations(
+        self, eng: StageEngine, committing: list[Block], advance: int
+    ) -> int:
+        return advance - eng.committed_upto
+
+    def zero_commit_message(self, eng: StageEngine, f_pos: int | None) -> str:
+        return (
+            f"{eng.loop.name}: iteration-wise stage {eng.stage_idx} stalled at "
+            f"{eng.committed_upto}"
+        )
+
+    def advance_stall_message(self, eng: StageEngine) -> str:
+        return self.zero_commit_message(eng, None)
+
+    def after_stage(self, eng, committing, failing, f_pos) -> None:
+        # NRD continuation: the partial block's remainder plus the failing
+        # blocks re-execute in place.
+        pending: list[Block] = []
+        if self._partial is not None:
+            pending.append(
+                Block(self._partial.proc, eng.committed_upto, self._partial.stop)
+            )
+        pending.extend(b for b in failing if b is not self._partial)
+        self.pending = pending
+
+    def after_zero_commit(self, eng: StageEngine, failing: list[Block]) -> None:
+        self.pending = failing
+
+
 def run_blocked_iterwise(
     loop: SpeculativeLoop,
     n_procs: int,
@@ -108,169 +334,6 @@ def run_blocked_iterwise(
     under the processor-wise test.
     """
     config = config or RuntimeConfig.adaptive()
-    if config.strategy is not Strategy.BLOCKED:
-        raise ConfigurationError("run_blocked_iterwise needs a blocked strategy")
-    if loop.inductions:
-        raise ConfigurationError("iteration-wise test does not support inductions")
-    if loop.untested_names:
-        raise ConfigurationError(
-            "iteration-wise commit requires all arrays tested; declare "
-            f"{loop.untested_names} tested or use the processor-wise test"
-        )
-    if loop.reductions:
-        raise ConfigurationError(
-            "iteration-wise commit does not support reductions yet"
-        )
-
-    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
-    states: dict[int, ProcessorState] = {
-        p: make_processor_state(machine, loop, p) for p in range(n_procs)
-    }
-    tested = loop.tested_names
-    ckpt: CheckpointManager | None = None
-
-    n = loop.n_iterations
-    all_procs = list(range(n_procs))
-    committed_upto = 0
-    stage_results: list[StageResult] = []
-    sequential_work = 0.0
-    final_iter_times: dict[int, float] = {}
-    pending_blocks: list[Block] = []
-    stage_idx = 0
-
-    while committed_upto < n:
-        if stage_idx >= config.max_stages:
-            raise SpeculationError(
-                f"{loop.name}: exceeded max_stages={config.max_stages}"
-            )
-        remaining = n - committed_upto
-        if stage_idx == 0:
-            blocks = partition_even(0, n, all_procs)
-            redistributing = False
-        else:
-            policy = config.redistribution
-            redistributing = policy is RedistributionPolicy.ALWAYS or (
-                policy is RedistributionPolicy.ADAPTIVE
-                and machine.costs.should_redistribute(remaining, n_procs)
-            )
-            blocks = (
-                partition_even(committed_upto, n, all_procs)
-                if redistributing
-                else pending_blocks
-            )
-        nonempty = [b for b in blocks if len(b)]
-        if not nonempty:
-            raise SpeculationError(f"{loop.name}: empty schedule with work left")
-
-        record = machine.begin_stage()
-        charge_checkpoint_begin(machine, ckpt)
-        if stage_idx > 0 and redistributing:
-            redistributed = charge_redistribution(
-                machine, ((b.proc, len(b)) for b in nonempty), machine.costs.ell
-            )
-        else:
-            redistributed = 0
-        marklists: dict[int, dict[str, MarkList]] = {}
-        for block in nonempty:
-            ml = {
-                name: MarkList(name, block.proc, log_values=True)
-                for name in tested
-            }
-            marklists[block.proc] = ml
-            ctx = execute_block(
-                machine, loop, states[block.proc], block, ckpt, marklists=ml
-            )
-            if ctx.exit_iteration is not None:
-                raise ConfigurationError(
-                    f"{loop.name}: premature exits need the blocked runner"
-                )
-            # Iteration-level marking costs an extra pass over the marks.
-            extra_refs = sum(m.distinct_refs() for m in ml.values())
-            machine.charge(block.proc, Category.MARK, machine.costs.mark * extra_refs)
-        machine.barrier()
-
-        sink, n_arcs = _iterwise_analysis(nonempty, marklists)
-        # Iteration-level analysis scans every level, not distinct refs.
-        log_p = max(1.0, math.log2(max(1, len(nonempty))))
-        for block in nonempty:
-            refs = sum(m.distinct_refs() for m in marklists[block.proc].values())
-            machine.charge(
-                block.proc, Category.ANALYSIS,
-                machine.costs.analysis_per_ref * refs * log_p,
-            )
-
-        if sink is None:
-            committing, partial, failing = nonempty, None, []
-        else:
-            committing = [b for b in nonempty if b.stop <= sink]
-            partial = next((b for b in nonempty if b.start <= sink < b.stop), None)
-            failing = [b for b in nonempty if b.stop > sink]
-
-        committed_elements = commit_states(
-            machine, loop, [states[b.proc] for b in committing]
-        )
-        stage_work = 0.0
-        for block in committing:
-            times, works = states[block.proc].iter_times, states[block.proc].iter_work
-            for i in block.iterations():
-                final_iter_times[i] = times[i]
-                stage_work += works[i]
-        if partial is not None and sink is not None and sink > partial.start:
-            committed_elements += _commit_prefix(
-                machine, loop, partial, marklists[partial.proc], sink
-            )
-            times, works = states[partial.proc].iter_times, states[partial.proc].iter_work
-            for i in range(partial.start, sink):
-                final_iter_times[i] = times[i]
-                stage_work += works[i]
-        sequential_work += stage_work
-
-        reinit_states(machine, [states[b.proc] for b in failing])
-        for block in committing:
-            states[block.proc].reset()
-
-        new_committed_upto = n if sink is None else sink
-        if new_committed_upto <= committed_upto:
-            raise NoProgressError(
-                f"{loop.name}: iteration-wise stage {stage_idx} stalled at "
-                f"{committed_upto}"
-            )
-        committed_iters = new_committed_upto - committed_upto
-        committed_upto = new_committed_upto
-
-        stage_results.append(
-            StageResult(
-                index=stage_idx,
-                blocks=list(nonempty),
-                failed=sink is not None,
-                earliest_sink_pos=sink,  # an iteration, not a position
-                committed_iterations=committed_iters,
-                remaining_after=n - committed_upto,
-                committed_work=stage_work,
-                n_arcs=n_arcs,
-                committed_elements=committed_elements,
-                restored_elements=0,
-                redistributed_iterations=redistributed,
-                span=record.span(),
-                breakdown=record.breakdown(),
-            )
-        )
-        # NRD continuation: the partial block's remainder plus the failing
-        # blocks re-execute in place.
-        pending_blocks = []
-        if partial is not None:
-            pending_blocks.append(Block(partial.proc, committed_upto, partial.stop))
-        pending_blocks.extend(b for b in failing if b is not partial)
-        stage_idx += 1
-
-    return RunResult(
-        loop_name=loop.name,
-        strategy=f"R-LRPD-iterwise({config.label()})",
-        n_procs=n_procs,
-        n_iterations=n,
-        stages=stage_results,
-        timeline=machine.timeline,
-        sequential_work=sequential_work,
-        iteration_times=final_iter_times,
-        memory=machine.memory,
-    )
+    return StageEngine(
+        loop, n_procs, IterwiseBlocked(), config, costs=costs, memory=memory,
+    ).run()

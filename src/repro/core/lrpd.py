@@ -16,13 +16,18 @@ from __future__ import annotations
 from repro.config import RuntimeConfig
 from repro.core.analysis import analyze_stage, doall_valid
 from repro.core.commit import commit_states
-from repro.core.executor import execute_block, make_processor_state
+from repro.core.engine import require_fault_support
+from repro.core.executor import execute_block
 from repro.core.results import RunResult, StageResult
-from repro.core.stage import charge_analysis, charge_checkpoint_begin, committed_work
+from repro.core.stage import (
+    charge_analysis,
+    charge_checkpoint_begin,
+    committed_work,
+    make_speculative_machine,
+)
 from repro.errors import ConfigurationError
 from repro.loopir.context import SequentialContext
 from repro.loopir.loop import SpeculativeLoop
-from repro.machine.checkpoint import CheckpointManager
 from repro.machine.costs import CostModel
 from repro.machine.machine import Machine
 from repro.machine.memory import MemoryImage
@@ -69,18 +74,14 @@ def run_doall_lrpd(
 ) -> RunResult:
     """One speculative doall attempt; sequential re-execution on failure."""
     config = config or RuntimeConfig.nrd()
+    require_fault_support(config, "the doall LRPD baseline")
     if loop.inductions:
         raise ConfigurationError(
             f"loop {loop.name!r} declares induction variables; the doall "
             "baseline does not support speculative inductions"
         )
-    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
-    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
-    untested = loop.untested_names
-    ckpt = (
-        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
-        if untested
-        else None
+    machine, states, ckpt = make_speculative_machine(
+        loop, n_procs, config, costs, memory
     )
 
     n = loop.n_iterations

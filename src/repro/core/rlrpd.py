@@ -14,6 +14,11 @@ parallelization until all iterations commit (paper, Fig. 1(b)):
 Progress is guaranteed -- the lowest-ranked block of every stage cannot be a
 dependence sink -- so the loop finishes in at most ``p`` stages under NRD
 and at most ``n`` stages under RD.
+
+The recursion itself lives in :class:`~repro.core.engine.StageEngine`; this
+module contributes only the blocked *policy* -- how the remaining
+iterations are scheduled and what redistribution costs -- as the
+registered strategies ``nrd`` / ``rd`` / ``adaptive``.
 """
 
 from __future__ import annotations
@@ -21,31 +26,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import RedistributionPolicy, RuntimeConfig, Strategy, TestCondition
-from repro.core.analysis import analyze_stage
-from repro.core.commit import commit_states, reinit_states
-from repro.core.executor import execute_block, make_processor_state
-from repro.core.results import RunResult, StageResult
-from repro.core.stage import (
-    charge_analysis,
-    charge_checkpoint_begin,
-    charge_checkpoint_fault_recovery,
-    charge_redistribution,
-    charge_redistribution_topo,
-    committed_work,
-    perform_restore,
-)
-from repro.errors import (
-    ConfigurationError,
-    FaultError,
-    NoProgressError,
-    SpeculationError,
-)
-from repro.faults.injector import FaultInjector
-from repro.faults.selfcheck import UntestedAccessLog, check_final_state
+from repro.core.engine import StageEngine, register_strategy
+from repro.core.engine import Strategy as EngineStrategy
+from repro.core.results import RunResult
+from repro.core.stage import charge_redistribution, charge_redistribution_topo
+from repro.errors import ConfigurationError, SpeculationError
 from repro.loopir.loop import SpeculativeLoop
-from repro.machine.checkpoint import CheckpointManager
 from repro.machine.costs import CostModel
-from repro.machine.machine import Machine
 from repro.machine.memory import MemoryImage
 from repro.machine.timeline import Category
 from repro.machine.topology import Topology
@@ -61,6 +48,159 @@ def _partition(
     if weights is None:
         return partition_even(start, stop, procs)
     return partition_weighted(start, stop, procs, weights[start:stop])
+
+
+class _BlockedBase(EngineStrategy):
+    """Shared blocked policy: one block per processor, redistribution per
+    the configured :class:`~repro.config.RedistributionPolicy`."""
+
+    exit_mode = "collect"
+
+    def __init__(self) -> None:
+        self.pending: list[Block] = []  # failed blocks awaiting re-execution
+        self._redistributing = False
+        self._orphan_rebalanced = False
+
+    def validate(self, loop: SpeculativeLoop, config: RuntimeConfig) -> None:
+        if config.strategy is not Strategy.BLOCKED:
+            raise ConfigurationError(f"run_blocked got strategy {config.strategy}")
+        if config.condition is not TestCondition.COPY_IN:
+            raise ConfigurationError(
+                "the recursive test is defined over the copy-in condition; "
+                "the privatization condition applies to the doall LRPD baseline"
+            )
+        if loop.inductions:
+            raise ConfigurationError(
+                f"loop {loop.name!r} declares induction variables; use "
+                "repro.core.runner.parallelize (two-phase induction runner)"
+            )
+
+    def setup(self, eng: StageEngine) -> None:
+        super().setup(eng)
+        self.owner = np.full(eng.n, -1, dtype=np.int64)
+
+    def schedule(self, eng: StageEngine) -> list[Block]:
+        if eng.stage_idx == 0:
+            blocks = _partition(0, eng.n, eng.alive, eng.weights)
+            self._redistributing = False
+        else:
+            policy = eng.config.redistribution
+            if policy is RedistributionPolicy.ALWAYS:
+                self._redistributing = True
+            elif policy is RedistributionPolicy.ADAPTIVE:
+                self._redistributing = eng.machine.costs.should_redistribute(
+                    eng.remaining, len(eng.alive)
+                )
+            else:
+                self._redistributing = False
+            if self._redistributing:
+                blocks = _partition(eng.committed_upto, eng.n, eng.alive, eng.weights)
+            else:
+                blocks = self.pending
+
+        nonempty = [b for b in blocks if len(b)]
+        self._orphan_rebalanced = False
+        if (
+            not self._redistributing
+            and eng.degraded
+            and any(b.proc not in eng.alive for b in nonempty)
+        ):
+            # NRD keeps failed blocks on their owners -- unless an owner is
+            # dead.  The pending range is re-blocked once over the
+            # survivors (a block cannot simply be handed to a survivor that
+            # already holds one: a processor's shadow marks must form a
+            # single analysis group).  Only the iterations that actually
+            # moved are charged, below.
+            nonempty = [
+                b
+                for b in _partition(eng.committed_upto, eng.n, eng.alive, eng.weights)
+                if len(b)
+            ]
+            self._orphan_rebalanced = True
+        if not nonempty:
+            raise SpeculationError(f"{eng.loop.name}: empty schedule with work left")
+        return nonempty
+
+    def charge_schedule(
+        self, eng: StageEngine, blocks: list[Block]
+    ) -> tuple[int, float]:
+        machine = eng.machine
+        if eng.weights is not None and eng.stage_idx == 0:
+            # Timer instrumentation + parallel prefix of the balancer.
+            machine.charge_global(
+                Category.SCHEDULE,
+                machine.costs.schedule_per_iter * eng.n / eng.n_procs,
+            )
+        redistributed = 0
+        migration_distance = 0.0
+        if eng.stage_idx > 0 and self._redistributing:
+            if eng.topology is None:
+                # Flat (ccUMA) machine: the Section 4 model's uniform
+                # ell-per-iteration charge.
+                redistributed = charge_redistribution(
+                    machine,
+                    ((b.proc, len(b)) for b in blocks),
+                    machine.costs.ell,
+                )
+            else:
+                redistributed, migration_distance = charge_redistribution_topo(
+                    machine, blocks, self.owner
+                )
+        elif self._orphan_rebalanced:
+            redistributed, migration_distance = charge_redistribution_topo(
+                machine, blocks, self.owner
+            )
+        return redistributed, migration_distance
+
+    def after_block(self, eng: StageEngine, pos: int, block: Block, ctx) -> None:
+        if len(block):
+            self.owner[block.start : block.stop] = block.proc
+
+    def after_stage(self, eng, committing, failing, f_pos) -> None:
+        self.pending = failing
+
+    def after_zero_commit(self, eng: StageEngine, failing: list[Block]) -> None:
+        self.pending = failing
+
+
+@register_strategy
+class BlockedNRD(_BlockedBase):
+    """No redistribution: failed processors re-execute their own blocks."""
+
+    name = "nrd"
+
+    @classmethod
+    def default_config(cls, **overrides) -> RuntimeConfig:
+        return RuntimeConfig.nrd(**overrides)
+
+
+@register_strategy
+class BlockedRD(_BlockedBase):
+    """Always redistribute: re-block the remainder over all processors."""
+
+    name = "rd"
+
+    @classmethod
+    def default_config(cls, **overrides) -> RuntimeConfig:
+        return RuntimeConfig.rd(**overrides)
+
+
+@register_strategy
+class AdaptiveBlocked(_BlockedBase):
+    """Redistribute while Eq. (4)'s payoff condition holds, then NRD."""
+
+    name = "adaptive"
+
+    @classmethod
+    def default_config(cls, **overrides) -> RuntimeConfig:
+        return RuntimeConfig.adaptive(**overrides)
+
+
+_POLICY_TO_STRATEGY = {
+    RedistributionPolicy.NEVER: BlockedNRD,
+    RedistributionPolicy.ALWAYS: BlockedRD,
+    RedistributionPolicy.ADAPTIVE: AdaptiveBlocked,
+}
 
 
 def run_blocked(
@@ -94,359 +234,8 @@ def run_blocked(
     final shared state is observable via ``result.memory``.
     """
     config = config or RuntimeConfig.adaptive()
-    if config.strategy is not Strategy.BLOCKED:
-        raise ConfigurationError(f"run_blocked got strategy {config.strategy}")
-    if config.condition is not TestCondition.COPY_IN:
-        raise ConfigurationError(
-            "the recursive test is defined over the copy-in condition; "
-            "the privatization condition applies to the doall LRPD baseline"
-        )
-    if loop.inductions:
-        raise ConfigurationError(
-            f"loop {loop.name!r} declares induction variables; use "
-            "repro.core.runner.parallelize (two-phase induction runner)"
-        )
-
-    machine = Machine(
-        n_procs, costs=costs, memory=memory or loop.materialize(),
-        topology=topology,
-    )
-    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
-    owner = np.full(loop.n_iterations, -1, dtype=np.int64)
-    untested = loop.untested_names
-    ckpt = (
-        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
-        if untested else None
-    )
-
-    injector = FaultInjector(config.fault_plan) if config.fault_plan else None
-    untested_log = (
-        UntestedAccessLog() if (config.self_check and untested) else None
-    )
-    initial_state = machine.memory.snapshot() if config.self_check else None
-
-    n = loop.n_iterations
-    alive = list(range(n_procs))
-    committed_upto = 0
-    stage_results: list[StageResult] = []
-    sequential_work = 0.0
-    final_iter_times: dict[int, float] = {}
-    pending_blocks: list[Block] = []  # failed blocks awaiting NRD re-execution
-    stage_idx = 0
-    retries = 0
-    degraded_stages = 0
-    zero_commit_streak = 0
-
-    def _finalize(result: RunResult) -> RunResult:
-        if config.self_check:
-            check_final_state(loop, machine.memory, initial_state)
-        if injector is not None:
-            result.retries = retries
-            result.faults_survived = injector.total_injected
-            result.fault_counts = injector.counts()
-            result.degraded_stages = degraded_stages
-            result.dead_procs = sorted(injector.dead)
-        return result
-
-    while committed_upto < n:
-        if stage_idx >= config.max_stages:
-            raise SpeculationError(
-                f"{loop.name}: exceeded max_stages={config.max_stages}"
-            )
-        remaining = n - committed_upto
-        degraded = len(alive) < n_procs
-        if degraded:
-            degraded_stages += 1
-
-        # -- schedule this stage ------------------------------------------------
-        if stage_idx == 0:
-            blocks = _partition(0, n, alive, weights)
-            redistributing = False
-        else:
-            policy = config.redistribution
-            if policy is RedistributionPolicy.ALWAYS:
-                redistributing = True
-            elif policy is RedistributionPolicy.ADAPTIVE:
-                redistributing = machine.costs.should_redistribute(
-                    remaining, len(alive)
-                )
-            else:
-                redistributing = False
-            if redistributing:
-                blocks = _partition(committed_upto, n, alive, weights)
-            else:
-                blocks = pending_blocks
-
-        nonempty = [b for b in blocks if len(b)]
-        orphan_rebalanced = False
-        if (
-            not redistributing
-            and degraded
-            and any(b.proc not in alive for b in nonempty)
-        ):
-            # NRD keeps failed blocks on their owners -- unless an owner is
-            # dead.  The pending range is re-blocked once over the
-            # survivors (a block cannot simply be handed to a survivor that
-            # already holds one: a processor's shadow marks must form a
-            # single analysis group).  Only the iterations that actually
-            # moved are charged, below.
-            nonempty = [
-                b
-                for b in _partition(committed_upto, n, alive, weights)
-                if len(b)
-            ]
-            orphan_rebalanced = True
-        if not nonempty:
-            raise SpeculationError(f"{loop.name}: empty schedule with work left")
-
-        # -- execute -------------------------------------------------------------
-        record = machine.begin_stage()
-        charge_checkpoint_begin(machine, ckpt, injector, stage_idx)
-        if weights is not None and stage_idx == 0:
-            # Timer instrumentation + parallel prefix of the balancer.
-            machine.charge_global(
-                Category.SCHEDULE,
-                machine.costs.schedule_per_iter * n / n_procs,
-            )
-        redistributed = 0
-        migration_distance = 0.0
-        if stage_idx > 0 and redistributing:
-            if topology is None:
-                # Flat (ccUMA) machine: the Section 4 model's uniform
-                # ell-per-iteration charge.
-                redistributed = charge_redistribution(
-                    machine,
-                    ((b.proc, len(b)) for b in nonempty),
-                    machine.costs.ell,
-                )
-            else:
-                redistributed, migration_distance = charge_redistribution_topo(
-                    machine, nonempty, owner
-                )
-        elif orphan_rebalanced:
-            redistributed, migration_distance = charge_redistribution_topo(
-                machine, nonempty, owner
-            )
-        if untested_log is not None:
-            untested_log.reset()
-        exits: dict[int, int] = {}  # block position -> exit iteration
-        faulted: dict[int, str] = {}  # block position -> fault class
-        reduction_names = frozenset(loop.reductions)
-        for pos, block in enumerate(nonempty):
-            if config.pre_initialize:
-                states[block.proc].preload(machine, skip=reduction_names)
-            ctx = execute_block(
-                machine, loop, states[block.proc], block, ckpt,
-                injector=injector, stage=stage_idx, untested_log=untested_log,
-            )
-            if len(block):
-                owner[block.start : block.stop] = block.proc
-            if ctx.fault is not None:
-                # A faulted block's work (and any exit it signalled) is
-                # untrusted; its processor joins the failed set below.
-                faulted[pos] = ctx.fault
-                if ctx.fault_permanent and len(alive) > 1:
-                    alive.remove(block.proc)
-                    injector.mark_dead(block.proc)
-            elif (
-                injector is not None
-                and injector.corrupt(stage_idx, block.proc, states[block.proc])
-                is not None
-            ):
-                # Corrupted speculative write, caught by the stage's
-                # integrity check: discard the block's private state and
-                # re-execute, same as a failed-speculation processor.
-                faulted[pos] = "corrupt-write"
-            elif ctx.exit_iteration is not None:
-                exits[pos] = ctx.exit_iteration
-        machine.barrier()
-        charge_checkpoint_fault_recovery(machine, ckpt, injector, stage_idx)
-
-        # -- analyze -------------------------------------------------------------
-        groups = [(b.proc, states[b.proc].shadows) for b in nonempty]
-        analysis = analyze_stage(groups)
-        charge_analysis(machine, analysis, [b.proc for b in nonempty])
-        if untested_log is not None:
-            untested_log.verify(loop.name, stage_idx)
-
-        # The effective failure point folds injected faults into the
-        # recursion: everything from the first faulted block on re-executes,
-        # exactly like blocks past the earliest dependence sink.
-        f_pos = analysis.earliest_sink_pos
-        fault_pos = min(faulted) if faulted else None
-        if fault_pos is not None and (f_pos is None or fault_pos < f_pos):
-            f_pos = fault_pos
-            # The fault (not a data dependence) set the failure point, so
-            # this stage's re-execution is charged to fault recovery.
-            retries += 1
-        faulted_procs = sorted(nonempty[pos].proc for pos in faulted)
-
-        # -- premature exit (DCDCMP loop 70 style) ---------------------------------
-        # An exit is trustworthy only if its processor's own work is: its
-        # block must lie strictly before the earliest failure point
-        # (dependence sink or faulted block).
-        valid_exits = {
-            pos: e
-            for pos, e in exits.items()
-            if f_pos is None or pos < f_pos
-        }
-        if valid_exits:
-            pos_e = min(valid_exits)
-            e = valid_exits[pos_e]
-            exit_block = nonempty[pos_e]
-            committing = nonempty[:pos_e]
-            committed_elements = commit_states(
-                machine, loop,
-                [states[b.proc] for b in committing] + [states[exit_block.proc]],
-            )
-            stage_work = committed_work(states, committing)
-            for block in committing:
-                times = states[block.proc].iter_times
-                for i in block.iterations():
-                    final_iter_times[i] = times[i]
-            prefix = range(exit_block.start, e + 1)
-            times = states[exit_block.proc].iter_times
-            works = states[exit_block.proc].iter_work
-            for i in prefix:
-                final_iter_times[i] = times[i]
-                stage_work += works[i]
-            sequential_work += stage_work
-            discarded = nonempty[pos_e + 1 :]
-            restored = perform_restore(machine, ckpt, [b.proc for b in discarded])
-            reinit_states(machine, [states[b.proc] for b in discarded])
-            stage_results.append(
-                StageResult(
-                    index=stage_idx,
-                    blocks=list(nonempty),
-                    failed=False,
-                    earliest_sink_pos=None,
-                    committed_iterations=(e + 1) - committed_upto,
-                    remaining_after=0,
-                    committed_work=stage_work,
-                    n_arcs=len(analysis.arcs),
-                    committed_elements=committed_elements,
-                    restored_elements=restored,
-                    redistributed_iterations=redistributed,
-                    span=record.span(),
-                    migration_distance=migration_distance,
-                    breakdown=record.breakdown(),
-                    faulted_procs=faulted_procs,
-                    degraded=degraded,
-                )
-            )
-            return _finalize(RunResult(
-                loop_name=loop.name,
-                strategy=config.label(),
-                n_procs=n_procs,
-                n_iterations=n,
-                stages=stage_results,
-                timeline=machine.timeline,
-                sequential_work=sequential_work,
-                iteration_times=final_iter_times,
-                memory=machine.memory,
-                exit_iteration=e,
-            ))
-        committing = nonempty if f_pos is None else nonempty[:f_pos]
-        failing = [] if f_pos is None else nonempty[f_pos:]
-        if not committing:
-            # The lowest-ranked block can never be an analysis sink, so a
-            # zero-commit stage is provably fault-caused: roll everything
-            # back and retry, up to the configured bound.
-            if fault_pos != 0:
-                raise NoProgressError(
-                    f"{loop.name}: stage {stage_idx} committed nothing "
-                    f"(earliest sink at position {f_pos})"
-                )
-            zero_commit_streak += 1
-            if zero_commit_streak > config.max_fault_retries:
-                raise FaultError(
-                    f"gave up after {zero_commit_streak} consecutive "
-                    "zero-progress stages wiped out by injected faults "
-                    f"(max_fault_retries={config.max_fault_retries})",
-                    loop=loop.name,
-                    stage=stage_idx,
-                    proc=nonempty[0].proc,
-                )
-            restored = perform_restore(machine, ckpt, [b.proc for b in failing])
-            reinit_states(machine, [states[b.proc] for b in failing])
-            stage_results.append(
-                StageResult(
-                    index=stage_idx,
-                    blocks=list(nonempty),
-                    failed=True,
-                    earliest_sink_pos=f_pos,
-                    committed_iterations=0,
-                    remaining_after=remaining,
-                    committed_work=0.0,
-                    n_arcs=len(analysis.arcs),
-                    committed_elements=0,
-                    restored_elements=restored,
-                    redistributed_iterations=redistributed,
-                    span=record.span(),
-                    migration_distance=migration_distance,
-                    breakdown=record.breakdown(),
-                    faulted_procs=faulted_procs,
-                    degraded=degraded,
-                )
-            )
-            pending_blocks = failing
-            stage_idx += 1
-            continue
-        zero_commit_streak = 0
-
-        # -- commit / restore / re-init -------------------------------------------
-        committed_elements = commit_states(
-            machine, loop, [states[b.proc] for b in committing]
-        )
-        stage_work = committed_work(states, committing)
-        sequential_work += stage_work
-        for block in committing:
-            times = states[block.proc].iter_times
-            for i in block.iterations():
-                final_iter_times[i] = times[i]
-        restored = perform_restore(machine, ckpt, [b.proc for b in failing])
-        reinit_states(machine, [states[b.proc] for b in failing])
-        for block in committing:
-            states[block.proc].reset()  # committed data is in shared memory now
-
-        new_committed_upto = committing[-1].stop
-        if new_committed_upto <= committed_upto:
-            raise NoProgressError(
-                f"{loop.name}: stage {stage_idx} failed to advance the commit point"
-            )
-        committed_upto = new_committed_upto
-
-        stage_results.append(
-            StageResult(
-                index=stage_idx,
-                blocks=list(nonempty),
-                failed=f_pos is not None,
-                earliest_sink_pos=f_pos,
-                committed_iterations=sum(len(b) for b in committing),
-                remaining_after=n - committed_upto,
-                committed_work=stage_work,
-                n_arcs=len(analysis.arcs),
-                committed_elements=committed_elements,
-                restored_elements=restored,
-                redistributed_iterations=redistributed,
-                span=record.span(),
-                migration_distance=migration_distance,
-                breakdown=record.breakdown(),
-                faulted_procs=faulted_procs,
-                degraded=degraded,
-            )
-        )
-        pending_blocks = failing
-        stage_idx += 1
-
-    return _finalize(RunResult(
-        loop_name=loop.name,
-        strategy=config.label(),
-        n_procs=n_procs,
-        n_iterations=n,
-        stages=stage_results,
-        timeline=machine.timeline,
-        sequential_work=sequential_work,
-        iteration_times=final_iter_times,
-        memory=machine.memory,
-    ))
+    strategy = _POLICY_TO_STRATEGY[config.redistribution]()
+    return StageEngine(
+        loop, n_procs, strategy, config, costs=costs, weights=weights,
+        memory=memory, topology=topology,
+    ).run()

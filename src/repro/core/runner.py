@@ -6,11 +6,9 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.config import RuntimeConfig, Strategy
-from repro.core.induction_runner import run_induction
+from repro.config import RuntimeConfig
+from repro.core.engine import StageEngine, strategy_for_config
 from repro.core.results import ProgramResult, RunResult
-from repro.core.rlrpd import run_blocked
-from repro.core.window import run_sliding_window
 from repro.loopir.loop import SpeculativeLoop
 from repro.machine.costs import CostModel
 from repro.machine.memory import MemoryImage
@@ -24,25 +22,30 @@ def parallelize(
     costs: CostModel | None = None,
     weights: np.ndarray | None = None,
     memory: MemoryImage | None = None,
+    strategy=None,
+    sinks=(),
 ) -> RunResult:
     """Speculatively parallelize one loop instantiation.
 
-    Dispatches on the configuration and the loop's declarations:
+    Unless an explicit ``strategy`` object is passed, resolves one through
+    the engine registry (:func:`repro.core.engine.strategy_for_config`):
 
     * loops with speculative induction variables go through the two-phase
-      induction runner;
-    * ``Strategy.SLIDING_WINDOW`` uses the SW driver;
-    * otherwise the blocked recursive driver (NRD / RD / adaptive) runs.
+      induction strategy;
+    * ``Strategy.SLIDING_WINDOW`` selects the SW strategy;
+    * otherwise the blocked redistribution policy picks NRD / RD / adaptive.
 
-    The returned result's final shared state always equals a sequential
-    execution of the loop -- the runtime's fundamental guarantee.
+    ``sinks`` are extra event subscribers (:mod:`repro.obs.sinks`) attached
+    alongside the engine's own.  The returned result's final shared state
+    always equals a sequential execution of the loop -- the runtime's
+    fundamental guarantee.
     """
     config = config or RuntimeConfig.adaptive()
-    if loop.inductions:
-        return run_induction(loop, n_procs, config, costs, memory=memory)
-    if config.strategy is Strategy.SLIDING_WINDOW:
-        return run_sliding_window(loop, n_procs, config, costs, memory=memory)
-    return run_blocked(loop, n_procs, config, costs, weights=weights, memory=memory)
+    strategy = strategy or strategy_for_config(loop, config)
+    return StageEngine(
+        loop, n_procs, strategy, config, costs=costs, weights=weights,
+        memory=memory, sinks=sinks,
+    ).run()
 
 
 def run_program(

@@ -13,10 +13,28 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.analysis import StageAnalysis
-from repro.core.executor import ProcessorState
+from repro.core.executor import ProcessorState, make_processor_state
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.machine import Machine
 from repro.machine.timeline import Category
+
+
+def make_speculative_machine(loop, n_procs, config, costs=None, memory=None):
+    """Machine, per-processor states and checkpoint manager for one run.
+
+    The common setup of the engine-bypassing runners (the doall LRPD
+    baseline, DDG extraction); :class:`~repro.core.engine.StageEngine`
+    builds its own topology-aware variant with strategy-provided states.
+    """
+    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
+    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
+    untested = loop.untested_names
+    ckpt = (
+        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
+        if untested
+        else None
+    )
+    return machine, states, ckpt
 
 
 def charge_checkpoint_begin(

@@ -18,34 +18,21 @@ window.
 With ``adaptive_window`` the super-iteration size is doubled after a failed
 window (many close dependences: bigger blocks internalize short-distance
 arcs) -- the paper's history-based block-size adjustment.
+
+The stage lifecycle itself runs in :class:`~repro.core.engine.StageEngine`;
+this module contributes only the circular window policy, registered as
+``sw``.
 """
 
 from __future__ import annotations
 
 from repro.config import RuntimeConfig, Strategy
-from repro.core.analysis import analyze_stage
-from repro.core.commit import commit_states, reinit_states
-from repro.core.executor import execute_block, make_processor_state
-from repro.core.results import RunResult, StageResult
-from repro.core.stage import (
-    charge_analysis,
-    charge_checkpoint_begin,
-    charge_checkpoint_fault_recovery,
-    committed_work,
-    perform_restore,
-)
-from repro.errors import (
-    ConfigurationError,
-    FaultError,
-    NoProgressError,
-    SpeculationError,
-)
-from repro.faults.injector import FaultInjector
-from repro.faults.selfcheck import UntestedAccessLog, check_final_state
+from repro.core.engine import StageEngine, register_strategy
+from repro.core.engine import Strategy as EngineStrategy
+from repro.core.results import RunResult
+from repro.errors import ConfigurationError, SpeculationError
 from repro.loopir.loop import SpeculativeLoop
-from repro.machine.checkpoint import CheckpointManager
 from repro.machine.costs import CostModel
-from repro.machine.machine import Machine
 from repro.machine.memory import MemoryImage
 from repro.util.blocks import Block
 
@@ -54,6 +41,80 @@ def default_window(n_procs: int) -> int:
     """Default window: two super-iterations of one iteration per processor
     would be degenerate; use 2 iterations per processor."""
     return 2 * n_procs
+
+
+@register_strategy
+class SlidingWindow(EngineStrategy):
+    """Circular super-iteration assignment with in-place re-execution."""
+
+    name = "sw"
+    zero_noun = "windows"
+
+    def __init__(self) -> None:
+        self.window = 0
+        self.b = 1  # super-iteration size
+        # Block grid anchor: blocks are [anchor + j*b, anchor + (j+1)*b).
+        # The anchor moves only when the adaptive policy re-grids after a
+        # failure.
+        self.anchor = 0
+
+    @classmethod
+    def default_config(cls, **overrides) -> RuntimeConfig:
+        return RuntimeConfig.sw(**overrides)
+
+    def validate(self, loop: SpeculativeLoop, config: RuntimeConfig) -> None:
+        if config.strategy is not Strategy.SLIDING_WINDOW:
+            raise ConfigurationError(
+                f"run_sliding_window got strategy {config.strategy}"
+            )
+        if loop.inductions:
+            raise ConfigurationError(
+                f"loop {loop.name!r} declares induction variables; use "
+                "repro.core.runner.parallelize"
+            )
+
+    def setup(self, eng: StageEngine) -> None:
+        super().setup(eng)
+        self.window = eng.config.window_size or default_window(eng.n_procs)
+        self.b = max(1, self.window // eng.n_procs)
+
+    def run_label(self, eng: StageEngine) -> str:
+        if eng.config.window_size:
+            return eng.config.label()
+        return f"SW(w={self.window})"
+
+    def _block_at(self, eng: StageEngine, j: int) -> Block:
+        # Circular assignment over the *surviving* processors: after a
+        # permanent fail-stop the rotation simply skips the dead slots.
+        start = min(self.anchor + j * self.b, eng.n)
+        stop = min(start + self.b, eng.n)
+        return Block(eng.alive[j % len(eng.alive)], start, stop)
+
+    def schedule(self, eng: StageEngine) -> list[Block]:
+        j0 = (eng.committed_upto - self.anchor) // self.b
+        window_blocks = []
+        for j in range(j0, j0 + len(eng.alive)):
+            blk = self._block_at(eng, j)
+            if len(blk) == 0:
+                break
+            window_blocks.append(blk)
+        if not window_blocks:
+            raise SpeculationError(f"{eng.loop.name}: empty window with work left")
+        return window_blocks
+
+    def zero_commit_message(self, eng: StageEngine, f_pos: int | None) -> str:
+        return f"{eng.loop.name}: window stage {eng.stage_idx} committed nothing"
+
+    def after_stage(self, eng, committing, failing, f_pos) -> None:
+        if f_pos is not None and eng.config.adaptive_window:
+            # Many close dependences: grow the super-iteration so short
+            # arcs fall inside one block.  Re-grid from the commit point.
+            p_now = len(eng.alive)
+            self.b = min(
+                self.b * 2,
+                max(1, (eng.n - eng.committed_upto + p_now - 1) // p_now or 1),
+            )
+            self.anchor = eng.committed_upto
 
 
 def run_sliding_window(
@@ -65,223 +126,6 @@ def run_sliding_window(
 ) -> RunResult:
     """Run one instantiation of ``loop`` under the sliding-window R-LRPD."""
     config = config or RuntimeConfig.sw()
-    if config.strategy is not Strategy.SLIDING_WINDOW:
-        raise ConfigurationError(
-            f"run_sliding_window got strategy {config.strategy}"
-        )
-    if loop.inductions:
-        raise ConfigurationError(
-            f"loop {loop.name!r} declares induction variables; use "
-            "repro.core.runner.parallelize"
-        )
-
-    machine = Machine(n_procs, costs=costs, memory=memory or loop.materialize())
-    states = {p: make_processor_state(machine, loop, p) for p in range(n_procs)}
-    untested = loop.untested_names
-    ckpt = (
-        CheckpointManager(machine.memory, untested, config.on_demand_checkpoint)
-        if untested
-        else None
-    )
-
-    injector = FaultInjector(config.fault_plan) if config.fault_plan else None
-    untested_log = (
-        UntestedAccessLog() if (config.self_check and untested) else None
-    )
-    initial_state = machine.memory.snapshot() if config.self_check else None
-
-    n = loop.n_iterations
-    window = config.window_size or default_window(n_procs)
-    b = max(1, window // n_procs)  # super-iteration size
-
-    alive = list(range(n_procs))
-    committed_upto = 0
-    stage_results: list[StageResult] = []
-    sequential_work = 0.0
-    final_iter_times: dict[int, float] = {}
-    stage_idx = 0
-    retries = 0
-    degraded_stages = 0
-    zero_commit_streak = 0
-    # Block grid anchor: blocks are [anchor + j*b, anchor + (j+1)*b).  The
-    # anchor moves only when the adaptive policy re-grids after a failure.
-    anchor = 0
-
-    def block_at(j: int) -> Block:
-        # Circular assignment over the *surviving* processors: after a
-        # permanent fail-stop the rotation simply skips the dead slots.
-        start = min(anchor + j * b, n)
-        stop = min(start + b, n)
-        return Block(alive[j % len(alive)], start, stop)
-
-    while committed_upto < n:
-        if stage_idx >= config.max_stages:
-            raise SpeculationError(
-                f"{loop.name}: exceeded max_stages={config.max_stages}"
-            )
-        degraded = len(alive) < n_procs
-        if degraded:
-            degraded_stages += 1
-        j0 = (committed_upto - anchor) // b
-        window_blocks = []
-        for j in range(j0, j0 + len(alive)):
-            blk = block_at(j)
-            if len(blk) == 0:
-                break
-            window_blocks.append(blk)
-        if not window_blocks:
-            raise SpeculationError(f"{loop.name}: empty window with work left")
-
-        record = machine.begin_stage()
-        charge_checkpoint_begin(machine, ckpt, injector, stage_idx)
-        if untested_log is not None:
-            untested_log.reset()
-        faulted: dict[int, str] = {}  # window position -> fault class
-        reduction_names = frozenset(loop.reductions)
-        for pos, block in enumerate(window_blocks):
-            if config.pre_initialize:
-                states[block.proc].preload(machine, skip=reduction_names)
-            ctx = execute_block(
-                machine, loop, states[block.proc], block, ckpt,
-                injector=injector, stage=stage_idx, untested_log=untested_log,
-            )
-            if ctx.fault is not None:
-                faulted[pos] = ctx.fault
-                if ctx.fault_permanent and len(alive) > 1:
-                    alive.remove(block.proc)
-                    injector.mark_dead(block.proc)
-            elif (
-                injector is not None
-                and injector.corrupt(stage_idx, block.proc, states[block.proc])
-                is not None
-            ):
-                faulted[pos] = "corrupt-write"
-            elif ctx.exit_iteration is not None:
-                raise ConfigurationError(
-                    f"{loop.name}: premature exits need the blocked runner"
-                )
-        machine.barrier()
-        charge_checkpoint_fault_recovery(machine, ckpt, injector, stage_idx)
-
-        groups = [(blk.proc, states[blk.proc].shadows) for blk in window_blocks]
-        analysis = analyze_stage(groups)
-        charge_analysis(machine, analysis, [blk.proc for blk in window_blocks])
-        if untested_log is not None:
-            untested_log.verify(loop.name, stage_idx)
-
-        f_pos = analysis.earliest_sink_pos
-        fault_pos = min(faulted) if faulted else None
-        if fault_pos is not None and (f_pos is None or fault_pos < f_pos):
-            f_pos = fault_pos
-            retries += 1
-        faulted_procs = sorted(window_blocks[pos].proc for pos in faulted)
-        committing = window_blocks if f_pos is None else window_blocks[:f_pos]
-        failing = [] if f_pos is None else window_blocks[f_pos:]
-        if not committing:
-            # The window's first block cannot be an analysis sink, so a
-            # zero-commit window is fault-caused; roll back and retry (the
-            # next stage recomputes the same window from the commit point).
-            if fault_pos != 0:
-                raise NoProgressError(
-                    f"{loop.name}: window stage {stage_idx} committed nothing"
-                )
-            zero_commit_streak += 1
-            if zero_commit_streak > config.max_fault_retries:
-                raise FaultError(
-                    f"gave up after {zero_commit_streak} consecutive "
-                    "zero-progress windows wiped out by injected faults "
-                    f"(max_fault_retries={config.max_fault_retries})",
-                    loop=loop.name,
-                    stage=stage_idx,
-                    proc=window_blocks[0].proc,
-                )
-            restored = perform_restore(
-                machine, ckpt, [blk.proc for blk in failing]
-            )
-            reinit_states(machine, [states[blk.proc] for blk in failing])
-            stage_results.append(
-                StageResult(
-                    index=stage_idx,
-                    blocks=list(window_blocks),
-                    failed=True,
-                    earliest_sink_pos=f_pos,
-                    committed_iterations=0,
-                    remaining_after=n - committed_upto,
-                    committed_work=0.0,
-                    n_arcs=len(analysis.arcs),
-                    committed_elements=0,
-                    restored_elements=restored,
-                    redistributed_iterations=0,
-                    span=record.span(),
-                    breakdown=record.breakdown(),
-                    faulted_procs=faulted_procs,
-                    degraded=degraded,
-                )
-            )
-            stage_idx += 1
-            continue
-        zero_commit_streak = 0
-
-        committed_elements = commit_states(
-            machine, loop, [states[blk.proc] for blk in committing]
-        )
-        stage_work = committed_work(states, committing)
-        sequential_work += stage_work
-        for block in committing:
-            times = states[block.proc].iter_times
-            for i in block.iterations():
-                final_iter_times[i] = times[i]
-        restored = perform_restore(machine, ckpt, [blk.proc for blk in failing])
-        reinit_states(machine, [states[blk.proc] for blk in failing])
-        for block in committing:
-            states[block.proc].reset()
-
-        committed_upto = committing[-1].stop
-        stage_results.append(
-            StageResult(
-                index=stage_idx,
-                blocks=list(window_blocks),
-                failed=f_pos is not None,
-                earliest_sink_pos=f_pos,
-                committed_iterations=sum(len(blk) for blk in committing),
-                remaining_after=n - committed_upto,
-                committed_work=stage_work,
-                n_arcs=len(analysis.arcs),
-                committed_elements=committed_elements,
-                restored_elements=restored,
-                redistributed_iterations=0,
-                span=record.span(),
-                breakdown=record.breakdown(),
-                faulted_procs=faulted_procs,
-                degraded=degraded,
-            )
-        )
-        stage_idx += 1
-
-        if f_pos is not None and config.adaptive_window:
-            # Many close dependences: grow the super-iteration so short
-            # arcs fall inside one block.  Re-grid from the commit point.
-            p_now = len(alive)
-            b = min(b * 2, max(1, (n - committed_upto + p_now - 1) // p_now or 1))
-            anchor = committed_upto
-
-    if config.self_check:
-        check_final_state(loop, machine.memory, initial_state)
-    result = RunResult(
-        loop_name=loop.name,
-        strategy=config.label() if config.window_size else f"SW(w={window})",
-        n_procs=n_procs,
-        n_iterations=n,
-        stages=stage_results,
-        timeline=machine.timeline,
-        sequential_work=sequential_work,
-        iteration_times=final_iter_times,
-        memory=machine.memory,
-    )
-    if injector is not None:
-        result.retries = retries
-        result.faults_survived = injector.total_injected
-        result.fault_counts = injector.counts()
-        result.degraded_stages = degraded_stages
-        result.dead_procs = sorted(injector.dead)
-    return result
+    return StageEngine(
+        loop, n_procs, SlidingWindow(), config, costs=costs, memory=memory,
+    ).run()

@@ -1,0 +1,54 @@
+"""Structured stage-event observability.
+
+The :class:`~repro.core.engine.StageEngine` narrates every run as a typed
+event stream (:mod:`repro.obs.events`); subscriber sinks
+(:mod:`repro.obs.sinks`) turn the one stream into whatever a consumer
+needs -- a JSONL trace on disk, live CLI progress lines, or the aggregated
+:class:`~repro.core.results.RunResult` itself.
+"""
+
+from repro.obs.events import (
+    BlockExecuted,
+    Commit,
+    DependenceFound,
+    FaultInjected,
+    Restore,
+    Retry,
+    RunBegin,
+    RunEnd,
+    StageBegin,
+    StageEnd,
+    StageEvent,
+    event_from_dict,
+    validate_events,
+)
+from repro.obs.sinks import (
+    AggregatingSink,
+    CliProgressSink,
+    EventBus,
+    EventSink,
+    JsonlTraceSink,
+    RecordingSink,
+)
+
+__all__ = [
+    "StageEvent",
+    "RunBegin",
+    "StageBegin",
+    "BlockExecuted",
+    "FaultInjected",
+    "DependenceFound",
+    "Commit",
+    "Restore",
+    "Retry",
+    "StageEnd",
+    "RunEnd",
+    "event_from_dict",
+    "validate_events",
+    "EventSink",
+    "EventBus",
+    "RecordingSink",
+    "JsonlTraceSink",
+    "CliProgressSink",
+    "AggregatingSink",
+]

@@ -88,3 +88,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "faults survived" not in out  # fault-free machine
+
+
+class TestEngineCli:
+    """Registry-resolved strategies and the stage-event trace flags."""
+
+    def test_strategy_choices_come_from_registry(self):
+        from repro.core.engine import strategy_names
+
+        assert {"nrd", "rd", "adaptive", "sw", "iterwise", "induction"} <= set(
+            strategy_names()
+        )
+
+    def test_run_iterwise_strategy(self, capsys):
+        assert main(["run", "random-deps", "-p", "4",
+                     "--strategy", "iterwise"]) == 0
+        out = capsys.readouterr().out
+        assert "iterwise" in out
+
+    def test_run_explicit_induction_strategy(self, capsys):
+        assert main(["run", "extend:clean", "-p", "4",
+                     "--strategy", "induction"]) == 0
+        out = capsys.readouterr().out
+        assert "induction" in out
+
+    def test_induction_strategy_on_plain_loop_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doall", "-p", "2", "--strategy", "induction"])
+
+    def test_run_trace_writes_valid_jsonl(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.events import event_from_dict, validate_events
+
+        path = tmp_path / "run.jsonl"
+        assert main(["run", "random-deps", "-p", "4",
+                     "--trace", str(path)]) == 0
+        events = [
+            event_from_dict(json.loads(line))
+            for line in path.read_text().strip().splitlines()
+        ]
+        validate_events(events)
+
+    def test_run_progress_narrates_stages(self, capsys):
+        assert main(["run", "doall", "-p", "2", "--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "stage 0:" in out and "done:" in out

@@ -133,3 +133,62 @@ class TestValidation:
     def test_strategy_label(self):
         res = run_blocked_iterwise(fully_parallel_loop(8), 2)
         assert "iterwise" in res.strategy
+
+
+class TestFaultsAndSelfCheck:
+    """Engine-inherited capabilities the pre-engine driver lacked."""
+
+    def test_survives_random_faults_and_matches_sequential(self):
+        from repro.faults import random_plan
+
+        loop = make_simple_loop(96)
+        res = run_blocked_iterwise(
+            loop, 4, RuntimeConfig.nrd(fault_plan=random_plan(11, n_procs=4))
+        )
+        assert_matches_sequential(res, loop)
+
+    def test_fail_stop_shrinks_pool_and_recovers(self):
+        from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.FAIL_STOP, stage=0, proc=0,
+                       after_fraction=0.25, permanent=True),
+        ))
+        loop = make_simple_loop(96)
+        res = run_blocked_iterwise(loop, 4, RuntimeConfig.nrd(fault_plan=plan))
+        assert_matches_sequential(res, loop)
+        assert 0 in res.dead_procs
+        # The lowest-ranked block died: nothing commits, the stage retries.
+        assert res.retries >= 1
+
+    def test_corrupt_write_forces_reexecution(self):
+        from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.CORRUPT_WRITE, stage=0, proc=2),
+        ))
+        loop = make_simple_loop(96)
+        res = run_blocked_iterwise(loop, 4, RuntimeConfig.nrd(fault_plan=plan))
+        assert_matches_sequential(res, loop)
+        assert res.faults_survived >= 1
+
+    def test_fault_clamps_partial_prefix_commit(self):
+        from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+        # A mid-block sink normally lets iterwise commit a partial prefix
+        # from the value logs; a fault on that block's processor makes the
+        # logs untrusted, so the commit point clamps to the block start.
+        plan = FaultPlan(events=(
+            FaultEvent(FaultKind.FAIL_STOP, stage=0, proc=2,
+                       after_fraction=0.9),
+        ))
+        loop = make_simple_loop(96)
+        res = run_blocked_iterwise(loop, 4, RuntimeConfig.nrd(fault_plan=plan))
+        assert_matches_sequential(res, loop)
+
+    def test_self_check_oracle_passes(self):
+        loop = make_simple_loop(96)
+        res = run_blocked_iterwise(
+            loop, 4, RuntimeConfig.adaptive(self_check=True)
+        )
+        assert_matches_sequential(res, loop)

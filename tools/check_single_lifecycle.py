@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI guard: the speculate->analyze->commit lifecycle must not fork.
+
+Before the engine refactor, five driver modules each carried their own
+copy of the stage loop (checkpoint, execute, analyze, commit/restore,
+retry bounds) and they drifted.  Two checks keep that from recurring:
+
+1. **Lifecycle tokens** -- the identifiers implementing zero-commit
+   retry accounting and the ``max_fault_retries`` bound may appear in
+   ``repro/core/engine.py`` only (the config knob's definition and the
+   error type's docstring are exempt).
+2. **Duplicate code runs** -- no two core modules may share a run of
+   ``WINDOW`` identical normalized code lines; a shared run that long
+   means a lifecycle fragment was copied instead of hooked.
+
+Exits non-zero with a report on violation.  Run from the repo root::
+
+    python tools/check_single_lifecycle.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+CORE = ROOT / "src" / "repro" / "core"
+
+#: Identifiers that constitute lifecycle logic.  Only the engine may use them.
+LIFECYCLE_TOKENS = ("zero_commit_streak", "max_fault_retries")
+
+#: Modules whose pairwise duplication is checked (engine + every module
+#: that historically carried its own stage loop).
+DUPLICATION_SCOPE = (
+    "engine.py",
+    "rlrpd.py",
+    "window.py",
+    "iterwise.py",
+    "induction_runner.py",
+    "lrpd.py",
+    "ddg.py",
+    "runner.py",
+)
+
+WINDOW = 10  # consecutive identical normalized lines that count as a fork
+
+
+def check_lifecycle_tokens() -> list[str]:
+    problems = []
+    for path in sorted(CORE.glob("*.py")):
+        if path.name == "engine.py":
+            continue
+        text = path.read_text()
+        for token in LIFECYCLE_TOKENS:
+            if token in text:
+                problems.append(
+                    f"{path.relative_to(ROOT)}: lifecycle token {token!r} "
+                    "outside engine.py"
+                )
+    return problems
+
+
+def _normalized_lines(path: pathlib.Path) -> list[str]:
+    """Code lines only: whitespace collapsed, blanks and comments dropped."""
+    out = []
+    for raw in path.read_text().splitlines():
+        line = " ".join(raw.split())
+        if not line or line.startswith("#"):
+            continue
+        out.append(line)
+    return out
+
+
+def check_duplicate_runs() -> list[str]:
+    windows: dict[tuple[str, ...], str] = {}
+    problems = []
+    for name in DUPLICATION_SCOPE:
+        path = CORE / name
+        lines = _normalized_lines(path)
+        seen_here = set()
+        for k in range(len(lines) - WINDOW + 1):
+            window = tuple(lines[k : k + WINDOW])
+            if window in seen_here:
+                continue
+            seen_here.add(window)
+            other = windows.setdefault(window, name)
+            if other != name:
+                problems.append(
+                    f"{name} and {other} share {WINDOW} identical code "
+                    f"lines starting at: {window[0][:70]!r}"
+                )
+                break  # one report per pair is enough
+    return problems
+
+
+def main() -> int:
+    problems = check_lifecycle_tokens() + check_duplicate_runs()
+    for problem in problems:
+        print(f"LIFECYCLE FORK: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"\n{len(problems)} violation(s); lifecycle logic belongs in "
+            "repro/core/engine.py -- add a Strategy hook instead of copying.",
+            file=sys.stderr,
+        )
+        return 1
+    print("single-lifecycle guard: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
