@@ -1,0 +1,64 @@
+"""Host wall-clock sweep: serial vs fork backends + vectorized commit.
+
+As a benchmark (``pytest benchmarks/bench_host_perf.py``) it runs the
+registered ``host_perf`` experiment at quick scale and asserts backend
+parity.  As a script it additionally writes the machine-readable results
+to ``BENCH_host.json`` and exits non-zero on any parity mismatch or
+crash, which is how CI gates the fork backend::
+
+    python benchmarks/bench_host_perf.py --quick --out BENCH_host.json
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_figure
+
+
+def _check(result) -> list[str]:
+    problems = []
+    for entry in result.data["workloads"]:
+        if not entry["parity_ok"]:
+            problems.append(
+                f"backend parity mismatch on {entry['name']} "
+                f"(n={entry['n']}, p={entry['procs']})"
+            )
+    return problems
+
+
+def bench_host_perf(benchmark):
+    result = run_figure(benchmark, "host_perf")
+    assert not _check(result)
+    # The vectorized copy-out must clearly beat the per-element loop.
+    assert result.data["commit_microbench"]["speedup"] > 1.0
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    from repro.bench import run_experiment
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small problem sizes, single timing repeat (the CI setting)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_host.json", metavar="PATH",
+        help="write results as JSON to PATH (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    result = run_experiment("host_perf", quick=args.quick)
+    print(result.render())
+    with open(args.out, "w") as fh:
+        json.dump(result.data, fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    problems = _check(result)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

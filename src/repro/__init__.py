@@ -36,11 +36,13 @@ from repro.core import (
     StageEngine,
     StageResult,
     WavefrontSchedule,
+    backend_names,
     execute_wavefront,
     extract_ddg,
     parallelize,
     register_strategy,
     require_fault_support,
+    require_serial_backend,
     resolve_strategy,
     run_blocked,
     run_blocked_iterwise,
@@ -50,6 +52,7 @@ from repro.core import (
     run_sliding_window,
     strategy_for_config,
     strategy_names,
+    use_backend,
     wavefront_schedule,
 )
 from repro.obs import (
@@ -142,6 +145,9 @@ __all__ = [
     "strategy_for_config",
     "strategy_names",
     "require_fault_support",
+    "require_serial_backend",
+    "backend_names",
+    "use_backend",
     # stage-event observability
     "EventSink",
     "RecordingSink",

@@ -19,3 +19,4 @@ __all__ = [
 # Importing these populates the registry.
 import repro.bench.figures  # noqa: E402,F401
 import repro.bench.extensions  # noqa: E402,F401
+import repro.bench.hostperf  # noqa: E402,F401

@@ -10,6 +10,7 @@ runs in seconds (the benchmark suite); ``quick=False`` is used by
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -51,6 +52,26 @@ def run_registered(strategy_name: str, loop, n_procs: int, config=None, **kwargs
     cls = resolve_strategy(strategy_name)
     config = config or cls.default_config()
     return StageEngine(loop, n_procs, cls(), config, **kwargs).run()
+
+
+def measure_host(fn: Callable[[], object], repeats: int = 3) -> tuple[float, object]:
+    """Best-of-``repeats`` host wall-clock seconds for ``fn()``.
+
+    Everything else in this package measures *virtual* time (the cost
+    model); this measures real host seconds, for comparing execution
+    backends and vectorized hot paths.  Best-of suppresses scheduler noise
+    on a loaded host better than averaging; returns ``(seconds, result of
+    the last call)``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
 
 
 def register(exp_id: str) -> Callable[[ExperimentFn], ExperimentFn]:

@@ -22,6 +22,7 @@ from typing import Callable
 
 from repro.bench.trace import render_breakdown, render_stage_trace
 from repro.config import RuntimeConfig
+from repro.core.backend import backend_names
 from repro.core.ddg import extract_ddg
 from repro.core.engine import resolve_strategy, strategy_names
 from repro.core.runner import parallelize
@@ -130,6 +131,10 @@ def config_from_args(args) -> RuntimeConfig:
         overrides["self_check"] = True
     if getattr(args, "trace", None) is not None:
         overrides["trace_path"] = args.trace
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
+    if getattr(args, "backend_workers", None) is not None:
+        overrides["backend_workers"] = args.backend_workers
     if args.strategy == "adaptive":
         overrides["feedback_balancing"] = args.feedback
     if args.strategy == "sw":
@@ -249,6 +254,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--self-check", action="store_true", dest="self_check",
         help="verify untested isolation per stage and the final memory "
         "against a sequential replay",
+    )
+    run_p.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="execution backend for stage blocks (serial = in-process, "
+        "fork = worker-process pool; results are bit-identical)",
+    )
+    run_p.add_argument(
+        "--backend-workers", type=int, default=None, dest="backend_workers",
+        metavar="N", help="worker processes for the fork backend",
     )
     run_p.set_defaults(fn=cmd_run)
 

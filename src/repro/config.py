@@ -109,6 +109,19 @@ class RuntimeConfig:
     no trace).  Every engine-based run emits the same typed event stream
     (:mod:`repro.obs.events`); this flag attaches the on-disk sink."""
 
+    backend: str | None = None
+    """Execution backend running each stage's blocks (``None`` = the
+    process-wide default, normally ``"serial"``): ``"serial"`` executes
+    blocks in-process one after another, ``"fork"`` dispatches them to a
+    persistent pool of forked worker processes.  Results and virtual-time
+    accounting are bit-identical either way; only host wall-clock time
+    changes.  Unknown names fail when the engine resolves the backend
+    (:func:`repro.core.backend.make_backend`)."""
+
+    backend_workers: int | None = None
+    """Worker-process count for out-of-process backends (``None`` = one per
+    simulated processor, capped at the host CPU count)."""
+
     def __post_init__(self) -> None:
         if self.window_size is not None and self.window_size < 1:
             raise ConfigurationError("window_size must be >= 1")
@@ -116,6 +129,8 @@ class RuntimeConfig:
             raise ConfigurationError("max_stages must be >= 1")
         if self.max_fault_retries < 0:
             raise ConfigurationError("max_fault_retries must be >= 0")
+        if self.backend_workers is not None and self.backend_workers < 1:
+            raise ConfigurationError("backend_workers must be >= 1")
         if self.redistribution is None:
             # The sliding window has its own (circular) assignment rule;
             # blocked-redistribution policies do not apply to it.

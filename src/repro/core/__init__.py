@@ -19,10 +19,17 @@ Entry points:
 """
 
 from repro.core.results import RunResult, StageResult, ProgramResult
+from repro.core.backend import (
+    backend_names,
+    get_default_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.core.engine import (
     StageEngine,
     register_strategy,
     require_fault_support,
+    require_serial_backend,
     resolve_strategy,
     strategy_for_config,
     strategy_names,
@@ -55,6 +62,11 @@ __all__ = [
     "strategy_for_config",
     "strategy_names",
     "require_fault_support",
+    "require_serial_backend",
+    "backend_names",
+    "get_default_backend",
+    "set_default_backend",
+    "use_backend",
     "run_induction",
     "parallelize",
     "run_program",

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.config import TestCondition
 from repro.shadow import ShadowArray
 
@@ -69,22 +71,46 @@ class StageAnalysis:
 
 
 def _mixed_sets(groups: Groups) -> dict[str, set[int]]:
-    """Per array: elements carrying both reduction and ordinary marks."""
-    red: dict[str, set[int]] = {}
-    normal: dict[str, set[int]] = {}
+    """Per array: elements carrying both reduction and ordinary marks.
+
+    Reduction marks are rare -- most stages carry none -- so the scan first
+    finds the arrays with any ``update`` mark (a cheap bit test per shadow)
+    and returns immediately when there are none, instead of materializing
+    Python sets for every shadow of every group.  For the arrays that do
+    mix, shadow exports stay numpy index arrays until the final
+    intersection, which is the only point a set is actually needed.
+    """
+    updated = {
+        name
+        for _, shadows in groups
+        for name, shadow in shadows.items()
+        if shadow.has_updates()
+    }
+    if not updated:
+        return {}
+    red: dict[str, list[np.ndarray]] = {}
+    normal: dict[str, list[np.ndarray]] = {}
     for _, shadows in groups:
         for name, shadow in shadows.items():
-            upd = shadow.update_set()
-            if upd:
-                red.setdefault(name, set()).update(upd)
-            ordinary = shadow.write_set() | shadow.any_read_set()
-            if ordinary:
-                normal.setdefault(name, set()).update(ordinary)
-    return {
-        name: red_set & normal.get(name, set())
-        for name, red_set in red.items()
-        if red_set & normal.get(name, set())
-    }
+            if name not in updated:
+                continue
+            upd = shadow.update_indices()
+            if len(upd):
+                red.setdefault(name, []).append(upd)
+            ordinary = shadow.ordinary_indices()
+            if len(ordinary):
+                normal.setdefault(name, []).append(ordinary)
+    mixed: dict[str, set[int]] = {}
+    for name, red_parts in red.items():
+        normal_parts = normal.get(name)
+        if not normal_parts:
+            continue
+        both = np.intersect1d(
+            np.concatenate(red_parts), np.concatenate(normal_parts)
+        )
+        if len(both):
+            mixed[name] = set(map(int, both))
+    return mixed
 
 
 def _analyze_dense(groups: Groups) -> StageAnalysis:

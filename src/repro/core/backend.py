@@ -1,0 +1,578 @@
+"""Execution backends: where a stage's speculative blocks actually run.
+
+The paper's central property is that every speculative stage is an
+embarrassingly parallel doall -- each block runs on privatized storage with
+no cross-block communication until the analysis phase.  The backend layer
+exploits that: the :class:`StageEngine` hands the stage's blocks to a
+backend as :class:`BlockTask` descriptors and receives :class:`BlockOutcome`
+objects back, without caring *where* the blocks ran.
+
+Two backends are provided:
+
+* ``serial`` (the default) executes blocks one after another in-process,
+  exactly the pre-backend behavior.
+* ``fork`` dispatches the blocks to a persistent pool of forked worker
+  processes.  Each worker runs :func:`~repro.core.executor.execute_block`
+  against its own fresh :class:`~repro.core.executor.ProcessorState` and
+  ships back a compact :class:`_BlockDelta` -- written private-view
+  entries, packed shadow bit planes, reduction partials, per-iteration
+  times, folded per-category timeline charges, untested-write sets and the
+  fault/exit outcome.  The parent merges deltas **in block order**, so
+  results, events and virtual-time accounting are bit-identical to serial
+  execution (enforced by running the golden parity suite under both
+  backends).
+
+Bit-exactness rests on two invariants the engine's strategies uphold:
+
+* every strategy schedules at most **one block per processor per stage**
+  (blocked drivers by construction, the sliding window assigns its window
+  blocks to distinct processors), so a processor's execution-phase charges
+  all come from a single block and the worker's per-category sums replay
+  to the same floats the serial in-order accumulation produces;
+* untested arrays obey the statically-analyzable isolation contract (no
+  cross-processor element sharing within a stage -- what ``--self-check``
+  verifies), so replaying each block's untested writes in block order
+  reproduces the serial interleaving.
+
+Fault injection is handled by *hoisting*: the parent resolves each block's
+straggler slowdown and fail-stop point before dispatch (workers carry no
+injector), which matches serial query-time state because processors
+marked dead are never scheduled again.
+
+The fork pool uses the ``fork`` start method so workers inherit the loop
+closure and cost model; only tasks, memory updates and deltas cross the
+pipes.  Worker shared memory is kept in sync by broadcasting the contents
+of arrays that changed since the last dispatch (commits, restores,
+reinitializations all funnel through parent memory, so a diff against the
+last synced snapshot catches every mutation without instrumentation).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.executor import (
+    execute_block,
+    make_all_private_state,
+    make_processor_state,
+)
+from repro.errors import BackendError, ConfigurationError
+from repro.machine.checkpoint import CheckpointManager
+from repro.machine.memory import MemoryImage, SharedArray
+from repro.machine.timeline import Category
+from repro.util.blocks import Block
+
+# -- default-backend selection ---------------------------------------------------
+
+DEFAULT_BACKEND = "serial"
+
+_default_backend = DEFAULT_BACKEND
+
+
+def get_default_backend() -> str:
+    """Backend used when ``RuntimeConfig.backend`` is ``None``."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend (``use_backend`` scopes it)."""
+    global _default_backend
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; known: {', '.join(backend_names())}"
+        )
+    _default_backend = name
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Scope the default backend: every run started inside the ``with``
+    whose config leaves ``backend=None`` uses ``name``.  Lets existing
+    entry points (and the golden parity suite) run under the fork backend
+    without threading a parameter through every call."""
+    previous = _default_backend
+    set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
+def resolve_backend_name(config) -> str:
+    """The backend a config resolves to (explicit setting or the default)."""
+    name = getattr(config, "backend", None)
+    return name if name is not None else _default_backend
+
+
+# -- task / outcome descriptors ---------------------------------------------------
+
+
+@dataclass
+class BlockTask:
+    """One block of one stage, as handed to an execution backend."""
+
+    stage: int
+    pos: int
+    block: Block
+    inductions: dict[str, int] | None = None
+    marklists: dict | None = None
+    extras: dict = field(default_factory=dict)
+    preload: bool = False
+    all_private: bool = False
+    """Run on a fully privatized state with no checkpoint or injector (the
+    induction recipe's side-effect-free range collection)."""
+    log_untested: bool = False
+    use_injector: bool = True
+    slowdown: float = 1.0
+    death: tuple[int, bool] | None = None
+
+
+@dataclass
+class BlockOutcome:
+    """What the engine needs to know after a block executed."""
+
+    pos: int
+    block: Block
+    fault: str | None = None
+    fault_permanent: bool = False
+    exit_iteration: int | None = None
+    inductions: dict[str, int] = field(default_factory=dict)
+
+    def induction_values(self) -> dict[str, int]:
+        return dict(self.inductions)
+
+
+# -- backends ---------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Executes the blocks of one stage and merges results into the engine."""
+
+    name = ""
+
+    def __init__(self, eng) -> None:
+        self.eng = eng
+
+    def run_blocks(self, tasks: list[BlockTask]) -> list[BlockOutcome]:
+        """Execute all tasks; return outcomes ordered by block position.
+
+        Post-condition, regardless of backend: the engine's processor
+        states, checkpoint manager, untested-access log, shared memory and
+        timeline are exactly as if the blocks had run serially in-process.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker processes); idempotent."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one-block-after-another execution (the default)."""
+
+    name = "serial"
+
+    def run_blocks(self, tasks: list[BlockTask]) -> list[BlockOutcome]:
+        eng = self.eng
+        outcomes = []
+        for task in tasks:
+            block = task.block
+            if task.all_private:
+                state = make_all_private_state(eng.machine, eng.loop, block.proc)
+                ckpt = injector = untested_log = None
+            else:
+                eng.strategy.before_block(eng, block)
+                state = eng.states[block.proc]
+                ckpt = eng.ckpt
+                injector = eng.injector if task.use_injector else None
+                untested_log = eng.untested_log if task.log_untested else None
+            ctx = execute_block(
+                eng.machine, eng.loop, state, block, ckpt,
+                inductions=task.inductions, marklists=task.marklists,
+                injector=injector, stage=task.stage,
+                untested_log=untested_log, **task.extras,
+            )
+            outcomes.append(BlockOutcome(
+                pos=task.pos, block=block, fault=ctx.fault,
+                fault_permanent=ctx.fault_permanent,
+                exit_iteration=ctx.exit_iteration,
+                inductions=ctx.induction_values(),
+            ))
+        return outcomes
+
+
+# -- the fork backend -------------------------------------------------------------
+
+
+@dataclass
+class _BlockDelta:
+    """Everything a worker ships back about one executed block."""
+
+    pos: int
+    charges: list[tuple[Category, float]]
+    fault: str | None = None
+    fault_permanent: bool = False
+    exit_iteration: int | None = None
+    inductions: dict[str, int] = field(default_factory=dict)
+    views: dict[str, object] = field(default_factory=dict)
+    shadows: dict[str, object] = field(default_factory=dict)
+    partials: dict[str, dict[int, object]] = field(default_factory=dict)
+    iter_times: dict[int, float] = field(default_factory=dict)
+    iter_work: dict[int, float] = field(default_factory=dict)
+    untested: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    untested_reads: list[tuple[str, int]] = field(default_factory=list)
+    untested_writes: list[tuple[str, int]] = field(default_factory=list)
+    marklists: dict | None = None
+
+
+@dataclass
+class _WorkerFailure:
+    traceback: str
+
+
+class _WorkerContext:
+    """Per-worker immutable-ish context, inherited through fork."""
+
+    def __init__(self, loop, costs, memory, ckpt_names, on_demand, reduction_names):
+        self.loop = loop
+        self.costs = costs
+        self.memory = memory
+        self.ckpt_names = ckpt_names
+        self.on_demand = on_demand
+        self.reduction_names = reduction_names
+
+
+class _ChargeLog:
+    """Duck-typed stand-in for :class:`~repro.machine.machine.Machine`
+    inside a worker: same memory/costs surface, but charges append to a
+    log instead of a timeline (the parent replays their per-category sums
+    against the real timeline)."""
+
+    __slots__ = ("memory", "costs", "charges")
+
+    def __init__(self, memory, costs) -> None:
+        self.memory = memory
+        self.costs = costs
+        self.charges: list[tuple[Category, float]] = []
+
+    def charge(self, proc: int, category: Category, amount: float) -> None:
+        if amount:
+            self.charges.append((category, amount))
+
+
+class _AccessRecorder:
+    """Worker-side stand-in for the self-check untested-access log."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads: set[tuple[str, int]] = set()
+        self.writes: set[tuple[str, int]] = set()
+
+    def note_read(self, proc: int, name: str, index: int) -> None:
+        self.reads.add((name, index))
+
+    def note_write(self, proc: int, name: str, index: int) -> None:
+        self.writes.add((name, index))
+
+
+def _run_worker_task(wctx: _WorkerContext, task: BlockTask) -> _BlockDelta:
+    log = _ChargeLog(wctx.memory, wctx.costs)
+    block = task.block
+    recorder = None
+    ckpt = None
+    if task.all_private:
+        state = make_all_private_state(log, wctx.loop, block.proc)
+    else:
+        state = make_processor_state(log, wctx.loop, block.proc)
+        if wctx.ckpt_names:
+            ckpt = CheckpointManager(wctx.memory, wctx.ckpt_names, wctx.on_demand)
+            ckpt.begin_stage()
+        if task.log_untested:
+            recorder = _AccessRecorder()
+        if task.preload:
+            state.preload(log, skip=wctx.reduction_names)
+    ctx = execute_block(
+        log, wctx.loop, state, block, ckpt,
+        inductions=task.inductions, marklists=task.marklists,
+        stage=task.stage, untested_log=recorder,
+        slowdown=task.slowdown, death=task.death,
+    )
+    charges: dict[Category, float] = {}
+    for category, amount in log.charges:
+        charges[category] = charges.get(category, 0.0) + amount
+    delta = _BlockDelta(
+        pos=task.pos,
+        charges=list(charges.items()),
+        fault=ctx.fault,
+        fault_permanent=ctx.fault_permanent,
+        exit_iteration=ctx.exit_iteration,
+        inductions=ctx.induction_values(),
+    )
+    if task.all_private:
+        return delta
+    delta.views = {
+        name: view.export_written()
+        for name, view in state.views.items()
+        if view.n_written()
+    }
+    delta.shadows = {
+        name: shadow.export_marks()
+        for name, shadow in state.shadows.items()
+        if not shadow.is_clear()
+    }
+    delta.partials = {name: dict(p) for name, p in state.partials.items() if p}
+    delta.iter_times = dict(state.iter_times)
+    delta.iter_work = dict(state.iter_work)
+    if ckpt is not None:
+        for name, indices in ckpt.modified_by([block.proc]).items():
+            if indices:
+                idx = np.asarray(indices, dtype=np.int64)
+                delta.untested[name] = (idx, wctx.memory[name].data[idx].copy())
+        # Undo this block's untested writes locally: the worker's memory
+        # must stay equal to the last parent broadcast, else rolled-back
+        # stages would leave stale values behind the parent's sync diff.
+        ckpt.restore_failed([block.proc])
+    if recorder is not None:
+        delta.untested_reads = sorted(recorder.reads)
+        delta.untested_writes = sorted(recorder.writes)
+    if task.marklists is not None:
+        delta.marklists = task.marklists
+    return delta
+
+
+def _worker_main(conn, wctx: _WorkerContext) -> None:  # pragma: no cover - child
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            updates, tasks = message
+            for name, data in updates.items():
+                wctx.memory[name].data[:] = data
+            conn.send([_run_worker_task(wctx, task) for task in tasks])
+    except (EOFError, KeyboardInterrupt):
+        return
+    except BaseException:
+        try:
+            conn.send(_WorkerFailure(traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class ForkBackend(ExecutionBackend):
+    """Dispatch a stage's blocks to a persistent forked worker pool."""
+
+    name = "fork"
+
+    def __init__(self, eng) -> None:
+        super().__init__(eng)
+        self._workers: list | None = None
+        self._last_sync: dict[str, np.ndarray] = {}
+
+    def _ensure_workers(self) -> None:
+        if self._workers is not None:
+            return
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise ConfigurationError(
+                "the fork execution backend needs the 'fork' start method "
+                "(POSIX only); use backend='serial' on this platform"
+            )
+        eng = self.eng
+        n_workers = eng.config.backend_workers or min(
+            eng.n_procs, os.cpu_count() or 1
+        )
+        n_workers = max(1, min(n_workers, eng.n_procs))
+        memory = eng.machine.memory
+        wctx = _WorkerContext(
+            loop=eng.loop,
+            costs=eng.machine.costs,
+            memory=MemoryImage(
+                SharedArray(name, memory[name].data) for name in memory.names()
+            ),
+            ckpt_names=eng.ckpt.names if eng.ckpt is not None else [],
+            on_demand=eng.config.on_demand_checkpoint,
+            reduction_names=eng.reduction_names,
+        )
+        self._last_sync = {
+            name: memory[name].data.copy() for name in memory.names()
+        }
+        ctx = mp.get_context("fork")
+        workers = []
+        try:
+            for _ in range(n_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main, args=(child_conn, wctx), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                workers.append((process, parent_conn))
+        except BaseException:
+            for process, conn in workers:
+                conn.close()
+                process.terminate()
+            raise
+        self._workers = workers
+
+    def _memory_updates(self) -> dict[str, np.ndarray]:
+        """Arrays changed since the last broadcast (commit/restore/init).
+
+        ``array_equal`` treats NaN as unequal, so NaN-bearing arrays are
+        re-broadcast every stage -- wasteful but correct.
+        """
+        memory = self.eng.machine.memory
+        updates: dict[str, np.ndarray] = {}
+        for name in memory.names():
+            data = memory[name].data
+            last = self._last_sync.get(name)
+            if last is None or not np.array_equal(last, data):
+                updates[name] = data.copy()
+                self._last_sync[name] = updates[name]
+        return updates
+
+    def _hoist_injection(self, tasks: list[BlockTask]) -> None:
+        """Resolve straggler/fail-stop faults parent-side, in block order.
+
+        Matches serial query-time state exactly: the injector's dead set
+        only grows with processors the engine removed from the alive pool,
+        and those are never scheduled again, so a pre-dispatch query sees
+        the same state an execution-time query would.
+        """
+        injector = self.eng.injector
+        if injector is None:
+            return
+        for task in tasks:
+            if not task.use_injector:
+                continue
+            task.slowdown = injector.slowdown(task.stage, task.block.proc)
+            task.death = injector.fail_stop_point(
+                task.stage, task.block.proc, len(task.block)
+            )
+
+    def run_blocks(self, tasks: list[BlockTask]) -> list[BlockOutcome]:
+        eng = self.eng
+        for task in tasks:
+            if task.extras:
+                raise ConfigurationError(
+                    f"strategy {eng.strategy.name!r} passes execute_block "
+                    f"kwargs {sorted(task.extras)} the fork backend cannot "
+                    "ship to workers; use backend='serial'"
+                )
+        procs = [task.block.proc for task in tasks]
+        if len(set(procs)) != len(procs):
+            raise BackendError(
+                "fork backend needs at most one block per processor per "
+                f"stage, got procs {procs}"
+            )
+        self._ensure_workers()
+        self._hoist_injection(tasks)
+        updates = self._memory_updates()
+        shares: list[list[BlockTask]] = [[] for _ in self._workers]
+        for k, task in enumerate(tasks):
+            shares[k % len(shares)].append(task)
+        for (_, conn), share in zip(self._workers, shares):
+            conn.send((updates, share))
+        deltas: dict[int, _BlockDelta] = {}
+        for (_, conn), share in zip(self._workers, shares):
+            try:
+                reply = conn.recv()
+            except EOFError:
+                raise BackendError(
+                    "a fork backend worker died mid-stage", loop=eng.loop.name
+                ) from None
+            if isinstance(reply, _WorkerFailure):
+                raise BackendError(
+                    "a fork backend worker raised:\n" + reply.traceback,
+                    loop=eng.loop.name,
+                )
+            for delta in reply:
+                deltas[delta.pos] = delta
+        return [self._merge(task, deltas[task.pos]) for task in tasks]
+
+    def _merge(self, task: BlockTask, delta: _BlockDelta) -> BlockOutcome:
+        """Fold one block's delta into the engine, in block-position order."""
+        eng = self.eng
+        machine = eng.machine
+        block = task.block
+        proc = block.proc
+        for category, amount in delta.charges:
+            machine.charge(proc, category, amount)
+        outcome = BlockOutcome(
+            pos=task.pos, block=block, fault=delta.fault,
+            fault_permanent=delta.fault_permanent,
+            exit_iteration=delta.exit_iteration,
+            inductions=delta.inductions,
+        )
+        if task.all_private:
+            return outcome
+        state = eng.states[proc]
+        for name, payload in delta.views.items():
+            state.views[name].absorb_written(payload)
+        for name, payload in delta.shadows.items():
+            state.shadows[name].absorb_marks(payload)
+        for name, partial in delta.partials.items():
+            state.partials.setdefault(name, {}).update(partial)
+        state.iter_times.update(delta.iter_times)
+        state.iter_work.update(delta.iter_work)
+        state.executed.append(block)
+        for name, (indices, values) in delta.untested.items():
+            if eng.ckpt is not None:
+                for index in indices.tolist():
+                    eng.ckpt.note_write(proc, name, index)
+            machine.memory[name].data[indices] = values
+        if eng.untested_log is not None:
+            for name, index in delta.untested_reads:
+                eng.untested_log.note_read(proc, name, index)
+            for name, index in delta.untested_writes:
+                eng.untested_log.note_write(proc, name, index)
+        if task.marklists is not None:
+            eng.strategy.install_marklists(eng, task.pos, block, delta.marklists)
+        return outcome
+
+    def close(self) -> None:
+        if self._workers is None:
+            return
+        workers, self._workers = self._workers, None
+        for _, conn in workers:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process, conn in workers:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=1.0)
+            conn.close()
+
+
+# -- registry ---------------------------------------------------------------------
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ForkBackend.name: ForkBackend,
+}
+
+
+def backend_names() -> list[str]:
+    return sorted(BACKENDS)
+
+
+def make_backend(eng) -> ExecutionBackend:
+    """Instantiate the backend an engine's config resolves to."""
+    name = resolve_backend_name(eng.config)
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; known: "
+            f"{', '.join(backend_names())}"
+        ) from None
+    return cls(eng)

@@ -38,9 +38,10 @@ def commit_states(
         for name, view in state.views.items():
             if name in loop.reductions:
                 continue
-            for index, value in view.written_items():
-                machine.memory[name].data[index] = value
-                n_elems += 1
+            indices, values = view.written_arrays()
+            if len(indices):
+                machine.memory[name].data[indices] = values
+                n_elems += len(indices)
         for name, partial in state.partials.items():
             op = loop.reductions[name]
             data = machine.memory[name].data

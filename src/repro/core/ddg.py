@@ -28,7 +28,7 @@ import networkx as nx
 from repro.config import RuntimeConfig, Strategy
 from repro.core.analysis import analyze_stage
 from repro.core.commit import commit_states, reinit_states
-from repro.core.engine import require_fault_support
+from repro.core.engine import require_fault_support, require_serial_backend
 from repro.core.executor import execute_block
 from repro.core.results import RunResult, StageResult
 from repro.core.stage import (
@@ -110,6 +110,7 @@ def extract_ddg(
     """Execute ``loop`` under the SW R-LRPD test while extracting its DDG."""
     config = config or RuntimeConfig.sw()
     require_fault_support(config, "DDG extraction")
+    require_serial_backend(config, "DDG extraction")
     if config.strategy is not Strategy.SLIDING_WINDOW:
         raise ConfigurationError("DDG extraction uses the sliding-window strategy")
     if loop.inductions:

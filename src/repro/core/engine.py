@@ -44,8 +44,14 @@ from repro.config import (
     Strategy as ScheduleKind,
 )
 from repro.core.analysis import analyze_stage
+from repro.core.backend import (
+    BlockTask,
+    backend_names,
+    make_backend,
+    resolve_backend_name,
+)
 from repro.core.commit import commit_states, reinit_states
-from repro.core.executor import execute_block, make_processor_state
+from repro.core.executor import make_processor_state
 from repro.core.results import RunResult, StageResult
 from repro.core.stage import (
     charge_analysis,
@@ -148,13 +154,31 @@ class Strategy:
         if eng.config.pre_initialize:
             eng.states[block.proc].preload(eng.machine, skip=eng.reduction_names)
 
+    def wants_preload(self, eng: "StageEngine") -> bool:
+        """Whether out-of-process backends should bulk pre-initialize each
+        block's private views before executing (must mirror what
+        :meth:`before_block` does in-process)."""
+        return eng.config.pre_initialize
+
     def exec_kwargs(self, eng: "StageEngine", pos: int, block: Block) -> dict:
         """Extra keyword arguments for ``execute_block``."""
         return {}
 
     def after_block(self, eng: "StageEngine", pos: int, block: Block, ctx) -> None:
         """Bookkeeping right after one block executed (owner maps, extra
-        marking charges, induction finals)."""
+        marking charges, induction finals).  ``ctx`` is a
+        :class:`~repro.core.backend.BlockOutcome`: ``fault``,
+        ``fault_permanent``, ``exit_iteration``, ``induction_values()``."""
+
+    def install_marklists(
+        self, eng: "StageEngine", pos: int, block: Block, marklists
+    ) -> None:
+        """Accept a block's mark lists shipped back by an out-of-process
+        backend (only strategies passing ``marklists`` via
+        :meth:`exec_kwargs` need this)."""
+        raise ConfigurationError(
+            f"strategy {self.name!r} does not accept shipped mark lists"
+        )
 
     def analyze(
         self, eng: "StageEngine", blocks: list[Block]
@@ -329,6 +353,24 @@ def require_fault_support(config: RuntimeConfig | None, runner: str) -> None:
         )
 
 
+def require_serial_backend(config: RuntimeConfig | None, runner: str) -> None:
+    """Refuse non-serial execution backends on runners that bypass the
+    StageEngine (the doall LRPD test, DDG extraction): they call
+    ``execute_block`` directly and would silently run serially while the
+    user believes the fork pool is active.
+    """
+    if config is None:
+        return
+    if resolve_backend_name(config) != "serial":
+        raise ConfigurationError(
+            f"{runner} runs outside the StageEngine and supports only the "
+            f"serial execution backend (requested "
+            f"{resolve_backend_name(config)!r}; known: "
+            f"{', '.join(backend_names())}); drop --backend or use an "
+            f"engine-based strategy ({', '.join(strategy_names())})"
+        )
+
+
 # -- the engine ------------------------------------------------------------------
 
 
@@ -397,6 +439,7 @@ class StageEngine:
 
         strategy.setup(self)
         self.label = strategy.run_label(self)
+        self.backend = make_backend(self)
 
         self._agg = AggregatingSink()
         bus_sinks: list[EventSink] = [self._agg, *sinks]
@@ -436,6 +479,7 @@ class StageEngine:
             return result
         finally:
             self.bus.close()
+            self.backend.close()
 
     def _run_loop(self) -> RunResult:
         loop, config, machine = self.loop, self.config, self.machine
@@ -469,20 +513,28 @@ class StageEngine:
             exits: dict[int, int] = {}  # block position -> exit iteration
             faulted: dict[int, str] = {}  # block position -> fault class
             self.faulted = faulted
+            preload = strategy.wants_preload(self)
+            log_untested = self.untested_log is not None
+            tasks = []
             for pos, block in enumerate(blocks):
-                strategy.before_block(self, block)
-                ctx = execute_block(
-                    machine, loop, self.states[block.proc], block, self.ckpt,
-                    injector=self.injector, stage=stage,
-                    untested_log=self.untested_log,
-                    **strategy.exec_kwargs(self, pos, block),
-                )
-                strategy.after_block(self, pos, block, ctx)
-                if ctx.fault is not None:
+                kwargs = strategy.exec_kwargs(self, pos, block)
+                tasks.append(BlockTask(
+                    stage=stage, pos=pos, block=block,
+                    inductions=kwargs.pop("inductions", None),
+                    marklists=kwargs.pop("marklists", None),
+                    extras=kwargs,
+                    preload=preload,
+                    log_untested=log_untested,
+                ))
+            outcomes = self.backend.run_blocks(tasks)
+            for outcome in outcomes:
+                pos, block = outcome.pos, outcome.block
+                strategy.after_block(self, pos, block, outcome)
+                if outcome.fault is not None:
                     # A faulted block's work (and any exit it signalled) is
                     # untrusted; its processor joins the failed set below.
-                    faulted[pos] = ctx.fault
-                    if ctx.fault_permanent and len(self.alive) > 1:
+                    faulted[pos] = outcome.fault
+                    if outcome.fault_permanent and len(self.alive) > 1:
                         self.alive.remove(block.proc)
                         self.injector.mark_dead(block.proc)
                 elif (
@@ -495,9 +547,9 @@ class StageEngine:
                     # integrity check: discard the block's private state and
                     # re-execute, same as a failed-speculation processor.
                     faulted[pos] = "corrupt-write"
-                elif ctx.exit_iteration is not None:
+                elif outcome.exit_iteration is not None:
                     if strategy.exit_mode == "collect":
-                        exits[pos] = ctx.exit_iteration
+                        exits[pos] = outcome.exit_iteration
                     elif strategy.exit_mode == "reject":
                         raise ConfigurationError(
                             f"{loop.name}: premature exits need the blocked runner"
@@ -505,7 +557,8 @@ class StageEngine:
                 self.emit(BlockExecuted(
                     stage=stage, pos=pos, proc=block.proc,
                     start=block.start, stop=block.stop,
-                    fault=faulted.get(pos), exit_iteration=ctx.exit_iteration,
+                    fault=faulted.get(pos),
+                    exit_iteration=outcome.exit_iteration,
                 ))
                 if pos in faulted:
                     self.emit(FaultInjected(

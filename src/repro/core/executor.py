@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.loopir.context import IterationContext
 from repro.loopir.loop import SpeculativeLoop
 from repro.machine.checkpoint import CheckpointManager
@@ -81,6 +83,20 @@ def make_processor_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> 
     for spec in loop.arrays:
         if not spec.tested:
             continue
+        shared = machine.memory[spec.name]
+        views[spec.name] = make_private_view(shared, sparse=spec.sparse)
+        shadows[spec.name] = make_shadow(len(shared), sparse=spec.sparse)
+    return ProcessorState(proc=proc, views=views, shadows=shadows)
+
+
+def make_all_private_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> ProcessorState:
+    """Processor state where *every* array is privatized, untested ones
+    included (side-effect-free execution: the induction recipe's range
+    collection must keep even untested writes out of shared memory, their
+    indices are provisional)."""
+    views: dict[str, PrivateView] = {}
+    shadows: dict[str, ShadowArray] = {}
+    for spec in loop.arrays:
         shared = machine.memory[spec.name]
         views[spec.name] = make_private_view(shared, sparse=spec.sparse)
         shadows[spec.name] = make_shadow(len(shared), sparse=spec.sparse)
@@ -226,6 +242,61 @@ class SpeculativeContext(IterationContext):
         if self._iter_marks is not None:
             self._iter_marks[name].mark_update(index)
 
+    # -- bulk memory access -------------------------------------------------------
+
+    def load_many(self, name: str, indices) -> np.ndarray:
+        """Vectorized :meth:`load` over an index array of one tested array.
+
+        Marking and charging are batched: one ``mark_read_many`` on the
+        shadow, one MARK charge of ``mark * len(indices)``, one COPY_IN
+        charge for the distinct elements actually copied in.  Semantically
+        a single bulk read: every index sees the current private state,
+        none of this batch's own side effects.
+        """
+        if name in self._loop.reductions:
+            raise ValueError(
+                f"array {name!r} is declared a reduction; use update() only"
+            )
+        idx = np.asarray(indices, dtype=np.int64)
+        view = self._state.views.get(name)
+        if view is None:
+            return np.array([self.load(name, int(i)) for i in idx])
+        values, copied = view.load_many(idx)
+        self._state.shadows[name].mark_read_many(idx)
+        self._charge(Category.MARK, self._costs.mark * len(idx))
+        if copied:
+            self._charge(Category.COPY_IN, self._costs.copy_in * copied)
+        if self._iter_marks is not None:
+            marks = self._iter_marks[name]
+            for i in idx.tolist():
+                marks.mark_read(i)
+        return values
+
+    def store_many(self, name: str, indices, values) -> None:
+        """Vectorized :meth:`store` over parallel index/value arrays.
+
+        Later duplicates win, matching the scalar loop.  One
+        ``mark_write_many`` on the shadow, one batched MARK charge.
+        """
+        if name in self._loop.reductions:
+            raise ValueError(
+                f"array {name!r} is declared a reduction; use update() only"
+            )
+        idx = np.asarray(indices, dtype=np.int64)
+        vals = np.asarray(values)
+        view = self._state.views.get(name)
+        if view is None:
+            for i, v in zip(idx.tolist(), vals):
+                self.store(name, i, v)
+            return
+        view.store_many(idx, vals)
+        self._state.shadows[name].mark_write_many(idx)
+        self._charge(Category.MARK, self._costs.mark * len(idx))
+        if self._iter_marks is not None:
+            marks = self._iter_marks[name]
+            for i, v in zip(idx.tolist(), vals):
+                marks.mark_write(i, v)
+
     # -- induction ---------------------------------------------------------------
 
     def bump(self, name: str) -> int:
@@ -265,6 +336,8 @@ def execute_block(
     injector=None,
     stage: int = 0,
     untested_log=None,
+    slowdown: float | None = None,
+    death: tuple[int, bool] | None = None,
 ) -> SpeculativeContext:
     """Run ``block``'s iterations on ``block.proc``, charging virtual time.
 
@@ -280,11 +353,16 @@ def execute_block(
     (including untested writes, already logged by the checkpoint) awaiting
     the driver's rollback.  ``untested_log`` records untested-array
     traffic for the self-check isolation verifier.
+
+    The fork execution backend queries the injector in the parent and
+    passes the pre-resolved ``slowdown``/``death`` explicitly (worker
+    processes have no injector); explicit values take precedence.
     """
-    slowdown = 1.0
-    death: tuple[int, bool] | None = None
-    if injector is not None:
-        slowdown = injector.slowdown(stage, block.proc)
+    if slowdown is None:
+        slowdown = 1.0
+        if injector is not None:
+            slowdown = injector.slowdown(stage, block.proc)
+    if death is None and injector is not None:
         death = injector.fail_stop_point(stage, block.proc, len(block))
     ctx = SpeculativeContext(
         machine, loop, state, checkpoints, inductions,

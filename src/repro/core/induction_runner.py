@@ -31,31 +31,17 @@ offset-corrected re-execution, increment-mismatch sinks), registered as
 from __future__ import annotations
 
 from repro.config import RuntimeConfig
+from repro.core.backend import BlockTask
 from repro.core.engine import StageEngine, register_strategy
 from repro.core.engine import Strategy as EngineStrategy
-from repro.core.executor import ProcessorState, execute_block, make_processor_state
+from repro.core.executor import make_processor_state
 from repro.core.results import RunResult, StageResult
 from repro.errors import ConfigurationError
 from repro.loopir.loop import SpeculativeLoop
 from repro.machine.costs import CostModel
-from repro.machine.machine import Machine
-from repro.machine.memory import MemoryImage, make_private_view
+from repro.machine.memory import MemoryImage
 from repro.obs.events import BlockExecuted, StageBegin
-from repro.shadow import make_shadow
 from repro.util.blocks import Block, partition_even
-
-
-def _phase_a_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> ProcessorState:
-    """Processor state where *every* array is privatized (side-effect-free
-    range collection: even untested writes must not reach shared memory,
-    their indices are provisional)."""
-    views = {}
-    shadows = {}
-    for spec in loop.arrays:
-        shared = machine.memory[spec.name]
-        views[spec.name] = make_private_view(shared, sparse=spec.sparse)
-        shadows[spec.name] = make_shadow(len(shared), sparse=spec.sparse)
-    return ProcessorState(proc=proc, views=views, shadows=shadows)
 
 
 @register_strategy
@@ -100,25 +86,34 @@ class InductionTwoPhase(EngineStrategy):
         the interesting failure surface -- speculative state that must be
         rolled back -- exists only in the re-execution.
         """
-        machine, loop = eng.machine, eng.loop
+        machine = eng.machine
         stage = eng.stage_idx
         eng.emit(StageBegin(
             stage=stage, blocks=list(blocks),
             remaining=eng.n - eng.committed_upto, degraded=eng.degraded,
         ))
         record_a = machine.begin_stage()
-        increments: dict[int, dict[str, int]] = {}
-        for pos, block in enumerate(blocks):
-            state = _phase_a_state(machine, loop, block.proc)
-            ctx = execute_block(
-                machine, loop, state, block, None, inductions=dict(self.ivar_base)
+        # Range collection is itself a doall, so it goes through the
+        # execution backend like any speculative stage.  ``all_private``
+        # states keep even untested writes out of shared memory;
+        # ``use_injector=False`` keeps faults out of phase A.
+        outcomes = eng.backend.run_blocks([
+            BlockTask(
+                stage=stage, pos=pos, block=block,
+                inductions=dict(self.ivar_base),
+                all_private=True, use_injector=False,
             )
-            finals = ctx.induction_values()
+            for pos, block in enumerate(blocks)
+        ])
+        increments: dict[int, dict[str, int]] = {}
+        for outcome in outcomes:
+            block = outcome.block
+            finals = outcome.induction_values()
             increments[block.proc] = {
                 name: finals[name] - self.ivar_base[name] for name in self.ivar_base
             }
             eng.emit(BlockExecuted(
-                stage=stage, pos=pos, proc=block.proc,
+                stage=stage, pos=outcome.pos, proc=block.proc,
                 start=block.start, stop=block.stop,
             ))
         machine.barrier()
@@ -160,6 +155,9 @@ class InductionTwoPhase(EngineStrategy):
 
     def before_block(self, eng: StageEngine, block: Block) -> None:
         pass  # phase B always starts cold: offsets correct the copy-in
+
+    def wants_preload(self, eng: StageEngine) -> bool:
+        return False
 
     def exec_kwargs(self, eng: StageEngine, pos: int, block: Block) -> dict:
         start = {

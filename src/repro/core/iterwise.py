@@ -192,6 +192,9 @@ class IterwiseBlocked(EngineStrategy):
     def before_block(self, eng: StageEngine, block: Block) -> None:
         pass  # per-iteration value logs subsume bulk pre-initialization
 
+    def wants_preload(self, eng: StageEngine) -> bool:
+        return False
+
     def exec_kwargs(self, eng: StageEngine, pos: int, block: Block) -> dict:
         ml = {
             name: MarkList(name, block.proc, log_values=True)
@@ -199,6 +202,13 @@ class IterwiseBlocked(EngineStrategy):
         }
         self.marklists[block.proc] = ml
         return {"marklists": ml}
+
+    def install_marklists(
+        self, eng: StageEngine, pos: int, block: Block, marklists
+    ) -> None:
+        # An out-of-process backend mutated a pickled copy of the lists
+        # handed out by exec_kwargs; adopt the filled-in copy.
+        self.marklists[block.proc] = marklists
 
     def after_block(self, eng: StageEngine, pos: int, block: Block, ctx) -> None:
         # Iteration-level marking costs an extra pass over the marks.

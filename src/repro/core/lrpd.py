@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.config import RuntimeConfig
 from repro.core.analysis import analyze_stage, doall_valid
 from repro.core.commit import commit_states
-from repro.core.engine import require_fault_support
+from repro.core.engine import require_fault_support, require_serial_backend
 from repro.core.executor import execute_block
 from repro.core.results import RunResult, StageResult
 from repro.core.stage import (
@@ -75,6 +75,7 @@ def run_doall_lrpd(
     """One speculative doall attempt; sequential re-execution on failure."""
     config = config or RuntimeConfig.nrd()
     require_fault_support(config, "the doall LRPD baseline")
+    require_serial_backend(config, "the doall LRPD baseline")
     if loop.inductions:
         raise ConfigurationError(
             f"loop {loop.name!r} declares induction variables; the doall "

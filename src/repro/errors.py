@@ -97,6 +97,14 @@ class CheckpointError(ReproError):
     """Checkpoint or restore of untested shared state failed."""
 
 
+class BackendError(ReproError):
+    """An execution backend (:mod:`repro.core.backend`) failed to dispatch
+    or merge a stage's blocks: a worker process died or raised, or the
+    stage's schedule violated the backend's one-block-per-processor
+    contract.  Distinct from :class:`ConfigurationError`: the configuration
+    was valid, the host-side execution machinery broke."""
+
+
 class ScheduleError(ReproError):
     """An iteration schedule (block partition, window, wavefront) is
     malformed: overlapping blocks, gaps, or out-of-order assignment."""

@@ -147,6 +147,50 @@ class PrivateView:
         the private copy holds the processor's last value)."""
         raise NotImplementedError
 
+    def written_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, values)`` ndarrays of every written element, index-
+        sorted, so the commit phase is one fancy-indexed assignment instead
+        of a Python loop per element.  Values are cast to the shared dtype
+        (exactly the cast a scalar ``data[index] = value`` would perform)."""
+        pairs = list(self.written_items())
+        indices = np.fromiter(
+            (i for i, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        values = np.empty(len(pairs), dtype=self.shared.data.dtype)
+        for k, (_, value) in enumerate(pairs):
+            values[k] = value
+        return indices, values
+
+    def export_written(self) -> object:
+        """Representation-specific payload of the written elements, suitable
+        for shipping between processes (see :mod:`repro.core.backend`).
+        Must round-trip bit-exactly through :meth:`absorb_written`."""
+        raise NotImplementedError
+
+    def absorb_written(self, payload: object) -> None:
+        """Merge a payload produced by :meth:`export_written` on a view of
+        the same array (the receiving view is assumed freshly reset)."""
+        raise NotImplementedError
+
+    def store_many(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Bulk :meth:`store` over parallel index/value arrays."""
+        for index, value in zip(indices.tolist(), values):
+            self.store(index, value)
+
+    def load_many(self, indices: np.ndarray) -> tuple[np.ndarray, int]:
+        """Bulk :meth:`load`; returns ``(values, distinct elements copied
+        in)`` so the caller can charge the copy-in cost once."""
+        copied = 0
+        out = np.empty(len(indices), dtype=self.shared.data.dtype)
+        seen: set[int] = set()
+        for k, index in enumerate(indices.tolist()):
+            value, copied_in = self.load(index)
+            out[k] = value
+            if copied_in and index not in seen:
+                seen.add(index)
+                copied += 1
+        return out, copied
+
     def n_written(self) -> int:
         raise NotImplementedError
 
@@ -198,6 +242,32 @@ class DensePrivateView(PrivateView):
     def written_indices(self) -> np.ndarray:
         return np.flatnonzero(self._written)
 
+    def written_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        indices = np.flatnonzero(self._written)
+        return indices, self._values[indices]
+
+    def export_written(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.written_arrays()
+
+    def absorb_written(self, payload: tuple[np.ndarray, np.ndarray]) -> None:
+        indices, values = payload
+        if len(indices):
+            self._values[indices] = values
+            self._have[indices] = True
+            self._written[indices] = True
+
+    def store_many(self, indices: np.ndarray, values: np.ndarray) -> None:
+        self._values[indices] = values
+        self._have[indices] = True
+        self._written[indices] = True
+
+    def load_many(self, indices: np.ndarray) -> tuple[np.ndarray, int]:
+        missing = np.unique(indices[~self._have[indices]])
+        if len(missing):
+            self._values[missing] = self.shared.data[missing]
+            self._have[missing] = True
+        return self._values[indices], len(missing)
+
     def n_written(self) -> int:
         return int(self._written.sum())
 
@@ -242,6 +312,22 @@ class SparsePrivateView(PrivateView):
 
     def written_indices(self) -> np.ndarray:
         return np.fromiter(sorted(self._written), dtype=np.int64, count=len(self._written))
+
+    def written_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        indices = self.written_indices()
+        values = np.empty(len(indices), dtype=self.shared.data.dtype)
+        for k, index in enumerate(indices.tolist()):
+            values[k] = self._values[index]
+        return indices, values
+
+    def export_written(self) -> dict[int, object]:
+        # The raw objects, not a dtype-cast array: sparse views hold
+        # whatever the loop body stored, and the round-trip must be exact.
+        return {index: self._values[index] for index in self._written}
+
+    def absorb_written(self, payload: dict[int, object]) -> None:
+        self._values.update(payload)
+        self._written.update(payload)
 
     def n_written(self) -> int:
         return len(self._written)

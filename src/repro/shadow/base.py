@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 
 class ShadowArray:
     """Marking bits for one (processor, tested array) pair during one stage.
@@ -37,6 +39,23 @@ class ShadowArray:
     def mark_update(self, index: int) -> None:
         raise NotImplementedError
 
+    # Bulk marking: one call marks a whole index array with the same
+    # semantics as the scalar loop (in particular, a bulk read sees all
+    # writes already marked, none of its own batch's -- exactly what a
+    # single vectorized read operation does).
+
+    def mark_read_many(self, indices: np.ndarray) -> None:
+        for index in indices.tolist():
+            self.mark_read(index)
+
+    def mark_write_many(self, indices: np.ndarray) -> None:
+        for index in indices.tolist():
+            self.mark_write(index)
+
+    def mark_update_many(self, indices: np.ndarray) -> None:
+        for index in indices.tolist():
+            self.mark_update(index)
+
     # -- analysis-phase queries ---------------------------------------------------
 
     def write_set(self) -> set[int]:
@@ -55,6 +74,21 @@ class ShadowArray:
         """Elements touched by reduction updates."""
         raise NotImplementedError
 
+    def has_updates(self) -> bool:
+        """Whether any reduction mark exists (cheap early-out for the
+        analysis phase's mixed-reduction scan)."""
+        return bool(self.update_set())
+
+    def update_indices(self) -> np.ndarray:
+        """Reduction-marked elements as a sorted index array."""
+        return np.fromiter(sorted(self.update_set()), dtype=np.int64)
+
+    def ordinary_indices(self) -> np.ndarray:
+        """Write- or read-marked elements as a sorted index array."""
+        return np.fromiter(
+            sorted(self.write_set() | self.any_read_set()), dtype=np.int64
+        )
+
     def distinct_refs(self) -> int:
         """Number of distinct elements carrying any mark."""
         raise NotImplementedError
@@ -65,4 +99,17 @@ class ShadowArray:
 
     def is_clear(self) -> bool:
         """True when no element carries a mark (fresh or reset shadow)."""
+        raise NotImplementedError
+
+    # -- cross-process shipping ---------------------------------------------------
+
+    def export_marks(self) -> object:
+        """Representation-specific payload of all mark planes, shipped
+        between processes by the fork execution backend.  Must round-trip
+        bit-exactly through :meth:`absorb_marks`."""
+        raise NotImplementedError
+
+    def absorb_marks(self, payload: object) -> None:
+        """OR a payload from :meth:`export_marks` into this shadow (the
+        receiving shadow is assumed freshly reset)."""
         raise NotImplementedError

@@ -7,6 +7,8 @@ two-bit shadow arrays, while the analysis-phase exports stay vectorized.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.shadow.base import ShadowArray
 from repro.util.bitset import BitSet
 
@@ -36,6 +38,18 @@ class DenseShadow(ShadowArray):
     def mark_update(self, index: int) -> None:
         self._update.set(index)
 
+    def mark_read_many(self, indices: np.ndarray) -> None:
+        batch = BitSet(self.n_elements)
+        batch.set_many(indices)
+        self._any_read |= batch
+        self._exposed |= batch - self._write
+
+    def mark_write_many(self, indices: np.ndarray) -> None:
+        self._write.set_many(indices)
+
+    def mark_update_many(self, indices: np.ndarray) -> None:
+        self._update.set_many(indices)
+
     # -- queries --------------------------------------------------------------
 
     def write_set(self) -> set[int]:
@@ -59,6 +73,15 @@ class DenseShadow(ShadowArray):
         self._any_read.reset()
         self._update.reset()
 
+    def has_updates(self) -> bool:
+        return bool(self._update)
+
+    def update_indices(self) -> np.ndarray:
+        return self._update.to_indices()
+
+    def ordinary_indices(self) -> np.ndarray:
+        return (self._write | self._any_read).to_indices()
+
     def is_clear(self) -> bool:
         return not (
             bool(self._write)
@@ -66,6 +89,21 @@ class DenseShadow(ShadowArray):
             or bool(self._exposed)
             or bool(self._update)
         )
+
+    def export_marks(self) -> tuple[BitSet, BitSet, BitSet, BitSet]:
+        return (
+            self._write.copy(),
+            self._exposed.copy(),
+            self._any_read.copy(),
+            self._update.copy(),
+        )
+
+    def absorb_marks(self, payload: tuple[BitSet, BitSet, BitSet, BitSet]) -> None:
+        write, exposed, any_read, update = payload
+        self._write |= write
+        self._exposed |= exposed
+        self._any_read |= any_read
+        self._update |= update
 
     # -- fast-path helpers used by the dense analysis ------------------------------
 

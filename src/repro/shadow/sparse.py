@@ -45,6 +45,23 @@ class SparseShadow(ShadowArray):
     def mark_update(self, index: int) -> None:
         self._update.add(self._check(index))
 
+    def _check_many(self, indices) -> list[int]:
+        ids = [int(i) for i in indices]
+        for index in ids:
+            self._check(index)
+        return ids
+
+    def mark_read_many(self, indices) -> None:
+        ids = self._check_many(indices)
+        self._exposed.update(i for i in ids if i not in self._write)
+        self._any_read.update(ids)
+
+    def mark_write_many(self, indices) -> None:
+        self._write.update(self._check_many(indices))
+
+    def mark_update_many(self, indices) -> None:
+        self._update.update(self._check_many(indices))
+
     # -- queries --------------------------------------------------------------
 
     def write_set(self) -> set[int]:
@@ -68,5 +85,23 @@ class SparseShadow(ShadowArray):
         self._any_read.clear()
         self._update.clear()
 
+    def has_updates(self) -> bool:
+        return bool(self._update)
+
     def is_clear(self) -> bool:
         return not (self._write or self._any_read or self._exposed or self._update)
+
+    def export_marks(self) -> tuple[set[int], set[int], set[int], set[int]]:
+        return (
+            set(self._write),
+            set(self._exposed),
+            set(self._any_read),
+            set(self._update),
+        )
+
+    def absorb_marks(self, payload: tuple[set[int], set[int], set[int], set[int]]) -> None:
+        write, exposed, any_read, update = payload
+        self._write.update(write)
+        self._exposed.update(exposed)
+        self._any_read.update(any_read)
+        self._update.update(update)

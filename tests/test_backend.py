@@ -1,0 +1,332 @@
+"""The execution-backend layer: registry, fork guards, bulk hot paths.
+
+Bit-exact serial/fork parity over the full strategy matrix lives in
+``test_engine_parity.py``; this file covers the backend machinery itself
+-- selection, defaults, engine-bypassing-runner guards -- and the
+vectorized view/shadow/context operations the backends and the commit
+phase rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import RuntimeConfig
+from repro.core.analysis import _mixed_sets
+from repro.core.backend import (
+    backend_names,
+    get_default_backend,
+    make_backend,
+    resolve_backend_name,
+    set_default_backend,
+    use_backend,
+)
+from repro.core.ddg import extract_ddg
+from repro.core.executor import execute_block, make_processor_state
+from repro.core.lrpd import run_doall_lrpd
+from repro.core.runner import parallelize
+from repro.errors import ConfigurationError
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.machine.machine import Machine
+from repro.machine.memory import (
+    DensePrivateView,
+    SharedArray,
+    SparsePrivateView,
+)
+from repro.shadow import make_shadow
+from repro.util.blocks import Block
+from repro.workloads.synthetic import fully_parallel_loop
+
+
+# -- registry and defaults --------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_known_backends(self):
+        assert backend_names() == ["fork", "serial"]
+
+    def test_serial_is_the_default(self):
+        assert get_default_backend() == "serial"
+        assert resolve_backend_name(RuntimeConfig.nrd()) == "serial"
+
+    def test_config_overrides_default(self):
+        assert resolve_backend_name(RuntimeConfig.nrd(backend="fork")) == "fork"
+
+    def test_use_backend_scopes_the_default(self):
+        with use_backend("fork"):
+            assert resolve_backend_name(RuntimeConfig.nrd()) == "fork"
+            # An explicit config setting still wins.
+            assert (
+                resolve_backend_name(RuntimeConfig.nrd(backend="serial"))
+                == "serial"
+            )
+        assert get_default_backend() == "serial"
+
+    def test_unknown_default_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown execution backend"):
+            set_default_backend("threads")
+
+    def test_unknown_config_backend_fails_at_engine_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown execution backend"):
+            parallelize(
+                fully_parallel_loop(64), 4, RuntimeConfig.nrd(backend="threads")
+            )
+
+    def test_backend_workers_validated(self):
+        with pytest.raises(ConfigurationError, match="backend_workers"):
+            RuntimeConfig.nrd(backend_workers=0)
+
+    def test_make_backend_resolves_config(self):
+        class _Eng:
+            config = RuntimeConfig.nrd(backend="serial")
+
+        assert make_backend(_Eng()).name == "serial"
+
+
+class TestForkRuns:
+    def test_fork_run_matches_serial(self):
+        serial = parallelize(
+            fully_parallel_loop(128), 4, RuntimeConfig.adaptive(backend="serial")
+        )
+        fork = parallelize(
+            fully_parallel_loop(128), 4, RuntimeConfig.adaptive(backend="fork")
+        )
+        assert fork.memory.equals(serial.memory.snapshot())
+        assert repr(fork.total_time) == repr(serial.total_time)
+        assert fork.n_stages == serial.n_stages
+
+    def test_backend_workers_bound_respected(self):
+        result = parallelize(
+            fully_parallel_loop(64), 4,
+            RuntimeConfig.adaptive(backend="fork", backend_workers=1),
+        )
+        expected = np.arange(64, dtype=np.float64) * 2.0 + 1.0
+        assert np.array_equal(result.memory["A"].data, expected)
+
+
+# -- engine-bypassing runners refuse non-serial backends --------------------------
+
+
+class TestSerialOnlyGuards:
+    def test_doall_lrpd_rejects_fork(self):
+        with pytest.raises(ConfigurationError, match="serial execution backend"):
+            run_doall_lrpd(
+                fully_parallel_loop(64), 4, RuntimeConfig.nrd(backend="fork")
+            )
+
+    def test_ddg_extraction_rejects_fork(self):
+        with pytest.raises(ConfigurationError, match="serial execution backend"):
+            extract_ddg(
+                fully_parallel_loop(64), 4, RuntimeConfig.sw(backend="fork")
+            )
+
+    def test_guard_honors_scoped_default(self):
+        with use_backend("fork"):
+            with pytest.raises(ConfigurationError, match="serial execution backend"):
+                run_doall_lrpd(fully_parallel_loop(64), 4, RuntimeConfig.nrd())
+
+    def test_serial_still_accepted(self):
+        result = run_doall_lrpd(
+            fully_parallel_loop(64), 4, RuntimeConfig.nrd(backend="serial")
+        )
+        assert result.n_stages == 1
+
+
+# -- vectorized private-view operations -------------------------------------------
+
+
+class TestBulkViews:
+    @pytest.mark.parametrize("cls", [DensePrivateView, SparsePrivateView])
+    def test_written_arrays_matches_written_items(self, cls):
+        view = cls(SharedArray("A", np.arange(16, dtype=np.float64)))
+        for index, value in [(3, 1.5), (11, -2.0), (3, 4.25), (7, 0.5)]:
+            view.store(index, value)
+        indices, values = view.written_arrays()
+        assert list(indices) == sorted(dict(view.written_items()))
+        assert dict(zip(indices.tolist(), values.tolist())) == dict(
+            view.written_items()
+        )
+
+    @pytest.mark.parametrize("cls", [DensePrivateView, SparsePrivateView])
+    def test_export_absorb_written_round_trip(self, cls):
+        shared = SharedArray("A", np.arange(16, dtype=np.float64))
+        src, dst = cls(shared), cls(shared)
+        for index, value in [(0, 9.0), (5, -1.25), (15, 3.5)]:
+            src.store(index, value)
+        dst.absorb_written(src.export_written())
+        assert dict(dst.written_items()) == dict(src.written_items())
+        # Absorbed writes behave like local ones: loads see them.
+        assert dst.load(5)[0] == -1.25
+
+    @pytest.mark.parametrize("cls", [DensePrivateView, SparsePrivateView])
+    def test_store_many_last_value_wins(self, cls):
+        view = cls(SharedArray("A", np.zeros(8, dtype=np.float64)))
+        view.store_many(
+            np.array([2, 5, 2], dtype=np.int64), np.array([1.0, 2.0, 3.0])
+        )
+        assert dict(view.written_items()) == {2: 3.0, 5: 2.0}
+
+    @pytest.mark.parametrize("cls", [DensePrivateView, SparsePrivateView])
+    def test_load_many_counts_distinct_copy_ins(self, cls):
+        view = cls(SharedArray("A", np.arange(8, dtype=np.float64)))
+        values, copied = view.load_many(np.array([1, 3, 1, 3], dtype=np.int64))
+        assert list(values) == [1.0, 3.0, 1.0, 3.0]
+        assert copied == 2
+        _, copied_again = view.load_many(np.array([1, 3], dtype=np.int64))
+        assert copied_again == 0
+
+
+class TestBulkShadows:
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_bulk_marks_match_scalar(self, sparse):
+        bulk = make_shadow(32, sparse=sparse)
+        scalar = make_shadow(32, sparse=sparse)
+        reads = np.array([4, 9, 4], dtype=np.int64)
+        writes = np.array([9, 17], dtype=np.int64)
+        updates = np.array([21], dtype=np.int64)
+        bulk.mark_write_many(writes)
+        bulk.mark_read_many(reads)
+        bulk.mark_update_many(updates)
+        for i in writes.tolist():
+            scalar.mark_write(i)
+        for i in reads.tolist():
+            scalar.mark_read(i)
+        for i in updates.tolist():
+            scalar.mark_update(i)
+        assert bulk.write_set() == scalar.write_set()
+        assert bulk.exposed_read_set() == scalar.exposed_read_set()
+        assert bulk.update_set() == scalar.update_set()
+        assert bulk.has_updates() and scalar.has_updates()
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_bulk_read_is_one_snapshot(self, sparse):
+        # A bulk read sees prior writes but none of its own batch: index 4
+        # was written before, so it is covered; 9 was not, so it is exposed
+        # even though the same batch "reads it twice".
+        shadow = make_shadow(32, sparse=sparse)
+        shadow.mark_write_many(np.array([4], dtype=np.int64))
+        shadow.mark_read_many(np.array([4, 9, 9], dtype=np.int64))
+        assert shadow.exposed_read_set() == {9}
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_export_absorb_marks_round_trip(self, sparse):
+        src = make_shadow(32, sparse=sparse)
+        src.mark_write(3)
+        src.mark_read(7)
+        src.mark_update(11)
+        dst = make_shadow(32, sparse=sparse)
+        dst.mark_read(1)
+        dst.absorb_marks(src.export_marks())
+        assert dst.write_set() == {3}
+        assert dst.exposed_read_set() == {1, 7}
+        assert dst.update_set() == {11}
+
+
+class TestMixedSetsEarlyOut:
+    def test_no_updates_short_circuits(self):
+        shadow = make_shadow(16, sparse=False)
+        shadow.mark_write(2)
+        shadow.mark_read(5)
+        assert _mixed_sets([(0, {"A": shadow})]) == {}
+
+    def test_mixed_elements_found(self):
+        a = make_shadow(16, sparse=False)
+        a.mark_update(3)
+        a.mark_update(8)
+        b = make_shadow(16, sparse=True)
+        b.mark_write(3)
+        assert _mixed_sets([(0, {"A": a}), (1, {"A": b})]) == {"A": {3}}
+
+    def test_pure_reductions_not_mixed(self):
+        a = make_shadow(16, sparse=False)
+        a.mark_update(3)
+        b = make_shadow(16, sparse=False)
+        b.mark_update(3)
+        assert _mixed_sets([(0, {"A": a}), (1, {"A": b})]) == {}
+
+
+# -- bulk SpeculativeContext access ------------------------------------------------
+
+
+def _bulk_pair(n: int) -> tuple[SpeculativeLoop, SpeculativeLoop]:
+    """The same gather/scale loop written element-wise and vectorized."""
+
+    def scalar_body(ctx, i):
+        total = ctx.load("A", i) + ctx.load("A", (i + 1) % n)
+        ctx.store("B", i, total)
+        ctx.store("B", (i + n // 2) % n, total * 0.5)
+        ctx.work(1.0)
+
+    def bulk_body(ctx, i):
+        values = ctx.load_many("A", np.array([i, (i + 1) % n], dtype=np.int64))
+        total = float(values[0] + values[1])
+        ctx.store_many(
+            "B",
+            np.array([i, (i + n // 2) % n], dtype=np.int64),
+            np.array([total, total * 0.5]),
+        )
+        ctx.work(1.0)
+
+    def make(body, name):
+        return SpeculativeLoop(
+            name=name,
+            n_iterations=n,
+            body=body,
+            arrays=[
+                ArraySpec("A", np.arange(n, dtype=np.float64)),
+                ArraySpec("B", np.zeros(n, dtype=np.float64)),
+            ],
+        )
+
+    return make(scalar_body, "bulk-scalar"), make(bulk_body, "bulk-vector")
+
+
+class TestContextBulkOps:
+    def test_bulk_body_matches_scalar_body(self):
+        scalar_loop, bulk_loop = _bulk_pair(64)
+        scalar = parallelize(scalar_loop, 4, RuntimeConfig.nrd())
+        bulk = parallelize(bulk_loop, 4, RuntimeConfig.nrd())
+        assert bulk.memory.equals(scalar.memory.snapshot())
+        assert bulk.n_stages == scalar.n_stages
+        assert bulk.total_time == pytest.approx(scalar.total_time)
+
+    def test_bulk_charges_match_scalar(self):
+        scalar_loop, bulk_loop = _bulk_pair(16)
+
+        def run(loop):
+            machine = Machine(1, memory=loop.materialize())
+            machine.begin_stage()
+            state = make_processor_state(machine, loop, 0)
+            execute_block(machine, loop, state, Block(0, 0, 16), None)
+            return machine.timeline.total_time()
+
+        assert run(bulk_loop) == pytest.approx(run(scalar_loop))
+
+    def test_bulk_access_rejects_reduction_arrays(self):
+        from repro.core.executor import SpeculativeContext
+        from repro.workloads.synthetic import reduction_loop
+
+        loop = reduction_loop(16)
+        machine = Machine(1, memory=loop.materialize())
+        state = make_processor_state(machine, loop, 0)
+        ctx = SpeculativeContext(machine, loop, state, None)
+        ctx.begin_iteration(0)
+        indices = np.array([0, 1], dtype=np.int64)
+        with pytest.raises(ValueError, match="reduction"):
+            ctx.load_many("H", indices)
+        with pytest.raises(ValueError, match="reduction"):
+            ctx.store_many("H", indices, np.array([1.0, 2.0]))
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+class TestCliBackend:
+    def test_run_with_fork_backend(self, capsys):
+        assert cli_main(["run", "doall", "-p", "4", "--backend", "fork"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out.lower() or out
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "doall", "-p", "4", "--backend", "threads"])

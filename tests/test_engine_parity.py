@@ -6,12 +6,19 @@ same (workload, config, fault plan) through the :class:`StageEngine`
 strategies and demands identical observables: final-memory hash, stage
 counts, committed-iteration sequences and virtual-time totals down to the
 float's repr.
+
+Each case runs under every execution backend (:mod:`repro.core.backend`):
+the golden values were captured from in-process serial execution, so a
+passing ``fork`` run proves the worker-pool dispatch, delta shipping and
+in-order merge are bit-identical to serial -- results, events and virtual
+time alike.
 """
 
 import json
 
 import pytest
 
+from repro.core.backend import backend_names, use_backend
 from tests.engine_parity_cases import CASES, GOLDEN_PATH, run_case
 
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
@@ -21,10 +28,14 @@ def test_golden_matrix_is_complete():
     assert sorted(GOLDEN) == sorted(CASES)
 
 
+@pytest.mark.parametrize("backend", backend_names())
 @pytest.mark.parametrize("name", sorted(CASES))
-def test_bit_identical_to_seed(name):
-    got = run_case(name)
+def test_bit_identical_to_seed(name, backend):
+    with use_backend(backend):
+        got = run_case(name)
     want = GOLDEN[name]
     for key in want:
-        assert got[key] == want[key], f"{name}: {key} diverged from seed behavior"
+        assert got[key] == want[key], (
+            f"{name} [{backend}]: {key} diverged from seed behavior"
+        )
     assert got == want
