@@ -23,6 +23,12 @@ def _check(result) -> list[str]:
                 f"backend parity mismatch on {entry['name']} "
                 f"(n={entry['n']}, p={entry['procs']})"
             )
+    overhead = result.data["metrics_overhead"]["overhead"]
+    if overhead >= 0.05:
+        problems.append(
+            f"instrumentation overhead {overhead * 100:.1f}% exceeds the "
+            f"5% budget (metrics + spans on, serial backend)"
+        )
     return problems
 
 

@@ -60,9 +60,17 @@ from repro.obs import (
     CliProgressSink,
     EventSink,
     JsonlTraceSink,
+    MetricsRegistry,
+    PerfettoTraceSink,
     RecordingSink,
+    chrome_trace,
     event_from_dict,
+    load_trace,
+    render_metrics,
+    run_report,
+    use_instrumentation,
     validate_events,
+    write_perfetto,
 )
 from repro.errors import (
     CheckpointError,
@@ -156,6 +164,15 @@ __all__ = [
     "AggregatingSink",
     "validate_events",
     "event_from_dict",
+    # metrics, spans, reports
+    "MetricsRegistry",
+    "use_instrumentation",
+    "render_metrics",
+    "PerfettoTraceSink",
+    "chrome_trace",
+    "load_trace",
+    "run_report",
+    "write_perfetto",
     # runtime
     "parallelize",
     "run_program",

@@ -30,6 +30,8 @@ from repro.core.verify import certify
 from repro.core.wavefront import execute_wavefront, wavefront_schedule
 from repro.errors import ConfigurationError
 from repro.faults import random_plan
+from repro.obs.metrics import render_metrics
+from repro.obs.report import load_trace, run_report, write_perfetto
 from repro.obs.sinks import CliProgressSink
 from repro.loopir.loop import SpeculativeLoop
 from repro.workloads import (
@@ -135,6 +137,10 @@ def config_from_args(args) -> RuntimeConfig:
         overrides["backend"] = args.backend
     if getattr(args, "backend_workers", None) is not None:
         overrides["backend_workers"] = args.backend_workers
+    if getattr(args, "metrics", False):
+        overrides["metrics"] = True
+    if getattr(args, "perfetto", None) is not None:
+        overrides["perfetto_path"] = args.perfetto
     if args.strategy == "adaptive":
         overrides["feedback_balancing"] = args.feedback
     if args.strategy == "sw":
@@ -185,6 +191,24 @@ def cmd_run(args) -> int:
     if args.breakdown:
         print()
         print(render_breakdown(result))
+    if args.metrics:
+        print()
+        print(render_metrics(result.metrics))
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        events = load_trace(args.trace)
+        if not events:
+            raise SystemExit(f"{args.trace}: empty trace")
+        report = run_report(events)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{args.trace}: {exc}") from None
+    print(report)
+    if args.perfetto is not None:
+        written = write_perfetto(events, args.perfetto)
+        print(f"\nwrote {written} Perfetto trace entries to {args.perfetto}")
     return 0
 
 
@@ -264,7 +288,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend-workers", type=int, default=None, dest="backend_workers",
         metavar="N", help="worker processes for the fork backend",
     )
+    run_p.add_argument(
+        "--metrics", action="store_true",
+        help="collect runtime metrics (marks, bytes moved, retries) and "
+        "print the final registry",
+    )
+    run_p.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="write a dual-clock Chrome trace-event JSON to PATH "
+        "(viewable at https://ui.perfetto.dev); implies span tracing",
+    )
     run_p.set_defaults(fn=cmd_run)
+
+    report_p = sub.add_parser(
+        "report", help="fold a recorded JSONL trace into summary tables"
+    )
+    report_p.add_argument("trace", help="JSONL trace recorded with --trace")
+    report_p.add_argument(
+        "--perfetto", default=None, metavar="PATH",
+        help="also export the trace as Chrome trace-event JSON",
+    )
+    report_p.set_defaults(fn=cmd_report)
 
     cert_p = sub.add_parser("certify", help="verify all strategies vs sequential")
     add_common(cert_p)

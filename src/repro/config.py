@@ -122,6 +122,25 @@ class RuntimeConfig:
     """Worker-process count for out-of-process backends (``None`` = one per
     simulated processor, capped at the host CPU count)."""
 
+    metrics: bool | None = None
+    """Collect runtime metrics (:mod:`repro.obs.metrics`): counters and
+    histograms over marks, copy-in/commit/checkpoint/restore element and
+    byte counts, fault retries, scheduler activity.  ``None`` = the
+    process-wide default (:func:`repro.obs.metrics.use_instrumentation`,
+    normally off).  Metrics are deterministic and do not perturb results
+    or virtual time."""
+
+    spans: bool | None = None
+    """Emit hierarchical dual-clock spans (:mod:`repro.obs.spans`):
+    run -> stage -> phase -> per-block, each carrying host wall-clock and
+    virtual time.  ``None`` = the process-wide default, except that a set
+    ``perfetto_path`` implies spans."""
+
+    perfetto_path: str | None = None
+    """Also write the span/metric stream as Chrome trace-event JSON to
+    this path for https://ui.perfetto.dev (``None`` = no export).
+    Implies ``spans`` unless explicitly disabled."""
+
     def __post_init__(self) -> None:
         if self.window_size is not None and self.window_size < 1:
             raise ConfigurationError("window_size must be >= 1")

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import time
 import traceback
 from dataclasses import dataclass, field
 
@@ -65,6 +66,7 @@ from repro.errors import BackendError, ConfigurationError
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.memory import MemoryImage, SharedArray
 from repro.machine.timeline import Category
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.util.blocks import Block
 
 # -- default-backend selection ---------------------------------------------------
@@ -130,6 +132,11 @@ class BlockTask:
     use_injector: bool = True
     slowdown: float = 1.0
     death: tuple[int, bool] | None = None
+    collect_metrics: bool = False
+    """Accumulate a metrics snapshot for this block (fork workers use a
+    private registry, shipped back in the delta)."""
+    collect_spans: bool = False
+    """Measure per-block host/virtual timings for the span layer."""
 
 
 @dataclass
@@ -142,6 +149,11 @@ class BlockOutcome:
     fault_permanent: bool = False
     exit_iteration: int | None = None
     inductions: dict[str, int] = field(default_factory=dict)
+    host_start: float = 0.0
+    """Run-relative host seconds at block start (``collect_spans`` only)."""
+    host_dur: float = 0.0
+    virt_dur: float = 0.0
+    """This block's summed virtual-time charges (``collect_spans`` only)."""
 
     def induction_values(self) -> dict[str, int]:
         return dict(self.inductions)
@@ -178,6 +190,9 @@ class SerialBackend(ExecutionBackend):
 
     def run_blocks(self, tasks: list[BlockTask]) -> list[BlockOutcome]:
         eng = self.eng
+        # Backend-level, not per-task: strategies build their own tasks
+        # (pre-stage doalls) and must not need to know about span tracing.
+        collect_spans = getattr(eng, "spans_enabled", False)
         outcomes = []
         for task in tasks:
             block = task.block
@@ -190,18 +205,27 @@ class SerialBackend(ExecutionBackend):
                 ckpt = eng.ckpt
                 injector = eng.injector if task.use_injector else None
                 untested_log = eng.untested_log if task.log_untested else None
+            if collect_spans:
+                record = eng.machine.timeline.current
+                virt_before = record.proc_time(block.proc)
+                host_before = eng.host_now()
             ctx = execute_block(
                 eng.machine, eng.loop, state, block, ckpt,
                 inductions=task.inductions, marklists=task.marklists,
                 injector=injector, stage=task.stage,
                 untested_log=untested_log, **task.extras,
             )
-            outcomes.append(BlockOutcome(
+            outcome = BlockOutcome(
                 pos=task.pos, block=block, fault=ctx.fault,
                 fault_permanent=ctx.fault_permanent,
                 exit_iteration=ctx.exit_iteration,
                 inductions=ctx.induction_values(),
-            ))
+            )
+            if collect_spans:
+                outcome.host_start = host_before
+                outcome.host_dur = eng.host_now() - host_before
+                outcome.virt_dur = record.proc_time(block.proc) - virt_before
+            outcomes.append(outcome)
         return outcomes
 
 
@@ -227,6 +251,14 @@ class _BlockDelta:
     untested_reads: list[tuple[str, int]] = field(default_factory=list)
     untested_writes: list[tuple[str, int]] = field(default_factory=list)
     marklists: dict | None = None
+    metrics: dict | None = None
+    """Snapshot of the worker's private registry (``collect_metrics``)."""
+    host_start: float = 0.0
+    """Absolute ``perf_counter`` at block start (``collect_spans``); the
+    parent rebases it onto the run clock -- comparable across fork on
+    POSIX, where ``perf_counter`` is the system-wide monotonic clock."""
+    host_dur: float = 0.0
+    virt_dur: float = 0.0
 
 
 @dataclass
@@ -252,12 +284,13 @@ class _ChargeLog:
     log instead of a timeline (the parent replays their per-category sums
     against the real timeline)."""
 
-    __slots__ = ("memory", "costs", "charges")
+    __slots__ = ("memory", "costs", "charges", "metrics")
 
     def __init__(self, memory, costs) -> None:
         self.memory = memory
         self.costs = costs
         self.charges: list[tuple[Category, float]] = []
+        self.metrics = NULL_REGISTRY
 
     def charge(self, proc: int, category: Category, amount: float) -> None:
         if amount:
@@ -282,6 +315,8 @@ class _AccessRecorder:
 
 def _run_worker_task(wctx: _WorkerContext, task: BlockTask) -> _BlockDelta:
     log = _ChargeLog(wctx.memory, wctx.costs)
+    if task.collect_metrics:
+        log.metrics = MetricsRegistry()
     block = task.block
     recorder = None
     ckpt = None
@@ -296,6 +331,10 @@ def _run_worker_task(wctx: _WorkerContext, task: BlockTask) -> _BlockDelta:
             recorder = _AccessRecorder()
         if task.preload:
             state.preload(log, skip=wctx.reduction_names)
+    # Span window matches the serial backend's: execute_block only, after
+    # any preload, so host/virtual block durations are comparable.
+    charges_before = len(log.charges)
+    host_before = time.perf_counter() if task.collect_spans else 0.0
     ctx = execute_block(
         log, wctx.loop, state, block, ckpt,
         inductions=task.inductions, marklists=task.marklists,
@@ -313,6 +352,14 @@ def _run_worker_task(wctx: _WorkerContext, task: BlockTask) -> _BlockDelta:
         exit_iteration=ctx.exit_iteration,
         inductions=ctx.induction_values(),
     )
+    if task.collect_metrics:
+        delta.metrics = log.metrics.snapshot()
+    if task.collect_spans:
+        delta.host_start = host_before
+        delta.host_dur = time.perf_counter() - host_before
+        delta.virt_dur = sum(
+            amount for _, amount in log.charges[charges_before:]
+        )
     if task.all_private:
         return delta
     delta.views = {
@@ -473,6 +520,9 @@ class ForkBackend(ExecutionBackend):
             )
         self._ensure_workers()
         self._hoist_injection(tasks)
+        for task in tasks:
+            task.collect_metrics = getattr(eng, "metrics_enabled", False)
+            task.collect_spans = getattr(eng, "spans_enabled", False)
         updates = self._memory_updates()
         shares: list[list[BlockTask]] = [[] for _ in self._workers]
         for k, task in enumerate(tasks):
@@ -504,12 +554,22 @@ class ForkBackend(ExecutionBackend):
         proc = block.proc
         for category, amount in delta.charges:
             machine.charge(proc, category, amount)
+        if delta.metrics is not None:
+            # Block-order folding (this method runs in task order): merged
+            # totals equal the serial backend's exactly.
+            machine.metrics.merge(delta.metrics)
         outcome = BlockOutcome(
             pos=task.pos, block=block, fault=delta.fault,
             fault_permanent=delta.fault_permanent,
             exit_iteration=delta.exit_iteration,
             inductions=delta.inductions,
         )
+        if task.collect_spans:
+            # Worker clocks are absolute perf_counter readings; rebase onto
+            # the engine's run-relative host clock.
+            outcome.host_start = eng.rebase_host(delta.host_start)
+            outcome.host_dur = delta.host_dur
+            outcome.virt_dur = delta.virt_dur
         if task.all_private:
             return outcome
         state = eng.states[proc]

@@ -32,6 +32,7 @@ def commit_states(
     is fully parallel across processors (Section 4) -- and returns the
     total element count copied out."""
     total = 0
+    total_bytes = 0
     cost = machine.costs.commit_per_elem
     for state in states:
         n_elems = 0
@@ -42,15 +43,21 @@ def commit_states(
             if len(indices):
                 machine.memory[name].data[indices] = values
                 n_elems += len(indices)
+                total_bytes += len(indices) * machine.memory[name].data.itemsize
         for name, partial in state.partials.items():
             op = loop.reductions[name]
             data = machine.memory[name].data
             for index, part in partial.items():
                 data[index] = op.combine(data[index], part)
                 n_elems += 1
+            total_bytes += len(partial) * data.itemsize
         if n_elems:
             machine.charge(state.proc, Category.COMMIT, cost * n_elems)
         total += n_elems
+    metrics = machine.metrics
+    if metrics.enabled and total:
+        metrics.counter("commit.elements").inc(total)
+        metrics.counter("commit.bytes").inc(total_bytes)
     return total
 
 

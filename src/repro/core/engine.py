@@ -34,6 +34,7 @@ never disagree; a JSONL trace sink is attached whenever
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -79,6 +80,7 @@ from repro.obs.events import (
     Commit,
     DependenceFound,
     FaultInjected,
+    MetricsSnapshot,
     Restore,
     Retry,
     RunBegin,
@@ -86,7 +88,13 @@ from repro.obs.events import (
     StageBegin,
     StageEnd,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    resolve_metrics_enabled,
+    resolve_spans_enabled,
+)
 from repro.obs.sinks import AggregatingSink, EventBus, EventSink, JsonlTraceSink
+from repro.obs.spans import PerfettoTraceSink, SpanTracker
 from repro.util.blocks import Block
 
 
@@ -437,6 +445,11 @@ class StageEngine:
         self.faulted: dict[int, str] = {}
         self.states = {}
 
+        self.metrics_enabled = resolve_metrics_enabled(config)
+        self.spans_enabled = resolve_spans_enabled(config)
+        if self.metrics_enabled:
+            self.machine.metrics = MetricsRegistry()
+
         strategy.setup(self)
         self.label = strategy.run_label(self)
         self.backend = make_backend(self)
@@ -445,28 +458,76 @@ class StageEngine:
         bus_sinks: list[EventSink] = [self._agg, *sinks]
         if config.trace_path:
             bus_sinks.append(JsonlTraceSink(config.trace_path))
+        if config.perfetto_path:
+            bus_sinks.append(PerfettoTraceSink(config.perfetto_path))
         self.bus = EventBus(bus_sinks)
+
+        self._host_t0 = time.perf_counter()
+        self.tracer = (
+            SpanTracker(
+                self.emit, self.host_now, self.machine.timeline.virtual_now
+            )
+            if self.spans_enabled else None
+        )
+        self._stage_span = None
+
+    # -- clocks -----------------------------------------------------------------
+
+    def host_now(self) -> float:
+        """Host wall-clock seconds since this engine started its run."""
+        return time.perf_counter() - self._host_t0
+
+    def rebase_host(self, absolute: float) -> float:
+        """Convert an absolute ``perf_counter`` reading (e.g. taken inside a
+        fork worker) to the run-relative host clock."""
+        return absolute - self._host_t0
 
     # -- event plumbing ---------------------------------------------------------
 
     def emit(self, event) -> None:
         self.bus.emit(event)
 
+    def _emit_metrics(self, scope: str, stage: int | None) -> None:
+        snap = self.machine.metrics.snapshot()
+        self.emit(MetricsSnapshot(
+            scope=scope, stage=stage,
+            virt_time=self.machine.timeline.virtual_now(),
+            counters=snap["counters"], gauges=snap["gauges"],
+            histograms=snap["histograms"],
+        ))
+
     def _end_stage(self, result: StageResult) -> None:
-        """Close the open stage: emit StageEnd (the aggregating sink files
-        the result) and advance the stage counter."""
+        """Close the open stage: emit the stage's metrics snapshot, close
+        its span, emit StageEnd (the aggregating sink files the result) and
+        advance the stage counter."""
+        if self.metrics_enabled:
+            self._emit_metrics("stage", result.index)
+        if self._stage_span is not None:
+            self.tracer.end(self._stage_span)
+            self._stage_span = None
         self.emit(StageEnd(stage=result.index, result=result))
         self.stage_idx += 1
 
     # -- run --------------------------------------------------------------------
 
     def run(self) -> RunResult:
-        self.emit(RunBegin(
-            loop=self.loop.name, strategy=self.label,
-            n_procs=self.n_procs, n_iterations=self.n,
-        ))
+        # RunBegin sits inside the try: whatever raises after this point --
+        # the emit itself included -- still reaches the finally, so sinks
+        # flush a usable partial trace instead of stranding buffered lines.
         try:
+            self._host_t0 = time.perf_counter()
+            self.emit(RunBegin(
+                loop=self.loop.name, strategy=self.label,
+                n_procs=self.n_procs, n_iterations=self.n,
+            ))
+            run_span = (
+                self.tracer.begin("run", "run") if self.tracer else None
+            )
             result = self._run_loop()
+            if self.metrics_enabled:
+                self._emit_metrics("run", None)
+            if run_span is not None:
+                self.tracer.end(run_span)
             self.emit(RunEnd(
                 loop=self.loop.name, strategy=self.label,
                 stages=result.n_stages, restarts=result.n_restarts,
@@ -478,8 +539,10 @@ class StageEngine:
             ))
             return result
         finally:
-            self.bus.close()
-            self.backend.close()
+            try:
+                self.bus.close()
+            finally:
+                self.backend.close()
 
     def _run_loop(self) -> RunResult:
         loop, config, machine = self.loop, self.config, self.machine
@@ -505,8 +568,14 @@ class StageEngine:
 
             # -- checkpoint + execute under fault injection ---------------------
             record = machine.begin_stage()
+            tracer = self.tracer
+            if tracer is not None:
+                self._stage_span = tracer.begin("stage", "stage", stage=stage)
+                ckpt_span = tracer.begin("checkpoint", "phase", stage=stage)
             charge_checkpoint_begin(machine, self.ckpt, self.injector, stage)
             redistributed, migration = strategy.charge_schedule(self, blocks)
+            if tracer is not None:
+                tracer.end(ckpt_span)
             if self.untested_log is not None:
                 self.untested_log.reset()
             strategy.begin_stage_states(self, blocks)
@@ -526,6 +595,8 @@ class StageEngine:
                     preload=preload,
                     log_untested=log_untested,
                 ))
+            if tracer is not None:
+                exec_span = tracer.begin("execute", "phase", stage=stage)
             outcomes = self.backend.run_blocks(tasks)
             for outcome in outcomes:
                 pos, block = outcome.pos, outcome.block
@@ -564,14 +635,30 @@ class StageEngine:
                     self.emit(FaultInjected(
                         stage=stage, proc=block.proc, fault=faulted[pos],
                     ))
+                if tracer is not None:
+                    # Block spans interleave with BlockExecuted in block
+                    # order; every block starts at the execute phase's
+                    # virtual start (blocks run concurrently in virtual
+                    # time).
+                    tracer.block_span(
+                        stage, block.proc,
+                        outcome.host_start, outcome.host_dur,
+                        exec_span.virt_start, outcome.virt_dur,
+                    )
             machine.barrier()
             charge_checkpoint_fault_recovery(machine, self.ckpt, self.injector, stage)
+            if tracer is not None:
+                tracer.end(exec_span)
 
             # -- analyze --------------------------------------------------------
+            if tracer is not None:
+                analyze_span = tracer.begin("analyze", "phase", stage=stage)
             f_pos, n_arcs = strategy.analyze(self, blocks)
             if self.untested_log is not None:
                 self.untested_log.verify(loop.name, stage)
             f_pos = strategy.adjust_sink(self, blocks, f_pos)
+            if tracer is not None:
+                tracer.end(analyze_span)
 
             # The effective failure point folds injected faults into the
             # recursion: everything from the first faulted block on
@@ -585,6 +672,8 @@ class StageEngine:
                 # The fault (not a data dependence) set the failure point,
                 # so this stage's re-execution is charged to fault recovery.
                 self.retries += 1
+                if self.metrics_enabled:
+                    machine.metrics.counter("faults.forced_retries").inc()
             strategy.on_failure_point(self, blocks, f_pos, fault_forced)
             faulted_procs = sorted(blocks[pos].proc for pos in faulted)
             self.emit(DependenceFound(
@@ -625,10 +714,16 @@ class StageEngine:
                         proc=blocks[0].proc,
                     )
                 self.emit(Retry(stage=stage, streak=self.zero_commit_streak))
+                if self.metrics_enabled:
+                    machine.metrics.counter("faults.zero_commit_retries").inc()
+                if tracer is not None:
+                    restore_span = tracer.begin("restore", "phase", stage=stage)
                 restored = perform_restore(
                     machine, self.ckpt, [b.proc for b in failing]
                 )
                 reinit_states(machine, [self.states[b.proc] for b in failing])
+                if tracer is not None:
+                    tracer.end(restore_span)
                 if failing:
                     self.emit(Restore(
                         stage=stage, elements=restored,
@@ -657,12 +752,16 @@ class StageEngine:
             self.zero_commit_streak = 0
 
             # -- commit / restore / re-init -------------------------------------
+            if tracer is not None:
+                commit_span = tracer.begin("commit", "phase", stage=stage)
             committed_elements, stage_work = strategy.commit(self, committing, failing)
             self.sequential_work += stage_work
             restored = perform_restore(machine, self.ckpt, [b.proc for b in failing])
             reinit_states(machine, [self.states[b.proc] for b in failing])
             for block in committing:
                 self.states[block.proc].reset()  # committed data is shared now
+            if tracer is not None:
+                tracer.end(commit_span)
 
             advance = strategy.advance(self, committing)
             if advance <= self.committed_upto:
@@ -714,6 +813,10 @@ class StageEngine:
     ) -> RunResult:
         """Commit up to and including a validated premature exit; done."""
         machine, loop = self.machine, self.loop
+        if self.tracer is not None:
+            commit_span = self.tracer.begin(
+                "commit", "phase", stage=stage
+            )
         pos_e = min(valid_exits)
         e = valid_exits[pos_e]
         exit_block = blocks[pos_e]
@@ -738,6 +841,8 @@ class StageEngine:
         discarded = blocks[pos_e + 1 :]
         restored = perform_restore(machine, self.ckpt, [b.proc for b in discarded])
         reinit_states(machine, [self.states[b.proc] for b in discarded])
+        if self.tracer is not None:
+            self.tracer.end(commit_span)
         committed_iters = (e + 1) - self.committed_upto
         self.emit(Commit(
             stage=stage, iterations=committed_iters,
@@ -785,6 +890,8 @@ class StageEngine:
             exit_iteration=self.exit_iteration,
             **self.strategy.result_extras(self),
         )
+        if self.metrics_enabled:
+            result.metrics = self.machine.metrics.snapshot()
         if self.injector is not None:
             result.retries = self.retries
             result.faults_survived = self.injector.total_injected

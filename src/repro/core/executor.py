@@ -123,6 +123,9 @@ class SpeculativeContext(IterationContext):
         "_costs",
         "_slowdown",
         "_untested_log",
+        "_m_marks",
+        "_m_copyin",
+        "_m_ckpt",
         "exit_iteration",
         "fault",
         "fault_permanent",
@@ -156,6 +159,12 @@ class SpeculativeContext(IterationContext):
         self._slowdown = slowdown
         # Self-check: per-stage recorder of untested-array traffic.
         self._untested_log = untested_log
+        # Metrics accumulators: plain slot updates on the hot paths, folded
+        # into the registry once per block (flush_metrics) -- and only when
+        # metrics are on, so the disabled cost is one integer add per access.
+        self._m_marks = 0
+        self._m_copyin: dict[str, int] = {}
+        self._m_ckpt: dict[str, int] = {}
         self.exit_iteration: int | None = None
         self.fault: str | None = None
         """Fault class that aborted this block (``None`` = ran clean)."""
@@ -201,8 +210,10 @@ class SpeculativeContext(IterationContext):
             return self._machine.memory[name].data[index]
         value, copied_in = view.load(index)
         self._state.shadows[name].mark_read(index)
+        self._m_marks += 1
         self._charge(Category.MARK, self._costs.mark)
         if copied_in:
+            self._m_copyin[name] = self._m_copyin.get(name, 0) + 1
             self._charge(Category.COPY_IN, self._costs.copy_in)
         if self._iter_marks is not None:
             self._iter_marks[name].mark_read(index)
@@ -220,6 +231,7 @@ class SpeculativeContext(IterationContext):
             if self._ckpt is not None and name in self._ckpt.names:
                 saved = self._ckpt.note_write(self._state.proc, name, index)
                 if saved:
+                    self._m_ckpt[name] = self._m_ckpt.get(name, 0) + saved
                     self._charge(
                         Category.CHECKPOINT, self._costs.checkpoint_per_elem * saved
                     )
@@ -227,6 +239,7 @@ class SpeculativeContext(IterationContext):
             return
         view.store(index, value)
         self._state.shadows[name].mark_write(index)
+        self._m_marks += 1
         self._charge(Category.MARK, self._costs.mark)
         if self._iter_marks is not None:
             self._iter_marks[name].mark_write(index, value)
@@ -238,6 +251,7 @@ class SpeculativeContext(IterationContext):
         partial = self._state.partials.setdefault(name, {})
         partial[index] = op.combine(partial.get(index, op.identity), value)
         self._state.shadows[name].mark_update(index)
+        self._m_marks += 1
         self._charge(Category.MARK, self._costs.mark)
         if self._iter_marks is not None:
             self._iter_marks[name].mark_update(index)
@@ -263,8 +277,10 @@ class SpeculativeContext(IterationContext):
             return np.array([self.load(name, int(i)) for i in idx])
         values, copied = view.load_many(idx)
         self._state.shadows[name].mark_read_many(idx)
+        self._m_marks += len(idx)
         self._charge(Category.MARK, self._costs.mark * len(idx))
         if copied:
+            self._m_copyin[name] = self._m_copyin.get(name, 0) + copied
             self._charge(Category.COPY_IN, self._costs.copy_in * copied)
         if self._iter_marks is not None:
             marks = self._iter_marks[name]
@@ -291,6 +307,7 @@ class SpeculativeContext(IterationContext):
             return
         view.store_many(idx, vals)
         self._state.shadows[name].mark_write_many(idx)
+        self._m_marks += len(idx)
         self._charge(Category.MARK, self._costs.mark * len(idx))
         if self._iter_marks is not None:
             marks = self._iter_marks[name]
@@ -323,6 +340,32 @@ class SpeculativeContext(IterationContext):
     def exit_loop(self) -> None:
         if self.exit_iteration is None:
             self.exit_iteration = self.iteration
+
+    # -- metrics ------------------------------------------------------------------
+
+    def flush_metrics(self, registry, iterations: int) -> None:
+        """Fold this block's accumulated counts into ``registry``.
+
+        Called once per block (never per access); byte counts derive from
+        the shared arrays' element sizes so "how much data moved" is
+        reportable without touching the hot paths.
+        """
+        registry.counter("shadow.marks").inc(self._m_marks)
+        memory = self._machine.memory
+        for name, n in self._m_copyin.items():
+            registry.counter("shadow.copy_in.elements").inc(n)
+            registry.counter("shadow.copy_in.bytes").inc(
+                n * memory[name].data.itemsize
+            )
+        for name, n in self._m_ckpt.items():
+            registry.counter("checkpoint.saved.elements").inc(n)
+            registry.counter("checkpoint.saved.bytes").inc(
+                n * memory[name].data.itemsize
+            )
+        registry.counter("exec.blocks").inc()
+        registry.histogram("exec.block_iterations").observe(iterations)
+        if self.fault is not None:
+            registry.counter("faults.blocks_hit").inc()
 
 
 def execute_block(
@@ -396,4 +439,7 @@ def execute_block(
             # the block never executes (speculatively validated later).
             break
     state.executed.append(block)
+    metrics = getattr(machine, "metrics", None)
+    if metrics is not None and metrics.enabled:
+        ctx.flush_metrics(metrics, completed)
     return ctx

@@ -99,6 +99,10 @@ class RunResult:
     dead_procs: list[int] = field(default_factory=list)
     """Processors permanently lost to fail-stop faults during the run."""
 
+    metrics: dict = field(default_factory=dict)
+    """Final metrics-registry snapshot (:mod:`repro.obs.metrics`) when the
+    run collected metrics; empty otherwise.  Deterministic counts only."""
+
     # -- derived metrics ---------------------------------------------------------
 
     @property

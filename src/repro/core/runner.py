@@ -12,6 +12,7 @@ from repro.core.results import ProgramResult, RunResult
 from repro.loopir.loop import SpeculativeLoop
 from repro.machine.costs import CostModel
 from repro.machine.memory import MemoryImage
+from repro.obs.metrics import MetricsRegistry, resolve_metrics_enabled
 from repro.sched.feedback import FeedbackBalancer
 
 
@@ -67,7 +68,12 @@ def run_program(
     calls can pass prepared loops whose ``materialize`` reflects it.
     """
     config = config or RuntimeConfig.adaptive()
-    balancer = balancer or FeedbackBalancer()
+    if balancer is None:
+        # The balancer outlives single runs, so it carries its own
+        # program-scoped registry when the config asks for metrics.
+        balancer = FeedbackBalancer(
+            metrics=MetricsRegistry(enabled=resolve_metrics_enabled(config))
+        )
     program: ProgramResult | None = None
     for loop in instantiations:
         weights = None

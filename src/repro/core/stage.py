@@ -67,6 +67,10 @@ def charge_checkpoint_begin(
             Category.CHECKPOINT,
             machine.costs.checkpoint_per_elem * elements * copies / machine.n_procs,
         )
+        if machine.metrics.enabled:
+            machine.metrics.counter("checkpoint.saved.elements").inc(
+                elements * copies
+            )
     return elements
 
 
@@ -108,11 +112,15 @@ def charge_analysis(
     to ``log2`` of the number of participating processors (Section 4).
     """
     n_groups = len(group_procs)
+    total_refs = 0
     for pos, proc in enumerate(group_procs):
         refs = analysis.distinct_refs[pos] if pos < len(analysis.distinct_refs) else 0
+        total_refs += refs
         cost = machine.costs.analysis_cost(refs, n_groups)
         if cost:
             machine.charge(proc, Category.ANALYSIS, cost)
+    if machine.metrics.enabled and total_refs:
+        machine.metrics.counter("analysis.distinct_refs").inc(total_refs)
 
 
 def perform_restore(
@@ -128,6 +136,8 @@ def perform_restore(
         share = machine.costs.restore_per_elem * restored / len(failed_procs)
         for proc in failed_procs:
             machine.charge(proc, Category.RESTORE, share)
+        if machine.metrics.enabled:
+            machine.metrics.counter("restore.elements").inc(restored)
     return restored
 
 

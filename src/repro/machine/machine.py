@@ -36,6 +36,11 @@ class Machine:
         self.memory = memory or MemoryImage()
         self.topology = topology
         self.timeline = Timeline()
+        # Imported here, not at module top: repro.obs pulls in the event
+        # types, which need repro.core.results, which imports this package.
+        from repro.obs.metrics import NULL_REGISTRY
+
+        self.metrics = NULL_REGISTRY
 
     # -- memory helpers -------------------------------------------------------
 

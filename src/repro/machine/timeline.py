@@ -102,6 +102,11 @@ class Timeline:
 
     def __init__(self) -> None:
         self._stages: list[StageRecord] = []
+        # virtual_now() cache: spans of all stages *before* the current one
+        # are immutable once the next stage begins, so their sum is cached
+        # keyed by the stage count.
+        self._closed_span_sum = 0.0
+        self._closed_span_count = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -128,6 +133,20 @@ class Timeline:
     def total_time(self) -> float:
         """End-to-end virtual time: stages execute back to back."""
         return sum(stage.span() for stage in self._stages)
+
+    def virtual_now(self) -> float:
+        """Current virtual time: completed stages back to back plus the
+        in-flight stage's span so far.  This is the span layer's second
+        clock (:mod:`repro.obs.spans`); deterministic by construction."""
+        closed = len(self._stages) - 1
+        if closed < 0:
+            return 0.0
+        if closed != self._closed_span_count:
+            self._closed_span_sum = sum(
+                stage.span() for stage in self._stages[:closed]
+            )
+            self._closed_span_count = closed
+        return self._closed_span_sum + self._stages[-1].span()
 
     def total_category(self, category: Category) -> float:
         """Summed wall-clock contribution of a category across stages."""

@@ -5,6 +5,17 @@ event stream (:mod:`repro.obs.events`); subscriber sinks
 (:mod:`repro.obs.sinks`) turn the one stream into whatever a consumer
 needs -- a JSONL trace on disk, live CLI progress lines, or the aggregated
 :class:`~repro.core.results.RunResult` itself.
+
+On top of the event stream sit two quantitative layers:
+
+* :mod:`repro.obs.metrics` -- a registry of counters/gauges/histograms
+  over deterministic counts (marks, bytes moved, retries), near-zero cost
+  when disabled;
+* :mod:`repro.obs.spans` -- hierarchical dual-clock spans (host
+  wall-clock and virtual time), exportable as Chrome trace-event JSON for
+  Perfetto;
+* :mod:`repro.obs.report` -- folds a recorded trace into the paper-style
+  summary tables (``repro report``).
 """
 
 from repro.obs.events import (
@@ -12,16 +23,25 @@ from repro.obs.events import (
     Commit,
     DependenceFound,
     FaultInjected,
+    MetricsSnapshot,
     Restore,
     Retry,
     RunBegin,
     RunEnd,
+    SpanClosed,
     StageBegin,
     StageEnd,
     StageEvent,
     event_from_dict,
     validate_events,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    render_metrics,
+    use_instrumentation,
+)
+from repro.obs.report import load_trace, run_report, write_perfetto
 from repro.obs.sinks import (
     AggregatingSink,
     CliProgressSink,
@@ -30,6 +50,7 @@ from repro.obs.sinks import (
     JsonlTraceSink,
     RecordingSink,
 )
+from repro.obs.spans import PerfettoTraceSink, SpanTracker, chrome_trace
 
 __all__ = [
     "StageEvent",
@@ -41,6 +62,8 @@ __all__ = [
     "Commit",
     "Restore",
     "Retry",
+    "SpanClosed",
+    "MetricsSnapshot",
     "StageEnd",
     "RunEnd",
     "event_from_dict",
@@ -51,4 +74,14 @@ __all__ = [
     "JsonlTraceSink",
     "CliProgressSink",
     "AggregatingSink",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "render_metrics",
+    "use_instrumentation",
+    "SpanTracker",
+    "PerfettoTraceSink",
+    "chrome_trace",
+    "load_trace",
+    "run_report",
+    "write_perfetto",
 ]

@@ -7,8 +7,17 @@ One speculative run narrates itself as a flat event sequence::
          BlockExecuted*  FaultInjected*
          DependenceFound
          (Retry | Commit)  Restore?
+         [SpanClosed* MetricsSnapshot]
        StageEnd)+
+    [SpanClosed MetricsSnapshot]
     RunEnd
+
+Observability events are optional (``RuntimeConfig.metrics``/``spans``):
+``SpanClosed`` records one dual-clock span (block spans interleave with
+their ``BlockExecuted`` events in block order, phase and stage spans close
+before ``StageEnd``, the run span right before ``RunEnd``);
+``MetricsSnapshot`` carries the cumulative metrics registry per stage and
+at run scope.
 
 Every event serializes to a flat JSON object (``to_dict``) and
 reconstructs from one (:func:`event_from_dict`), so a JSONL trace
@@ -170,6 +179,48 @@ class StageEnd(StageEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class SpanClosed(StageEvent):
+    """One completed span of the dual-clock trace (:mod:`repro.obs.spans`).
+
+    ``host_*`` fields are wall-clock seconds relative to the run's start
+    (honest, non-deterministic); ``virt_*`` fields are virtual-time units
+    from the cost model (deterministic, bit-identical across execution
+    backends).  ``stage`` is ``None`` for run-level spans; ``proc`` is
+    ``None`` for spans on the engine's own track.
+    """
+
+    kind = "span"
+    name: str
+    cat: str  # "run" | "stage" | "phase" | "block"
+    stage: int | None
+    proc: int | None
+    host_start: float
+    host_dur: float
+    virt_start: float
+    virt_dur: float
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot(StageEvent):
+    """Cumulative metrics-registry state at one point of the run.
+
+    Emitted once per stage (just before ``StageEnd``) and once at run
+    scope (just before ``RunEnd``) when metrics are enabled.  Values are
+    cumulative since run start, so a consumer diffs consecutive snapshots
+    for per-stage deltas.  All values are deterministic counts -- see
+    :mod:`repro.obs.metrics`.
+    """
+
+    kind = "metrics"
+    scope: str  # "stage" | "run"
+    stage: int | None
+    virt_time: float
+    counters: dict
+    gauges: dict
+    histograms: dict
+
+
+@dataclass(frozen=True, slots=True)
 class RunEnd(StageEvent):
     kind = "run_end"
     loop: str
@@ -228,6 +279,10 @@ _IN_STAGE = frozenset(
      "restore", "retry"}
 )
 
+#: Observability events: a stage id of ``None`` means run scope (legal
+#: anywhere in the stream); a concrete id must match the open stage.
+_OBSERVABILITY = frozenset({"span", "metrics"})
+
 
 def validate_events(events: Iterable[StageEvent]) -> None:
     """Enforce the stream contract; raise ``ValueError`` on violation.
@@ -239,7 +294,10 @@ def validate_events(events: Iterable[StageEvent]) -> None:
       inside a begin/end pair;
     * every non-retried stage carries an analysis verdict
       (``DependenceFound``), and a ``Commit`` and ``Retry`` never share a
-      stage.
+      stage;
+    * observability events (``span`` / ``metrics``) carrying a concrete
+      stage id appear inside that stage; run-scoped ones (``stage=None``)
+      may appear anywhere between the run brackets.
     """
     events = list(events)
     if not events:
@@ -254,6 +312,15 @@ def validate_events(events: Iterable[StageEvent]) -> None:
         if kind in ("run_begin", "run_end"):
             if 0 < k < len(events) - 1:
                 raise ValueError(f"{kind} in the middle of the stream (at {k})")
+            continue
+        if kind in _OBSERVABILITY:
+            stage = event.stage
+            if stage is not None and stage != open_stage:
+                raise ValueError(
+                    f"{kind} carries stage {stage} "
+                    f"{'outside any stage' if open_stage is None else f'inside stage {open_stage}'}"
+                    f" (at {k})"
+                )
             continue
         if kind == "stage_begin":
             if open_stage is not None:

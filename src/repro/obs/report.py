@@ -1,0 +1,155 @@
+"""Fold a recorded JSONL trace into the paper's summary tables.
+
+``repro report TRACE`` (and :func:`run_report` programmatically) reads a
+stage-event trace recorded with ``--trace`` and renders what the paper's
+evaluation sections tabulate: speedup over the sequential work, the
+success ratio of speculative stages, committed-fraction per stage, and
+the per-phase virtual-time breakdown (Fig. 4's rows).  When the trace was
+recorded with spans on, a host wall-clock phase breakdown is added next
+to the virtual one; when it carries metrics snapshots, the final
+cumulative registry is rendered too.
+
+The same module exports :func:`write_perfetto` so a JSONL trace recorded
+without ``--perfetto`` can still be folded into Chrome trace-event JSON
+after the fact (``repro report TRACE --perfetto out.json``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import StageEvent, event_from_dict, validate_events
+from repro.obs.metrics import render_metrics
+from repro.obs.spans import chrome_trace
+from repro.util.tables import format_table
+
+
+def load_trace(path: str) -> list[StageEvent]:
+    """Read a JSONL stage-event trace back into typed events.
+
+    Blank trailing lines are tolerated (a partial trace flushed by a
+    failed run is still loadable); the stream is validated against the
+    event contract before being returned.
+    """
+    events: list[StageEvent] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}"
+
+
+def run_report(events: list[StageEvent]) -> str:
+    """Render one recorded run as the paper-style report tables."""
+    validate_events(events)
+    run_begin = events[0]
+    run_end = events[-1]
+    stage_results = [e.result for e in events if e.kind == "stage_end"]
+    spans = [e for e in events if e.kind == "span"]
+    metrics = [e for e in events if e.kind == "metrics" and e.scope == "run"]
+
+    sections: list[str] = []
+
+    # -- run summary ---------------------------------------------------------
+    restarts = run_end.restarts
+    stages = run_end.stages
+    speedup = (
+        f"{run_end.sequential_work / run_end.total_time:.2f}x"
+        if run_end.total_time > 0 else "n/a"
+    )
+    success = (stages - restarts) / stages if stages else 0.0
+    rows = [
+        ["loop", run_begin.loop],
+        ["strategy", run_begin.strategy],
+        ["processors", run_begin.n_procs],
+        ["iterations", run_begin.n_iterations],
+        ["stages", stages],
+        ["restarts", restarts],
+        ["success ratio", _fmt(success)],
+        ["PR", _fmt(1.0 / (1.0 + restarts))],
+        ["T_seq (virtual)", _fmt(run_end.sequential_work)],
+        ["T_par (virtual)", _fmt(run_end.total_time)],
+        ["speedup", speedup],
+    ]
+    if run_end.faults_survived or run_end.retries:
+        rows.append(["faults survived", run_end.faults_survived])
+        rows.append(["fault retries", run_end.retries])
+    if run_end.exit_iteration is not None:
+        rows.append(["exit iteration", run_end.exit_iteration])
+    sections.append(format_table(["field", "value"], rows, title="run"))
+
+    # -- per-stage committed fraction ---------------------------------------
+    rows = []
+    for r in stage_results:
+        attempted = r.attempted_iterations
+        fraction = r.committed_iterations / attempted if attempted else 0.0
+        rows.append([
+            r.index,
+            "fail" if r.failed else "ok",
+            attempted,
+            r.committed_iterations,
+            _fmt(fraction),
+            _fmt(r.span),
+        ])
+    sections.append(format_table(
+        ["stage", "verdict", "attempted", "committed", "fraction", "span"],
+        rows, title="stages",
+    ))
+
+    # -- virtual phase breakdown (Fig. 4 rows) ------------------------------
+    totals: dict = {}
+    for r in stage_results:
+        for category, amount in r.breakdown.items():
+            totals[category] = totals.get(category, 0.0) + amount
+    grand = sum(totals.values())
+    rows = [
+        [str(category), _fmt(amount), _fmt(amount / grand if grand else 0.0)]
+        for category, amount in sorted(
+            totals.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    sections.append(format_table(
+        ["phase", "virtual time", "share"], rows,
+        title="virtual phase breakdown",
+    ))
+
+    # -- host phase breakdown (spans only) ----------------------------------
+    host: dict[str, float] = {}
+    for span in spans:
+        if span.cat == "phase":
+            host[span.name] = host.get(span.name, 0.0) + span.host_dur
+    if host:
+        grand = sum(host.values())
+        rows = [
+            [name, f"{dur * 1e3:.3f}", _fmt(dur / grand if grand else 0.0)]
+            for name, dur in sorted(host.items(), key=lambda kv: -kv[1])
+        ]
+        sections.append(format_table(
+            ["phase", "host ms", "share"], rows,
+            title="host phase breakdown",
+        ))
+
+    # -- final metrics -------------------------------------------------------
+    if metrics:
+        final = metrics[-1]
+        sections.append(render_metrics({
+            "counters": final.counters,
+            "gauges": final.gauges,
+            "histograms": final.histograms,
+        }))
+
+    return "\n\n".join(sections)
+
+
+def write_perfetto(events: list[StageEvent], path: str) -> int:
+    """Fold a recorded event stream into Chrome trace-event JSON at
+    ``path``; returns the number of trace entries written."""
+    payload = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(payload["traceEvents"])

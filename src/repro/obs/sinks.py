@@ -114,13 +114,15 @@ class CliProgressSink:
                 f"remaining {r.remaining_after:5d} span {r.span:.1f}"
             )
         elif kind == "run_end":
+            # A zero-time run (e.g. a zero-iteration loop) has no defined
+            # speedup; "1.00x" would misread as a measurement.
             speedup = (
-                event.sequential_work / event.total_time
-                if event.total_time > 0 else 1.0
+                f"{event.sequential_work / event.total_time:.2f}x"
+                if event.total_time > 0 else "n/a"
             )
             self._print(
                 f"[{event.loop}] done: {event.stages} stages, "
-                f"{event.restarts} restarts, speedup {speedup:.2f}x"
+                f"{event.restarts} restarts, speedup {speedup}"
             )
 
 

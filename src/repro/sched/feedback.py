@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import NULL_REGISTRY
+
 
 class FeedbackBalancer:
     """Cross-instantiation state of the feedback-guided load balancer.
@@ -32,10 +34,11 @@ class FeedbackBalancer:
     predictor removes the one-instantiation lag of the first-order one.
     """
 
-    def __init__(self, order: int = 1) -> None:
+    def __init__(self, order: int = 1, metrics=NULL_REGISTRY) -> None:
         if order not in (1, 2):
             raise ValueError(f"order must be 1 or 2, got {order}")
         self.order = order
+        self.metrics = metrics
         self._weights: dict[str, np.ndarray] = {}
         self._previous: dict[str, np.ndarray] = {}
 
@@ -60,6 +63,11 @@ class FeedbackBalancer:
         if loop_name in self._weights:
             self._previous[loop_name] = self._weights[loop_name]
         self._weights[loop_name] = weights
+        if self.metrics.enabled:
+            self.metrics.counter("sched.feedback.recordings").inc()
+            self.metrics.counter("sched.feedback.iterations_measured").inc(
+                int(have.sum())
+            )
 
     def predict(self, loop_name: str, n: int) -> np.ndarray | None:
         """Predicted per-iteration weights for the next instantiation.
@@ -73,6 +81,8 @@ class FeedbackBalancer:
         history = self._weights.get(loop_name)
         if history is None or n <= 0:
             return None
+        if self.metrics.enabled:
+            self.metrics.counter("sched.feedback.predictions").inc()
 
         def resample(profile: np.ndarray) -> np.ndarray:
             if len(profile) == n:

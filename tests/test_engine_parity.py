@@ -19,6 +19,7 @@ import json
 import pytest
 
 from repro.core.backend import backend_names, use_backend
+from repro.obs.metrics import use_instrumentation
 from tests.engine_parity_cases import CASES, GOLDEN_PATH, run_case
 
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
@@ -37,5 +38,22 @@ def test_bit_identical_to_seed(name, backend):
     for key in want:
         assert got[key] == want[key], (
             f"{name} [{backend}]: {key} diverged from seed behavior"
+        )
+    assert got == want
+
+
+@pytest.mark.parametrize("backend", backend_names())
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_bit_identical_fully_instrumented(name, backend):
+    """Metrics + span collection must not perturb any observable: the
+    whole golden matrix re-runs with full instrumentation on (scoped via
+    the process-wide default, so no driver needs to know) and must still
+    match the seed bit-for-bit under both backends."""
+    with use_backend(backend), use_instrumentation(metrics=True, spans=True):
+        got = run_case(name)
+    want = GOLDEN[name]
+    for key in want:
+        assert got[key] == want[key], (
+            f"{name} [{backend}, instrumented]: {key} diverged from seed behavior"
         )
     assert got == want

@@ -19,14 +19,17 @@ from repro.faults import FaultEvent, FaultKind, FaultPlan, random_plan
 from repro.obs.events import (
     Commit,
     DependenceFound,
+    MetricsSnapshot,
     Restore,
     RunBegin,
     RunEnd,
+    SpanClosed,
     StageBegin,
     StageEnd,
     event_from_dict,
     validate_events,
 )
+from repro.obs.metrics import use_instrumentation
 from repro.obs.sinks import CliProgressSink, JsonlTraceSink, RecordingSink
 from repro.workloads.synthetic import (
     chain_loop,
@@ -156,6 +159,106 @@ class TestStreamGrammar:
         assert len(from_stream) == len(result.stages)
 
 
+class TestObservabilityStream:
+    """Span/metric events must obey the contract under both backends."""
+
+    def _instrumented(self, backend):
+        from repro.core.backend import use_backend
+
+        with use_backend(backend), use_instrumentation(metrics=True, spans=True):
+            return _recorded(_rand(), RuntimeConfig.adaptive())
+
+    @pytest.mark.parametrize("backend", ["serial", "fork"])
+    def test_instrumented_stream_is_valid(self, backend):
+        result, events = self._instrumented(backend)
+        validate_events(events)
+        spans = [e for e in events if isinstance(e, SpanClosed)]
+        snaps = [e for e in events if isinstance(e, MetricsSnapshot)]
+        assert {s.cat for s in spans} >= {"run", "stage", "phase", "block"}
+        # One cumulative snapshot per stage, plus the run-scope one.
+        assert len(snaps) == result.n_stages + 1
+        assert snaps[-1].scope == "run" and snaps[-1].stage is None
+        assert result.metrics["counters"] == snaps[-1].counters
+
+    @pytest.mark.parametrize("backend", ["serial", "fork"])
+    def test_block_spans_interleave_in_block_order(self, backend):
+        _, events = self._instrumented(backend)
+        for stage in {e.stage for e in events if isinstance(e, StageBegin)}:
+            in_stage = [
+                e for e in events
+                if getattr(e, "stage", None) == stage
+                and (e.kind == "block_executed"
+                     or (isinstance(e, SpanClosed) and e.cat == "block"))
+            ]
+            # Each BlockExecuted is immediately shadowed by its block span,
+            # on the same processor, in schedule (block) order.
+            kinds = [e.kind for e in in_stage]
+            assert kinds == ["block_executed", "span"] * (len(in_stage) // 2)
+            assert [e.proc for e in in_stage[0::2]] == [
+                e.proc for e in in_stage[1::2]
+            ]
+
+    def test_serial_and_fork_metrics_are_identical(self):
+        from repro.core.backend import use_backend
+
+        snapshots = {}
+        for backend in ("serial", "fork"):
+            with use_backend(backend), use_instrumentation(metrics=True):
+                result = parallelize(_rand(), P, RuntimeConfig.adaptive())
+            snapshots[backend] = result.metrics
+        assert snapshots["serial"] == snapshots["fork"]
+        assert snapshots["serial"]["counters"]["shadow.marks"] > 0
+
+    def test_run_scoped_observability_event_legal_anywhere(self):
+        span = SpanClosed(name="run", cat="run", stage=None, proc=None,
+                          host_start=0.0, host_dur=1.0,
+                          virt_start=0.0, virt_dur=1.0)
+        run = TestValidateEvents.RUN
+        end = TestValidateEvents.END
+        validate_events([run, span, end])
+
+    def test_stage_scoped_span_outside_its_stage_rejected(self):
+        span = SpanClosed(name="execute", cat="phase", stage=2, proc=None,
+                          host_start=0.0, host_dur=1.0,
+                          virt_start=0.0, virt_dur=1.0)
+        with pytest.raises(ValueError, match="carries stage"):
+            validate_events([TestValidateEvents.RUN, span, TestValidateEvents.END])
+
+    def test_observability_events_round_trip(self):
+        _, events = self._instrumented("serial")
+        decoded = [event_from_dict(json.loads(json.dumps(e.to_dict())))
+                   for e in events]
+        assert [e.to_dict() for e in decoded] == [e.to_dict() for e in events]
+
+
+class TestPartialTraceFlush:
+    """A crashed run must still leave a readable (partial) JSONL trace."""
+
+    def test_mid_run_exception_flushes_trace(self, tmp_path):
+        import numpy as np
+
+        from repro.loopir.loop import ArraySpec, SpeculativeLoop
+
+        def body(ctx, i):
+            if i == 37:
+                raise RuntimeError("boom at 37")
+            ctx.work(1.0)
+            ctx.store("A", i, float(i))
+
+        loop = SpeculativeLoop(
+            "ev_crash", 64, body, arrays=[ArraySpec("A", np.zeros(64))]
+        )
+        path = tmp_path / "partial.jsonl"
+        with pytest.raises(RuntimeError, match="boom at 37"):
+            parallelize(loop, P, RuntimeConfig.nrd(trace_path=str(path)))
+        lines = path.read_text().strip().splitlines()
+        decoded = [event_from_dict(json.loads(line)) for line in lines]
+        assert decoded, "crashed run left an empty trace"
+        assert decoded[0].kind == "run_begin"
+        assert any(e.kind == "stage_begin" for e in decoded)
+        assert decoded[-1].kind != "run_end"
+
+
 class TestJsonlRoundTrip:
     def test_trace_path_round_trips(self, tmp_path):
         path = tmp_path / "trace.jsonl"
@@ -275,6 +378,15 @@ class TestCliProgressSink:
         out = buf.getvalue()
         assert "stage 0:" in out
         assert "done:" in out and "speedup" in out
+
+    def test_zero_time_run_prints_na_not_fake_speedup(self):
+        buf = io.StringIO()
+        sink = CliProgressSink(buf)
+        sink.emit(RunEnd(loop="l", strategy="s", stages=0, restarts=0,
+                         total_time=0.0, sequential_work=0.0))
+        out = buf.getvalue()
+        assert "speedup n/a" in out
+        assert "1.00x" not in out
 
 
 class TestFaultSupportGuard:
