@@ -1,12 +1,20 @@
-"""Host wall-clock sweep: serial vs fork backends + vectorized commit.
+"""Host wall-clock sweep: serial/fork/shm backends + vectorized commit.
 
 As a benchmark (``pytest benchmarks/bench_host_perf.py``) it runs the
 registered ``host_perf`` experiment at quick scale and asserts backend
 parity.  As a script it additionally writes the machine-readable results
-to ``BENCH_host.json`` and exits non-zero on any parity mismatch or
-crash, which is how CI gates the fork backend::
+to ``BENCH_host.json`` -- appending a ``history`` entry (commit, date,
+per-workload speedups) to the existing file so regressions can be
+charted across commits -- and exits non-zero on any parity mismatch,
+gate miss or crash, which is how CI gates the parallel backends::
 
     python benchmarks/bench_host_perf.py --quick --out BENCH_host.json
+
+Speedup gates are conditioned on the host CPU count recorded in the
+results: with 4+ cpus (the CI runner size) shm must reach 1.5x serial on
+the dense doall and at least break even on the sparse SPICE loop; with
+2-3 cpus it must only break even on the doall; on a single core no
+speedup is physically possible and only parity is asserted.
 """
 
 import sys
@@ -14,14 +22,38 @@ import sys
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 from _common import run_figure
 
+#: (workload name, backend, minimum speedup over serial) by CPU tier.
+_GATES_4CPU = (
+    ("doall-dense", "shm", 1.5),
+    ("spice15-sparse", "shm", 1.0),
+)
+_GATES_2CPU = (("doall-dense", "shm", 1.0),)
+
+
+def _speedup_gates(cpus: int):
+    if cpus >= 4:
+        return _GATES_4CPU
+    if cpus >= 2:
+        return _GATES_2CPU
+    return ()
+
 
 def _check(result) -> list[str]:
     problems = []
-    for entry in result.data["workloads"]:
+    workloads = {entry["name"]: entry for entry in result.data["workloads"]}
+    for entry in workloads.values():
         if not entry["parity_ok"]:
             problems.append(
                 f"backend parity mismatch on {entry['name']} "
                 f"(n={entry['n']}, p={entry['procs']})"
+            )
+    cpus = result.data["host"]["cpus"] or 1
+    for name, backend, floor in _speedup_gates(cpus):
+        speedup = workloads[name]["speedup"][backend]
+        if speedup < floor:
+            problems.append(
+                f"{backend} speedup {speedup:.2f}x on {name} is below the "
+                f"{floor:.1f}x floor for a {cpus}-cpu host"
             )
     overhead = result.data["metrics_overhead"]["overhead"]
     if overhead >= 0.05:
@@ -39,6 +71,40 @@ def bench_host_perf(benchmark):
     assert result.data["commit_microbench"]["speedup"] > 1.0
 
 
+def _history_entry(result) -> dict:
+    import datetime
+    import subprocess
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        commit = None
+    return {
+        "commit": commit,
+        "date": datetime.datetime.now(datetime.timezone.utc).date().isoformat(),
+        "cpus": result.data["host"]["cpus"],
+        "speedups": {
+            entry["name"]: entry["speedup"]
+            for entry in result.data["workloads"]
+        },
+    }
+
+
+def _load_history(path) -> list:
+    import json
+
+    try:
+        with open(path) as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    history = previous.get("history", [])
+    return history if isinstance(history, list) else []
+
+
 def main(argv=None) -> int:
     import argparse
     import json
@@ -52,14 +118,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--out", default="BENCH_host.json", metavar="PATH",
-        help="write results as JSON to PATH (default: %(default)s)",
+        help="write results as JSON to PATH (default: %(default)s); an "
+        "existing file's history list is carried forward and extended",
     )
     args = parser.parse_args(argv)
     result = run_experiment("host_perf", quick=args.quick)
     print(result.render())
+    data = dict(result.data)
+    data["history"] = _load_history(args.out) + [_history_entry(result)]
     with open(args.out, "w") as fh:
-        json.dump(result.data, fh, indent=2, sort_keys=True)
-    print(f"wrote {args.out}")
+        json.dump(data, fh, indent=2, sort_keys=True)
+    print(f"wrote {args.out} ({len(data['history'])} history entries)")
     problems = _check(result)
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)

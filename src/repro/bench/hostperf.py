@@ -4,11 +4,11 @@ Everything else in the benchmark suite reports *virtual* time from the
 cost model, which is bit-identical across execution backends by
 construction.  This experiment measures real host seconds instead:
 
-* the same workloads run under the ``serial`` and ``fork`` backends
-  (dense synthetic doall and the sparse SPICE LU loop), asserting along
-  the way that both backends produce identical memory and identical
-  virtual time -- a parity mismatch is reported in the table and trips
-  the benchmark's assertion;
+* the same workloads run under the ``serial``, ``fork`` and ``shm``
+  backends (dense synthetic doall and the sparse SPICE LU loop),
+  asserting along the way that all backends produce identical memory and
+  identical virtual time -- a parity mismatch is reported in the table
+  and trips the benchmark's assertion;
 * a microbenchmark of the commit phase's copy-out: the old per-element
   Python loop against the vectorized ``written_arrays`` fancy-indexed
   assignment now used by :func:`repro.core.commit.commit_states`;
@@ -17,9 +17,12 @@ construction.  This experiment measures real host seconds instead:
   "near-zero cost when disabled, small cost when enabled" promise of
   :mod:`repro.obs.metrics` (CI asserts under 5% slowdown).
 
-Fork speedup is bounded by the host's CPU count (recorded in the data);
-on a single-core host the fork backend is expected to *lose* to serial
-by its dispatch overhead, and the numbers say so honestly.
+Parallel-backend speedup is bounded by the host's CPU count (recorded in
+the data); on a single-core host both out-of-process backends are
+expected to *lose* to serial by their dispatch overhead, and the numbers
+say so honestly.  The CI gate (``benchmarks/bench_host_perf.py``)
+conditions its speedup thresholds on the recorded CPU count for the same
+reason; parity is asserted unconditionally.
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ from repro.machine.memory import SharedArray, make_private_view
 from repro.workloads.spice import make_dcdcmp15_loop
 from repro.workloads.synthetic import fully_parallel_loop
 
-BACKENDS = ("serial", "fork")
+BACKENDS = ("serial", "fork", "shm")
 
 
 def _summary(result) -> dict:
@@ -62,10 +65,15 @@ def _time_backends(make_loop, n_procs: int, repeats: int) -> dict:
         timings[backend] = seconds
         summaries[backend] = _summary(result)
     return {
-        "serial_s": timings["serial"],
-        "fork_s": timings["fork"],
-        "speedup": timings["serial"] / timings["fork"],
-        "parity_ok": summaries["serial"] == summaries["fork"],
+        "seconds": timings,
+        "speedup": {
+            backend: timings["serial"] / timings[backend]
+            for backend in BACKENDS
+            if backend != "serial"
+        },
+        "parity_ok": all(
+            summaries[backend] == summaries["serial"] for backend in BACKENDS
+        ),
     }
 
 
@@ -142,11 +150,17 @@ def host_perf(quick: bool) -> ExperimentResult:
         entry = {"name": name, "n": n, "procs": n_procs}
         entry.update(_time_backends(make_loop, n_procs, repeats))
         sweep.append(entry)
+        seconds, speedup = entry["seconds"], entry["speedup"]
+        cells = [f"serial {seconds['serial'] * 1e3:8.1f} ms"]
+        cells += [
+            f"{backend} {seconds[backend] * 1e3:8.1f} ms "
+            f"({speedup[backend]:4.2f}x)"
+            for backend in BACKENDS
+            if backend != "serial"
+        ]
         rows.append(
-            f"{name:<16} n={n:<6} serial {entry['serial_s'] * 1e3:9.1f} ms   "
-            f"fork {entry['fork_s'] * 1e3:9.1f} ms   "
-            f"speedup {entry['speedup']:5.2f}x   "
-            f"parity {'ok' if entry['parity_ok'] else 'MISMATCH'}"
+            f"{name:<16} n={n:<6} " + "   ".join(cells)
+            + f"   parity {'ok' if entry['parity_ok'] else 'MISMATCH'}"
         )
     micro = _commit_microbench(1 << 12 if quick else 1 << 15, repeats)
     rows.append(
@@ -178,11 +192,14 @@ def host_perf(quick: bool) -> ExperimentResult:
         title="Host wall-clock: execution backends and vectorized commit",
         table="\n".join(rows),
         expectation=(
-            "Both backends agree bit-for-bit on memory and virtual time; "
-            "fork speedup scales with host CPUs (it loses to serial on one "
-            "core); the vectorized commit copy-out beats the per-element "
-            "loop by well over 3x at dense sizes; full instrumentation "
-            "(metrics + spans) slows the serial backend by under 5%."
+            "All three backends agree bit-for-bit on memory and virtual "
+            "time; shm beats fork everywhere (no pickled views or memory "
+            "diffs) and beats serial once the host has cores to spend "
+            "(>= 1.5x on the dense doall at 4 cpus), while both "
+            "out-of-process backends lose to serial on a single core; the "
+            "vectorized commit copy-out beats the per-element loop by well "
+            "over 3x at dense sizes; full instrumentation (metrics + "
+            "spans) slows the serial backend by under 5%."
         ),
         data={
             "host": host,

@@ -282,11 +282,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--backend", choices=backend_names(), default=None,
         help="execution backend for stage blocks (serial = in-process, "
-        "fork = worker-process pool; results are bit-identical)",
+        "fork = worker-process pool, shm = worker pool over shared-memory "
+        "segments; results are bit-identical)",
     )
     run_p.add_argument(
         "--backend-workers", type=int, default=None, dest="backend_workers",
-        metavar="N", help="worker processes for the fork backend",
+        metavar="N", help="worker processes for the fork/shm backends",
     )
     run_p.add_argument(
         "--metrics", action="store_true",

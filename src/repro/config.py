@@ -113,10 +113,12 @@ class RuntimeConfig:
     """Execution backend running each stage's blocks (``None`` = the
     process-wide default, normally ``"serial"``): ``"serial"`` executes
     blocks in-process one after another, ``"fork"`` dispatches them to a
-    persistent pool of forked worker processes.  Results and virtual-time
-    accounting are bit-identical either way; only host wall-clock time
-    changes.  Unknown names fail when the engine resolves the backend
-    (:func:`repro.core.backend.make_backend`)."""
+    persistent pool of forked worker processes, ``"shm"`` runs the same
+    pool over a zero-copy shared-memory data plane with struct-packed
+    pipes (:mod:`repro.core.shm` -- the fast parallel path).  Results and
+    virtual-time accounting are bit-identical across all of them; only
+    host wall-clock time changes.  Unknown names fail when the engine
+    resolves the backend (:func:`repro.core.backend.make_backend`)."""
 
     backend_workers: int | None = None
     """Worker-process count for out-of-process backends (``None`` = one per

@@ -7,10 +7,14 @@ exploits that: the :class:`StageEngine` hands the stage's blocks to a
 backend as :class:`BlockTask` descriptors and receives :class:`BlockOutcome`
 objects back, without caring *where* the blocks ran.
 
-Two backends are provided:
+Three backends are provided:
 
 * ``serial`` (the default) executes blocks one after another in-process,
   exactly the pre-backend behavior.
+* ``shm`` (:mod:`repro.core.shm`, registered lazily) runs forked workers
+  over a zero-copy shared-memory data plane: the memory image and the
+  dense private views/shadow bit planes live in shared segments, and the
+  pipes carry only struct-packed task descriptors and outcome headers.
 * ``fork`` dispatches the blocks to a persistent pool of forked worker
   processes.  Each worker runs :func:`~repro.core.executor.execute_block`
   against its own fresh :class:`~repro.core.executor.ProcessorState` and
@@ -84,6 +88,7 @@ def get_default_backend() -> str:
 def set_default_backend(name: str) -> None:
     """Set the process-wide default backend (``use_backend`` scopes it)."""
     global _default_backend
+    _ensure_registered()
     if name not in BACKENDS:
         raise ConfigurationError(
             f"unknown execution backend {name!r}; known: {', '.join(backend_names())}"
@@ -620,13 +625,31 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
     ForkBackend.name: ForkBackend,
 }
 
+#: Backend modules registered lazily on first lookup (they import this
+#: module, so eager registration here would be a cycle).
+_LAZY_BACKEND_MODULES = ("repro.core.shm",)
+_lazy_loaded = False
+
+
+def _ensure_registered() -> None:
+    global _lazy_loaded
+    if _lazy_loaded:
+        return
+    _lazy_loaded = True
+    import importlib
+
+    for module in _LAZY_BACKEND_MODULES:
+        importlib.import_module(module)
+
 
 def backend_names() -> list[str]:
+    _ensure_registered()
     return sorted(BACKENDS)
 
 
 def make_backend(eng) -> ExecutionBackend:
     """Instantiate the backend an engine's config resolves to."""
+    _ensure_registered()
     name = resolve_backend_name(eng.config)
     try:
         cls = BACKENDS[name]

@@ -138,6 +138,7 @@ def perform_restore(
             machine.charge(proc, Category.RESTORE, share)
         if machine.metrics.enabled:
             machine.metrics.counter("restore.elements").inc(restored)
+            machine.metrics.counter("restore.bytes").inc(ckpt.last_restored_bytes)
     return restored
 
 

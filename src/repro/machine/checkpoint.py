@@ -44,6 +44,7 @@ class CheckpointManager:
         # name -> index -> set of procs that wrote it this stage.
         self._writers: dict[str, dict[int, set[int]]] = {}
         self.elements_checkpointed = 0
+        self.last_restored_bytes = 0
         self._stage_active = False
 
     @property
@@ -100,9 +101,13 @@ class CheckpointManager:
         """
         failed = set(failed_procs)
         restored = 0
+        self.last_restored_bytes = 0
         for name in self._names:
             data = self._memory[name].data
-            for index, writers in self._writers[name].items():
+            writers_map = self._writers[name]
+            saved = self._saved[name]
+            dirty: list[int] = []
+            for index, writers in writers_map.items():
                 touched_failed = writers & failed
                 if not touched_failed:
                     continue
@@ -112,17 +117,22 @@ class CheckpointManager:
                         f"committing procs {sorted(writers - failed)} and failed "
                         f"procs {sorted(touched_failed)}; declare it tested instead"
                     )
-                _, old = self._saved[name][index]
-                data[index] = old
-                restored += 1
-        # Failed procs will re-write; drop their logs so the next stage
-        # re-checkpoints from the (restored) current values.
-        for name in self._names:
-            for index in [
-                i for i, w in self._writers[name].items() if w & failed
-            ]:
-                del self._writers[name][index]
-                del self._saved[name][index]
+                dirty.append(index)
+            if dirty:
+                # One fancy-indexed assignment over the dirty slice instead
+                # of a per-element Python loop over the whole array.
+                indices = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
+                old = np.empty(len(dirty), dtype=data.dtype)
+                for k, index in enumerate(dirty):
+                    old[k] = saved[index][1]
+                data[indices] = old
+                restored += len(dirty)
+                self.last_restored_bytes += len(dirty) * data.dtype.itemsize
+            # Failed procs will re-write; drop their logs so the next stage
+            # re-checkpoints from the (restored) current values.
+            for index in dirty:
+                del writers_map[index]
+                del saved[index]
         return restored
 
     def modified_by(self, procs: Iterable[int]) -> dict[str, list[int]]:

@@ -320,14 +320,19 @@ class SparsePrivateView(PrivateView):
             values[k] = self._values[index]
         return indices, values
 
-    def export_written(self) -> dict[int, object]:
-        # The raw objects, not a dtype-cast array: sparse views hold
-        # whatever the loop body stored, and the round-trip must be exact.
-        return {index: self._values[index] for index in self._written}
+    def export_written(self) -> tuple[np.ndarray, np.ndarray]:
+        # Paired index/value arrays, not a per-element dict: pickling one
+        # values buffer is what keeps the sparse fork/shm delta path cheap.
+        # The dtype cast is safe because an absorbed view is only consumed
+        # by the commit phase, whose ``written_arrays`` applies exactly the
+        # same element-wise cast a scalar ``data[index] = value`` would.
+        return self.written_arrays()
 
-    def absorb_written(self, payload: dict[int, object]) -> None:
-        self._values.update(payload)
-        self._written.update(payload)
+    def absorb_written(self, payload: tuple[np.ndarray, np.ndarray]) -> None:
+        indices, values = payload
+        for index, value in zip(indices.tolist(), values):
+            self._values[index] = value
+        self._written.update(indices.tolist())
 
     def n_written(self) -> int:
         return len(self._written)

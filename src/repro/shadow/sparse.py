@@ -9,6 +9,8 @@ elements, the representation the paper's sparse LRPD variant uses.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.shadow.base import ShadowArray
 
 
@@ -91,17 +93,18 @@ class SparseShadow(ShadowArray):
     def is_clear(self) -> bool:
         return not (self._write or self._any_read or self._exposed or self._update)
 
-    def export_marks(self) -> tuple[set[int], set[int], set[int], set[int]]:
-        return (
-            set(self._write),
-            set(self._exposed),
-            set(self._any_read),
-            set(self._update),
+    def export_marks(self) -> tuple[np.ndarray, ...]:
+        # Four sorted int64 index arrays rather than sets of Python ints:
+        # one contiguous buffer per plane pickles in O(1) objects, which is
+        # what keeps sparse shadow shipping off the fork/shm hot path.
+        return tuple(
+            np.fromiter(sorted(plane), dtype=np.int64, count=len(plane))
+            for plane in (self._write, self._exposed, self._any_read, self._update)
         )
 
-    def absorb_marks(self, payload: tuple[set[int], set[int], set[int], set[int]]) -> None:
+    def absorb_marks(self, payload: tuple[np.ndarray, ...]) -> None:
         write, exposed, any_read, update = payload
-        self._write.update(write)
-        self._exposed.update(exposed)
-        self._any_read.update(any_read)
-        self._update.update(update)
+        self._write.update(write.tolist())
+        self._exposed.update(exposed.tolist())
+        self._any_read.update(any_read.tolist())
+        self._update.update(update.tolist())

@@ -52,6 +52,14 @@ class BitSet:
         """Capacity in bits (not the population count)."""
         return self._size
 
+    @property
+    def words(self) -> np.ndarray:
+        """The packed ``uint64`` word array itself (shared, not a copy);
+        lets callers place a plane in externally managed storage (the
+        shared-memory execution backend) and re-wrap it with
+        ``BitSet(size, words=...)``."""
+        return self._words
+
     def __len__(self) -> int:
         """Population count: number of set bits."""
         # np.uint64 bit_count needs numpy>=2; unpackbits keeps 1.x support.

@@ -59,6 +59,23 @@ class TestOnDemandCheckpoint:
         ckpt.restore_failed([1])
         assert mem["B"].data[4] == 4.0
 
+    def test_restore_is_dirty_only_and_counts_bytes(self):
+        # Restoration touches exactly the failed processors' dirty indices;
+        # last_restored_bytes reports the traffic of the most recent call.
+        mem = make_memory()
+        ckpt = CheckpointManager(mem, ["B"], on_demand=True)
+        ckpt.begin_stage()
+        ckpt.note_write(1, "B", 2)
+        ckpt.note_write(1, "B", 5)
+        ckpt.note_write(0, "B", 6)  # survives: proc 0 is not restored
+        mem["B"].data[[2, 5, 6]] = -1.0
+        assert ckpt.restore_failed([1]) == 2
+        assert ckpt.last_restored_bytes == 2 * mem["B"].data.dtype.itemsize
+        assert mem["B"].data[2] == 2.0 and mem["B"].data[5] == 5.0
+        assert mem["B"].data[6] == -1.0
+        assert ckpt.restore_failed([1]) == 0
+        assert ckpt.last_restored_bytes == 0
+
     def test_elements_checkpointed_counter(self):
         ckpt = CheckpointManager(make_memory(), ["B"], on_demand=True)
         ckpt.begin_stage()
