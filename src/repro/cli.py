@@ -137,6 +137,10 @@ def config_from_args(args) -> RuntimeConfig:
         overrides["backend"] = args.backend
     if getattr(args, "backend_workers", None) is not None:
         overrides["backend_workers"] = args.backend_workers
+    if getattr(args, "worker_timeout", None) is not None:
+        overrides["worker_timeout"] = args.worker_timeout
+    if getattr(args, "max_worker_respawns", None) is not None:
+        overrides["max_worker_respawns"] = args.max_worker_respawns
     if getattr(args, "metrics", False):
         overrides["metrics"] = True
     if getattr(args, "perfetto", None) is not None:
@@ -187,6 +191,19 @@ def cmd_run(args) -> int:
             f"faults survived: {result.faults_survived} ({counts}); "
             f"fault retries: {result.retries}; "
             f"degraded stages: {result.degraded_stages}; dead procs: {dead}"
+        )
+    if result.supervision:
+        sup = result.supervision
+        fallbacks = ", ".join(
+            f"{d['from']}->{d['to']}"
+            for d in sup.get("supervise.degradations", [])
+        ) or "none"
+        print(
+            f"worker supervision: respawns: {sup['supervise.respawns']}; "
+            f"redispatched blocks: {sup['supervise.redispatched_blocks']}; "
+            f"kills: {sup['supervise.kills']}; "
+            f"overdue: {sup['supervise.overdue']}; "
+            f"backend fallbacks: {fallbacks}"
         )
     if args.breakdown:
         print()
@@ -288,6 +305,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--backend-workers", type=int, default=None, dest="backend_workers",
         metavar="N", help="worker processes for the fork/shm backends",
+    )
+    run_p.add_argument(
+        "--worker-timeout", type=float, default=None, dest="worker_timeout",
+        metavar="SEC", help="floor of the supervisor's per-dispatch worker "
+        "deadline; an unresponsive fork/shm worker is killed and its "
+        "blocks re-dispatched after at most this many seconds",
+    )
+    run_p.add_argument(
+        "--max-worker-respawns", type=int, default=None,
+        dest="max_worker_respawns", metavar="N",
+        help="replacement workers a fork/shm pool may fork after crashes "
+        "or hangs before degrading to the next backend down the "
+        "shm->fork->serial chain",
     )
     run_p.add_argument(
         "--metrics", action="store_true",

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.faults.os_chaos import OsChaosPlan
     from repro.faults.plan import FaultPlan
 
 
@@ -124,6 +125,30 @@ class RuntimeConfig:
     """Worker-process count for out-of-process backends (``None`` = one per
     simulated processor, capped at the host CPU count)."""
 
+    worker_timeout: float = 30.0
+    """Minimum seconds a fork/shm worker may hold a dispatched share before
+    the supervisor declares it hung, SIGKILLs it and re-dispatches its
+    blocks (:mod:`repro.core.supervise`).  This is the *floor* of an
+    adaptive deadline: once blocks have completed, the deadline grows to
+    ``worker_timeout_factor`` times the observed per-block maximum, so
+    slow-but-alive workers on long blocks are never misread as hangs."""
+
+    worker_timeout_factor: float = 8.0
+    """Multiplier over the observed per-block time estimate in the
+    supervisor's deadline (see ``worker_timeout``)."""
+
+    max_worker_respawns: int = 3
+    """Replacement workers a fork/shm backend may fork over its lifetime
+    after crashes or hangs.  On exhaustion (or a poison block that kills
+    every worker it touches) the backend degrades gracefully down the
+    shm -> fork -> serial chain instead of aborting the run."""
+
+    os_chaos: "OsChaosPlan | None" = None
+    """OS-level chaos schedule (:mod:`repro.faults.os_chaos`): SIGKILL or
+    SIGSTOP real fork/shm workers at planned (stage, worker) points to
+    exercise the supervision layer.  ``None`` = no OS faults.  Composable
+    with the logical ``fault_plan``."""
+
     metrics: bool | None = None
     """Collect runtime metrics (:mod:`repro.obs.metrics`): counters and
     histograms over marks, copy-in/commit/checkpoint/restore element and
@@ -152,6 +177,12 @@ class RuntimeConfig:
             raise ConfigurationError("max_fault_retries must be >= 0")
         if self.backend_workers is not None and self.backend_workers < 1:
             raise ConfigurationError("backend_workers must be >= 1")
+        if self.worker_timeout <= 0:
+            raise ConfigurationError("worker_timeout must be > 0")
+        if self.worker_timeout_factor < 1:
+            raise ConfigurationError("worker_timeout_factor must be >= 1")
+        if self.max_worker_respawns < 0:
+            raise ConfigurationError("max_worker_respawns must be >= 0")
         if self.redistribution is None:
             # The sliding window has its own (circular) assignment rule;
             # blocked-redistribution policies do not apply to it.

@@ -49,6 +49,20 @@ pipes.  Worker shared memory is kept in sync by broadcasting the contents
 of arrays that changed since the last dispatch (commits, restores,
 reinitializations all funnel through parent memory, so a diff against the
 last synced snapshot catches every mutation without instrumentation).
+
+Both out-of-process backends run every dispatch under a
+:class:`~repro.core.supervise.WorkerSupervisor`: a SIGKILLed, OOM-killed
+or wedged worker is detected (process sentinel / dispatch deadline),
+reaped and replaced by a fresh fork, and its blocks are re-dispatched --
+bit-identically, because deltas merge only after *all* replies arrive, so
+the parent carries no trace of the killed attempt.  When the pool is
+beyond repair the supervisor raises
+:class:`~repro.core.supervise.PoolDegradation` and the engine falls back
+down the shm -> fork -> serial chain.  The backend hooks the supervisor
+drives are ``_spawn_worker`` / ``_send_share`` / ``_recv_share`` /
+``_recover_shared_state`` / ``_halt_workers``, which is also exactly the
+surface :class:`~repro.core.shm.ShmBackend` overrides to reuse this
+module's ``run_blocks`` verbatim.
 """
 
 from __future__ import annotations
@@ -66,6 +80,7 @@ from repro.core.executor import (
     make_all_private_state,
     make_processor_state,
 )
+from repro.core.supervise import WorkerSupervisor
 from repro.errors import BackendError, ConfigurationError
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.memory import MemoryImage, SharedArray
@@ -421,28 +436,26 @@ class ForkBackend(ExecutionBackend):
 
     name = "fork"
 
+    #: Worker entry point (overridden by the shm backend).
+    _worker_target = staticmethod(_worker_main)
+
     def __init__(self, eng) -> None:
         super().__init__(eng)
         self._workers: list | None = None
         self._last_sync: dict[str, np.ndarray] = {}
+        self._wctx = None
+        self._mp_ctx = None
+        self._updates: dict[str, np.ndarray] = {}
+        self._supervisor: WorkerSupervisor | None = None
 
-    def _ensure_workers(self) -> None:
-        if self._workers is not None:
-            return
-        import multiprocessing as mp
-
-        if "fork" not in mp.get_all_start_methods():
-            raise ConfigurationError(
-                "the fork execution backend needs the 'fork' start method "
-                "(POSIX only); use backend='serial' on this platform"
-            )
+    def _make_wctx(self):
+        """Build the context workers inherit through fork (hook)."""
         eng = self.eng
-        n_workers = eng.config.backend_workers or min(
-            eng.n_procs, os.cpu_count() or 1
-        )
-        n_workers = max(1, min(n_workers, eng.n_procs))
         memory = eng.machine.memory
-        wctx = _WorkerContext(
+        self._last_sync = {
+            name: memory[name].data.copy() for name in memory.names()
+        }
+        return _WorkerContext(
             loop=eng.loop,
             costs=eng.machine.costs,
             memory=MemoryImage(
@@ -452,26 +465,117 @@ class ForkBackend(ExecutionBackend):
             on_demand=eng.config.on_demand_checkpoint,
             reduction_names=eng.reduction_names,
         )
-        self._last_sync = {
-            name: memory[name].data.copy() for name in memory.names()
-        }
-        ctx = mp.get_context("fork")
+
+    def _ensure_workers(self) -> None:
+        if self._workers is not None:
+            return
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise ConfigurationError(
+                f"the {self.name} execution backend needs the 'fork' start "
+                "method (POSIX only); use backend='serial' on this platform"
+            )
+        eng = self.eng
+        n_workers = eng.config.backend_workers or min(
+            eng.n_procs, os.cpu_count() or 1
+        )
+        n_workers = max(1, min(n_workers, eng.n_procs))
+        self._wctx = self._make_wctx()
+        self._mp_ctx = mp.get_context("fork")
         workers = []
         try:
             for _ in range(n_workers):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_worker_main, args=(child_conn, wctx), daemon=True
-                )
-                process.start()
-                child_conn.close()
-                workers.append((process, parent_conn))
+                workers.append(self._spawn_worker())
         except BaseException:
             for process, conn in workers:
                 conn.close()
                 process.terminate()
             raise
         self._workers = workers
+
+    def _spawn_worker(self):
+        """Fork one worker from the saved context.
+
+        Initial pool fill and supervised respawn share this path.  A
+        respawn forks from the parent's *current* address space; the
+        inherited ``wctx`` arrays are pool-build-time copies, so the
+        supervisor's re-dispatch uses the full-sync ``fresh`` send to
+        bring the replacement up to the dispatch-time broadcast state.
+        """
+        parent_conn, child_conn = self._mp_ctx.Pipe()
+        process = self._mp_ctx.Process(
+            target=self._worker_target, args=(child_conn, self._wctx),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    # -- supervision hooks -------------------------------------------------------
+
+    def _begin_dispatch(self, tasks: list[BlockTask]) -> None:
+        """Per-dispatch setup before shares are sent (hook)."""
+        self._updates = self._memory_updates()
+
+    def _send_share(self, k: int, share: list[BlockTask], fresh: bool) -> None:
+        """Send worker ``k`` its share.  ``fresh`` marks a respawned
+        worker, which needs the full memory image instead of the diff."""
+        _, conn = self._workers[k]
+        if fresh:
+            memory = self.eng.machine.memory
+            updates = {
+                name: memory[name].data.copy() for name in memory.names()
+            }
+        else:
+            updates = self._updates
+        conn.send((updates, share))
+
+    def _recv_share(self, k: int, share: list[BlockTask]):
+        """Receive worker ``k``'s reply; a worker-raised exception becomes
+        a :class:`BackendError` carrying the worker's full context."""
+        _, conn = self._workers[k]
+        reply = conn.recv()
+        if isinstance(reply, _WorkerFailure):
+            raise BackendError(
+                f"{self._share_context(k, share)} raised:\n{reply.traceback}",
+                loop=self.eng.loop.name,
+            )
+        return reply
+
+    def _share_context(self, k: int, share: list[BlockTask]) -> str:
+        """Identify one worker and its in-flight work, for error messages."""
+        process, _ = self._workers[k]
+        if share:
+            where = (
+                f"stage {share[0].stage} blocks {[t.pos for t in share]} "
+                f"(procs {[t.block.proc for t in share]})"
+            )
+        else:
+            where = "an empty share"
+        return f"{self.name} backend worker {k} (pid {process.pid}) executing {where}"
+
+    def _recover_shared_state(self, procs: list[int]) -> None:
+        """Roll state a lost worker may have dirtied back to its
+        dispatch-time contents (hook).  Fork workers write only their own
+        copy-on-write address space, so there is nothing to undo."""
+
+    def _halt_workers(self) -> None:
+        """Kill the whole pool immediately (degradation path): live
+        workers may still be executing and must stop before shared state
+        is rolled back and the pool abandoned."""
+        if self._workers is None:
+            return
+        workers, self._workers = self._workers, None
+        for process, _ in workers:
+            if process.is_alive():
+                process.kill()
+        for process, conn in workers:
+            process.join(timeout=5.0)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
 
     def _memory_updates(self) -> dict[str, np.ndarray]:
         """Arrays changed since the last broadcast (commit/restore/init).
@@ -510,43 +614,38 @@ class ForkBackend(ExecutionBackend):
 
     def run_blocks(self, tasks: list[BlockTask]) -> list[BlockOutcome]:
         eng = self.eng
+        if not tasks:
+            return []
         for task in tasks:
             if task.extras:
                 raise ConfigurationError(
                     f"strategy {eng.strategy.name!r} passes execute_block "
-                    f"kwargs {sorted(task.extras)} the fork backend cannot "
-                    "ship to workers; use backend='serial'"
+                    f"kwargs {sorted(task.extras)} the {self.name} backend "
+                    "cannot ship to workers; use backend='serial'"
                 )
         procs = [task.block.proc for task in tasks]
         if len(set(procs)) != len(procs):
             raise BackendError(
-                "fork backend needs at most one block per processor per "
-                f"stage, got procs {procs}"
+                f"{self.name} backend needs at most one block per processor "
+                f"per stage, got procs {procs}"
             )
         self._ensure_workers()
         self._hoist_injection(tasks)
         for task in tasks:
             task.collect_metrics = getattr(eng, "metrics_enabled", False)
             task.collect_spans = getattr(eng, "spans_enabled", False)
-        updates = self._memory_updates()
+        self._begin_dispatch(tasks)
+        # Every worker gets a share, even an empty one: the dispatch also
+        # carries the memory-update broadcast, which must reach the whole
+        # pool because the diff baseline (_last_sync) has advanced.
         shares: list[list[BlockTask]] = [[] for _ in self._workers]
         for k, task in enumerate(tasks):
             shares[k % len(shares)].append(task)
-        for (_, conn), share in zip(self._workers, shares):
-            conn.send((updates, share))
-        deltas: dict[int, _BlockDelta] = {}
-        for (_, conn), share in zip(self._workers, shares):
-            try:
-                reply = conn.recv()
-            except EOFError:
-                raise BackendError(
-                    "a fork backend worker died mid-stage", loop=eng.loop.name
-                ) from None
-            if isinstance(reply, _WorkerFailure):
-                raise BackendError(
-                    "a fork backend worker raised:\n" + reply.traceback,
-                    loop=eng.loop.name,
-                )
+        if self._supervisor is None:
+            self._supervisor = WorkerSupervisor(self)
+        replies = self._supervisor.run_shares(shares)
+        deltas: dict = {}
+        for reply in replies:
             for delta in reply:
                 deltas[delta.pos] = delta
         return [self._merge(task, deltas[task.pos]) for task in tasks]
@@ -605,17 +704,36 @@ class ForkBackend(ExecutionBackend):
         if self._workers is None:
             return
         workers, self._workers = self._workers, None
-        for _, conn in workers:
-            try:
-                conn.send(None)
-            except (BrokenPipeError, OSError):
-                pass
-        for process, conn in workers:
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
-                process.join(timeout=1.0)
+        _shutdown_pool(workers, lambda conn: conn.send(None))
+        self._wctx = None
+        self._supervisor = None
+        self._updates = {}
+
+
+def _shutdown_pool(workers: list, farewell) -> None:
+    """Politely stop a worker pool, then escalate until it is gone:
+    farewell message -> join -> ``terminate()`` (SIGTERM) -> join ->
+    ``kill()`` (SIGKILL) -> reap.  A worker wedged in a signal handler or
+    stopped by SIGSTOP ignores SIGTERM but cannot ignore SIGKILL, so no
+    zombie survives close and no worker keeps ``/dev/shm`` segments
+    mapped past the arena's unlink."""
+    for _, conn in workers:
+        try:
+            farewell(conn)
+        except (BrokenPipeError, OSError):
+            pass
+    for process, conn in workers:
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=1.0)
+        try:
             conn.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
 
 
 # -- registry ---------------------------------------------------------------------

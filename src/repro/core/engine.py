@@ -46,6 +46,7 @@ from repro.config import (
 )
 from repro.core.analysis import analyze_stage
 from repro.core.backend import (
+    BACKENDS,
     BlockTask,
     backend_names,
     make_backend,
@@ -54,6 +55,11 @@ from repro.core.backend import (
 from repro.core.commit import commit_states, reinit_states
 from repro.core.executor import make_processor_state
 from repro.core.results import RunResult, StageResult
+from repro.core.supervise import (
+    DEGRADATION_ORDER,
+    PoolDegradation,
+    SupervisionStats,
+)
 from repro.core.stage import (
     charge_analysis,
     charge_checkpoint_begin,
@@ -76,6 +82,7 @@ from repro.machine.machine import Machine
 from repro.machine.memory import MemoryImage
 from repro.machine.topology import Topology
 from repro.obs.events import (
+    BackendDegraded,
     BlockExecuted,
     Commit,
     DependenceFound,
@@ -452,6 +459,13 @@ class StageEngine:
 
         strategy.setup(self)
         self.label = strategy.run_label(self)
+        self.supervision = SupervisionStats()
+        if config.os_chaos is not None:
+            from repro.faults.os_chaos import OsChaosInjector
+
+            self.os_chaos = OsChaosInjector(config.os_chaos)
+        else:
+            self.os_chaos = None
         self.backend = make_backend(self)
 
         self._agg = AggregatingSink()
@@ -507,6 +521,49 @@ class StageEngine:
             self._stage_span = None
         self.emit(StageEnd(stage=result.index, result=result))
         self.stage_idx += 1
+
+    # -- supervised execution ---------------------------------------------------
+
+    def execute_tasks(self, tasks):
+        """Run one doall's blocks, degrading the backend if its pool dies.
+
+        Nothing is merged until a backend's ``run_blocks`` returns, so on
+        :class:`PoolDegradation` the same task list re-runs on the fallback
+        backend from identical engine state -- results stay bit-identical,
+        only the execution substrate changes.  The chain is finite
+        (shm -> fork -> serial) and serial cannot degrade, so this loop
+        always terminates.
+        """
+        while True:
+            try:
+                return self.backend.run_blocks(tasks)
+            except PoolDegradation as degradation:
+                self._degrade_backend(degradation)
+
+    def _degrade_backend(self, degradation: PoolDegradation) -> None:
+        target = DEGRADATION_ORDER[self.backend.name]
+        self.supervision.degradations.append({
+            "stage": degradation.stage,
+            "from": self.backend.name,
+            "to": target,
+            "reason": str(degradation),
+        })
+        self.emit(BackendDegraded(
+            stage=degradation.stage if degradation.stage is not None
+            else self.stage_idx,
+            from_backend=self.backend.name,
+            to_backend=target,
+            reason=degradation.reason,
+        ))
+        old = self.backend
+        self.backend = None
+        try:
+            # shm's close() copies the (already recovered) shared image
+            # and adopted state buffers back onto the heap before the
+            # segments unlink -- exactly the fallback backend's input.
+            old.close()
+        finally:
+            self.backend = BACKENDS[target](self)
 
     # -- run --------------------------------------------------------------------
 
@@ -597,7 +654,7 @@ class StageEngine:
                 ))
             if tracer is not None:
                 exec_span = tracer.begin("execute", "phase", stage=stage)
-            outcomes = self.backend.run_blocks(tasks)
+            outcomes = self.execute_tasks(tasks)
             for outcome in outcomes:
                 pos, block = outcome.pos, outcome.block
                 strategy.after_block(self, pos, block, outcome)
@@ -746,6 +803,7 @@ class StageEngine:
                     breakdown=record.breakdown(),
                     faulted_procs=faulted_procs,
                     degraded=self.degraded,
+                    redispatched_procs=self.supervision.take_stage_redispatched(),
                 ))
                 strategy.after_zero_commit(self, failing)
                 continue
@@ -795,6 +853,7 @@ class StageEngine:
                 breakdown=record.breakdown(),
                 faulted_procs=faulted_procs,
                 degraded=self.degraded,
+                redispatched_procs=self.supervision.take_stage_redispatched(),
             ))
             strategy.after_stage(self, committing, failing, f_pos)
 
@@ -870,6 +929,7 @@ class StageEngine:
             breakdown=record.breakdown(),
             faulted_procs=faulted_procs,
             degraded=self.degraded,
+            redispatched_procs=self.supervision.take_stage_redispatched(),
         ))
         self.exit_iteration = e
         return self._finalize()
@@ -892,6 +952,8 @@ class StageEngine:
         )
         if self.metrics_enabled:
             result.metrics = self.machine.metrics.snapshot()
+        if self.supervision.active:
+            result.supervision = self.supervision.snapshot()
         if self.injector is not None:
             result.retries = self.retries
             result.faults_survived = self.injector.total_injected

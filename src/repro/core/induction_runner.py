@@ -97,7 +97,7 @@ class InductionTwoPhase(EngineStrategy):
         # execution backend like any speculative stage.  ``all_private``
         # states keep even untested writes out of shared memory;
         # ``use_injector=False`` keeps faults out of phase A.
-        outcomes = eng.backend.run_blocks([
+        outcomes = eng.execute_tasks([
             BlockTask(
                 stage=stage, pos=pos, block=block,
                 inductions=dict(self.ivar_base),
@@ -135,6 +135,7 @@ class InductionTwoPhase(EngineStrategy):
             span=record_a.span(),
             breakdown=record_a.breakdown(),
             degraded=eng.degraded,
+            redispatched_procs=eng.supervision.take_stage_redispatched(),
         ))
         self._increments = increments
 

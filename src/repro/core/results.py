@@ -46,6 +46,12 @@ class StageResult:
     degraded: bool = False
     """The stage was scheduled on fewer processors than the machine owns
     (an earlier permanent fail-stop shrank the pool)."""
+    redispatched_procs: list[int] = field(default_factory=list)
+    """Processors whose blocks the worker supervisor re-dispatched after
+    their OS worker process died or hung this stage
+    (:mod:`repro.core.supervise`).  Host-scheduling noise, not part of the
+    deterministic record: excluded from event serialization, so disturbed
+    and undisturbed traces stay bit-identical."""
 
     @property
     def attempted_iterations(self) -> int:
@@ -102,6 +108,12 @@ class RunResult:
     metrics: dict = field(default_factory=dict)
     """Final metrics-registry snapshot (:mod:`repro.obs.metrics`) when the
     run collected metrics; empty otherwise.  Deterministic counts only."""
+
+    supervision: dict = field(default_factory=dict)
+    """Flat ``supervise.*`` counters (:class:`~repro.core.supervise.
+    SupervisionStats`) when the worker supervisor acted this run --
+    respawns, re-dispatched blocks, kills, backend degradations; empty on
+    undisturbed runs.  Host-dependent, deliberately outside ``metrics``."""
 
     # -- derived metrics ---------------------------------------------------------
 

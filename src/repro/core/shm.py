@@ -52,7 +52,6 @@ a stage's block length outgrows it.
 
 from __future__ import annotations
 
-import os
 import pickle
 import struct
 import time
@@ -69,10 +68,11 @@ from repro.core.backend import (
     ForkBackend,
     _AccessRecorder,
     _ChargeLog,
+    _shutdown_pool,
     make_all_private_state,
 )
 from repro.core.executor import ProcessorState, execute_block
-from repro.errors import BackendError, ConfigurationError
+from repro.errors import BackendError
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.memory import (
     DENSE_VIEW_THRESHOLD,
@@ -712,10 +712,14 @@ class ShmBackend(ForkBackend):
 
     name = "shm"
 
+    _worker_target = staticmethod(_shm_worker_main)
+
     def __init__(self, eng) -> None:
         super().__init__(eng)
         self._plan: _ShmPlan | None = None
         self._adopted: dict[int, ProcessorState] = {}
+        self._manifest: list[tuple[str, int]] = []
+        self._untested_snapshot: dict[str, np.ndarray] = {}
 
     # -- setup ---------------------------------------------------------------------
 
@@ -760,21 +764,8 @@ class ShmBackend(ForkBackend):
             metrics_block=metrics_block,
         )
 
-    def _ensure_workers(self) -> None:
-        if self._workers is not None:
-            return
-        import multiprocessing as mp
-
-        if "fork" not in mp.get_all_start_methods():
-            raise ConfigurationError(
-                "the shm execution backend needs the 'fork' start method "
-                "(POSIX only); use backend='serial' on this platform"
-            )
+    def _make_wctx(self) -> _ShmWorkerContext:
         eng = self.eng
-        n_workers = eng.config.backend_workers or min(
-            eng.n_procs, os.cpu_count() or 1
-        )
-        n_workers = max(1, min(n_workers, eng.n_procs))
         self._plan = plan = self._build_plan()
         memory = eng.machine.memory
         worker_arrays = []
@@ -789,7 +780,10 @@ class ShmBackend(ForkBackend):
                 else memory[name].data.copy()
             )
             worker_arrays.append(sa)
-        wctx = _ShmWorkerContext(
+        self._last_sync = {
+            name: memory[name].data.copy() for name in plan.residue_names
+        }
+        return _ShmWorkerContext(
             loop=eng.loop,
             costs=eng.machine.costs,
             memory=MemoryImage(worker_arrays),
@@ -801,26 +795,6 @@ class ShmBackend(ForkBackend):
             proc_bufs=plan.proc_bufs,
             metrics_block=plan.metrics_block,
         )
-        self._last_sync = {
-            name: memory[name].data.copy() for name in plan.residue_names
-        }
-        ctx = mp.get_context("fork")
-        workers = []
-        try:
-            for _ in range(n_workers):
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_shm_worker_main, args=(child_conn, wctx), daemon=True
-                )
-                process.start()
-                child_conn.close()
-                workers.append((process, parent_conn))
-        except BaseException:
-            for process, conn in workers:
-                conn.close()
-                process.terminate()
-            raise
-        self._workers = workers
 
     def _ensure_scratch(self, cap_needed: int) -> list[tuple[str, int]]:
         """Grow (or first-allocate) the iteration-time scratch; returns the
@@ -970,63 +944,90 @@ class ShmBackend(ForkBackend):
             buf += task_blob
         return bytes(buf)
 
-    def run_blocks(self, tasks: list[BlockTask]) -> list[BlockOutcome]:
-        eng = self.eng
-        if not tasks:
-            return []
-        for task in tasks:
-            if task.extras:
-                raise ConfigurationError(
-                    f"strategy {eng.strategy.name!r} passes execute_block "
-                    f"kwargs {sorted(task.extras)} the shm backend cannot "
-                    "ship to workers; use backend='serial'"
-                )
-        procs = [task.block.proc for task in tasks]
-        if len(set(procs)) != len(procs):
-            raise BackendError(
-                "shm backend needs at most one block per processor per "
-                f"stage, got procs {procs}"
-            )
-        self._ensure_workers()
-        self._hoist_injection(tasks)
-        for task in tasks:
-            task.collect_metrics = getattr(eng, "metrics_enabled", False)
-            task.collect_spans = getattr(eng, "spans_enabled", False)
+    # -- supervision hooks -------------------------------------------------------
+
+    def _begin_dispatch(self, tasks: list[BlockTask]) -> None:
         self._adopt_states(tasks)
-        manifest = self._ensure_scratch(
+        self._manifest = self._ensure_scratch(
             max(
                 (len(task.block) for task in tasks if not task.all_private),
                 default=1,
             )
         )
-        updates = self._residue_updates()
-        shares: list[list[BlockTask]] = [[] for _ in self._workers]
-        for k, task in enumerate(tasks):
-            shares[k % len(shares)].append(task)
-        for (_, conn), share in zip(self._workers, shares):
-            conn.send_bytes(self._pack_dispatch(share, manifest, updates))
-        deltas: dict[int, _ShmDelta] = {}
-        for (_, conn), share in zip(self._workers, shares):
-            try:
-                reply = conn.recv_bytes()
-            except EOFError:
-                raise BackendError(
-                    "a shm backend worker died mid-stage", loop=eng.loop.name
-                ) from None
-            try:
-                parsed = _parse_reply(reply)
-            except _ShmWorkerFailure as failure:
-                raise BackendError(
-                    "a shm backend worker raised:\n" + str(failure),
-                    loop=eng.loop.name,
-                ) from None
-            for delta in parsed:
-                deltas[delta.pos] = delta
-        return [self._merge_delta(task, deltas[task.pos]) for task in tasks]
+        self._updates = self._residue_updates()
+        self._snapshot_untested()
+
+    def _snapshot_untested(self) -> None:
+        """Copy the checkpointed (untested) shared arrays at dispatch time.
+
+        Live workers undo their own untested writes before replying
+        (``ckpt.restore_failed`` in :func:`_run_shm_task`), so at the
+        reply barrier the shared image equals this snapshot *except* for
+        dirt left by workers that died mid-share.  Wholesale restore is
+        therefore exactly the lost workers' rollback.
+        """
+        eng = self.eng
+        memory = eng.machine.memory
+        names = eng.ckpt.names if eng.ckpt is not None else []
+        self._untested_snapshot = {
+            name: memory[name].data.copy() for name in names
+        }
+
+    def _send_share(self, k: int, share: list[BlockTask], fresh: bool) -> None:
+        _, conn = self._workers[k]
+        if fresh:
+            # A respawned worker forked off the *current* parent: shared
+            # segments arrive live, but its private residue copies date
+            # from pool build time and its scratch mapping may name a
+            # dropped segment -- resend both in full.
+            plan = self._plan
+            memory = self.eng.machine.memory
+            manifest = (
+                [(plan.scratch_seg.name, plan.scratch_cap)]
+                if plan.scratch_seg is not None
+                else []
+            )
+            updates = {
+                name: memory[name].data.copy() for name in plan.residue_names
+            }
+        else:
+            manifest = self._manifest
+            updates = self._updates
+        conn.send_bytes(self._pack_dispatch(share, manifest, updates))
+
+    def _recv_share(self, k: int, share: list[BlockTask]):
+        _, conn = self._workers[k]
+        reply = conn.recv_bytes()
+        try:
+            return _parse_reply(reply)
+        except _ShmWorkerFailure as failure:
+            raise BackendError(
+                f"{self._share_context(k, share)} raised:\n{failure}",
+                loop=self.eng.loop.name,
+            ) from None
+
+    def _recover_shared_state(self, procs: list[int]) -> None:
+        """Scrub shared state a lost worker may have dirtied mid-share.
+
+        Untested arrays roll back wholesale to the dispatch snapshot (see
+        :meth:`_snapshot_untested`).  The lost processors' dense view and
+        shadow buffers are zeroed: processor states are clear at dispatch
+        time (reset/reinitialize clear them in place, and fresh states
+        adopt as zeros), so cleared buffers *are* the dispatch state."""
+        memory = self.eng.machine.memory
+        for name, data in self._untested_snapshot.items():
+            memory[name].data[:] = data
+        for proc in sorted(set(procs)):
+            for bufs in self._plan.proc_bufs.get(proc, {}).values():
+                bufs.values[...] = 0
+                bufs.have[...] = False
+                bufs.written[...] = False
+                for plane in bufs.planes:
+                    plane[...] = 0
 
     # -- merge ------------------------------------------------------------------
 
-    def _merge_delta(self, task: BlockTask, delta: _ShmDelta) -> BlockOutcome:
+    def _merge(self, task: BlockTask, delta: _ShmDelta) -> BlockOutcome:
         """Fold one outcome into the engine, in block-position order.
 
         Dense private views and shadows need no action -- the worker wrote
@@ -1101,17 +1102,14 @@ class ShmBackend(ForkBackend):
     def close(self) -> None:
         if self._workers is not None:
             workers, self._workers = self._workers, None
-            for _, conn in workers:
-                try:
-                    conn.send_bytes(bytes([_MSG_EXIT]))
-                except (BrokenPipeError, OSError):
-                    pass
-            for process, conn in workers:
-                process.join(timeout=2.0)
-                if process.is_alive():  # pragma: no cover - defensive
-                    process.terminate()
-                    process.join(timeout=1.0)
-                conn.close()
+            _shutdown_pool(workers, lambda conn: conn.send_bytes(bytes([_MSG_EXIT])))
+        # The retained worker context (respawn template) holds numpy views
+        # into the segments; drop them before the arena unlinks, or the
+        # SharedMemory objects could never close their mappings.
+        self._wctx = None
+        self._supervisor = None
+        self._updates = {}
+        self._untested_snapshot = {}
         plan = self._plan
         if plan is None:
             return

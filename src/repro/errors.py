@@ -99,10 +99,15 @@ class CheckpointError(ReproError):
 
 class BackendError(ReproError):
     """An execution backend (:mod:`repro.core.backend`) failed to dispatch
-    or merge a stage's blocks: a worker process died or raised, or the
+    or merge a stage's blocks: a worker raised an exception, or the
     stage's schedule violated the backend's one-block-per-processor
-    contract.  Distinct from :class:`ConfigurationError`: the configuration
-    was valid, the host-side execution machinery broke."""
+    contract.  Worker-raised failures identify the worker slot, its pid
+    and the in-flight blocks (stage, block positions, processors) in the
+    message.  Distinct from :class:`ConfigurationError`: the configuration
+    was valid, the host-side execution machinery broke.  A worker that
+    merely *dies* or hangs no longer raises this -- the supervisor
+    (:mod:`repro.core.supervise`) respawns it and re-dispatches the lost
+    blocks, degrading shm -> fork -> serial if the pool is beyond repair."""
 
 
 class ScheduleError(ReproError):

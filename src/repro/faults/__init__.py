@@ -22,6 +22,7 @@ Quick start::
 
 from repro.faults.chaos import random_plan
 from repro.faults.injector import FaultInjector
+from repro.faults.os_chaos import OsChaosEvent, OsChaosInjector, OsChaosPlan
 from repro.faults.plan import ANY_PROC, FaultEvent, FaultKind, FaultPlan
 from repro.faults.selfcheck import (
     UntestedAccessLog,
@@ -35,6 +36,9 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultInjector",
+    "OsChaosEvent",
+    "OsChaosInjector",
+    "OsChaosPlan",
     "random_plan",
     "UntestedAccessLog",
     "check_final_state",

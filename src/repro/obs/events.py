@@ -149,6 +149,25 @@ class Retry(StageEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class BackendDegraded(StageEvent):
+    """The execution backend's worker pool was abandoned mid-run.
+
+    Emitted when the worker supervisor (:mod:`repro.core.supervise`) gives
+    up on a fork/shm pool -- respawn budget exhausted or a poison block --
+    and the engine falls back down the shm -> fork -> serial chain.  The
+    stage's tasks re-run on the fallback backend from unchanged engine
+    state, so everything *after* this event is bit-identical to an
+    undisturbed run; the event is the only trace-visible mark of the
+    failover."""
+
+    kind = "backend_degraded"
+    stage: int
+    from_backend: str
+    to_backend: str
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
 class StageEnd(StageEvent):
     kind = "stage_end"
     stage: int
@@ -276,7 +295,7 @@ def event_from_dict(d: dict) -> StageEvent:
 #: Events legal only between a StageBegin and its StageEnd.
 _IN_STAGE = frozenset(
     {"block_executed", "fault_injected", "dependence_found", "commit",
-     "restore", "retry"}
+     "restore", "retry", "backend_degraded"}
 )
 
 #: Observability events: a stage id of ``None`` means run scope (legal

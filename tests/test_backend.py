@@ -185,16 +185,17 @@ class TestShmSegmentLifecycle:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
 
-    def test_worker_crash_leaves_no_leaked_segments(self, monkeypatch):
-        # A worker SIGKILLed mid-block must surface as a BackendError and
-        # leave nothing behind in /dev/shm: the engine's close() path
-        # unlinks every arena segment even though the worker never replied.
+    def test_worker_crash_degrades_and_leaves_no_leaked_segments(self, monkeypatch):
+        # A body that SIGKILLs every worker it reaches is a poison block:
+        # the supervisor degrades shm -> fork -> serial, the run still
+        # completes with the serial answer, and nothing is left behind in
+        # /dev/shm -- every arena segment is unlinked even though workers
+        # never replied.
         import os
         import signal
         from multiprocessing import shared_memory
 
         import repro.core.shm as shm_mod
-        from repro.errors import BackendError
         from repro.loopir.loop import ArraySpec, SpeculativeLoop
 
         created: list[str] = []
@@ -216,14 +217,23 @@ class TestShmSegmentLifecycle:
             ctx.store("A", i, float(i))
             ctx.work(1.0)
 
-        loop = SpeculativeLoop(
-            name="crash-mid-stage",
-            n_iterations=32,
-            body=body,
-            arrays=[ArraySpec("A", np.zeros(32, dtype=np.float64))],
-        )
-        with pytest.raises(BackendError, match="died mid-stage"):
-            parallelize(loop, 4, RuntimeConfig.nrd(backend="shm"))
+        def make_loop():
+            return SpeculativeLoop(
+                name="crash-mid-stage",
+                n_iterations=32,
+                body=body,
+                arrays=[ArraySpec("A", np.zeros(32, dtype=np.float64))],
+            )
+
+        result = parallelize(make_loop(), 4, RuntimeConfig.nrd(backend="shm"))
+        chain = [
+            (d["from"], d["to"])
+            for d in result.supervision["supervise.degradations"]
+        ]
+        assert chain == [("shm", "fork"), ("fork", "serial")]
+        serial = parallelize(make_loop(), 4, RuntimeConfig.nrd(backend="serial"))
+        assert result.memory.equals(serial.memory.snapshot())
+        assert repr(result.total_time) == repr(serial.total_time)
         assert created, "the shm backend allocated no segments?"
         for name in created:
             with pytest.raises(FileNotFoundError):
