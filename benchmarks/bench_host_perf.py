@@ -5,7 +5,9 @@ registered ``host_perf`` experiment at quick scale and asserts backend
 parity.  As a script it additionally writes the machine-readable results
 to ``BENCH_host.json`` -- appending a ``history`` entry (commit, date,
 per-workload speedups) to the existing file so regressions can be
-charted across commits -- and exits non-zero on any parity mismatch,
+charted across commits; re-running on the same ``(commit, cpus)`` pair
+replaces the earlier entry instead of duplicating it -- and exits
+non-zero on any parity mismatch,
 gate miss or crash, which is how CI gates the parallel backends::
 
     python benchmarks/bench_host_perf.py --quick --out BENCH_host.json
@@ -55,6 +57,13 @@ def _check(result) -> list[str]:
                 f"{backend} speedup {speedup:.2f}x on {name} is below the "
                 f"{floor:.1f}x floor for a {cpus}-cpu host"
             )
+    for prim, case in sorted(result.data["kernel_microbench"]["primitives"].items()):
+        if case["speedup"] <= 1.0:
+            problems.append(
+                f"vectorized kernel {prim} is not faster than the scalar "
+                f"reference ({case['speedup']:.2f}x at "
+                f"n={result.data['kernel_microbench']['n']})"
+            )
     overhead = result.data["metrics_overhead"]["overhead"]
     if overhead >= 0.05:
         problems.append(
@@ -69,6 +78,10 @@ def bench_host_perf(benchmark):
     assert not _check(result)
     # The vectorized copy-out must clearly beat the per-element loop.
     assert result.data["commit_microbench"]["speedup"] > 1.0
+    # Every vectorized kernel primitive must beat the scalar reference.
+    kern = result.data["kernel_microbench"]
+    assert kern["primitives"]
+    assert all(case["speedup"] > 1.0 for case in kern["primitives"].values())
 
 
 def _history_entry(result) -> dict:
@@ -105,6 +118,18 @@ def _load_history(path) -> list:
     return history if isinstance(history, list) else []
 
 
+def _merge_history(history: list, entry: dict) -> list:
+    """Append ``entry``, dropping any earlier entry for the same
+    ``(commit, cpus)`` pair -- re-running the benchmark on the same commit
+    and host size refreshes its measurement instead of duplicating it."""
+    key = (entry.get("commit"), entry.get("cpus"))
+    kept = [
+        old for old in history
+        if not (isinstance(old, dict) and (old.get("commit"), old.get("cpus")) == key)
+    ]
+    return kept + [entry]
+
+
 def main(argv=None) -> int:
     import argparse
     import json
@@ -125,7 +150,7 @@ def main(argv=None) -> int:
     result = run_experiment("host_perf", quick=args.quick)
     print(result.render())
     data = dict(result.data)
-    data["history"] = _load_history(args.out) + [_history_entry(result)]
+    data["history"] = _merge_history(_load_history(args.out), _history_entry(result))
     with open(args.out, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
     print(f"wrote {args.out} ({len(data['history'])} history entries)")

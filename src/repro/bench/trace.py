@@ -37,7 +37,7 @@ def render_stage_trace(result: RunResult) -> str:
         title=(
             f"{result.loop_name} under {result.strategy} on p={result.n_procs}: "
             f"{result.n_stages} stages, {result.n_restarts} restarts, "
-            f"speedup {result.speedup:.2f}x"
+            f"speedup {result.speedup:.2f}x, kernels {result.kernels}"
         ),
     )
 

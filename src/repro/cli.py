@@ -23,6 +23,7 @@ from typing import Callable
 from repro.bench.trace import render_breakdown, render_stage_trace
 from repro.config import RuntimeConfig
 from repro.core.backend import backend_names
+from repro.kernels import kernel_names
 from repro.core.ddg import extract_ddg
 from repro.core.engine import resolve_strategy, strategy_names
 from repro.core.runner import parallelize
@@ -137,6 +138,8 @@ def config_from_args(args) -> RuntimeConfig:
         overrides["backend"] = args.backend
     if getattr(args, "backend_workers", None) is not None:
         overrides["backend_workers"] = args.backend_workers
+    if getattr(args, "kernels", None) is not None:
+        overrides["kernels"] = args.kernels
     if getattr(args, "worker_timeout", None) is not None:
         overrides["worker_timeout"] = args.worker_timeout
     if getattr(args, "max_worker_respawns", None) is not None:
@@ -305,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--backend-workers", type=int, default=None, dest="backend_workers",
         metavar="N", help="worker processes for the fork/shm backends",
+    )
+    run_p.add_argument(
+        "--kernels", choices=kernel_names(), default=None,
+        help="hot-path kernels implementation (vector = numpy batch "
+        "primitives, scalar = pure-Python reference loops; results are "
+        "bit-identical, only host time changes)",
     )
     run_p.add_argument(
         "--worker-timeout", type=float, default=None, dest="worker_timeout",

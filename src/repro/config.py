@@ -125,6 +125,14 @@ class RuntimeConfig:
     """Worker-process count for out-of-process backends (``None`` = one per
     simulated processor, capped at the host CPU count)."""
 
+    kernels: str | None = None
+    """Hot-path kernels implementation (``None`` = the process-wide default,
+    normally ``"vector"``): ``"vector"`` runs the numpy-vectorized batch
+    primitives, ``"scalar"`` runs the pure-Python per-element reference
+    loops they are differentially tested against (:mod:`repro.kernels`).
+    Results, events and virtual-time accounting are bit-identical across
+    both; only host wall-clock time changes."""
+
     worker_timeout: float = 30.0
     """Minimum seconds a fork/shm worker may hold a dispatched share before
     the supervisor declares it hung, SIGKILLs it and re-dispatches its
@@ -183,6 +191,14 @@ class RuntimeConfig:
             raise ConfigurationError("worker_timeout_factor must be >= 1")
         if self.max_worker_respawns < 0:
             raise ConfigurationError("max_worker_respawns must be >= 0")
+        if self.kernels is not None:
+            from repro.kernels import kernel_names
+
+            if self.kernels not in kernel_names():
+                raise ConfigurationError(
+                    f"unknown kernels implementation {self.kernels!r}; "
+                    f"known: {', '.join(kernel_names())}"
+                )
         if self.redistribution is None:
             # The sliding window has its own (circular) assignment rule;
             # blocked-redistribution policies do not apply to it.

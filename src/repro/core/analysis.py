@@ -28,6 +28,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.config import TestCondition
+from repro.kernels import get_kernels
 from repro.shadow import ShadowArray
 
 Groups = Sequence[tuple[int, Mapping[str, ShadowArray]]]
@@ -90,8 +91,8 @@ def _mixed_sets(groups: Groups) -> dict[str, set[int]]:
         return {}
     red: dict[str, list[np.ndarray]] = {}
     normal: dict[str, list[np.ndarray]] = {}
-    for _, shadows in groups:
-        for name, shadow in shadows.items():
+    for _, shadows in groups:  # hot-path: per-group scan, not per-element
+        for name, shadow in shadows.items():  # hot-path: per-array scan
             if name not in updated:
                 continue
             upd = shadow.update_indices()
@@ -101,11 +102,11 @@ def _mixed_sets(groups: Groups) -> dict[str, set[int]]:
             if len(ordinary):
                 normal.setdefault(name, []).append(ordinary)
     mixed: dict[str, set[int]] = {}
-    for name, red_parts in red.items():
+    for name, red_parts in red.items():  # hot-path: per-array scan
         normal_parts = normal.get(name)
         if not normal_parts:
             continue
-        both = np.intersect1d(
+        both = get_kernels().intersect_indices(
             np.concatenate(red_parts), np.concatenate(normal_parts)
         )
         if len(both):
@@ -130,18 +131,20 @@ def _analyze_dense(groups: Groups) -> StageAnalysis:
     cumulative: dict[str, BitSet] = {}
     write_history: dict[str, list[tuple[int, object]]] = {}
     distinct: list[int] = []
-    for pos, (_proc, shadows) in enumerate(groups):
-        for name, shadow in shadows.items():
+    for pos, (_proc, shadows) in enumerate(groups):  # hot-path: per-group scan
+        for name, shadow in shadows.items():  # hot-path: per-array scan
             assert isinstance(shadow, DenseShadow)
             cum = cumulative.get(name)
             if cum is not None and shadow.exposed_bits.intersects(cum):
-                for index in (shadow.exposed_bits & cum).to_indices():
-                    index = int(index)
+                conflicts = get_kernels().and_words_indices(
+                    shadow.exposed_bits.words, cum.words, shadow.n_elements
+                )
+                for index in conflicts.tolist():  # hot-path: conflicting elements only
                     src = next(
                         p for p, bits in write_history[name] if bits.test(index)
                     )
                     arcs.append(DependenceArc(src, pos, name, index))
-        for name, shadow in shadows.items():
+        for name, shadow in shadows.items():  # hot-path: per-array scan
             writes = shadow.write_bits
             if writes:
                 if name in cumulative:
@@ -152,7 +155,7 @@ def _analyze_dense(groups: Groups) -> StageAnalysis:
         distinct.append(
             sum(shadow.distinct_refs() for shadow in shadows.values())
         )
-    earliest = min((arc.dst_pos for arc in arcs), default=None)
+    earliest = _earliest_sink(arcs)
     return StageAnalysis(
         earliest_sink_pos=earliest,
         arcs=arcs,
@@ -166,13 +169,21 @@ def _dense_eligible(groups: Groups) -> bool:
     exist (mixed-reduction reclassification needs the generic machinery)."""
     from repro.shadow.dense import DenseShadow
 
-    for _proc, shadows in groups:
-        for shadow in shadows.values():
+    for _proc, shadows in groups:  # hot-path: per-group scan, not per-element
+        for shadow in shadows.values():  # hot-path: per-array scan
             if not isinstance(shadow, DenseShadow):
                 return False
             if bool(shadow.update_bits):
                 return False
     return True
+
+
+def _earliest_sink(arcs: list[DependenceArc]) -> int | None:
+    """Earliest dependence-sink position, the R-LRPD commit boundary."""
+    if not arcs:
+        return None
+    sinks = np.fromiter((arc.dst_pos for arc in arcs), dtype=np.int64, count=len(arcs))
+    return get_kernels().reduce_min_max(sinks)[0]
 
 
 def analyze_stage(groups: Groups) -> StageAnalysis:
@@ -189,14 +200,16 @@ def analyze_stage(groups: Groups) -> StageAnalysis:
     # array -> element -> earliest writing position.
     written_before: dict[str, dict[int, int]] = {}
     distinct: list[int] = []
-    for pos, (_proc, shadows) in enumerate(groups):
-        for name, shadow in shadows.items():
+    for pos, (_proc, shadows) in enumerate(groups):  # hot-path: per-group scan
+        for name, shadow in shadows.items():  # hot-path: per-array scan
             name_mixed = mixed.get(name, set())
             exposed = shadow.exposed_read_set()
             if name_mixed:
                 exposed = exposed | (shadow.update_set() & name_mixed)
             writers = written_before.get(name)
             if writers:
+                # hot-path: generic (mixed-shadow) reference path; all-dense
+                # stages take the kernel fast path in _analyze_dense
                 for index in exposed:
                     src = writers.get(index)
                     if src is not None:
@@ -204,19 +217,20 @@ def analyze_stage(groups: Groups) -> StageAnalysis:
         # Register this group's writes only after its reads were checked:
         # intra-group read/write ordering is already folded into the
         # exposed-read bit by the shadow.
-        for name, shadow in shadows.items():
+        for name, shadow in shadows.items():  # hot-path: per-array scan
             name_mixed = mixed.get(name, set())
             writes = shadow.write_set()
             if name_mixed:
                 writes = writes | (shadow.update_set() & name_mixed)
             if writes:
                 writers = written_before.setdefault(name, {})
+                # hot-path: generic (mixed-shadow) reference path
                 for index in writes:
                     writers.setdefault(index, pos)
         distinct.append(
             sum(shadow.distinct_refs() for shadow in shadows.values())
         )
-    earliest = min((arc.dst_pos for arc in arcs), default=None)
+    earliest = _earliest_sink(arcs)
     return StageAnalysis(
         earliest_sink_pos=earliest,
         arcs=arcs,
@@ -241,8 +255,8 @@ def doall_valid(groups: Groups, condition: TestCondition) -> bool:
     mixed = _mixed_sets(groups)
     exposed_by: dict[str, dict[int, set[int]]] = {}
     written_by: dict[str, dict[int, set[int]]] = {}
-    for pos, (_proc, shadows) in enumerate(groups):
-        for name, shadow in shadows.items():
+    for pos, (_proc, shadows) in enumerate(groups):  # hot-path: per-group scan
+        for name, shadow in shadows.items():  # hot-path: per-array scan
             name_mixed = mixed.get(name, set())
             exposed = shadow.exposed_read_set()
             writes = shadow.write_set()
@@ -250,13 +264,15 @@ def doall_valid(groups: Groups, condition: TestCondition) -> bool:
                 extra = shadow.update_set() & name_mixed
                 exposed = exposed | extra
                 writes = writes | extra
+            # hot-path: PRIVATIZATION verdict is an offline oracle, not a
+            # per-stage runtime path
             for index in exposed:
                 exposed_by.setdefault(name, {}).setdefault(index, set()).add(pos)
-            for index in writes:
+            for index in writes:  # hot-path: offline oracle (see above)
                 written_by.setdefault(name, {}).setdefault(index, set()).add(pos)
-    for name, element_readers in exposed_by.items():
+    for name, element_readers in exposed_by.items():  # hot-path: offline oracle
         element_writers = written_by.get(name, {})
-        for index, readers in element_readers.items():
+        for index, readers in element_readers.items():  # hot-path: offline oracle
             writers = element_writers.get(index, set())
             if writers and (len(writers | readers) > 1):
                 return False

@@ -82,6 +82,7 @@ from repro.core.executor import (
 )
 from repro.core.supervise import WorkerSupervisor
 from repro.errors import BackendError, ConfigurationError
+from repro.kernels import get_kernels
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.memory import MemoryImage, SharedArray
 from repro.machine.timeline import Category
@@ -399,7 +400,7 @@ def _run_worker_task(wctx: _WorkerContext, task: BlockTask) -> _BlockDelta:
         for name, indices in ckpt.modified_by([block.proc]).items():
             if indices:
                 idx = np.asarray(indices, dtype=np.int64)
-                delta.untested[name] = (idx, wctx.memory[name].data[idx].copy())
+                delta.untested[name] = (idx, get_kernels().gather(wctx.memory[name].data, idx))
         # Undo this block's untested writes locally: the worker's memory
         # must stay equal to the last parent broadcast, else rolled-back
         # stages would leave stale values behind the parent's sync diff.
@@ -688,9 +689,8 @@ class ForkBackend(ExecutionBackend):
         state.executed.append(block)
         for name, (indices, values) in delta.untested.items():
             if eng.ckpt is not None:
-                for index in indices.tolist():
-                    eng.ckpt.note_write(proc, name, index)
-            machine.memory[name].data[indices] = values
+                eng.ckpt.note_write_many(proc, name, indices)
+            get_kernels().scatter(machine.memory[name].data, indices, values)
         if eng.untested_log is not None:
             for name, index in delta.untested_reads:
                 eng.untested_log.note_read(proc, name, index)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.executor import ProcessorState
+from repro.kernels import get_kernels
 from repro.loopir.loop import SpeculativeLoop
 from repro.machine.machine import Machine
 from repro.machine.timeline import Category
@@ -41,7 +42,7 @@ def commit_states(
                 continue
             indices, values = view.written_arrays()
             if len(indices):
-                machine.memory[name].data[indices] = values
+                get_kernels().scatter(machine.memory[name].data, indices, values)
                 n_elems += len(indices)
                 total_bytes += len(indices) * machine.memory[name].data.itemsize
         for name, partial in state.partials.items():

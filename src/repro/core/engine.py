@@ -60,6 +60,7 @@ from repro.core.supervise import (
     PoolDegradation,
     SupervisionStats,
 )
+from repro.kernels import resolve_kernels_name, use_kernels
 from repro.core.stage import (
     charge_analysis,
     charge_checkpoint_begin,
@@ -452,6 +453,7 @@ class StageEngine:
         self.faulted: dict[int, str] = {}
         self.states = {}
 
+        self.kernels_name = resolve_kernels_name(config)
         self.metrics_enabled = resolve_metrics_enabled(config)
         self.spans_enabled = resolve_spans_enabled(config)
         if self.metrics_enabled:
@@ -568,6 +570,12 @@ class StageEngine:
     # -- run --------------------------------------------------------------------
 
     def run(self) -> RunResult:
+        # The kernels scope covers worker forking (workers spawn lazily on
+        # the first dispatch), so fork/shm children inherit the run's choice.
+        with use_kernels(self.kernels_name):
+            return self._run()
+
+    def _run(self) -> RunResult:
         # RunBegin sits inside the try: whatever raises after this point --
         # the emit itself included -- still reaches the finally, so sinks
         # flush a usable partial trace instead of stranding buffered lines.
@@ -948,6 +956,7 @@ class StageEngine:
             iteration_times=self.final_iter_times,
             memory=self.machine.memory,
             exit_iteration=self.exit_iteration,
+            kernels=self.kernels_name,
             **self.strategy.result_extras(self),
         )
         if self.metrics_enabled:

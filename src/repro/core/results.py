@@ -109,6 +109,10 @@ class RunResult:
     """Final metrics-registry snapshot (:mod:`repro.obs.metrics`) when the
     run collected metrics; empty otherwise.  Deterministic counts only."""
 
+    kernels: str = "vector"
+    """Hot-path kernels implementation the run executed under
+    (:mod:`repro.kernels`); affects host time only, never results."""
+
     supervision: dict = field(default_factory=dict)
     """Flat ``supervise.*`` counters (:class:`~repro.core.supervise.
     SupervisionStats`) when the worker supervisor acted this run --
@@ -168,6 +172,7 @@ class RunResult:
             "T_par": self.total_time,
             "speedup": self.speedup,
             "overhead": self.overhead_time,
+            "kernels": self.kernels,
         }
         if self.faults_survived or self.retries:
             record["faults"] = self.faults_survived

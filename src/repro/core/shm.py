@@ -71,8 +71,10 @@ from repro.core.backend import (
     _shutdown_pool,
     make_all_private_state,
 )
+from repro.core import frames
 from repro.core.executor import ProcessorState, execute_block
 from repro.errors import BackendError
+from repro.kernels import get_kernels
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.memory import (
     DENSE_VIEW_THRESHOLD,
@@ -497,9 +499,13 @@ def _run_shm_task(wctx: _ShmWorkerContext, task: BlockTask) -> bytes:
     if not task.all_private:
         iter_count = len(state.iter_times)
         scratch = wctx.scratch
-        for k, i in enumerate(range(iter_start, iter_start + iter_count)):
-            scratch[block.proc, 0, k] = state.iter_times[i]
-            scratch[block.proc, 1, k] = state.iter_work[i]
+        kernels = get_kernels()
+        scratch[block.proc, 0, :iter_count] = kernels.pack_range_map(
+            state.iter_times, iter_start, iter_count
+        )
+        scratch[block.proc, 1, :iter_count] = kernels.pack_range_map(
+            state.iter_work, iter_start, iter_count
+        )
         views = {
             name: view.export_written()
             for name, view in state.views.items()
@@ -522,7 +528,7 @@ def _run_shm_task(wctx: _ShmWorkerContext, task: BlockTask) -> bytes:
             for name, indices in ckpt.modified_by([block.proc]).items():
                 if indices:
                     idx = np.asarray(indices, dtype=np.int64)
-                    untested[name] = (idx, wctx.memory[name].data[idx].copy())
+                    untested[name] = (idx, get_kernels().gather(wctx.memory[name].data, idx))
             if untested:
                 residue["untested"] = untested
             # Undo this block's untested writes: with the image in shared
@@ -540,7 +546,7 @@ def _run_shm_task(wctx: _ShmWorkerContext, task: BlockTask) -> bytes:
     if inductions or task.inductions is not None:
         residue["inductions"] = inductions
 
-    blob = pickle.dumps(residue, protocol=pickle.HIGHEST_PROTOCOL) if residue else b""
+    blob = frames.pack_residue(residue)
     out = bytearray(
         _DELTA.pack(
             task.pos,
@@ -591,7 +597,7 @@ def _parse_dispatch(wctx: _ShmWorkerContext, payload: bytes) -> list[BlockTask]:
         off += _TASK.size
         extras = {}
         if blob_len:
-            extras = pickle.loads(payload[off:off + blob_len])
+            extras = frames.unpack_task_extras(payload, off, blob_len)
             off += blob_len
         tasks.append(
             BlockTask(
@@ -679,7 +685,7 @@ def _parse_reply(payload: bytes) -> list[_ShmDelta]:
             charges.append((_CATEGORIES[cat_idx], amount))
         residue = {}
         if blob_len:
-            residue = pickle.loads(payload[off:off + blob_len])
+            residue = frames.unpack_residue(payload, off, blob_len)
             off += blob_len
         deltas.append(
             _ShmDelta(
@@ -916,10 +922,7 @@ class ShmBackend(ForkBackend):
                 extras["inductions"] = task.inductions
             if task.marklists is not None:
                 extras["marklists"] = task.marklists
-            task_blob = (
-                pickle.dumps(extras, protocol=pickle.HIGHEST_PROTOCOL)
-                if extras else b""
-            )
+            task_blob = frames.pack_task_extras(extras)
             flags = 0
             death_at = -1
             if task.death is not None:
@@ -1083,9 +1086,8 @@ class ShmBackend(ForkBackend):
         state.executed.append(block)
         for name, (indices, values) in residue.get("untested", {}).items():
             if eng.ckpt is not None:
-                for index in indices.tolist():
-                    eng.ckpt.note_write(proc, name, index)
-            machine.memory[name].data[indices] = values
+                eng.ckpt.note_write_many(proc, name, indices)
+            get_kernels().scatter(machine.memory[name].data, indices, values)
         if eng.untested_log is not None:
             for name, index in residue.get("untested_reads", ()):
                 eng.untested_log.note_read(proc, name, index)

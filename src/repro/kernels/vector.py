@@ -1,0 +1,229 @@
+"""Numpy-vectorized hot-path kernels (the production default).
+
+Same API and bit-identical semantics as the scalar reference
+(:mod:`repro.kernels.scalar` -- see its docstring for the conventions);
+each primitive here replaces the reference's per-element Python loop with
+a constant number of numpy array operations.  The dict/set-backed sparse
+primitives are the one exception: Python containers admit no true
+vectorization, so those kernels batch the bounds checks and bulk
+``update`` calls but still touch elements through the container protocol.
+
+Equivalence with the scalar reference is enforced by the property-based
+differential tests in ``tests/test_kernels.py`` (random index/value decks
+with duplicates and aliasing) and by the golden parity CI leg that runs
+the full matrix under ``REPRO_KERNELS=scalar``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ONE = np.uint64(1)
+
+
+def _check_bounds(idx: np.ndarray, size: int) -> None:
+    bad = (idx < 0) | (idx >= size)
+    if bad.any():
+        index = int(idx[int(np.argmax(bad))])
+        raise IndexError(f"element {index} out of range [0, {size})")
+
+
+def _word_masks(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    return idx >> 6, _ONE << (idx & 63).astype(np.uint64)
+
+
+# -- packed bit planes (dense shadow marking) -----------------------------------
+
+
+def set_bits(words: np.ndarray, size: int, indices: np.ndarray) -> None:
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return
+    _check_bounds(idx, size)
+    word, mask = _word_masks(idx)
+    np.bitwise_or.at(words, word, mask)
+
+
+def mark_reads_bits(
+    write_words: np.ndarray,
+    exposed_words: np.ndarray,
+    any_read_words: np.ndarray,
+    size: int,
+    indices: np.ndarray,
+) -> None:
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return
+    _check_bounds(idx, size)
+    word, mask = _word_masks(idx)
+    np.bitwise_or.at(any_read_words, word, mask)
+    # The write plane is not modified here, so filtering against it before
+    # or after setting any-read bits is equivalent to the reference loop.
+    unwritten = (write_words[word] & mask) == 0
+    np.bitwise_or.at(exposed_words, word[unwritten], mask[unwritten])
+
+
+def or_words(dst: np.ndarray, src: np.ndarray) -> None:
+    np.bitwise_or(dst, src, out=dst)
+
+
+def words_intersect(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool((a & b).any())
+
+
+def and_words_indices(a: np.ndarray, b: np.ndarray, size: int) -> np.ndarray:
+    bits = np.unpackbits((a & b).view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits[:size]).astype(np.int64, copy=False)
+
+
+def bits_to_indices(words: np.ndarray, size: int) -> np.ndarray:
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits[:size]).astype(np.int64, copy=False)
+
+
+def popcount(words: np.ndarray) -> int:
+    # np.uint64 bit_count needs numpy>=2; unpackbits keeps 1.x support.
+    return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+# -- set-backed sparse shadow marking -------------------------------------------
+
+
+def mark_writes_set(target: set, size: int, indices) -> None:
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return
+    _check_bounds(idx, size)
+    target.update(idx.tolist())
+
+
+def mark_reads_set(
+    write_set: set, exposed_set: set, any_read_set: set, size: int, indices
+) -> None:
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size == 0:
+        return
+    _check_bounds(idx, size)
+    ids = idx.tolist()
+    exposed_set.update(i for i in ids if i not in write_set)
+    any_read_set.update(ids)
+
+
+# -- dense private-view copies ---------------------------------------------------
+
+
+def copy_in_dense(
+    values: np.ndarray, have: np.ndarray, shared_data: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, int]:
+    idx = np.asarray(indices)
+    missing = np.unique(idx[~have[idx]])
+    if len(missing):
+        values[missing] = shared_data[missing]
+        have[missing] = True
+    return values[idx], len(missing)
+
+
+def store_dense(
+    values: np.ndarray,
+    have: np.ndarray,
+    written: np.ndarray,
+    indices: np.ndarray,
+    new_values: np.ndarray,
+) -> None:
+    values[indices] = new_values
+    have[indices] = True
+    written[indices] = True
+
+
+def copy_out_dense(
+    values: np.ndarray, written: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    idx = np.flatnonzero(written)
+    return idx, values[idx]
+
+
+# -- sparse (dict-backed) private-view copies ------------------------------------
+
+
+def copy_in_sparse(
+    value_map: dict, shared_data: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, int]:
+    idx = np.asarray(indices)
+    ids = idx.tolist()
+    missing = sorted({i for i in ids if i not in value_map})
+    if missing:
+        gathered = shared_data[np.fromiter(missing, np.int64, len(missing))]
+        value_map.update(zip(missing, gathered))
+    out = np.empty(len(ids), dtype=shared_data.dtype)
+    for k, index in enumerate(ids):  # dict gather; no array backing to index
+        out[k] = value_map[index]
+    return out, len(missing)
+
+
+def store_sparse(value_map: dict, written: set, indices: np.ndarray, new_values) -> None:
+    ids = np.asarray(indices).tolist()
+    value_map.update(zip(ids, new_values))
+    written.update(ids)
+
+
+def copy_out_sparse(
+    value_map: dict, written: set, dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    order = sorted(written)
+    idx = np.fromiter(order, dtype=np.int64, count=len(order))
+    vals = np.empty(len(order), dtype=dtype)
+    for k, index in enumerate(order):  # dict gather; no array backing to index
+        vals[k] = value_map[index]
+    return idx, vals
+
+
+# -- scatter / gather / packing --------------------------------------------------
+
+
+def gather(data: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    return data[np.asarray(indices)]
+
+
+def scatter(data: np.ndarray, indices: np.ndarray, values) -> None:
+    data[indices] = values
+
+
+def pack_values(values, dtype) -> np.ndarray:
+    out = np.empty(len(values), dtype=dtype)
+    if len(values):
+        out[:] = values
+    return out
+
+
+def pack_range_map(mapping, start: int, count: int) -> np.ndarray:
+    return np.fromiter(
+        (mapping[start + k] for k in range(count)), dtype=np.float64, count=count
+    )
+
+
+# -- analysis reductions ---------------------------------------------------------
+
+
+#: Widest element-address span the table-based intersection may allocate a
+#: lookup table for (one byte per address: 16 MiB).
+_ISIN_TABLE_SPAN = 1 << 24
+
+
+def intersect_indices(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if not len(a) or not len(b):
+        return np.empty(0, dtype=np.int64)
+    # Element addresses are non-negative and bounded by the array size, so
+    # a table-based membership test usually applies and beats the sort-
+    # based np.intersect1d by several times.
+    lo = min(int(a.min()), int(b.min()))
+    hi = max(int(a.max()), int(b.max()))
+    if 0 <= lo and hi - lo <= _ISIN_TABLE_SPAN:
+        return np.unique(a[np.isin(a, b, kind="table")]).astype(np.int64, copy=False)
+    return np.intersect1d(a, b).astype(np.int64, copy=False)
+
+
+def reduce_min_max(values: np.ndarray) -> tuple[int, int]:
+    arr = np.asarray(values)
+    return int(arr.min()), int(arr.max())

@@ -28,6 +28,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from repro.errors import CheckpointError
+from repro.kernels import get_kernels
 from repro.machine.memory import MemoryImage
 
 
@@ -92,6 +93,40 @@ class CheckpointManager:
             saved[index] = (proc, self._full[name][index])
         return 0
 
+    def note_write_many(self, proc: int, name: str, indices: np.ndarray) -> int:
+        """Batch :meth:`note_write` over an index array (duplicates allowed).
+
+        Returns the number of elements newly checkpointed, i.e. the number
+        of distinct first touches when on-demand (0 in full mode), so the
+        caller charges exactly what per-element calls would have charged.
+        """
+        if not self._stage_active:
+            raise CheckpointError(
+                f"note_write({name!r}) before begin_stage(): the checkpoint "
+                "epoch has not been opened; drivers must call begin_stage() "
+                "once per speculative stage before any untested write"
+            )
+        if name not in self._saved:
+            raise CheckpointError(f"array {name!r} is not under checkpoint")
+        ids = np.asarray(indices).tolist()
+        writers_map = self._writers[name]
+        saved = self._saved[name]
+        new: list[int] = []
+        seen_new: set[int] = set()
+        for index in ids:
+            writers_map.setdefault(index, set()).add(proc)
+            if index not in saved and index not in seen_new:
+                seen_new.add(index)
+                new.append(index)
+        if new:
+            source = self._memory[name].data if self.on_demand else self._full[name]
+            old = get_kernels().gather(source, np.fromiter(new, np.int64, len(new)))
+            for k, index in enumerate(new):
+                saved[index] = (proc, old[k])
+            if self.on_demand:
+                self.elements_checkpointed += len(new)
+        return len(new) if self.on_demand else 0
+
     def restore_failed(self, failed_procs: Iterable[int]) -> int:
         """Roll back elements first-touched by failed processors.
 
@@ -119,13 +154,13 @@ class CheckpointManager:
                     )
                 dirty.append(index)
             if dirty:
-                # One fancy-indexed assignment over the dirty slice instead
-                # of a per-element Python loop over the whole array.
+                # One kernel scatter over the dirty slice instead of a
+                # per-element Python loop over the whole array.
                 indices = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
-                old = np.empty(len(dirty), dtype=data.dtype)
-                for k, index in enumerate(dirty):
-                    old[k] = saved[index][1]
-                data[indices] = old
+                old = get_kernels().pack_values(
+                    [saved[index][1] for index in dirty], data.dtype
+                )
+                get_kernels().scatter(data, indices, old)
                 restored += len(dirty)
                 self.last_restored_bytes += len(dirty) * data.dtype.itemsize
             # Failed procs will re-write; drop their logs so the next stage

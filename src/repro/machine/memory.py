@@ -24,6 +24,8 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.kernels import get_kernels
+
 
 class SharedArray:
     """A named, one-dimensional shared array.
@@ -57,7 +59,7 @@ class MemoryImage:
 
     def __init__(self, arrays: Iterable[SharedArray] = ()) -> None:
         self._arrays: dict[str, SharedArray] = {}
-        for array in arrays:
+        for array in arrays:  # hot-path: per-array, setup only
             self.add(array)
 
     def add(self, array: SharedArray) -> None:
@@ -85,7 +87,7 @@ class MemoryImage:
 
     def restore(self, snapshot: Mapping[str, np.ndarray]) -> None:
         """Overwrite all arrays from a snapshot taken earlier."""
-        for name, data in snapshot.items():
+        for name, data in snapshot.items():  # hot-path: per-array bulk copy
             self[name].data[:] = data
 
     def equals(self, snapshot: Mapping[str, np.ndarray]) -> bool:
@@ -156,9 +158,9 @@ class PrivateView:
         indices = np.fromiter(
             (i for i, _ in pairs), dtype=np.int64, count=len(pairs)
         )
-        values = np.empty(len(pairs), dtype=self.shared.data.dtype)
-        for k, (_, value) in enumerate(pairs):
-            values[k] = value
+        values = get_kernels().pack_values(
+            [value for _, value in pairs], self.shared.data.dtype
+        )
         return indices, values
 
     def export_written(self) -> object:
@@ -174,6 +176,8 @@ class PrivateView:
 
     def store_many(self, indices: np.ndarray, values: np.ndarray) -> None:
         """Bulk :meth:`store` over parallel index/value arrays."""
+        # hot-path: generic fallback for custom views; the shipped dense and
+        # sparse views override this with a kernel batch call.
         for index, value in zip(indices.tolist(), values):
             self.store(index, value)
 
@@ -183,6 +187,8 @@ class PrivateView:
         copied = 0
         out = np.empty(len(indices), dtype=self.shared.data.dtype)
         seen: set[int] = set()
+        # hot-path: generic fallback for custom views; the shipped dense and
+        # sparse views override this with a kernel batch call.
         for k, index in enumerate(indices.tolist()):
             value, copied_in = self.load(index)
             out[k] = value
@@ -236,6 +242,7 @@ class DensePrivateView(PrivateView):
         return bool(self._have[index])
 
     def written_items(self):
+        # hot-path: compat iterator; the commit phase uses written_arrays
         for index in np.flatnonzero(self._written):
             yield int(index), self._values[index]
 
@@ -243,8 +250,7 @@ class DensePrivateView(PrivateView):
         return np.flatnonzero(self._written)
 
     def written_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        indices = np.flatnonzero(self._written)
-        return indices, self._values[indices]
+        return get_kernels().copy_out_dense(self._values, self._written)
 
     def export_written(self) -> tuple[np.ndarray, np.ndarray]:
         return self.written_arrays()
@@ -252,21 +258,19 @@ class DensePrivateView(PrivateView):
     def absorb_written(self, payload: tuple[np.ndarray, np.ndarray]) -> None:
         indices, values = payload
         if len(indices):
-            self._values[indices] = values
-            self._have[indices] = True
-            self._written[indices] = True
+            get_kernels().store_dense(
+                self._values, self._have, self._written, indices, values
+            )
 
     def store_many(self, indices: np.ndarray, values: np.ndarray) -> None:
-        self._values[indices] = values
-        self._have[indices] = True
-        self._written[indices] = True
+        get_kernels().store_dense(
+            self._values, self._have, self._written, indices, values
+        )
 
     def load_many(self, indices: np.ndarray) -> tuple[np.ndarray, int]:
-        missing = np.unique(indices[~self._have[indices]])
-        if len(missing):
-            self._values[missing] = self.shared.data[missing]
-            self._have[missing] = True
-        return self._values[indices], len(missing)
+        return get_kernels().copy_in_dense(
+            self._values, self._have, self.shared.data, indices
+        )
 
     def n_written(self) -> int:
         return int(self._written.sum())
@@ -307,6 +311,7 @@ class SparsePrivateView(PrivateView):
         return index in self._values
 
     def written_items(self):
+        # hot-path: compat iterator; the commit phase uses written_arrays
         for index in sorted(self._written):
             yield index, self._values[index]
 
@@ -314,11 +319,9 @@ class SparsePrivateView(PrivateView):
         return np.fromiter(sorted(self._written), dtype=np.int64, count=len(self._written))
 
     def written_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        indices = self.written_indices()
-        values = np.empty(len(indices), dtype=self.shared.data.dtype)
-        for k, index in enumerate(indices.tolist()):
-            values[k] = self._values[index]
-        return indices, values
+        return get_kernels().copy_out_sparse(
+            self._values, self._written, self.shared.data.dtype
+        )
 
     def export_written(self) -> tuple[np.ndarray, np.ndarray]:
         # Paired index/value arrays, not a per-element dict: pickling one
@@ -330,9 +333,13 @@ class SparsePrivateView(PrivateView):
 
     def absorb_written(self, payload: tuple[np.ndarray, np.ndarray]) -> None:
         indices, values = payload
-        for index, value in zip(indices.tolist(), values):
-            self._values[index] = value
-        self._written.update(indices.tolist())
+        get_kernels().store_sparse(self._values, self._written, indices, values)
+
+    def store_many(self, indices: np.ndarray, values: np.ndarray) -> None:
+        get_kernels().store_sparse(self._values, self._written, indices, values)
+
+    def load_many(self, indices: np.ndarray) -> tuple[np.ndarray, int]:
+        return get_kernels().copy_in_sparse(self._values, self.shared.data, indices)
 
     def n_written(self) -> int:
         return len(self._written)

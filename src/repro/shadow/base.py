@@ -45,14 +45,18 @@ class ShadowArray:
     # single vectorized read operation does).
 
     def mark_read_many(self, indices: np.ndarray) -> None:
+        # hot-path: generic fallback for custom shadows; the shipped dense
+        # and sparse shadows override this with a kernel batch call.
         for index in indices.tolist():
             self.mark_read(index)
 
     def mark_write_many(self, indices: np.ndarray) -> None:
+        # hot-path: generic fallback (see mark_read_many)
         for index in indices.tolist():
             self.mark_write(index)
 
     def mark_update_many(self, indices: np.ndarray) -> None:
+        # hot-path: generic fallback (see mark_read_many)
         for index in indices.tolist():
             self.mark_update(index)
 

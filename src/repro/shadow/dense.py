@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import get_kernels
 from repro.shadow.base import ShadowArray
 from repro.util.bitset import BitSet
 
@@ -39,16 +40,23 @@ class DenseShadow(ShadowArray):
         self._update.set(index)
 
     def mark_read_many(self, indices: np.ndarray) -> None:
-        batch = BitSet(self.n_elements)
-        batch.set_many(indices)
-        self._any_read |= batch
-        self._exposed |= batch - self._write
+        get_kernels().mark_reads_bits(
+            self._write.words,
+            self._exposed.words,
+            self._any_read.words,
+            self.n_elements,
+            np.asarray(indices, dtype=np.int64),
+        )
 
     def mark_write_many(self, indices: np.ndarray) -> None:
-        self._write.set_many(indices)
+        get_kernels().set_bits(
+            self._write.words, self.n_elements, np.asarray(indices, dtype=np.int64)
+        )
 
     def mark_update_many(self, indices: np.ndarray) -> None:
-        self._update.set_many(indices)
+        get_kernels().set_bits(
+            self._update.words, self.n_elements, np.asarray(indices, dtype=np.int64)
+        )
 
     # -- queries --------------------------------------------------------------
 

@@ -88,7 +88,7 @@ class InvertedEdgeTable:
         graph = nx.DiGraph()
         if n_iterations is not None:
             graph.add_nodes_from(range(n_iterations))
-        for edge in self._edges:
+        for edge in self._edges:  # hot-path: offline DDG export, per-edge
             if graph.has_edge(edge.src, edge.dst):
                 graph[edge.src][edge.dst]["kinds"].add(edge.kind)
             else:

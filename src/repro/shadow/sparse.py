@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import get_kernels
 from repro.shadow.base import ShadowArray
 
 
@@ -47,22 +48,16 @@ class SparseShadow(ShadowArray):
     def mark_update(self, index: int) -> None:
         self._update.add(self._check(index))
 
-    def _check_many(self, indices) -> list[int]:
-        ids = [int(i) for i in indices]
-        for index in ids:
-            self._check(index)
-        return ids
-
     def mark_read_many(self, indices) -> None:
-        ids = self._check_many(indices)
-        self._exposed.update(i for i in ids if i not in self._write)
-        self._any_read.update(ids)
+        get_kernels().mark_reads_set(
+            self._write, self._exposed, self._any_read, self.n_elements, indices
+        )
 
     def mark_write_many(self, indices) -> None:
-        self._write.update(self._check_many(indices))
+        get_kernels().mark_writes_set(self._write, self.n_elements, indices)
 
     def mark_update_many(self, indices) -> None:
-        self._update.update(self._check_many(indices))
+        get_kernels().mark_writes_set(self._update, self.n_elements, indices)
 
     # -- queries --------------------------------------------------------------
 

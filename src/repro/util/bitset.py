@@ -14,6 +14,8 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.kernels import get_kernels
+
 _WORD_BITS = 64
 
 
@@ -62,8 +64,7 @@ class BitSet:
 
     def __len__(self) -> int:
         """Population count: number of set bits."""
-        # np.uint64 bit_count needs numpy>=2; unpackbits keeps 1.x support.
-        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+        return get_kernels().popcount(self._words)
 
     def __bool__(self) -> bool:
         return bool(self._words.any())
@@ -109,14 +110,9 @@ class BitSet:
         return bool(self._words[word] & mask)
 
     def set_many(self, indices: np.ndarray) -> None:
-        """Set all bits in ``indices`` (vectorized)."""
-        idx = np.asarray(indices, dtype=np.int64)
-        if idx.size == 0:
-            return
-        if idx.min() < 0 or idx.max() >= self._size:
-            raise IndexError("index out of range in set_many")
-        np.bitwise_or.at(
-            self._words, idx >> 6, np.uint64(1) << (idx & 63).astype(np.uint64)
+        """Set all bits in ``indices`` (kernel batch op)."""
+        get_kernels().set_bits(
+            self._words, self._size, np.asarray(indices, dtype=np.int64)
         )
 
     def reset(self) -> None:
@@ -147,21 +143,20 @@ class BitSet:
     def __ior__(self, other: "BitSet") -> "BitSet":
         if self._size != other._size:
             raise ValueError(f"size mismatch: {self._size} vs {other._size}")
-        self._words |= other._words
+        get_kernels().or_words(self._words, other._words)
         return self
 
     def intersects(self, other: "BitSet") -> bool:
         """True if any bit is set in both (cheaper than ``bool(a & b)``)."""
         if self._size != other._size:
             raise ValueError(f"size mismatch: {self._size} vs {other._size}")
-        return bool((self._words & other._words).any())
+        return get_kernels().words_intersect(self._words, other._words)
 
     # -- export --------------------------------------------------------------
 
     def to_indices(self) -> np.ndarray:
         """Return the sorted array of set bit positions."""
-        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
-        return np.flatnonzero(bits[: self._size])
+        return get_kernels().bits_to_indices(self._words, self._size)
 
     def copy(self) -> "BitSet":
         return BitSet(self._size, self._words.copy())
