@@ -1,22 +1,27 @@
-"""Host wall-clock sweep: serial/fork/shm backends + vectorized commit.
+"""Host wall-clock sweep: serial/fork/shm/threads backends + kernels.
 
 As a benchmark (``pytest benchmarks/bench_host_perf.py``) it runs the
 registered ``host_perf`` experiment at quick scale and asserts backend
 parity.  As a script it additionally writes the machine-readable results
 to ``BENCH_host.json`` -- appending a ``history`` entry (commit, date,
-per-workload speedups) to the existing file so regressions can be
-charted across commits; re-running on the same ``(commit, cpus)`` pair
-replaces the earlier entry instead of duplicating it -- and exits
+per-workload speedups, backend set, GIL mode) to the existing file so
+regressions can be charted across commits and interpreter builds;
+re-running on the same ``(commit, cpus, gil)`` triple replaces the
+earlier entry instead of duplicating it -- and exits
 non-zero on any parity mismatch,
 gate miss or crash, which is how CI gates the parallel backends::
 
     python benchmarks/bench_host_perf.py --quick --out BENCH_host.json
 
 Speedup gates are conditioned on the host CPU count recorded in the
-results: with 4+ cpus (the CI runner size) shm must reach 1.5x serial on
-the dense doall and at least break even on the sparse SPICE loop; with
-2-3 cpus it must only break even on the doall; on a single core no
-speedup is physically possible and only parity is asserted.
+results: with 4+ cpus (the CI runner size) shm and threads must reach
+1.5x serial on the dense doall and at least break even on the sparse
+SPICE loop; with 2-3 cpus both must break even (threads on both
+workloads); on a single core no speedup is physically possible, so
+parity is asserted plus one relative gate -- threads dispatch overhead
+must be strictly below fork's on the dense doall (threads pays no fork,
+no memory sync and no pickling, so losing to fork means the dispatch
+path regressed).
 """
 
 import sys
@@ -28,8 +33,14 @@ from _common import run_figure
 _GATES_4CPU = (
     ("doall-dense", "shm", 1.5),
     ("spice15-sparse", "shm", 1.0),
+    ("doall-dense", "threads", 1.5),
+    ("spice15-sparse", "threads", 1.0),
 )
-_GATES_2CPU = (("doall-dense", "shm", 1.0),)
+_GATES_2CPU = (
+    ("doall-dense", "shm", 1.0),
+    ("doall-dense", "threads", 1.0),
+    ("spice15-sparse", "threads", 1.0),
+)
 
 
 def _speedup_gates(cpus: int):
@@ -50,6 +61,16 @@ def _check(result) -> list[str]:
                 f"(n={entry['n']}, p={entry['procs']})"
             )
     cpus = result.data["host"]["cpus"] or 1
+    if cpus < 2:
+        # No parallel speedup is possible, but the threads dispatch path
+        # must still be cheaper than fork's on the dense doall.
+        dense = workloads["doall-dense"]["speedup"]
+        if dense["threads"] <= dense["fork"]:
+            problems.append(
+                f"threads dispatch overhead ({dense['threads']:.2f}x serial) "
+                f"is not below fork's ({dense['fork']:.2f}x) on doall-dense "
+                "at 1 cpu"
+            )
     for name, backend, floor in _speedup_gates(cpus):
         speedup = workloads[name]["speedup"][backend]
         if speedup < floor:
@@ -95,10 +116,13 @@ def _history_entry(result) -> dict:
         ).stdout.strip() or None
     except (OSError, subprocess.SubprocessError):
         commit = None
+    host = result.data["host"]
     return {
         "commit": commit,
         "date": datetime.datetime.now(datetime.timezone.utc).date().isoformat(),
-        "cpus": result.data["host"]["cpus"],
+        "cpus": host["cpus"],
+        "gil": host.get("gil"),
+        "backends": host.get("backends"),
         "speedups": {
             entry["name"]: entry["speedup"]
             for entry in result.data["workloads"]
@@ -120,12 +144,17 @@ def _load_history(path) -> list:
 
 def _merge_history(history: list, entry: dict) -> list:
     """Append ``entry``, dropping any earlier entry for the same
-    ``(commit, cpus)`` pair -- re-running the benchmark on the same commit
-    and host size refreshes its measurement instead of duplicating it."""
-    key = (entry.get("commit"), entry.get("cpus"))
+    ``(commit, cpus, gil)`` triple -- re-running the benchmark on the same
+    commit, host size and interpreter build refreshes its measurement
+    instead of duplicating it, while runs on a free-threaded build keep
+    their own trajectory next to the stock-GIL one."""
+    key = (entry.get("commit"), entry.get("cpus"), entry.get("gil"))
     kept = [
         old for old in history
-        if not (isinstance(old, dict) and (old.get("commit"), old.get("cpus")) == key)
+        if not (
+            isinstance(old, dict)
+            and (old.get("commit"), old.get("cpus"), old.get("gil")) == key
+        )
     ]
     return kept + [entry]
 

@@ -38,6 +38,8 @@ def render_stage_trace(result: RunResult) -> str:
             f"{result.loop_name} under {result.strategy} on p={result.n_procs}: "
             f"{result.n_stages} stages, {result.n_restarts} restarts, "
             f"speedup {result.speedup:.2f}x, kernels {result.kernels}"
+            + ("" if result.backend == "serial" else f", backend {result.backend}")
+            + ("" if result.thread_mode is None else f" ({result.thread_mode})")
         ),
     )
 

@@ -307,7 +307,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument(
         "--backend-workers", type=int, default=None, dest="backend_workers",
-        metavar="N", help="worker processes for the fork/shm backends",
+        metavar="N", help="workers for the fork/shm pools (processes) and "
+        "the threads pool (threads)",
     )
     run_p.add_argument(
         "--kernels", choices=kernel_names(), default=None,
@@ -318,13 +319,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--worker-timeout", type=float, default=None, dest="worker_timeout",
         metavar="SEC", help="floor of the supervisor's per-dispatch worker "
-        "deadline; an unresponsive fork/shm worker is killed and its "
-        "blocks re-dispatched after at most this many seconds",
+        "deadline; an unresponsive worker is stopped (fork/shm: SIGKILL, "
+        "threads: cooperative cancellation) and its blocks re-dispatched "
+        "after at most this many seconds",
     )
     run_p.add_argument(
         "--max-worker-respawns", type=int, default=None,
         dest="max_worker_respawns", metavar="N",
-        help="replacement workers a fork/shm pool may fork after crashes "
+        help="worker recoveries a parallel pool may spend on crashes "
         "or hangs before degrading to the next backend down the "
         "shm->fork->serial chain",
     )

@@ -116,14 +116,19 @@ class RuntimeConfig:
     blocks in-process one after another, ``"fork"`` dispatches them to a
     persistent pool of forked worker processes, ``"shm"`` runs the same
     pool over a zero-copy shared-memory data plane with struct-packed
-    pipes (:mod:`repro.core.shm` -- the fast parallel path).  Results and
+    pipes (:mod:`repro.core.shm`), and ``"threads"`` runs blocks on
+    worker threads inside the engine's own process over the GIL-releasing
+    kernel seam -- no fork, no diff-sync, no pickling
+    (:mod:`repro.core.threads`; the cheapest dispatch, truly parallel on
+    free-threaded builds).  Results and
     virtual-time accounting are bit-identical across all of them; only
     host wall-clock time changes.  Unknown names fail when the engine
     resolves the backend (:func:`repro.core.backend.make_backend`)."""
 
     backend_workers: int | None = None
-    """Worker-process count for out-of-process backends (``None`` = one per
-    simulated processor, capped at the host CPU count)."""
+    """Worker count for parallel backends -- processes for fork/shm,
+    threads for the threads backend (``None`` = one per simulated
+    processor, capped at the host CPU count)."""
 
     kernels: str | None = None
     """Hot-path kernels implementation (``None`` = the process-wide default,
@@ -134,9 +139,12 @@ class RuntimeConfig:
     both; only host wall-clock time changes."""
 
     worker_timeout: float = 30.0
-    """Minimum seconds a fork/shm worker may hold a dispatched share before
-    the supervisor declares it hung, SIGKILLs it and re-dispatches its
-    blocks (:mod:`repro.core.supervise`).  This is the *floor* of an
+    """Minimum seconds a worker may hold a dispatched share before the
+    supervisor declares it hung -- fork/shm workers are SIGKILLed and
+    re-forked, threads workers get a cooperative cancellation flag
+    honoured at the next iteration boundary -- and its blocks are
+    re-dispatched (:mod:`repro.core.supervise`,
+    :mod:`repro.core.threads`).  This is the *floor* of an
     adaptive deadline: once blocks have completed, the deadline grows to
     ``worker_timeout_factor`` times the observed per-block maximum, so
     slow-but-alive workers on long blocks are never misread as hangs."""
@@ -146,16 +154,19 @@ class RuntimeConfig:
     supervisor's deadline (see ``worker_timeout``)."""
 
     max_worker_respawns: int = 3
-    """Replacement workers a fork/shm backend may fork over its lifetime
-    after crashes or hangs.  On exhaustion (or a poison block that kills
-    every worker it touches) the backend degrades gracefully down the
-    shm -> fork -> serial chain instead of aborting the run."""
+    """Worker recoveries a parallel backend may spend over its lifetime:
+    replacement processes forked after fork/shm crashes or hangs, and
+    cancel-and-redispatch cycles on the threads backend.  On exhaustion
+    (or a poison block that kills every worker it touches) the backend
+    degrades gracefully (shm -> fork -> serial, threads -> serial)
+    instead of aborting the run."""
 
     os_chaos: "OsChaosPlan | None" = None
     """OS-level chaos schedule (:mod:`repro.faults.os_chaos`): SIGKILL or
     SIGSTOP real fork/shm workers at planned (stage, worker) points to
     exercise the supervision layer.  ``None`` = no OS faults.  Composable
-    with the logical ``fault_plan``."""
+    with the logical ``fault_plan``.  The threads backend refuses chaos
+    configs -- its workers share the engine's process."""
 
     metrics: bool | None = None
     """Collect runtime metrics (:mod:`repro.obs.metrics`): counters and

@@ -7,10 +7,17 @@ exploits that: the :class:`StageEngine` hands the stage's blocks to a
 backend as :class:`BlockTask` descriptors and receives :class:`BlockOutcome`
 objects back, without caring *where* the blocks ran.
 
-Three backends are provided:
+Four backends are provided:
 
 * ``serial`` (the default) executes blocks one after another in-process,
   exactly the pre-backend behavior.
+* ``threads`` (:mod:`repro.core.threads`, registered lazily) runs a
+  persistent pool of worker *threads* directly against the engine's own
+  processor states and shared memory -- no fork, no memory diff-sync, no
+  pipes, no pickling.  The hot loops are GIL-releasing
+  :mod:`repro.kernels` calls (and truly concurrent on free-threaded
+  CPython builds); only folded charges, metrics snapshots and untested
+  captures travel through the per-worker queues, merged in block order.
 * ``shm`` (:mod:`repro.core.shm`, registered lazily) runs forked workers
   over a zero-copy shared-memory data plane: the memory image and the
   dense private views/shadow bit planes live in shared segments, and the
@@ -69,6 +76,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -318,6 +326,38 @@ class _ChargeLog:
             self.charges.append((category, amount))
 
 
+def check_unique_procs(name: str, tasks: list[BlockTask]) -> None:
+    """Enforce the one-block-per-processor-per-stage invariant every
+    parallel backend's bit-exactness argument rests on (see the module
+    docstring)."""
+    procs = [task.block.proc for task in tasks]
+    if len(set(procs)) != len(procs):
+        raise BackendError(
+            f"{name} backend needs at most one block per processor "
+            f"per stage, got procs {procs}"
+        )
+
+
+def hoist_injection(eng, tasks: list[BlockTask]) -> None:
+    """Resolve straggler/fail-stop faults parent-side, in block order.
+
+    Matches serial query-time state exactly: the injector's dead set
+    only grows with processors the engine removed from the alive pool,
+    and those are never scheduled again, so a pre-dispatch query sees
+    the same state an execution-time query would.
+    """
+    injector = eng.injector
+    if injector is None:
+        return
+    for task in tasks:
+        if not task.use_injector:
+            continue
+        task.slowdown = injector.slowdown(task.stage, task.block.proc)
+        task.death = injector.fail_stop_point(
+            task.stage, task.block.proc, len(task.block)
+        )
+
+
 class _AccessRecorder:
     """Worker-side stand-in for the self-check untested-access log."""
 
@@ -419,9 +459,15 @@ def _worker_main(conn, wctx: _WorkerContext) -> None:  # pragma: no cover - chil
             message = conn.recv()
             if message is None:
                 return
-            updates, tasks = message
-            for name, data in updates.items():
-                wctx.memory[name].data[:] = data
+            payload, tasks = message
+            if payload:
+                for name, update in pickle.loads(payload).items():
+                    data = wctx.memory[name].data
+                    if isinstance(update, tuple):
+                        indices, values = update
+                        data[indices] = values
+                    else:
+                        data[:] = update
             conn.send([_run_worker_task(wctx, task) for task in tasks])
     except (EOFError, KeyboardInterrupt):
         return
@@ -446,7 +492,8 @@ class ForkBackend(ExecutionBackend):
         self._last_sync: dict[str, np.ndarray] = {}
         self._wctx = None
         self._mp_ctx = None
-        self._updates: dict[str, np.ndarray] = {}
+        self._updates: dict = {}
+        self._updates_bytes: bytes = b""
         self._supervisor: WorkerSupervisor | None = None
 
     def _make_wctx(self):
@@ -516,8 +563,17 @@ class ForkBackend(ExecutionBackend):
     # -- supervision hooks -------------------------------------------------------
 
     def _begin_dispatch(self, tasks: list[BlockTask]) -> None:
-        """Per-dispatch setup before shares are sent (hook)."""
+        """Per-dispatch setup before shares are sent (hook).
+
+        The memory-update broadcast is pickled **once** here and the same
+        frame reused for every worker's send: re-serializing identical
+        array payloads per share was a measurable slice of fork dispatch
+        (see docs/cost-model.md on the spice15-sparse regression)."""
         self._updates = self._memory_updates()
+        self._updates_bytes = (
+            pickle.dumps(self._updates, protocol=pickle.HIGHEST_PROTOCOL)
+            if self._updates else b""
+        )
 
     def _send_share(self, k: int, share: list[BlockTask], fresh: bool) -> None:
         """Send worker ``k`` its share.  ``fresh`` marks a respawned
@@ -525,12 +581,13 @@ class ForkBackend(ExecutionBackend):
         _, conn = self._workers[k]
         if fresh:
             memory = self.eng.machine.memory
-            updates = {
-                name: memory[name].data.copy() for name in memory.names()
-            }
+            payload = pickle.dumps(
+                {name: memory[name].data.copy() for name in memory.names()},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
         else:
-            updates = self._updates
-        conn.send((updates, share))
+            payload = self._updates_bytes
+        conn.send((payload, share))
 
     def _recv_share(self, k: int, share: list[BlockTask]):
         """Receive worker ``k``'s reply; a worker-raised exception becomes
@@ -578,40 +635,46 @@ class ForkBackend(ExecutionBackend):
             except OSError:  # pragma: no cover - already broken
                 pass
 
-    def _memory_updates(self) -> dict[str, np.ndarray]:
-        """Arrays changed since the last broadcast (commit/restore/init).
+    #: Ship a sparse ``(indices, values)`` diff instead of the whole array
+    #: when at most this fraction of its elements changed since the last
+    #: broadcast.  Sparse-commit workloads (the spice LU loops) touch a
+    #: few hundred elements of multi-thousand-element arrays per stage;
+    #: full-array pickling made fork dispatch cost more than the whole
+    #: serial stage (the 0.38x spice15-sparse regression).
+    _SPARSE_SYNC_FRACTION = 0.25
 
-        ``array_equal`` treats NaN as unequal, so NaN-bearing arrays are
-        re-broadcast every stage -- wasteful but correct.
+    def _memory_updates(self) -> dict:
+        """Per-array changes since the last broadcast (commit/restore/init):
+        either a full copy or a sparse ``(indices, values)`` pair the
+        worker scatters into its image.
+
+        Elementwise ``!=`` treats NaN as changed, so NaN elements re-ship
+        every stage -- wasteful but correct (and now per-element, not
+        per-array).
         """
         memory = self.eng.machine.memory
-        updates: dict[str, np.ndarray] = {}
+        updates: dict = {}
         for name in memory.names():
             data = memory[name].data
             last = self._last_sync.get(name)
-            if last is None or not np.array_equal(last, data):
+            if last is None or last.shape != data.shape or data.ndim != 1:
+                if last is None or not np.array_equal(last, data):
+                    updates[name] = data.copy()
+                    self._last_sync[name] = updates[name]
+                continue
+            changed = last != data
+            n_changed = int(np.count_nonzero(changed))
+            if not n_changed:
+                continue
+            if n_changed > self._SPARSE_SYNC_FRACTION * data.size:
                 updates[name] = data.copy()
                 self._last_sync[name] = updates[name]
+            else:
+                indices = np.flatnonzero(changed)
+                values = data[indices]
+                updates[name] = (indices, values)
+                last[indices] = values
         return updates
-
-    def _hoist_injection(self, tasks: list[BlockTask]) -> None:
-        """Resolve straggler/fail-stop faults parent-side, in block order.
-
-        Matches serial query-time state exactly: the injector's dead set
-        only grows with processors the engine removed from the alive pool,
-        and those are never scheduled again, so a pre-dispatch query sees
-        the same state an execution-time query would.
-        """
-        injector = self.eng.injector
-        if injector is None:
-            return
-        for task in tasks:
-            if not task.use_injector:
-                continue
-            task.slowdown = injector.slowdown(task.stage, task.block.proc)
-            task.death = injector.fail_stop_point(
-                task.stage, task.block.proc, len(task.block)
-            )
 
     def run_blocks(self, tasks: list[BlockTask]) -> list[BlockOutcome]:
         eng = self.eng
@@ -624,14 +687,9 @@ class ForkBackend(ExecutionBackend):
                     f"kwargs {sorted(task.extras)} the {self.name} backend "
                     "cannot ship to workers; use backend='serial'"
                 )
-        procs = [task.block.proc for task in tasks]
-        if len(set(procs)) != len(procs):
-            raise BackendError(
-                f"{self.name} backend needs at most one block per processor "
-                f"per stage, got procs {procs}"
-            )
+        check_unique_procs(self.name, tasks)
         self._ensure_workers()
-        self._hoist_injection(tasks)
+        hoist_injection(eng, tasks)
         for task in tasks:
             task.collect_metrics = getattr(eng, "metrics_enabled", False)
             task.collect_spans = getattr(eng, "spans_enabled", False)
@@ -745,7 +803,7 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
 
 #: Backend modules registered lazily on first lookup (they import this
 #: module, so eager registration here would be a cycle).
-_LAZY_BACKEND_MODULES = ("repro.core.shm",)
+_LAZY_BACKEND_MODULES = ("repro.core.shm", "repro.core.threads")
 _lazy_loaded = False
 
 

@@ -957,6 +957,8 @@ class StageEngine:
             memory=self.machine.memory,
             exit_iteration=self.exit_iteration,
             kernels=self.kernels_name,
+            backend=self.backend.name,
+            thread_mode=getattr(self.backend, "thread_mode", None),
             **self.strategy.result_extras(self),
         )
         if self.metrics_enabled:

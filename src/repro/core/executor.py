@@ -24,6 +24,27 @@ from repro.shadow.marklist import IterationMarks
 from repro.util.blocks import Block
 
 
+class BlockCancelled(Exception):
+    """Internal control flow: a cooperative cancellation flag was observed
+    at an iteration boundary (:func:`execute_block`'s ``cancel``).
+
+    The threads backend's supervisor cannot SIGKILL an overdue worker the
+    way the process supervisors do, so it sets the worker's cancel flag
+    and the block aborts itself at the next iteration boundary -- the
+    granularity at which the GIL-releasing kernel calls return control.
+    The raiser has *not* cleaned up: partial private state and untested
+    writes are still in place, exactly like a block cut short by SIGKILL,
+    and the supervisor rolls them back before re-dispatching.
+    """
+
+    def __init__(self, proc: int, iteration: int) -> None:
+        self.proc = proc
+        self.iteration = iteration
+        super().__init__(
+            f"block on proc {proc} cancelled before iteration {iteration}"
+        )
+
+
 @dataclass
 class ProcessorState:
     """Per-processor speculative state for one stage."""
@@ -381,6 +402,7 @@ def execute_block(
     untested_log=None,
     slowdown: float | None = None,
     death: tuple[int, bool] | None = None,
+    cancel=None,
 ) -> SpeculativeContext:
     """Run ``block``'s iterations on ``block.proc``, charging virtual time.
 
@@ -400,6 +422,13 @@ def execute_block(
     The fork execution backend queries the injector in the parent and
     passes the pre-resolved ``slowdown``/``death`` explicitly (worker
     processes have no injector); explicit values take precedence.
+
+    ``cancel`` (an object with ``is_set()``, e.g. a ``threading.Event``)
+    is the threads backend's cooperative hang-recovery hook: when it
+    reads true at an iteration boundary the block raises
+    :class:`BlockCancelled` without cleaning up, leaving rollback to the
+    supervisor.  ``None`` (every other caller) costs one identity check
+    per iteration.
     """
     if slowdown is None:
         slowdown = 1.0
@@ -414,6 +443,8 @@ def execute_block(
     omega = machine.costs.omega
     completed = 0
     for i in block.iterations():
+        if cancel is not None and cancel.is_set():
+            raise BlockCancelled(block.proc, i)
         if death is not None and completed >= death[0]:
             # Fail-stop: the processor dies here; everything it did this
             # stage (private state, untested writes) is garbage to roll

@@ -113,6 +113,16 @@ class RunResult:
     """Hot-path kernels implementation the run executed under
     (:mod:`repro.kernels`); affects host time only, never results."""
 
+    backend: str = "serial"
+    """Execution backend the run finished on (``serial``/``fork``/``shm``/
+    ``threads``) -- after any supervisor degradations; affects host time
+    only, never results."""
+
+    thread_mode: str | None = None
+    """``"free-threaded"`` or ``"gil"`` when the run finished on the
+    threads backend (:func:`repro.core.threads.thread_mode`), else
+    ``None``.  Host-capability metadata; never part of results."""
+
     supervision: dict = field(default_factory=dict)
     """Flat ``supervise.*`` counters (:class:`~repro.core.supervise.
     SupervisionStats`) when the worker supervisor acted this run --
@@ -174,6 +184,10 @@ class RunResult:
             "overhead": self.overhead_time,
             "kernels": self.kernels,
         }
+        if self.backend != "serial":
+            record["backend"] = self.backend
+        if self.thread_mode is not None:
+            record["thread_mode"] = self.thread_mode
         if self.faults_survived or self.retries:
             record["faults"] = self.faults_survived
             record["fault_retries"] = self.retries

@@ -51,8 +51,10 @@ from dataclasses import dataclass, field
 from multiprocessing import connection
 
 #: Graceful fallback chain: the engine replaces a degraded backend with the
-#: next entry (serial has no entry -- it cannot lose workers).
-DEGRADATION_ORDER = {"shm": "fork", "fork": "serial"}
+#: next entry (serial has no entry -- it cannot lose workers).  The threads
+#: backend falls straight to serial: its failure modes are in-process, so
+#: neither process backend would be any healthier after a degradation.
+DEGRADATION_ORDER = {"shm": "fork", "fork": "serial", "threads": "serial"}
 
 #: Exponential respawn backoff: ``_BACKOFF_BASE * 2**n`` seconds, capped.
 _BACKOFF_BASE = 0.01

@@ -43,7 +43,7 @@ from repro.workloads.synthetic import fully_parallel_loop
 
 class TestBackendSelection:
     def test_known_backends(self):
-        assert backend_names() == ["fork", "serial", "shm"]
+        assert backend_names() == ["fork", "serial", "shm", "threads"]
 
     def test_serial_is_the_default(self):
         assert get_default_backend() == "serial"
@@ -64,12 +64,12 @@ class TestBackendSelection:
 
     def test_unknown_default_backend_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown execution backend"):
-            set_default_backend("threads")
+            set_default_backend("gpu")
 
     def test_unknown_config_backend_fails_at_engine_construction(self):
         with pytest.raises(ConfigurationError, match="unknown execution backend"):
             parallelize(
-                fully_parallel_loop(64), 4, RuntimeConfig.nrd(backend="threads")
+                fully_parallel_loop(64), 4, RuntimeConfig.nrd(backend="gpu")
             )
 
     def test_backend_workers_validated(self):
@@ -156,6 +156,107 @@ class TestShmRuns:
         )
         assert shm.memory.equals(serial.memory.snapshot())
         assert repr(shm.total_time) == repr(serial.total_time)
+
+
+# -- the in-process threads backend ------------------------------------------------
+
+
+class TestThreadsRuns:
+    def test_threads_run_matches_serial(self):
+        serial = parallelize(
+            fully_parallel_loop(128), 4, RuntimeConfig.adaptive(backend="serial")
+        )
+        threads = parallelize(
+            fully_parallel_loop(128), 4, RuntimeConfig.adaptive(backend="threads")
+        )
+        assert threads.memory.equals(serial.memory.snapshot())
+        assert repr(threads.total_time) == repr(serial.total_time)
+        assert threads.n_stages == serial.n_stages
+
+    def test_threads_run_matches_serial_multi_stage(self):
+        # Dependence-bearing loop: restores, redistribution and the
+        # untested-array protocol across many stages.
+        from repro.workloads.synthetic import (
+            chain_loop,
+            geometric_chain_targets,
+        )
+
+        loop = lambda: chain_loop(128, geometric_chain_targets(128, 0.5))  # noqa: E731
+        serial = parallelize(loop(), 4, RuntimeConfig.adaptive(backend="serial"))
+        threads = parallelize(loop(), 4, RuntimeConfig.adaptive(backend="threads"))
+        assert threads.memory.equals(serial.memory.snapshot())
+        assert repr(threads.total_time) == repr(serial.total_time)
+        assert threads.n_stages == serial.n_stages
+
+    def test_threads_backend_workers_bound_respected(self):
+        result = parallelize(
+            fully_parallel_loop(64), 4,
+            RuntimeConfig.adaptive(backend="threads", backend_workers=1),
+        )
+        expected = np.arange(64, dtype=np.float64) * 2.0 + 1.0
+        assert np.array_equal(result.memory["A"].data, expected)
+
+    def test_threads_surfaces_backend_and_gil_mode(self):
+        import sys
+
+        result = parallelize(
+            fully_parallel_loop(64), 4, RuntimeConfig.adaptive(backend="threads")
+        )
+        assert result.backend == "threads"
+        probe = getattr(sys, "_is_gil_enabled", None)
+        expected_mode = (
+            "free-threaded" if probe is not None and not probe() else "gil"
+        )
+        assert result.thread_mode == expected_mode
+        summary = result.summary()
+        assert summary["backend"] == "threads"
+        assert summary["thread_mode"] == expected_mode
+        # Serial runs keep their summaries unchanged (no backend keys).
+        serial = parallelize(
+            fully_parallel_loop(64), 4, RuntimeConfig.adaptive(backend="serial")
+        )
+        assert "backend" not in serial.summary()
+        assert "thread_mode" not in serial.summary()
+
+    def test_threads_rejects_os_chaos(self):
+        from repro.faults.os_chaos import OsChaosPlan
+
+        with pytest.raises(ConfigurationError, match="threads"):
+            parallelize(
+                fully_parallel_loop(64), 4,
+                RuntimeConfig.adaptive(
+                    backend="threads",
+                    os_chaos=OsChaosPlan.kill_workers(0, [1]),
+                ),
+            )
+
+    def test_threads_pool_reused_across_stages(self):
+        # The pool is persistent: a multi-stage run must not spawn a
+        # fresh set of worker threads per stage.
+        import repro.core.threads as threads_mod
+
+        started = []
+        orig = threads_mod.ThreadsBackend._start_worker
+
+        def counting(self, worker):
+            started.append(worker.slot)
+            return orig(self, worker)
+
+        from repro.workloads.synthetic import (
+            chain_loop,
+            geometric_chain_targets,
+        )
+
+        threads_mod.ThreadsBackend._start_worker = counting
+        try:
+            result = parallelize(
+                chain_loop(128, geometric_chain_targets(128, 0.5)), 4,
+                RuntimeConfig.adaptive(backend="threads", backend_workers=2),
+            )
+        finally:
+            threads_mod.ThreadsBackend._start_worker = orig
+        assert result.n_stages > 1
+        assert len(started) == 2
 
 
 class TestShmSegmentLifecycle:
@@ -468,6 +569,12 @@ class TestCliBackend:
         out = capsys.readouterr().out
         assert "stage" in out.lower() or out
 
+    def test_run_with_threads_backend(self, capsys):
+        assert cli_main(["run", "doall", "-p", "4", "--backend", "threads"]) == 0
+        out = capsys.readouterr().out
+        # The stage-trace title names the backend and its GIL mode.
+        assert "backend threads" in out
+
     def test_bad_backend_rejected(self):
         with pytest.raises(SystemExit):
-            cli_main(["run", "doall", "-p", "4", "--backend", "threads"])
+            cli_main(["run", "doall", "-p", "4", "--backend", "gpu"])
