@@ -91,6 +91,12 @@ def _check(result) -> list[str]:
             f"instrumentation overhead {overhead * 100:.1f}% exceeds the "
             f"5% budget (metrics + spans on, serial backend)"
         )
+    sampler = result.data["resources_overhead"]["overhead"]
+    if sampler >= 0.05:
+        problems.append(
+            f"resource-sampler overhead {sampler * 100:.1f}% exceeds the "
+            f"5% budget (operational plane on, serial backend)"
+        )
     return problems
 
 
@@ -179,10 +185,15 @@ def main(argv=None) -> int:
     result = run_experiment("host_perf", quick=args.quick)
     print(result.render())
     data = dict(result.data)
-    data["history"] = _merge_history(_load_history(args.out), _history_entry(result))
+    entry = _history_entry(result)
+    history = _merge_history(_load_history(args.out), entry)
+    data["history"] = history
     with open(args.out, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
     print(f"wrote {args.out} ({len(data['history'])} history entries)")
+    from repro.bench.trend import previous_comparable, render_delta
+
+    print(render_delta(entry, previous_comparable(history, entry)))
     problems = _check(result)
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)

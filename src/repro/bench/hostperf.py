@@ -20,7 +20,10 @@ construction.  This experiment measures real host seconds instead:
 * an observability-overhead microbenchmark: the same serial run timed
   with the metrics registry and span tracker off vs on, gating the
   "near-zero cost when disabled, small cost when enabled" promise of
-  :mod:`repro.obs.metrics` (CI asserts under 5% slowdown).
+  :mod:`repro.obs.metrics` (CI asserts under 5% slowdown);
+* an operational-plane overhead microbenchmark: the same run with the
+  host resource sampler (:mod:`repro.obs.resources`) off vs on, under
+  the same 5% CI budget.
 
 Parallel-backend speedup is bounded by the host's CPU count (recorded in
 the data); on a single-core host both out-of-process backends are
@@ -86,24 +89,68 @@ def _time_backends(make_loop, n_procs: int, repeats: int) -> dict:
     }
 
 
+def _paired_overhead(make_loop, n_procs: int, base_cfg, on_cfg, repeats: int):
+    """Fractional slowdown of ``on_cfg`` over ``base_cfg``, measured as
+    the median of interleaved pairwise on/off ratios.
+
+    Both overhead gates ride this: pairing cancels slow host drift (CPU
+    frequency, noisy container neighbors) and the median kills the odd
+    descheduled run, either of which would otherwise masquerade as a
+    budget overrun on a loaded CI runner.  One discarded warmup pair
+    strips one-time costs (imports, thread bootstrap) that are not
+    steady-state overhead.  Returns ``(median base seconds, overhead,
+    result of the last on-config run)``."""
+    import statistics
+
+    parallelize(make_loop(), n_procs, base_cfg)
+    result = parallelize(make_loop(), n_procs, on_cfg)
+    base_times, ratios = [], []
+    for _ in range(repeats):
+        pair_base, _ = measure_host(
+            lambda: parallelize(make_loop(), n_procs, base_cfg), 1
+        )
+        pair_on, result = measure_host(
+            lambda: parallelize(make_loop(), n_procs, on_cfg), 1
+        )
+        base_times.append(pair_base)
+        ratios.append(pair_on / pair_base)
+    overhead = statistics.median(ratios) - 1.0
+    return statistics.median(base_times), overhead, result
+
+
 def _metrics_overhead(make_loop, n_procs: int, repeats: int) -> dict:
     """Wall-clock cost of full instrumentation (metrics + spans) on the
     serial backend: the same run timed with the registry and span tracker
-    disabled vs enabled.  Best-of timing; ``overhead`` is the fractional
-    slowdown (0.03 = 3%)."""
-    base_cfg = RuntimeConfig.adaptive(backend="serial", metrics=False, spans=False)
-    instr_cfg = RuntimeConfig.adaptive(backend="serial", metrics=True, spans=True)
-    base_s, _ = measure_host(
-        lambda: parallelize(make_loop(), n_procs, base_cfg), repeats
-    )
-    instr_s, result = measure_host(
-        lambda: parallelize(make_loop(), n_procs, instr_cfg), repeats
+    disabled vs enabled.  ``overhead`` is the fractional slowdown
+    (0.03 = 3%)."""
+    base_s, overhead, result = _paired_overhead(
+        make_loop, n_procs,
+        RuntimeConfig.adaptive(backend="serial", metrics=False, spans=False),
+        RuntimeConfig.adaptive(backend="serial", metrics=True, spans=True),
+        repeats,
     )
     return {
         "base_s": base_s,
-        "instrumented_s": instr_s,
-        "overhead": instr_s / base_s - 1.0,
+        "instrumented_s": base_s * (1.0 + overhead),
+        "overhead": overhead,
         "counters": len(result.metrics.get("counters", {})),
+    }
+
+
+def _resources_overhead(make_loop, n_procs: int, repeats: int) -> dict:
+    """Wall-clock cost of the operational plane (resource sampler + oplog
+    flight recorder taps) on the serial backend: the same run timed with
+    the sampler off vs on at the default interval."""
+    base_s, overhead, _ = _paired_overhead(
+        make_loop, n_procs,
+        RuntimeConfig.adaptive(backend="serial", resources=False),
+        RuntimeConfig.adaptive(backend="serial", resources=True),
+        repeats,
+    )
+    return {
+        "base_s": base_s,
+        "sampled_s": base_s * (1.0 + overhead),
+        "overhead": overhead,
     }
 
 
@@ -236,17 +283,33 @@ def host_perf(quick: bool) -> ExperimentResult:
             for prim, case in sorted(kern["primitives"].items())
         )
     )
-    # Best-of-5 even in quick mode: the overhead ratio gates CI, and a
-    # single timing repeat is too noisy to assert a few percent on.
+    # Both overhead ratios gate CI at a 5% budget, far below run-to-run
+    # scheduler noise on a short run: measure them on runs 4x longer than
+    # the workload sweeps and with at least 15 interleaved pairs, which
+    # empirically keeps the median ratio within ~3% even on a loaded
+    # 1-cpu runner.  (The sampler's cost is fixed per run -- thread
+    # start/stop + one final sample, ~0.15 ms -- so the longer run also
+    # amortizes it to its honest steady-state share.)
     obs_n = 2048 if quick else 8192
+    gate_n = 4 * obs_n
+    gate_repeats = max(repeats, 15)
     overhead = _metrics_overhead(
-        lambda: fully_parallel_loop(obs_n), n_procs, max(repeats, 5)
+        lambda: fully_parallel_loop(gate_n), n_procs, gate_repeats
     )
     rows.append(
-        f"{'obs-overhead':<16} n={obs_n:<6} "
+        f"{'obs-overhead':<16} n={gate_n:<6} "
         f"off {overhead['base_s'] * 1e3:9.1f} ms   "
         f"on   {overhead['instrumented_s'] * 1e3:7.1f} ms   "
         f"overhead {overhead['overhead'] * 100:4.1f}%"
+    )
+    resources = _resources_overhead(
+        lambda: fully_parallel_loop(gate_n), n_procs, gate_repeats
+    )
+    rows.append(
+        f"{'resources-ovh':<16} n={gate_n:<6} "
+        f"off {resources['base_s'] * 1e3:9.1f} ms   "
+        f"on   {resources['sampled_s'] * 1e3:7.1f} ms   "
+        f"overhead {resources['overhead'] * 100:4.1f}%"
     )
     from repro.core.threads import thread_mode
 
@@ -275,7 +338,8 @@ def host_perf(quick: bool) -> ExperimentResult:
             "vectorized commit copy-out beats the per-element loop by well "
             "over 3x at dense sizes; every vectorized kernel primitive "
             "beats its pure-Python scalar reference; full instrumentation "
-            "(metrics + spans) slows the serial backend by under 5%."
+            "(metrics + spans) slows the serial backend by under 5%, and "
+            "so does the host resource sampler."
         ),
         data={
             "host": host,
@@ -283,5 +347,6 @@ def host_perf(quick: bool) -> ExperimentResult:
             "commit_microbench": micro,
             "kernel_microbench": kern,
             "metrics_overhead": overhead,
+            "resources_overhead": resources,
         },
     )

@@ -7,6 +7,10 @@ Usage (also via ``python -m repro``)::
     python -m repro run extend:clean -p 8 --trace run.jsonl --breakdown
     python -m repro certify scatter -p 8          # all strategies vs oracle
     python -m repro ddg spice15:adder.128 -p 8    # extraction + wavefront
+    python -m repro run doall -p 8 --status s.jsonl &  # then, live:
+    python -m repro top s.jsonl                   # dashboard over the run
+    python -m repro report --bundle crashes/crash-...  # read a crash bundle
+    python -m repro bench-trend BENCH_host.json   # speedups across commits
 
 Workloads are addressed as ``family[:deck]``; omit the deck for the
 family's default.  Strategies come from the engine registry
@@ -148,6 +152,12 @@ def config_from_args(args) -> RuntimeConfig:
         overrides["metrics"] = True
     if getattr(args, "perfetto", None) is not None:
         overrides["perfetto_path"] = args.perfetto
+    if getattr(args, "status", None) is not None:
+        overrides["status_path"] = args.status
+    if getattr(args, "resources", False):
+        overrides["resources"] = True
+    if getattr(args, "crash_dir", None) is not None:
+        overrides["crash_dir"] = args.crash_dir
     if args.strategy == "adaptive":
         overrides["feedback_balancing"] = args.feedback
     if args.strategy == "sw":
@@ -218,6 +228,16 @@ def cmd_run(args) -> int:
 
 
 def cmd_report(args) -> int:
+    if args.bundle is not None:
+        from repro.obs.flight import render_bundle
+
+        try:
+            print(render_bundle(args.bundle))
+        except OSError as exc:
+            raise SystemExit(str(exc)) from None
+        return 0
+    if args.trace is None:
+        raise SystemExit("report needs a trace path or --bundle PATH")
     try:
         events = load_trace(args.trace)
         if not events:
@@ -230,6 +250,26 @@ def cmd_report(args) -> int:
         written = write_perfetto(events, args.perfetto)
         print(f"\nwrote {written} Perfetto trace entries to {args.perfetto}")
     return 0
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import follow
+
+    return follow(args.status, interval=args.interval, once=args.once)
+
+
+def cmd_bench_trend(args) -> int:
+    from repro.bench.trend import has_regressions, load_history, render_trend
+
+    try:
+        history = load_history(args.results)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{args.results}: {exc}") from None
+    print(render_trend(history, threshold=args.threshold, workload=args.workload))
+    regressed = has_regressions(history, threshold=args.threshold)
+    if regressed:
+        print("\nregression against the previous comparable run", file=sys.stderr)
+    return 1 if (regressed and args.strict) else 0
 
 
 def cmd_certify(args) -> int:
@@ -340,17 +380,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a dual-clock Chrome trace-event JSON to PATH "
         "(viewable at https://ui.perfetto.dev); implies span tracing",
     )
+    run_p.add_argument(
+        "--status", default=None, metavar="PATH",
+        help="stream live run status (events + operational records + "
+        "resource samples) as JSONL to PATH; watch it with `repro top "
+        "PATH` from another terminal (implies --resources)",
+    )
+    run_p.add_argument(
+        "--resources", action="store_true",
+        help="sample host resources (RSS, CPU, /dev/shm, worker health) "
+        "on a background thread; merged into --perfetto counter tracks",
+    )
+    run_p.add_argument(
+        "--crash-dir", default=None, dest="crash_dir", metavar="DIR",
+        help="write a crash bundle (flight-recorder rings, config, env) "
+        "under DIR when the run dies of an uncaught failure; read it "
+        "back with `repro report --bundle`",
+    )
     run_p.set_defaults(fn=cmd_run)
 
     report_p = sub.add_parser(
         "report", help="fold a recorded JSONL trace into summary tables"
     )
-    report_p.add_argument("trace", help="JSONL trace recorded with --trace")
+    report_p.add_argument(
+        "trace", nargs="?", default=None,
+        help="JSONL trace recorded with --trace",
+    )
     report_p.add_argument(
         "--perfetto", default=None, metavar="PATH",
         help="also export the trace as Chrome trace-event JSON",
     )
+    report_p.add_argument(
+        "--bundle", default=None, metavar="DIR",
+        help="render a crash bundle directory (written by --crash-dir / "
+        "REPRO_CRASH_DIR) instead of a trace",
+    )
     report_p.set_defaults(fn=cmd_report)
+
+    top_p = sub.add_parser(
+        "top", help="live dashboard over a run's --status JSONL stream"
+    )
+    top_p.add_argument("status", help="status JSONL written by run --status")
+    top_p.add_argument(
+        "--interval", type=float, default=0.5, metavar="SEC",
+        help="poll interval between frames (default %(default)s)",
+    )
+    top_p.add_argument(
+        "--once", action="store_true",
+        help="render a single frame from the current file contents and exit",
+    )
+    top_p.set_defaults(fn=cmd_top)
+
+    trend_p = sub.add_parser(
+        "bench-trend",
+        help="per-workload/backend speedup trends from BENCH_host.json",
+    )
+    trend_p.add_argument(
+        "results", nargs="?", default="BENCH_host.json",
+        help="benchmark results file with a history list "
+        "(default %(default)s)",
+    )
+    trend_p.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRAC",
+        help="relative drop vs the previous comparable run flagged as a "
+        "regression (default %(default)s)",
+    )
+    trend_p.add_argument(
+        "--workload", default=None,
+        help="restrict the table to one workload",
+    )
+    trend_p.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when the newest entry regressed",
+    )
+    trend_p.set_defaults(fn=cmd_bench_trend)
 
     cert_p = sub.add_parser("certify", help="verify all strategies vs sequential")
     add_common(cert_p)

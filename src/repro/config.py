@@ -187,6 +187,35 @@ class RuntimeConfig:
     this path for https://ui.perfetto.dev (``None`` = no export).
     Implies ``spans`` unless explicitly disabled."""
 
+    resources: bool | None = None
+    """Sample host resources (RSS, CPU time, /dev/shm bytes, queue
+    depths) on a background thread during the run
+    (:mod:`repro.obs.resources`).  ``None`` = the process default: on
+    when ``status_path`` is set or the ``REPRO_RESOURCES`` environment
+    variable is truthy, else off.  Samples live strictly on the
+    operational plane -- never in the deterministic event stream."""
+
+    resource_interval: float = 0.05
+    """Seconds between host resource samples (must be > 0)."""
+
+    status_path: str | None = None
+    """Stream all three observability planes (deterministic events,
+    oplog records, resource samples) as line-flushed JSONL to this path
+    for live monitoring with ``repro top`` (``None`` = no stream).
+    Implies ``resources`` unless explicitly disabled."""
+
+    flight_events: int = 256
+    """Ring-buffer capacity of the crash flight recorder
+    (:mod:`repro.obs.flight`): how many recent stage events and oplog
+    records are kept in memory for a crash bundle.  ``0`` disables the
+    recorder entirely."""
+
+    crash_dir: str | None = None
+    """Directory receiving a crash bundle (trace tail, oplog tail,
+    resource samples, config, env) when the run dies of an uncaught
+    error.  ``None`` = the ``REPRO_CRASH_DIR`` environment variable, or
+    no bundle when that is unset too."""
+
     def __post_init__(self) -> None:
         if self.window_size is not None and self.window_size < 1:
             raise ConfigurationError("window_size must be >= 1")
@@ -202,6 +231,10 @@ class RuntimeConfig:
             raise ConfigurationError("worker_timeout_factor must be >= 1")
         if self.max_worker_respawns < 0:
             raise ConfigurationError("max_worker_respawns must be >= 0")
+        if self.resource_interval <= 0:
+            raise ConfigurationError("resource_interval must be > 0")
+        if self.flight_events < 0:
+            raise ConfigurationError("flight_events must be >= 0")
         if self.kernels is not None:
             from repro.kernels import kernel_names
 

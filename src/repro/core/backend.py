@@ -90,6 +90,7 @@ from repro.core.executor import (
 )
 from repro.core.supervise import WorkerSupervisor
 from repro.errors import BackendError, ConfigurationError
+from repro.obs.oplog import get_oplog
 from repro.kernels import get_kernels
 from repro.machine.checkpoint import CheckpointManager
 from repro.machine.memory import MemoryImage, SharedArray
@@ -210,6 +211,24 @@ class ExecutionBackend:
 
     def close(self) -> None:
         """Release backend resources (worker processes); idempotent."""
+
+    def resource_info(self) -> dict:
+        """Operational snapshot for the host resource sampler.
+
+        Purely informational (never affects execution): ``worker_pids``
+        are OS process ids the sampler should read ``/proc`` stats for,
+        ``shm_bytes`` the bytes currently held in shared-memory
+        segments, ``inflight`` the blocks dispatched but not yet
+        collected, ``queue_depths`` any per-worker queue backlogs.
+        Backends override what they know; the base backend runs
+        everything in-process and holds nothing.
+        """
+        return {
+            "worker_pids": [],
+            "shm_bytes": 0,
+            "inflight": 0,
+            "queue_depths": [],
+        }
 
 
 class SerialBackend(ExecutionBackend):
@@ -541,6 +560,11 @@ class ForkBackend(ExecutionBackend):
                 process.terminate()
             raise
         self._workers = workers
+        get_oplog().log(
+            "backend", "pool-started", backend=self.name,
+            workers=len(workers),
+            pids=[process.pid for process, _ in workers],
+        )
 
     def _spawn_worker(self):
         """Fork one worker from the saved context.
@@ -625,6 +649,10 @@ class ForkBackend(ExecutionBackend):
         if self._workers is None:
             return
         workers, self._workers = self._workers, None
+        get_oplog().log(
+            "backend", "pool-halted", severity="warn", backend=self.name,
+            workers=len(workers),
+        )
         for process, _ in workers:
             if process.is_alive():
                 process.kill()
@@ -758,10 +786,41 @@ class ForkBackend(ExecutionBackend):
             eng.strategy.install_marklists(eng, task.pos, block, delta.marklists)
         return outcome
 
+    def resource_info(self) -> dict:
+        """Worker pids plus in-flight share sizes for the sampler.
+
+        Called from the sampler thread while the supervisor may be
+        mid-dispatch, so everything is read through defensive copies.
+        """
+        info = super().resource_info()
+        workers = self._workers or []
+        try:
+            info["worker_pids"] = [
+                process.pid for process, _ in list(workers)
+                if process.pid is not None
+            ]
+        except (TypeError, ValueError):  # pragma: no cover - torn read
+            pass
+        supervisor = self._supervisor
+        if supervisor is not None:
+            try:
+                shares = list(supervisor._shares)
+                info["inflight"] = sum(
+                    len(shares[k]) for k in list(supervisor._sent)
+                    if 0 <= k < len(shares)
+                )
+            except (TypeError, ValueError):  # pragma: no cover - torn read
+                pass
+        return info
+
     def close(self) -> None:
         if self._workers is None:
             return
         workers, self._workers = self._workers, None
+        get_oplog().log(
+            "backend", "pool-closed", backend=self.name,
+            workers=len(workers),
+        )
         _shutdown_pool(workers, lambda conn: conn.send(None))
         self._wctx = None
         self._supervisor = None

@@ -96,13 +96,17 @@ from repro.obs.events import (
     StageBegin,
     StageEnd,
 )
+from repro.obs.flight import FlightRecorder, dump_bundle, resolve_crash_dir
 from repro.obs.metrics import (
     MetricsRegistry,
     resolve_metrics_enabled,
     resolve_spans_enabled,
 )
+from repro.obs.oplog import get_oplog
+from repro.obs.resources import ResourceSampler, resolve_resources_enabled
 from repro.obs.sinks import AggregatingSink, EventBus, EventSink, JsonlTraceSink
 from repro.obs.spans import PerfettoTraceSink, SpanTracker
+from repro.obs.top import StatusStreamSink
 from repro.util.blocks import Block
 
 
@@ -470,12 +474,37 @@ class StageEngine:
             self.os_chaos = None
         self.backend = make_backend(self)
 
+        # Operational plane (repro.obs oplog/flight/resources/top): host
+        # telemetry that must never enter the deterministic event stream.
+        self.oplog = get_oplog()
+        self.flight = (
+            FlightRecorder(config.flight_events)
+            if config.flight_events else None
+        )
+        self._status = (
+            StatusStreamSink(config.status_path)
+            if config.status_path else None
+        )
+        self.sampler = (
+            ResourceSampler(self, interval=config.resource_interval)
+            if resolve_resources_enabled(config) else None
+        )
+        self._oplog_taps: list = []
+
         self._agg = AggregatingSink()
         bus_sinks: list[EventSink] = [self._agg, *sinks]
+        if self.flight is not None:
+            bus_sinks.append(self.flight)
+        if self._status is not None:
+            bus_sinks.append(self._status)
         if config.trace_path:
             bus_sinks.append(JsonlTraceSink(config.trace_path))
-        if config.perfetto_path:
-            bus_sinks.append(PerfettoTraceSink(config.perfetto_path))
+        self._perfetto = (
+            PerfettoTraceSink(config.perfetto_path)
+            if config.perfetto_path else None
+        )
+        if self._perfetto is not None:
+            bus_sinks.append(self._perfetto)
         self.bus = EventBus(bus_sinks)
 
         self._host_t0 = time.perf_counter()
@@ -557,6 +586,14 @@ class StageEngine:
             to_backend=target,
             reason=degradation.reason,
         ))
+        self.oplog.log(
+            "engine", "backend-degraded", severity="warn",
+            loop=self.loop.name,
+            stage=degradation.stage if degradation.stage is not None
+            else self.stage_idx,
+            from_backend=self.backend.name, to_backend=target,
+            reason=degradation.reason,
+        )
         old = self.backend
         self.backend = None
         try:
@@ -579,6 +616,7 @@ class StageEngine:
         # RunBegin sits inside the try: whatever raises after this point --
         # the emit itself included -- still reaches the finally, so sinks
         # flush a usable partial trace instead of stranding buffered lines.
+        self._begin_ops()
         try:
             self._host_t0 = time.perf_counter()
             self.emit(RunBegin(
@@ -602,12 +640,91 @@ class StageEngine:
                 faults_survived=result.faults_survived,
                 retries=result.retries,
             ))
+            self.oplog.log(
+                "engine", "run-end", loop=self.loop.name,
+                backend=self.backend.name, stages=result.n_stages,
+                restarts=result.n_restarts,
+                host_s=round(self.host_now(), 6),
+            )
             return result
+        except BaseException as exc:
+            # The backend (and its pool state) is still alive here; take
+            # the post-mortem before the finally tears anything down.
+            self._record_failure(exc)
+            raise
         finally:
+            self._end_ops()
             try:
                 self.bus.close()
             finally:
                 self.backend.close()
+
+    # -- operational plane -------------------------------------------------------
+
+    def _begin_ops(self) -> None:
+        """Open the operational plane: subscribe the flight recorder and
+        status stream to the oplog and the resource sampler, start the
+        sampler thread, announce the run."""
+        for consumer in (self.flight, self._status):
+            if consumer is not None:
+                self.oplog.add_tap(consumer.note_oplog)
+                self._oplog_taps.append(consumer.note_oplog)
+                if self.sampler is not None:
+                    self.sampler.add_consumer(consumer.note_resources)
+        if self.sampler is not None:
+            self.sampler.start()
+        self.oplog.log(
+            "engine", "run-begin", loop=self.loop.name, strategy=self.label,
+            backend=self.backend.name, n_procs=self.n_procs,
+            n_iterations=self.n, kernels=self.kernels_name,
+        )
+
+    def _end_ops(self) -> None:
+        """Close the operational plane: stop the sampler, hand its samples
+        to the Perfetto exporter (counter tracks merge at close, outside
+        the deterministic stream), detach the oplog taps."""
+        if self.sampler is not None:
+            self.sampler.stop()
+            if self._perfetto is not None:
+                self._perfetto.set_resource_samples(list(self.sampler.samples))
+        for tap in self._oplog_taps:
+            self.oplog.remove_tap(tap)
+        self._oplog_taps = []
+
+    def _record_failure(self, exc: BaseException) -> None:
+        """Operational post-mortem for an uncaught failure: one final
+        resource sample, a ``run-failed`` oplog record (which the flight
+        recorder's ring captures), and -- when a crash directory is
+        configured -- a crash bundle.  Must never mask ``exc``."""
+        try:
+            if self.sampler is not None:
+                self.sampler.sample_now()
+            backend = self.backend
+            state = {
+                "backend": backend.name if backend is not None else None,
+                "stage": self.stage_idx,
+                "committed_upto": self.committed_upto,
+                "n_iterations": self.n,
+                "alive_procs": list(self.alive),
+            }
+            if self.supervision.active:
+                state["supervision"] = self.supervision.snapshot()
+            self.oplog.log(
+                "engine", "run-failed", severity="error",
+                loop=self.loop.name,
+                error=f"{type(exc).__name__}: {exc}",
+                stage=self.stage_idx, committed_upto=self.committed_upto,
+            )
+            crash_dir = resolve_crash_dir(self.config)
+            if self.flight is not None and crash_dir:
+                path = dump_bundle(
+                    self.flight, crash_dir,
+                    error=exc, config=self.config, state=state,
+                )
+                if path:
+                    self.oplog.log("engine", "crash-bundle-written", path=path)
+        except Exception:  # pragma: no cover - post-mortem must not mask exc
+            pass
 
     def _run_loop(self) -> RunResult:
         loop, config, machine = self.loop, self.config, self.machine
@@ -700,6 +817,14 @@ class StageEngine:
                     self.emit(FaultInjected(
                         stage=stage, proc=block.proc, fault=faulted[pos],
                     ))
+                    # Operational echo: faults are deterministic events,
+                    # but an operator tailing the oplog should see them
+                    # next to the supervisor/backend records they explain.
+                    self.oplog.log(
+                        "faults", "fault-injected", severity="warn",
+                        loop=loop.name, stage=stage, proc=block.proc,
+                        fault=faulted[pos],
+                    )
                 if tracer is not None:
                     # Block spans interleave with BlockExecuted in block
                     # order; every block starts at the execute phase's

@@ -86,6 +86,7 @@ from repro.machine.memory import (
 )
 from repro.machine.timeline import Category
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.oplog import get_oplog
 from repro.shadow import make_shadow
 from repro.shadow.base import ShadowArray
 from repro.shadow.dense import DenseShadow
@@ -293,8 +294,21 @@ class ShmArena:
     def segment_names(self) -> list[str]:
         return [seg.name for seg in self._segments]
 
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held in ``/dev/shm`` across all live segments."""
+        try:
+            return sum(seg.size for seg in list(self._segments))
+        except (TypeError, ValueError):  # pragma: no cover - torn read
+            return 0
+
     def release(self) -> None:
         """Unlink and close everything now; idempotent."""
+        if self._segments:
+            get_oplog().log(
+                "shm", "arena-released",
+                segments=len(self._segments), bytes=self.total_bytes,
+            )
         _release_segments(self._segments)
 
     @property
@@ -773,6 +787,11 @@ class ShmBackend(ForkBackend):
     def _make_wctx(self) -> _ShmWorkerContext:
         eng = self.eng
         self._plan = plan = self._build_plan()
+        get_oplog().log(
+            "shm", "arena-created",
+            segments=len(plan.arena.segment_names()),
+            bytes=plan.arena.total_bytes,
+        )
         memory = eng.machine.memory
         worker_arrays = []
         for name in memory.names():
@@ -1099,11 +1118,23 @@ class ShmBackend(ForkBackend):
             )
         return outcome
 
+    def resource_info(self) -> dict:
+        """Fork's pids/inflight plus the arena's ``/dev/shm`` footprint."""
+        info = super().resource_info()
+        plan = self._plan
+        if plan is not None:
+            info["shm_bytes"] = plan.arena.total_bytes
+        return info
+
     # -- teardown ---------------------------------------------------------------
 
     def close(self) -> None:
         if self._workers is not None:
             workers, self._workers = self._workers, None
+            get_oplog().log(
+                "backend", "pool-closed", backend=self.name,
+                workers=len(workers),
+            )
             _shutdown_pool(workers, lambda conn: conn.send_bytes(bytes([_MSG_EXIT])))
         # The retained worker context (respawn template) holds numpy views
         # into the segments; drop them before the arena unlinks, or the

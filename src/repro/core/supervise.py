@@ -36,19 +36,20 @@ Supervision outcomes deliberately stay **out** of the deterministic event
 and metrics streams: a disturbed run must produce a bit-identical trace to
 an undisturbed one (the golden acceptance bar).  Counters live on the
 engine's :class:`SupervisionStats` (surfaced as ``RunResult.supervision``
-and ``StageResult.redispatched_procs``), and an operational JSONL log of
-kill/respawn/redispatch timings is written when the
-``REPRO_SUPERVISE_LOG`` environment variable names a path (CI uploads it
-on chaos-job failure).
+and ``StageResult.redispatched_procs``), and kill/respawn/redispatch
+timings are logged as ``supervise`` records through the unified oplog
+(:mod:`repro.obs.oplog`; point ``REPRO_OPLOG`` -- or its deprecated
+alias ``REPRO_SUPERVISE_LOG`` -- at a path; CI uploads it on chaos-job
+failure).
 """
 
 from __future__ import annotations
 
-import json
-import os
 import time
 from dataclasses import dataclass, field
 from multiprocessing import connection
+
+from repro.obs.oplog import get_oplog
 
 #: Graceful fallback chain: the engine replaces a degraded backend with the
 #: next entry (serial has no entry -- it cannot lose workers).  The threads
@@ -66,6 +67,51 @@ _MAX_BLOCK_DEATHS = 2
 
 #: Grace period for reaping an already-SIGKILLed process.
 _REAP_TIMEOUT = 5.0
+
+#: Oplog severity per supervision event (default ``info``).
+_SEVERITIES = {
+    "worker-found-dead": "warn",
+    "worker-died": "warn",
+    "worker-overdue": "warn",
+    "worker-wedged": "error",
+    "pool-degraded": "error",
+}
+
+
+def log_supervision(
+    backend_name: str,
+    event: str,
+    worker: int,
+    pid: int | None,
+    share: list,
+    t0: float,
+    extra: dict | None = None,
+) -> None:
+    """One supervision record through the unified oplog.
+
+    Shared by the process (:class:`WorkerSupervisor`) and thread
+    (:class:`repro.core.threads._ThreadSupervisor`) supervisors -- the
+    two previously divergent ``REPRO_SUPERVISE_LOG`` writers.  The
+    legacy field names (``event``/``backend``/``worker``/``pid``/
+    ``stage``/``blocks``/``procs``/``t``, with ``t`` relative to the
+    supervisor's creation) are preserved on top of the oplog envelope,
+    so existing log consumers keep parsing.
+    """
+    fields = {
+        "backend": backend_name,
+        "worker": worker,
+        "pid": pid,
+        "stage": share[0].stage if share else None,
+        "blocks": [task.pos for task in share],
+        "procs": [task.block.proc for task in share],
+        "t": round(time.monotonic() - t0, 6),
+    }
+    if extra:
+        fields.update(extra)
+    get_oplog().log(
+        "supervise", event,
+        severity=_SEVERITIES.get(event, "info"), **fields,
+    )
 
 
 @dataclass
@@ -194,7 +240,6 @@ class WorkerSupervisor:
         self._sent: dict[int, float] = {}
         self._shares: list[list] = []
         self._t0 = time.monotonic()
-        self._log_path = os.environ.get("REPRO_SUPERVISE_LOG")
 
     # -- dispatch/collect loop ---------------------------------------------------
 
@@ -216,6 +261,9 @@ class WorkerSupervisor:
             lost = self._collect(pending, replies)
             if lost:
                 self._recover(lost, pending)
+        # Nothing is in flight between stages; the resource sampler reads
+        # ``_sent`` for its inflight gauge, so don't leave stale entries.
+        self._sent.clear()
         return replies
 
     def _dispatch(self, k: int, share: list, fresh: bool, pending: dict) -> None:
@@ -414,23 +462,8 @@ class WorkerSupervisor:
     # -- operational log ---------------------------------------------------------
 
     def _log(self, event: str, k: int, share: list, extra: dict | None = None) -> None:
-        if not self._log_path:
-            return
         workers = self.backend._workers or []
-        record = {
-            "event": event,
-            "backend": self.backend.name,
-            "worker": k,
-            "pid": workers[k][0].pid if 0 <= k < len(workers) else None,
-            "stage": share[0].stage if share else None,
-            "blocks": [task.pos for task in share],
-            "procs": [task.block.proc for task in share],
-            "t": round(time.monotonic() - self._t0, 6),
-        }
-        if extra:
-            record.update(extra)
-        try:
-            with open(self._log_path, "a") as fh:
-                fh.write(json.dumps(record) + "\n")
-        except OSError:  # pragma: no cover - log must never kill the run
-            pass
+        pid = workers[k][0].pid if 0 <= k < len(workers) else None
+        log_supervision(
+            self.backend.name, event, k, pid, share, self._t0, extra
+        )

@@ -75,7 +75,6 @@ undisturbed traces stay byte-identical across backends.
 
 from __future__ import annotations
 
-import json
 import os
 import queue
 import sys
@@ -107,11 +106,13 @@ from repro.core.supervise import (
     _MAX_BLOCK_DEATHS,
     PoolDegradation,
     SupervisionStats,
+    log_supervision,
 )
 from repro.errors import BackendError, ConfigurationError
 from repro.kernels import get_kernels
 from repro.machine.checkpoint import CheckpointManager
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.oplog import get_oplog
 
 
 def thread_mode() -> str:
@@ -318,9 +319,10 @@ class _ThreadSupervisor:
     thread dies outright), and the poison-block counter matches the
     process supervisor's, so configuration knobs keep one meaning across
     backends.  Counters land on the engine's shared
-    :class:`~repro.core.supervise.SupervisionStats`; the operational
-    JSONL log honours ``REPRO_SUPERVISE_LOG`` with the same record shape
-    (``pid`` carries the worker's native thread id).
+    :class:`~repro.core.supervise.SupervisionStats`; operational records
+    flow through the unified oplog (:mod:`repro.obs.oplog`) with the
+    same shape as the process supervisor's (``pid`` carries the worker's
+    native thread id).
     """
 
     def __init__(self, backend: "ThreadsBackend") -> None:
@@ -338,7 +340,6 @@ class _ThreadSupervisor:
         self._sent: dict[int, float] = {}
         self._shares: list[list] = []
         self._t0 = time.monotonic()
-        self._log_path = os.environ.get("REPRO_SUPERVISE_LOG")
 
     # -- dispatch/collect loop ---------------------------------------------------
 
@@ -381,6 +382,9 @@ class _ThreadSupervisor:
             else:
                 replies[k] = reply.deltas
                 self._note_duration(k, self._shares[k])
+        # Nothing is in flight between stages; the resource sampler reads
+        # ``_sent`` for its inflight gauge, so don't leave stale entries.
+        self._sent.clear()
         return replies
 
     def _dispatch(self, k: int, share: list, pending: dict) -> None:
@@ -497,27 +501,12 @@ class _ThreadSupervisor:
     # -- operational log ---------------------------------------------------------
 
     def _log(self, event: str, k: int, share: list, extra: dict | None = None) -> None:
-        if not self._log_path:
-            return
         workers = self.backend._workers or []
         thread = workers[k].thread if 0 <= k < len(workers) else None
-        record = {
-            "event": event,
-            "backend": self.backend.name,
-            "worker": k,
-            "pid": thread.native_id if thread is not None else None,
-            "stage": share[0].stage if share else None,
-            "blocks": [task.pos for task in share],
-            "procs": [task.block.proc for task in share],
-            "t": round(time.monotonic() - self._t0, 6),
-        }
-        if extra:
-            record.update(extra)
-        try:
-            with open(self._log_path, "a") as fh:
-                fh.write(json.dumps(record) + "\n")
-        except OSError:  # pragma: no cover - log must never kill the run
-            pass
+        pid = thread.native_id if thread is not None else None
+        log_supervision(
+            self.backend.name, event, k, pid, share, self._t0, extra
+        )
 
 
 class ThreadsBackend(ExecutionBackend):
@@ -554,6 +543,10 @@ class ThreadsBackend(ExecutionBackend):
             self._start_worker(worker)
             workers.append(worker)
         self._workers = workers
+        get_oplog().log(
+            "backend", "pool-started", backend=self.name,
+            workers=n_workers, mode=self.thread_mode,
+        )
 
     def _start_worker(self, worker: _Worker) -> None:
         worker.cancel.clear()
@@ -687,10 +680,45 @@ class ThreadsBackend(ExecutionBackend):
                 eng.untested_log.note_write(proc, name, index)
         return outcome
 
+    def resource_info(self) -> dict:
+        """Live thread count and per-worker inbox depths for the sampler.
+
+        Threads share the engine process, so there are no worker pids;
+        ``worker_threads`` carries the live-thread count instead and
+        ``queue_depths`` the (approximate) inbox backlogs.
+        """
+        info = super().resource_info()
+        workers = self._workers or []
+        try:
+            info["worker_threads"] = sum(
+                1 for worker in list(workers)
+                if worker.thread is not None and worker.thread.is_alive()
+            )
+            info["queue_depths"] = [
+                worker.inbox.qsize() for worker in list(workers)
+            ]
+        except (TypeError, ValueError, NotImplementedError):
+            pass  # pragma: no cover - qsize unsupported / torn read
+        supervisor = self._supervisor
+        if supervisor is not None:
+            try:
+                shares = list(supervisor._shares)
+                info["inflight"] = sum(
+                    len(shares[k]) for k in list(supervisor._sent)
+                    if 0 <= k < len(shares)
+                )
+            except (TypeError, ValueError):  # pragma: no cover - torn read
+                pass
+        return info
+
     def close(self) -> None:
         if self._workers is None:
             return
         workers, self._workers = self._workers, None
+        get_oplog().log(
+            "backend", "pool-closed", backend=self.name,
+            workers=len(workers),
+        )
         for worker in workers:
             worker.inbox.put(None)
         for worker in workers:

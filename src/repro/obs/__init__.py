@@ -16,6 +16,20 @@ On top of the event stream sit two quantitative layers:
   Perfetto;
 * :mod:`repro.obs.report` -- folds a recorded trace into the paper-style
   summary tables (``repro report``).
+
+Alongside the deterministic stream runs the **operational plane** --
+host-clock, non-deterministic, never part of golden traces
+(docs/observability.md):
+
+* :mod:`repro.obs.oplog` -- the unified JSONL operational logger every
+  component (engine, supervisors, backends, shm arena, faults) writes
+  through;
+* :mod:`repro.obs.resources` -- a background host resource sampler
+  (RSS, CPU, /dev/shm, worker health);
+* :mod:`repro.obs.flight` -- bounded rings of recent activity, dumped
+  as a crash bundle on uncaught failure (``repro report --bundle``);
+* :mod:`repro.obs.top` -- the live status stream and the ``repro top``
+  dashboard over it.
 """
 
 from repro.obs.events import (
@@ -50,7 +64,11 @@ from repro.obs.sinks import (
     JsonlTraceSink,
     RecordingSink,
 )
+from repro.obs.flight import FlightRecorder, dump_bundle, load_bundle, render_bundle
+from repro.obs.oplog import OpLog, get_oplog
+from repro.obs.resources import ResourceSampler, resolve_resources_enabled
 from repro.obs.spans import PerfettoTraceSink, SpanTracker, chrome_trace
+from repro.obs.top import StatusStreamSink, TopState, follow, render_top
 
 __all__ = [
     "StageEvent",
@@ -84,4 +102,16 @@ __all__ = [
     "load_trace",
     "run_report",
     "write_perfetto",
+    "OpLog",
+    "get_oplog",
+    "ResourceSampler",
+    "resolve_resources_enabled",
+    "FlightRecorder",
+    "dump_bundle",
+    "load_bundle",
+    "render_bundle",
+    "StatusStreamSink",
+    "TopState",
+    "render_top",
+    "follow",
 ]

@@ -145,15 +145,32 @@ def _tid(proc: int | None) -> int:
     return ENGINE_TID if proc is None else proc + 1
 
 
-def chrome_trace(events: Iterable[StageEvent]) -> dict:
+#: Resource-sample fields exported as host-timeline counter tracks.
+_RESOURCE_COUNTERS = (
+    ("rss_bytes", "host rss (bytes)"),
+    ("worker_rss_bytes", "worker rss (bytes)"),
+    ("shm_bytes", "/dev/shm (bytes)"),
+    ("cpu_s", "cpu time (s)"),
+    ("inflight", "inflight blocks"),
+)
+
+
+def chrome_trace(
+    events: Iterable[StageEvent],
+    resource_samples: Iterable[dict] = (),
+) -> dict:
     """Fold a recorded event stream into Chrome trace-event JSON.
 
     Span events become complete (``ph: "X"``) slices on two synthetic
     processes -- pid 1 renders the host wall-clock timeline (microseconds),
     pid 2 the virtual timeline (one virtual-time unit = 1 "us") -- with one
     thread per simulated processor.  Stage-scoped metrics snapshots become
-    counter (``ph: "C"``) tracks on the virtual timeline.  The result dict
-    serializes with ``json.dump`` and loads directly in Perfetto.
+    counter (``ph: "C"``) tracks on the virtual timeline.  Host resource
+    samples (``resource_samples``, from
+    :class:`repro.obs.resources.ResourceSampler`) become counter tracks on
+    the *host* timeline only: they are operational-plane data and never
+    touch the deterministic virtual clock.  The result dict serializes
+    with ``json.dump`` and loads directly in Perfetto.
     """
     trace: list[dict] = []
 
@@ -204,6 +221,18 @@ def chrome_trace(events: Iterable[StageEvent]) -> dict:
                     "ph": "C", "name": name, "pid": VIRT_PID, "tid": 0,
                     "ts": event.virt_time, "args": {"value": value},
                 })
+    for sample in resource_samples:
+        t = sample.get("t")
+        if t is None:
+            continue
+        for key, label in _RESOURCE_COUNTERS:
+            value = sample.get(key)
+            if value is None:
+                continue
+            trace.append({
+                "ph": "C", "name": label, "pid": HOST_PID, "tid": 0,
+                "ts": t * 1e6, "args": {"value": value},
+            })
     return {"traceEvents": trace, "displayTimeUnit": "ms"}
 
 
@@ -217,13 +246,23 @@ class PerfettoTraceSink:
     def __init__(self, target: str | IO[str]) -> None:
         self._target = target
         self._events: list[StageEvent] = []
+        self._resource_samples: list[dict] = []
 
     def emit(self, event: StageEvent) -> None:
         if isinstance(event, (SpanClosed, MetricsSnapshot)):
             self._events.append(event)
 
+    def set_resource_samples(self, samples: list[dict]) -> None:
+        """Host resource samples to merge as counter tracks on export.
+
+        Called by the engine right before the bus closes this sink; the
+        samples land on the host timeline only, so traces recorded with
+        the sampler off are byte-identical to before.
+        """
+        self._resource_samples = list(samples)
+
     def close(self) -> None:
-        payload = chrome_trace(self._events)
+        payload = chrome_trace(self._events, self._resource_samples)
         if isinstance(self._target, str):
             with open(self._target, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh)

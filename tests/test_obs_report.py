@@ -20,17 +20,21 @@ DATA = pathlib.Path(__file__).parent / "data"
 FIXTURE = DATA / "report_fixture.jsonl"
 GOLDEN_REPORT = DATA / "report_fixture_report.txt"
 GOLDEN_PERFETTO = DATA / "report_fixture.perfetto.json"
+FIXTURE_THREADS = DATA / "report_fixture_threads.jsonl"
+GOLDEN_REPORT_THREADS = DATA / "report_fixture_threads_report.txt"
+GOLDEN_PERFETTO_THREADS = DATA / "report_fixture_threads.perfetto.json"
 
 
-def _record_fixture():
+def _record_fixture(path=FIXTURE, backend=None):
     from repro.config import RuntimeConfig
     from repro.core.runner import parallelize
     from repro.workloads.synthetic import chain_loop, geometric_chain_targets
 
     n = 24
     loop = chain_loop(n, geometric_chain_targets(n, 0.5))
+    overrides = {"backend": backend} if backend else {}
     parallelize(loop, 2, RuntimeConfig.nrd(
-        metrics=True, spans=True, trace_path=str(FIXTURE)
+        metrics=True, spans=True, trace_path=str(path), **overrides
     ))
 
 
@@ -56,6 +60,47 @@ class TestReportGolden:
         assert [json.loads(line) for line in lines] == [
             e.to_dict() for e in events
         ]
+
+
+class TestReportGoldenThreads:
+    """The same fold, from a trace recorded under the threads backend.
+
+    Threads run blocks on pool threads with cooperative supervision; the
+    recorded deterministic stream must fold to the same report shape,
+    and the committed goldens pin it exactly.
+    """
+
+    def test_report_matches_golden(self):
+        events = load_trace(str(FIXTURE_THREADS))
+        expected = GOLDEN_REPORT_THREADS.read_text().rstrip("\n")
+        assert run_report(events) == expected
+
+    def test_perfetto_export_matches_golden(self, tmp_path):
+        events = load_trace(str(FIXTURE_THREADS))
+        out = tmp_path / "trace.perfetto.json"
+        written = write_perfetto(events, str(out))
+        golden = json.loads(GOLDEN_PERFETTO_THREADS.read_text())
+        assert json.loads(out.read_text()) == golden
+        assert written == len(golden["traceEvents"])
+
+    def test_virtual_plane_matches_serial_fixture(self):
+        """Virtual-clock content is backend-invariant: everything except
+        the non-deterministic host timings matches the serial fixture.
+        Span virtual durations are summed per-backend (worker-side for
+        threads), so they agree to float tolerance, not bitwise."""
+        def virtual_view(path):
+            events = []
+            for e in load_trace(str(path)):
+                d = e.to_dict()
+                for key in ("host_start", "host_dur", "total_time"):
+                    d.pop(key, None)
+                for key in ("virt_start", "virt_dur"):
+                    if isinstance(d.get(key), float):
+                        d[key] = round(d[key], 9)
+                events.append(d)
+            return events
+
+        assert virtual_view(FIXTURE_THREADS) == virtual_view(FIXTURE)
 
 
 class TestReportContent:
@@ -111,6 +156,12 @@ def _regen() -> None:
     GOLDEN_REPORT.write_text(run_report(events) + "\n")
     write_perfetto(events, str(GOLDEN_PERFETTO))
     print(f"regenerated {FIXTURE}, {GOLDEN_REPORT}, {GOLDEN_PERFETTO}")
+    _record_fixture(FIXTURE_THREADS, backend="threads")
+    events = load_trace(str(FIXTURE_THREADS))
+    GOLDEN_REPORT_THREADS.write_text(run_report(events) + "\n")
+    write_perfetto(events, str(GOLDEN_PERFETTO_THREADS))
+    print(f"regenerated {FIXTURE_THREADS}, {GOLDEN_REPORT_THREADS}, "
+          f"{GOLDEN_PERFETTO_THREADS}")
 
 
 if __name__ == "__main__":
