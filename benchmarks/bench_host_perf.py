@@ -22,6 +22,12 @@ parity is asserted plus one relative gate -- threads dispatch overhead
 must be strictly below fork's on the dense doall (threads pays no fork,
 no memory sync and no pickling, so losing to fork means the dispatch
 path regressed).
+
+One gate is CPU-independent: the certified-DOALL fast path must beat
+the full speculative pipeline by >= 2x on the dense doall (serial
+backend host seconds) -- it removes marking/analysis/commit work
+per iteration rather than exploiting cores, so a single-core host
+waives nothing.
 """
 
 import sys
@@ -85,6 +91,22 @@ def _check(result) -> list[str]:
                 f"reference ({case['speedup']:.2f}x at "
                 f"n={result.data['kernel_microbench']['n']})"
             )
+    fastpath = result.data["certified_fastpath"]
+    if not fastpath["parity_ok"]:
+        problems.append(
+            f"certified fast path memory diverges from the speculative "
+            f"pipeline on doall-dense (n={fastpath['n']})"
+        )
+    # The fast path removes per-iteration work (marking, analysis, commit
+    # copy-out) rather than exploiting cores, so the floor holds at any
+    # CPU count -- including the 1-cpu tier where every absolute backend
+    # gate is waived.
+    if fastpath["speedup"] < 2.0:
+        problems.append(
+            f"certified-DOALL fast path speedup {fastpath['speedup']:.2f}x "
+            f"over full speculation is below the 2.0x floor "
+            f"(n={fastpath['n']}, serial backend)"
+        )
     overhead = result.data["metrics_overhead"]["overhead"]
     if overhead >= 0.05:
         problems.append(
@@ -128,6 +150,10 @@ def _history_entry(result) -> dict:
         "date": datetime.datetime.now(datetime.timezone.utc).date().isoformat(),
         "cpus": host["cpus"],
         "gil": host.get("gil"),
+        # Timing discipline: one untimed warm-up per backend, then
+        # best-of-5 minima (see _time_backends).  bench-trend only gates
+        # entries against history recorded with the same method.
+        "method": "warm-best5",
         "backends": host.get("backends"),
         "speedups": {
             entry["name"]: entry["speedup"]

@@ -1,75 +1,101 @@
-"""Porting a new loop onto the runtime, the safe way.
+"""Certifying a new loop before it ever speculates.
 
-The workflow: write the body against the IterationContext, declare the
-arrays, and let `certify` run it under every strategy against the
-sequential oracle -- including the untested-array contract check that
-catches the classic porting mistake (declaring a shared array "statically
-analyzable" when it is not).
+The static certification front-end (`repro.model.certify`) probes a loop's
+access pattern and issues a typed verdict before the speculative machinery
+is committed:
+
+* ``DOALL``      -- provably independent: runs on the zero-speculation
+                    fast path (plain loads/stores, no shadow marking, no
+                    checkpoint, no commit copy-out);
+* ``SEQUENTIAL`` -- a flow chain covers the iteration space: speculation
+                    is provably doomed, so the loop runs in order at once;
+* ``SPECULATE``  -- neither extreme is provable: the loop enters the
+                    R-LRPD pipeline, and the certificate's strategy/window
+                    hint seeds the history predictors.
 
 Run:  python examples/certify_new_loop.py
 """
 
 import numpy as np
 
-from repro import ArraySpec, SpeculativeLoop, certify
+from repro import ArraySpec, SpeculativeLoop, parallelize
+from repro.config import RuntimeConfig
+from repro.model import certify_loop
 
 N, P = 512, 8
 
 rng = np.random.default_rng(11)
-subscripts = rng.integers(0, N, size=N)  # runtime-only write targets
 DATA = rng.random(N)
-# NB: certify() calls the factory several times; the loop it builds must be
-# identical each time, so all random inputs are drawn once, up front.
+distances = rng.integers(1, 5, size=N)
+has_dep = rng.random(N) < 0.3
 
 
-def make_first_attempt():
-    """First port: HIST mis-declared as untested ('it is just a counter')."""
+def make_strided():
+    """Iteration i reads DATA[2i % N] and writes OUT[i]: affine, disjoint."""
 
     def body(ctx, i):
-        x = ctx.load("DATA", i)
-        ctx.store("OUT", int(subscripts[i]), x * 2.0)
-        # Every processor bumps the same counter cell: NOT statically
-        # analyzable, despite looking innocent.
-        ctx.store("HIST", 0, float(i))
+        x = ctx.load("DATA", (2 * i) % N)
+        ctx.store("OUT", i, x * 2.0)
 
     return SpeculativeLoop(
-        "port-v1", N, body,
-        arrays=[
-            ArraySpec("DATA", DATA, tested=False),
-            ArraySpec("OUT", np.zeros(N), tested=True),
-            ArraySpec("HIST", np.zeros(4), tested=False),  # the bug
-        ],
+        "port-strided", N, body,
+        arrays=[ArraySpec("DATA", DATA), ArraySpec("OUT", np.zeros(N))],
     )
 
 
-def make_fixed():
-    """Second port: HIST declared tested; the runtime handles the sharing."""
+def make_scan():
+    """Running maximum: every iteration reads what the last one wrote."""
 
     def body(ctx, i):
-        x = ctx.load("DATA", i)
-        ctx.store("OUT", int(subscripts[i]), x * 2.0)
-        ctx.store("HIST", 0, float(i))
+        best = ctx.load("OUT", i - 1) if i else 0.0
+        ctx.store("OUT", i, max(best, ctx.load("DATA", i)))
 
     return SpeculativeLoop(
-        "port-v2", N, body,
-        arrays=[
-            ArraySpec("DATA", DATA, tested=False),
-            ArraySpec("OUT", np.zeros(N), tested=True),
-            ArraySpec("HIST", np.zeros(4), tested=True),
-        ],
+        "port-scan", N, body,
+        arrays=[ArraySpec("DATA", DATA), ArraySpec("OUT", np.zeros(N))],
+    )
+
+
+def make_sparse():
+    """Random short-distance flow dependences: speculation territory."""
+
+    def body(ctx, i):
+        value = float(ctx.load("DATA", i))
+        if has_dep[i] and i - int(distances[i]) >= 0:
+            value += 0.5 * ctx.load("OUT", i - int(distances[i]))
+        ctx.store("OUT", i, value)
+
+    return SpeculativeLoop(
+        "port-sparse", N, body,
+        arrays=[ArraySpec("DATA", DATA), ArraySpec("OUT", np.zeros(N))],
     )
 
 
 def main() -> None:
-    print("-- first attempt (HIST mis-declared untested) --")
-    bad = certify(make_first_attempt, P)
-    print(bad.render())
+    for make in (make_strided, make_scan, make_sparse):
+        cert = certify_loop(make())
+        print(f"{make().name:14s} {cert.describe()}")
 
-    print("\n-- after fixing the declaration --")
-    good = certify(make_fixed, P)
-    print(good.render())
-    best = good.best()
-    print(f"\nbest strategy: {best.label} at {best.result.speedup:.2f}x")
+    print("\n-- running under the default (--certify=hint) dispatch --")
+    for make in (make_strided, make_scan, make_sparse):
+        res = parallelize(make(), P)
+        print(
+            f"{res.loop_name:14s} strategy={res.strategy:12s} "
+            f"stages={res.n_stages:3d} speedup={res.speedup:.2f}x"
+        )
+
+    print("\n-- the fast path is an optimization, not a semantic change --")
+    fast = parallelize(make_strided(), P)
+    slow = parallelize(make_strided(), P, RuntimeConfig.adaptive(certify="off"))
+    identical = all(
+        (fast.memory[name].data == slow.memory[name].data).all()
+        for name in fast.memory.names()
+    )
+    print(
+        f"certified run matches the speculative pipeline bit-for-bit: "
+        f"{identical} ({slow.strategy} {slow.speedup:.2f}x -> "
+        f"{fast.strategy} {fast.speedup:.2f}x)"
+    )
 
 
 if __name__ == "__main__":

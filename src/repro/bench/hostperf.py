@@ -66,7 +66,11 @@ def _time_backends(make_loop, n_procs: int, repeats: int) -> dict:
     timings: dict[str, float] = {}
     summaries: dict[str, dict] = {}
     for backend in BACKENDS:
-        config = RuntimeConfig.adaptive(backend=backend)
+        # certify="off": the sweep times the full speculative pipeline.
+        # Under the default --certify=hint the dense doall would take the
+        # certified fast path and the history trend would silently change
+        # meaning mid-series; the fast path gets its own microbenchmark.
+        config = RuntimeConfig.adaptive(backend=backend, certify="off")
         fn = lambda: parallelize(make_loop(), n_procs, config)  # noqa: E731
         # One untimed warm-up per backend: the first run in the process
         # pays import/allocator/page-fault costs that would otherwise be
@@ -125,8 +129,12 @@ def _metrics_overhead(make_loop, n_procs: int, repeats: int) -> dict:
     (0.03 = 3%)."""
     base_s, overhead, result = _paired_overhead(
         make_loop, n_procs,
-        RuntimeConfig.adaptive(backend="serial", metrics=False, spans=False),
-        RuntimeConfig.adaptive(backend="serial", metrics=True, spans=True),
+        RuntimeConfig.adaptive(
+            backend="serial", metrics=False, spans=False, certify="off"
+        ),
+        RuntimeConfig.adaptive(
+            backend="serial", metrics=True, spans=True, certify="off"
+        ),
         repeats,
     )
     return {
@@ -143,8 +151,8 @@ def _resources_overhead(make_loop, n_procs: int, repeats: int) -> dict:
     the sampler off vs on at the default interval."""
     base_s, overhead, _ = _paired_overhead(
         make_loop, n_procs,
-        RuntimeConfig.adaptive(backend="serial", resources=False),
-        RuntimeConfig.adaptive(backend="serial", resources=True),
+        RuntimeConfig.adaptive(backend="serial", resources=False, certify="off"),
+        RuntimeConfig.adaptive(backend="serial", resources=True, certify="off"),
         repeats,
     )
     return {
@@ -234,6 +242,48 @@ def _kernel_microbench(n: int, repeats: int) -> dict:
     return {"n": n, "primitives": primitives}
 
 
+def _certified_fastpath_microbench(n: int, n_procs: int, repeats: int) -> dict:
+    """Certified-DOALL fast path vs the full speculative pipeline on the
+    dense doall, serial backend host seconds.
+
+    The fast path is timed with :class:`CertifiedDoall` supplied as the
+    strategy -- the execution the certifier's DOALL verdict buys (plain
+    loads/stores, no shadow marking, no checkpoint, no analysis, no
+    commit copy-out) -- against the default adaptive pipeline with
+    certification off.  The certifier's own probe is timed separately
+    (``certify_s``): it stands in for static compile-time analysis, is
+    independent of processor count, and amortizes over repeated runs of
+    the same loop, so it is reported but not folded into the speedup the
+    gate enforces.  Both runs must agree on final memory bit-for-bit.
+    """
+    from repro.core.fastpath import CertifiedDoall
+    from repro.model import certify_loop
+
+    spec_cfg = RuntimeConfig.adaptive(backend="serial", certify="off")
+    fast_s, fast_r = measure_host(
+        lambda: parallelize(
+            fully_parallel_loop(n), n_procs, spec_cfg, strategy=CertifiedDoall()
+        ),
+        repeats + 1,  # first repeat doubles as the warm-up
+    )
+    spec_s, spec_r = measure_host(
+        lambda: parallelize(fully_parallel_loop(n), n_procs, spec_cfg),
+        repeats + 1,
+    )
+    certify_s, _ = measure_host(
+        lambda: certify_loop(fully_parallel_loop(n)), repeats + 1
+    )
+    return {
+        "n": n,
+        "procs": n_procs,
+        "fastpath_s": fast_s,
+        "speculative_s": spec_s,
+        "certify_s": certify_s,
+        "speedup": spec_s / fast_s,
+        "parity_ok": _summary(fast_r)["memory"] == _summary(spec_r)["memory"],
+    }
+
+
 @register("host_perf")
 def host_perf(quick: bool) -> ExperimentResult:
     n_procs = 4
@@ -254,7 +304,14 @@ def host_perf(quick: bool) -> ExperimentResult:
     sweep = []
     for name, make_loop, n in workloads:
         entry = {"name": name, "n": n, "procs": n_procs}
-        entry.update(_time_backends(make_loop, n_procs, repeats))
+        # Best-of-5 floor even in quick mode: these speedups feed the
+        # cross-commit history that `repro bench-trend --strict` gates at
+        # a 10% threshold, and a single timed sample per backend wobbles
+        # well past that on a shared 1-cpu runner (the phantom fork
+        # doall-dense regression in docs/cost-model.md was exactly such
+        # an artifact).  Best-of minima are stable at this cost: ~4 s
+        # for the whole sweep at quick sizes.
+        entry.update(_time_backends(make_loop, n_procs, max(repeats, 5)))
         sweep.append(entry)
         seconds, speedup = entry["seconds"], entry["speedup"]
         cells = [f"serial {seconds['serial'] * 1e3:8.1f} ms"]
@@ -282,6 +339,20 @@ def host_perf(quick: bool) -> ExperimentResult:
             f"{prim} {case['speedup']:.1f}x"
             for prim, case in sorted(kern["primitives"].items())
         )
+    )
+    # The >= 2x fast-path gate applies at any CPU count (the serial
+    # backend is single-process), so give it best-of-7 even in quick mode
+    # -- each sample is a few milliseconds.
+    fastpath = _certified_fastpath_microbench(
+        1024 if quick else 4096, n_procs, max(repeats, 7)
+    )
+    rows.append(
+        f"{'certified-fast':<16} n={fastpath['n']:<6} "
+        f"speculative {fastpath['speculative_s'] * 1e3:7.1f} ms   "
+        f"fastpath {fastpath['fastpath_s'] * 1e3:7.1f} ms "
+        f"({fastpath['speedup']:4.2f}x)   "
+        f"certify {fastpath['certify_s'] * 1e3:6.1f} ms   "
+        f"parity {'ok' if fastpath['parity_ok'] else 'MISMATCH'}"
     )
     # Both overhead ratios gate CI at a 5% budget, far below run-to-run
     # scheduler noise on a short run: measure them on runs 4x longer than
@@ -337,7 +408,10 @@ def host_perf(quick: bool) -> ExperimentResult:
             "single core; the "
             "vectorized commit copy-out beats the per-element loop by well "
             "over 3x at dense sizes; every vectorized kernel primitive "
-            "beats its pure-Python scalar reference; full instrumentation "
+            "beats its pure-Python scalar reference; the certified-DOALL "
+            "fast path beats the full speculative pipeline by >= 2x on "
+            "the dense doall at any CPU count (it removes work, not "
+            "waiting); full instrumentation "
             "(metrics + spans) slows the serial backend by under 5%, and "
             "so does the host resource sampler."
         ),
@@ -346,6 +420,7 @@ def host_perf(quick: bool) -> ExperimentResult:
             "workloads": sweep,
             "commit_microbench": micro,
             "kernel_microbench": kern,
+            "certified_fastpath": fastpath,
             "metrics_overhead": overhead,
             "resources_overhead": resources,
         },

@@ -14,7 +14,11 @@ from repro.util.tables import format_table
 
 
 def render_stage_trace(result: RunResult) -> str:
-    """One row per stage: schedule, outcome, commit progress, span."""
+    """One row per stage: schedule, outcome, commit progress, span.
+
+    Runs examined by the certification front-end carry a leading
+    ``certificate:`` line with the verdict and its evidence basis.
+    """
     rows = []
     for s in result.stages:
         blocks = " ".join(
@@ -31,7 +35,7 @@ def render_stage_trace(result: RunResult) -> str:
                 round(s.span, 2),
             ]
         )
-    return format_table(
+    table = format_table(
         ["stage", "schedule", "test", "committed", "remaining", "arcs", "span"],
         rows,
         title=(
@@ -42,6 +46,9 @@ def render_stage_trace(result: RunResult) -> str:
             + ("" if result.thread_mode is None else f" ({result.thread_mode})")
         ),
     )
+    if result.certificate is not None:
+        table = f"certificate: {result.certificate.describe()}\n{table}"
+    return table
 
 
 def render_breakdown(result: RunResult) -> str:

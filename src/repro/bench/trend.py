@@ -1,12 +1,13 @@
 """Cross-commit speedup trends from ``BENCH_host.json`` history.
 
 ``benchmarks/bench_host_perf.py --out`` appends one history entry per
-run -- ``(commit, date, cpus, gil, per-workload/per-backend speedups)``,
-deduplicated on ``(commit, cpus, gil)``.  This module reads that history
-back:
+run -- ``(commit, date, cpus, gil, method, per-workload/per-backend
+speedups)``, deduplicated on ``(commit, cpus, gil)``.  This module reads
+that history back:
 
 * :func:`render_trend` (``repro bench-trend``) renders one table per
-  comparable host group (same cpu count and GIL mode): a row per
+  comparable host group (same cpu count, GIL mode and timing method): a
+  row per
   ``workload/backend`` pair, a column per commit, the relative change of
   the newest measurement, and a regression flag when it dropped more
   than ``threshold`` below the previous comparable entry.
@@ -14,8 +15,11 @@ back:
   delta-vs-previous line the benchmark script prints after each run.
 
 Comparisons only ever happen within a group: a 1-cpu CI run is not a
-regression relative to a 16-cpu workstation run, and a free-threaded
-build keeps its own trajectory next to the stock-GIL one.
+regression relative to a 16-cpu workstation run, a free-threaded
+build keeps its own trajectory next to the stock-GIL one, and entries
+produced by a different timing discipline (the ``method`` field) never
+gate each other -- the single-sample era's numbers are shown in their
+own table but are not a baseline anything must beat.
 """
 
 from __future__ import annotations
@@ -38,13 +42,20 @@ def load_history(path: str) -> list[dict]:
 
 
 def _group_key(entry: dict) -> tuple:
-    return (entry.get("cpus"), entry.get("gil"))
+    # ``method`` names the timing discipline that produced the entry
+    # (e.g. "warm-best5"); entries recorded before it existed carry
+    # ``None``.  A method change redefines what the numbers mean -- the
+    # single-sample era recorded speedups that wobble past any sane
+    # regression threshold -- so entries only ever gate against entries
+    # measured the same way.
+    return (entry.get("cpus"), entry.get("gil"), entry.get("method"))
 
 
 def previous_comparable(history: list[dict], entry: dict) -> dict | None:
     """The latest earlier entry measured on a comparable host.
 
-    Comparable = same cpu count and GIL mode but a different commit;
+    Comparable = same cpu count, GIL mode and measurement method but a
+    different commit;
     the entry for the *same* commit was replaced by the history merge,
     so the match is genuinely the previous measurement.
     """
@@ -119,7 +130,7 @@ def render_trend(
     sections = []
     for key in sorted(groups, key=str):
         entries = groups[key]
-        cpus, gil = key
+        cpus, gil, method = key
         columns = [
             f"{e.get('commit') or '?'} ({e.get('date') or '?'})"
             for e in entries
@@ -147,7 +158,8 @@ def render_trend(
             rows.append([f"{wl}/{backend}", *cells, verdict])
         sections.append(format_table(
             ["workload/backend", *columns, "change"], rows,
-            title=f"host speedups (cpus={cpus}, gil={gil})",
+            title=f"host speedups (cpus={cpus}, gil={gil})"
+            + (f" [{method}]" if method else ""),
         ))
     return "\n\n".join(sections)
 

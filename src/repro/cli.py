@@ -64,7 +64,9 @@ from repro.workloads.synthetic import (
     chain_loop,
     fully_parallel_loop,
     geometric_chain_targets,
+    prefix_sum_loop,
     random_dependence_loop,
+    strided_doall_loop,
 )
 
 WorkloadFactory = Callable[[str | None], SpeculativeLoop]
@@ -101,6 +103,8 @@ WORKLOADS: dict[str, WorkloadFactory] = {
         lambda n=2048: chain_loop(n, geometric_chain_targets(n, 0.5))
     ),
     "random-deps": _plain(random_dependence_loop, n=2048, density=0.05, max_distance=8),
+    "strided-doall": _plain(strided_doall_loop, n=2048),
+    "prefix-sum": _plain(prefix_sum_loop, n=2048),
     "stencil": _plain(stencil_loop, n=2048),
     "gather": _plain(gather_loop, n=2048),
     "scatter": _plain(scatter_loop, n=2048),
@@ -158,12 +162,20 @@ def config_from_args(args) -> RuntimeConfig:
         overrides["resources"] = True
     if getattr(args, "crash_dir", None) is not None:
         overrides["crash_dir"] = args.crash_dir
-    if args.strategy == "adaptive":
+    if getattr(args, "certify", None) is not None:
+        overrides["certify"] = args.certify
+    elif args.strategy is not None:
+        # An explicitly named strategy means "run exactly this": don't
+        # let a DOALL/SEQUENTIAL certificate reroute it.  An explicit
+        # --certify alongside restores certification's right of way.
+        overrides["certify"] = "off"
+    strategy_name = args.strategy or "adaptive"
+    if strategy_name == "adaptive":
         overrides["feedback_balancing"] = args.feedback
-    if args.strategy == "sw":
+    if strategy_name == "sw":
         overrides["window_size"] = args.window
     try:
-        strategy_cls = resolve_strategy(args.strategy)
+        strategy_cls = resolve_strategy(strategy_name)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
     return strategy_cls.default_config(**overrides)
@@ -317,7 +329,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one workload under one strategy")
     add_common(run_p)
     run_p.add_argument(
-        "--strategy", choices=strategy_names(), default="adaptive"
+        "--strategy", choices=strategy_names(), default=None,
+        help="iteration-assignment strategy (default adaptive); naming "
+        "one explicitly also disables certification dispatch so the "
+        "requested strategy actually runs -- pass --certify as well to "
+        "let a certificate override it",
     )
     run_p.add_argument("--window", type=int, default=None, help="SW window size")
     run_p.add_argument("--feedback", action="store_true", help="feedback balancing")
@@ -390,6 +406,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--resources", action="store_true",
         help="sample host resources (RSS, CPU, /dev/shm, worker health) "
         "on a background thread; merged into --perfetto counter tracks",
+    )
+    run_p.add_argument(
+        "--certify", choices=("off", "hint", "trust"), default=None,
+        dest="certify",
+        help="static certification front-end: hint (default) runs "
+        "provably-independent loops on the zero-speculation fast path "
+        "and provably-sequential loops in order (exact full-probe "
+        "evidence only), trust also acts on affine-model evidence from "
+        "sampled probes, off disables certification entirely",
     )
     run_p.add_argument(
         "--crash-dir", default=None, dest="crash_dir", metavar="DIR",

@@ -76,6 +76,20 @@ class RuntimeConfig:
     on_demand_checkpoint: bool = True
     """Checkpoint untested elements on first write instead of wholesale."""
 
+    certify: str = "hint"
+    """Static certification front-end (:mod:`repro.model.certify`).
+    ``"off"`` disables it: every loop goes through the full speculative
+    machinery.  ``"hint"`` (default) acts only on *exact* certificates --
+    loops small enough for a full sequential probe run the
+    zero-speculation fast path when provably DOALL, or a single
+    sequential pass when provably cross-iteration dependent; SPECULATE
+    certificates only contribute strategy/window hints.  ``"trust"``
+    additionally acts on affine-model certificates from a sampled probe
+    of large loops -- sound only if the loop really is affine (see
+    docs/runtime-semantics.md for the risk model).  Certification never
+    applies when an explicit strategy object is passed, or under fault
+    injection / OS chaos (the fast path has no rollback machinery)."""
+
     pre_initialize: bool = False
     """Initialize private copies of the (dense) tested arrays by bulk copy
     before each speculative stage instead of on-demand copy-in (Section
@@ -219,6 +233,11 @@ class RuntimeConfig:
     def __post_init__(self) -> None:
         if self.window_size is not None and self.window_size < 1:
             raise ConfigurationError("window_size must be >= 1")
+        if self.certify not in ("off", "hint", "trust"):
+            raise ConfigurationError(
+                f"unknown certify mode {self.certify!r}; "
+                "known: off, hint, trust"
+            )
         if self.max_stages < 1:
             raise ConfigurationError("max_stages must be >= 1")
         if self.max_fault_retries < 0:

@@ -86,6 +86,7 @@ import numpy as np
 from repro.core.executor import (
     execute_block,
     make_all_private_state,
+    make_plain_state,
     make_processor_state,
 )
 from repro.core.supervise import WorkerSupervisor
@@ -158,6 +159,15 @@ class BlockTask:
     all_private: bool = False
     """Run on a fully privatized state with no checkpoint or injector (the
     induction recipe's side-effect-free range collection)."""
+    plain: bool = False
+    """Certified fast path (:mod:`repro.core.fastpath`): run on a plain
+    processor state with no views and no shadows, so every access takes
+    the direct-shared-memory path -- no marking, no copy-in, no
+    checkpoint charges.  Out-of-process workers still capture the
+    written ``(indices, values)`` through a charge-free
+    :class:`_CaptureCheckpoint` so direct writes ship back to the
+    parent (and roll back under cancellation) exactly like untested
+    writes."""
     log_untested: bool = False
     use_injector: bool = True
     slowdown: float = 1.0
@@ -377,6 +387,37 @@ def hoist_injection(eng, tasks: list[BlockTask]) -> None:
         )
 
 
+class _CaptureCheckpoint(CheckpointManager):
+    """Checkpoint that records old values but charges nothing.
+
+    Certified plain tasks run with ``eng.ckpt = None``, so the parent-side
+    charge profile has zero CHECKPOINT entries
+    (:meth:`~repro.core.executor.SpeculativeContext.store` only charges
+    when ``note_write`` reports a saved element).  Out-of-process workers
+    still need the *bookkeeping* half of a checkpoint -- which elements
+    this block wrote (to ship them home) and their old values (to roll the
+    block back under cancellation or local restore).  Returning 0 from the
+    ``note_write`` hooks keeps the capture while suppressing the charge.
+    """
+
+    def note_write(self, proc: int, name: str, index: int) -> int:
+        super().note_write(proc, name, index)
+        return 0
+
+    def note_write_many(self, proc: int, name: str, indices) -> int:
+        super().note_write_many(proc, name, indices)
+        return 0
+
+
+def make_capture_checkpoint(memory: MemoryImage) -> _CaptureCheckpoint:
+    """Charge-free capture checkpoint over *every* array of ``memory``
+    (plain tasks write shared memory directly, so any array may need
+    rollback/shipping, not just the untested set)."""
+    ckpt = _CaptureCheckpoint(memory, list(memory.names()), True)
+    ckpt.begin_stage()
+    return ckpt
+
+
 class _AccessRecorder:
     """Worker-side stand-in for the self-check untested-access log."""
 
@@ -402,6 +443,11 @@ def _run_worker_task(wctx: _WorkerContext, task: BlockTask) -> _BlockDelta:
     ckpt = None
     if task.all_private:
         state = make_all_private_state(log, wctx.loop, block.proc)
+    elif task.plain:
+        state = make_plain_state(block.proc)
+        ckpt = make_capture_checkpoint(wctx.memory)
+        if task.log_untested:
+            recorder = _AccessRecorder()
     else:
         state = make_processor_state(log, wctx.loop, block.proc)
         if wctx.ckpt_names:

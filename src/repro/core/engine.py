@@ -135,6 +135,10 @@ class Strategy:
     #: Noun used in the FaultError raised when the zero-commit retry
     #: budget is exhausted ("stages" / "windows").
     zero_noun = "stages"
+    #: Certified fast paths set this: blocks run on plain processor
+    #: states (no views/shadows/checkpoint) and out-of-process backends
+    #: dispatch them as ``plain`` tasks (:mod:`repro.core.fastpath`).
+    plain_tasks = False
 
     # -- lifecycle hooks -------------------------------------------------------
 
@@ -413,9 +417,14 @@ class StageEngine:
         memory: MemoryImage | None = None,
         topology: Topology | None = None,
         sinks: Sequence[EventSink] = (),
+        certificate=None,
     ) -> None:
         strategy.validate(loop, config)
         self.loop = loop
+        #: Certificate that selected (or merely annotated) this run, when
+        #: the certification front-end examined the loop (surfaced on the
+        #: RunResult; never enters the deterministic event stream).
+        self.certificate = certificate
         self.n_procs = n_procs
         self.strategy = strategy
         self.config = config
@@ -776,6 +785,7 @@ class StageEngine:
                     extras=kwargs,
                     preload=preload,
                     log_untested=log_untested,
+                    plain=strategy.plain_tasks,
                 ))
             if tracer is not None:
                 exec_span = tracer.begin("execute", "phase", stage=stage)
@@ -1084,6 +1094,7 @@ class StageEngine:
             kernels=self.kernels_name,
             backend=self.backend.name,
             thread_mode=getattr(self.backend, "thread_mode", None),
+            certificate=self.certificate,
             **self.strategy.result_extras(self),
         )
         if self.metrics_enabled:

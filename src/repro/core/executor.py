@@ -110,6 +110,13 @@ def make_processor_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> 
     return ProcessorState(proc=proc, views=views, shadows=shadows)
 
 
+def make_plain_state(proc: int) -> ProcessorState:
+    """Processor state with no views and no shadows: every access takes the
+    direct-shared-memory path with zero marking/copy-in charges (the
+    certified-DOALL fast path of :mod:`repro.core.fastpath`)."""
+    return ProcessorState(proc=proc, views={}, shadows={})
+
+
 def make_all_private_state(machine: Machine, loop: SpeculativeLoop, proc: int) -> ProcessorState:
     """Processor state where *every* array is privatized, untested ones
     included (side-effect-free execution: the induction recipe's range

@@ -129,6 +129,14 @@ class RunResult:
     respawns, re-dispatched blocks, kills, backend degradations; empty on
     undisturbed runs.  Host-dependent, deliberately outside ``metrics``."""
 
+    certificate: object = None
+    """:class:`~repro.model.certify.LoopCertificate` attached when the
+    certification front-end examined this loop (``certify`` != ``off``
+    via :func:`~repro.core.runner.parallelize`): the verdict that either
+    selected a fast path (strategy ``certified-doall``/``certified-seq``)
+    or merely annotated a SPECULATE run.  Never enters the deterministic
+    event stream."""
+
     # -- derived metrics ---------------------------------------------------------
 
     @property
@@ -188,6 +196,8 @@ class RunResult:
             record["backend"] = self.backend
         if self.thread_mode is not None:
             record["thread_mode"] = self.thread_mode
+        if self.certificate is not None:
+            record["certificate"] = self.certificate.verdict
         if self.faults_survived or self.retries:
             record["faults"] = self.faults_survived
             record["fault_retries"] = self.retries

@@ -12,6 +12,7 @@ from repro.core.results import ProgramResult, RunResult
 from repro.loopir.loop import SpeculativeLoop
 from repro.machine.costs import CostModel
 from repro.machine.memory import MemoryImage
+from repro.model.certify import certify_loop, fastpath_strategy
 from repro.obs.metrics import MetricsRegistry, resolve_metrics_enabled
 from repro.sched.feedback import FeedbackBalancer
 
@@ -40,12 +41,31 @@ def parallelize(
     alongside the engine's own.  The returned result's final shared state
     always equals a sequential execution of the loop -- the runtime's
     fundamental guarantee.
+
+    With ``config.certify`` at its default ``"hint"`` (or ``"trust"``),
+    the certification front-end (:mod:`repro.model.certify`) examines the
+    loop first: a certified-DOALL loop runs on the zero-speculation fast
+    path, a certified-SEQUENTIAL loop runs in order on one processor, and
+    anything else proceeds speculatively with the certificate attached to
+    the result.  Certification never applies when the caller passes an
+    explicit ``strategy`` or injects faults/OS chaos (the fast paths drop
+    the checkpoint machinery recovery depends on); ``certify="off"``
+    disables it entirely.
     """
     config = config or RuntimeConfig.adaptive()
+    certificate = None
+    if (
+        strategy is None
+        and config.certify != "off"
+        and config.fault_plan is None
+        and config.os_chaos is None
+    ):
+        certificate = certify_loop(loop, memory=memory)
+        strategy = fastpath_strategy(certificate, config)
     strategy = strategy or strategy_for_config(loop, config)
     return StageEngine(
         loop, n_procs, strategy, config, costs=costs, weights=weights,
-        memory=memory, sinks=sinks,
+        memory=memory, sinks=sinks, certificate=certificate,
     ).run()
 
 

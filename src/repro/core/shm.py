@@ -70,9 +70,10 @@ from repro.core.backend import (
     _ChargeLog,
     _shutdown_pool,
     make_all_private_state,
+    make_capture_checkpoint,
 )
 from repro.core import frames
-from repro.core.executor import ProcessorState, execute_block
+from repro.core.executor import ProcessorState, execute_block, make_plain_state
 from repro.errors import BackendError
 from repro.kernels import get_kernels
 from repro.machine.checkpoint import CheckpointManager
@@ -108,6 +109,7 @@ _TF_ALL_PRIVATE = 1 << 2
 _TF_LOG_UNTESTED = 1 << 3
 _TF_COLLECT_METRICS = 1 << 4
 _TF_COLLECT_SPANS = 1 << 5
+_TF_PLAIN = 1 << 6
 
 #: One outcome header: pos, exit_iteration (-1 = none), iter_start,
 #: iter_count, fault_code, fault_permanent, metrics_in_slots, n_charges,
@@ -465,6 +467,17 @@ def _run_shm_task(wctx: _ShmWorkerContext, task: BlockTask) -> bytes:
     ckpt = None
     if task.all_private:
         state = make_all_private_state(log, wctx.loop, block.proc)
+    elif task.plain:
+        # Certified fast path: plain state, direct writes.  Image-array
+        # writes land in the shared segments (parent-visible) and residue
+        # writes in the fork-private copy; either way the charge-free
+        # capture checkpoint records them, so they ship through the
+        # uniform untested residue below and roll back locally, keeping
+        # worker memory equal to the last parent broadcast.
+        state = make_plain_state(block.proc)
+        ckpt = make_capture_checkpoint(wctx.memory)
+        if task.log_untested:
+            recorder = _AccessRecorder()
     else:
         state = wctx.make_state(block.proc)
         if wctx.ckpt_names:
@@ -630,6 +643,7 @@ def _parse_dispatch(wctx: _ShmWorkerContext, payload: bytes) -> list[BlockTask]:
                 ),
                 collect_metrics=bool(flags & _TF_COLLECT_METRICS),
                 collect_spans=bool(flags & _TF_COLLECT_SPANS),
+                plain=bool(flags & _TF_PLAIN),
             )
         )
     return tasks
@@ -858,7 +872,8 @@ class ShmBackend(ForkBackend):
         """
         eng = self.eng
         for task in tasks:
-            if task.all_private:
+            if task.all_private or task.plain:
+                # Plain states own no views/shadows to re-point.
                 continue
             proc = task.block.proc
             state = eng.states[proc]
@@ -958,6 +973,8 @@ class ShmBackend(ForkBackend):
                 flags |= _TF_COLLECT_METRICS
             if task.collect_spans:
                 flags |= _TF_COLLECT_SPANS
+            if task.plain:
+                flags |= _TF_PLAIN
             buf += _TASK.pack(
                 task.stage, task.pos, task.block.proc,
                 task.block.start, task.block.stop,
@@ -977,9 +994,9 @@ class ShmBackend(ForkBackend):
             )
         )
         self._updates = self._residue_updates()
-        self._snapshot_untested()
+        self._snapshot_untested(tasks)
 
-    def _snapshot_untested(self) -> None:
+    def _snapshot_untested(self, tasks: list[BlockTask]) -> None:
         """Copy the checkpointed (untested) shared arrays at dispatch time.
 
         Live workers undo their own untested writes before replying
@@ -987,10 +1004,17 @@ class ShmBackend(ForkBackend):
         reply barrier the shared image equals this snapshot *except* for
         dirt left by workers that died mid-share.  Wholesale restore is
         therefore exactly the lost workers' rollback.
+
+        Plain (certified fast path) tasks write *any* image array
+        directly -- ``eng.ckpt`` is None on those runs -- so the snapshot
+        widens to the whole image whenever the dispatch carries one.
         """
         eng = self.eng
         memory = eng.machine.memory
-        names = eng.ckpt.names if eng.ckpt is not None else []
+        if any(task.plain for task in tasks):
+            names = list(memory.names())
+        else:
+            names = eng.ckpt.names if eng.ckpt is not None else []
         self._untested_snapshot = {
             name: memory[name].data.copy() for name in names
         }

@@ -94,6 +94,7 @@ from repro.core.backend import (
     _ChargeLog,
     check_unique_procs,
     hoist_injection,
+    make_capture_checkpoint,
 )
 from repro.core.executor import (
     BlockCancelled,
@@ -176,6 +177,18 @@ def _run_thread_task(eng, task: BlockTask, cancel: threading.Event) -> _ThreadDe
         # thread-safe: fully privatized state; reads shared memory, all
         # writes land in thread-private views.
         state = make_all_private_state(log, eng.loop, block.proc)
+    elif task.plain:
+        # thread-safe: the plain state (no views/shadows) is exclusively
+        # ours, and the DOALL certificate guarantees no element we write
+        # is touched by any concurrent block.
+        state = eng.states[block.proc]
+        # thread-safe: charge-free capture checkpoint over all arrays --
+        # direct writes must roll back under cancellation and replay in
+        # block order at merge, exactly like untested writes (eng.ckpt is
+        # None on certified runs, so no CHECKPOINT charges arise).
+        ckpt = make_capture_checkpoint(eng.machine.memory)
+        if task.log_untested:
+            recorder = _AccessRecorder()
     else:
         # thread-safe: one block per processor per stage -- this state is
         # exclusively ours for the whole dispatch.

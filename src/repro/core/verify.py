@@ -182,7 +182,13 @@ def certify(
     for config in strategies:
         label = config.label()
         try:
-            result = parallelize(loop_factory(), n_procs, config, costs)
+            # Each row certifies the *speculative* strategy it names; the
+            # static front-end would otherwise hijack certifiable loops
+            # onto the fast path and every row would test the same thing.
+            result = parallelize(
+                loop_factory(), n_procs,
+                config.with_options(certify="off"), costs,
+            )
         except ReproError as exc:
             cert.verdicts.append(
                 StrategyVerdict(label, ok=False, detail=f"{type(exc).__name__}: {exc}")

@@ -16,6 +16,14 @@ from repro.loopir.context import IterationContext, SequentialContext
 from repro.loopir.loop import ArraySpec, SpeculativeLoop
 from repro.loopir.reductions import ReductionOp
 from repro.loopir.induction import InductionSpec
+from repro.loopir.symbolic import (
+    AffineSite,
+    DependenceSummary,
+    ProbeResult,
+    affine_dependences,
+    probe_loop,
+    trace_dependences,
+)
 
 __all__ = [
     "IterationContext",
@@ -24,4 +32,10 @@ __all__ = [
     "SpeculativeLoop",
     "ReductionOp",
     "InductionSpec",
+    "AffineSite",
+    "DependenceSummary",
+    "ProbeResult",
+    "affine_dependences",
+    "probe_loop",
+    "trace_dependences",
 ]

@@ -1,0 +1,391 @@
+"""Symbolic access analysis: probe a loop body and reason about its indices.
+
+The certification front-end (:mod:`repro.model.certify`) needs to know a
+loop's cross-iteration access pattern *before* committing to the
+speculative machinery.  Loop bodies here are opaque Python callables, so
+the analysis is observational: run iterations through a recording
+:class:`ProbeContext` (sequential semantics over a scratch copy of the
+shared image) and lift the observed ``load``/``store``/``update`` calls
+into per-site access descriptions.
+
+Two levels of evidence come out of a probe:
+
+* **exact** -- every iteration was executed with sequential semantics, so
+  the recorded trace *is* the loop's reference access stream (bodies are
+  required to be deterministic functions of the values they load); any
+  dependence statement derived from it is a proof for this instantiation.
+* **affine** -- only a sample of iterations was executed, but every probed
+  iteration issued the same call sequence and each call site's index fits
+  ``index = stride * i + offset`` exactly.  The affine model then predicts
+  all ``n`` iterations; the prediction is sound *if* the loop really is
+  affine (a data-dependent subscript can masquerade as affine on a
+  sample), which is why only ``--certify=trust`` acts on it.
+
+The dependence tests themselves (:func:`trace_dependences`,
+:func:`affine_dependences`) are exact over their respective inputs: the
+trace test scans the recorded stream per element, the affine test
+intersects the two index progressions over ``[0, n)`` and checks for a
+common element touched at two different iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.loopir.context import AccessRecord, IterationContext
+from repro.loopir.loop import SpeculativeLoop
+from repro.machine.memory import MemoryImage, SharedArray
+
+
+class ProbeContext(IterationContext):
+    """Recording context with sequential semantics over scratch memory.
+
+    Like :class:`~repro.loopir.context.SequentialContext` but always
+    tracing, never enforcing reduction-only access discipline (the
+    certifier wants to *observe* what the body does, not police it), and
+    collecting premature exits instead of acting on them.
+    """
+
+    __slots__ = (
+        "_memory",
+        "_reductions",
+        "_inductions",
+        "records",
+        "exit_at",
+        "extra_work",
+    )
+
+    def __init__(
+        self,
+        memory: MemoryImage,
+        reductions=None,
+        inductions: dict[str, int] | None = None,
+    ) -> None:
+        super().__init__()
+        self._memory = memory
+        self._reductions = dict(reductions or {})
+        self._inductions = dict(inductions or {})
+        self.records: list[AccessRecord] = []
+        self.exit_at: int | None = None
+        self.extra_work = 0.0
+
+    def load(self, name: str, index: int):
+        self.records.append(AccessRecord(self.iteration, "r", name, int(index)))
+        return self._memory[name].data[index]
+
+    def store(self, name: str, index: int, value) -> None:
+        self.records.append(AccessRecord(self.iteration, "w", name, int(index)))
+        self._memory[name].data[index] = value
+
+    def update(self, name: str, index: int, value) -> None:
+        self.records.append(AccessRecord(self.iteration, "u", name, int(index)))
+        op = self._reductions.get(name)
+        data = self._memory[name].data
+        data[index] = op.combine(data[index], value) if op is not None else value
+
+    # -- bulk memory access -------------------------------------------------------
+
+    def load_many(self, name: str, indices) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        return np.array([self.load(name, int(i)) for i in idx])
+
+    def store_many(self, name: str, indices, values) -> None:
+        # Scalar loop: later duplicates win, matching the bulk contract.
+        idx = np.asarray(indices, dtype=np.int64)
+        for i, v in zip(idx.tolist(), np.asarray(values)):
+            self.store(name, i, v)
+
+    def bump(self, name: str) -> int:
+        value = self._inductions[name]
+        self._inductions[name] = value + 1
+        return value
+
+    def peek(self, name: str) -> int:
+        return self._inductions[name]
+
+    def work(self, units: float) -> None:
+        self.extra_work += units
+
+    def exit_loop(self) -> None:
+        if self.exit_at is None or self.iteration < self.exit_at:
+            self.exit_at = self.iteration
+
+
+@dataclass(frozen=True)
+class AffineSite:
+    """One call site with an exact affine index fit over the probe."""
+
+    ordinal: int
+    kind: str  # 'r' | 'w' | 'u'
+    array: str
+    stride: int
+    offset: int
+
+    def index_at(self, iteration: int) -> int:
+        return self.stride * iteration + self.offset
+
+
+@dataclass
+class ProbeResult:
+    """What one probe of a loop observed."""
+
+    n: int
+    iterations: list[int]
+    full: bool
+    """Every iteration in ``[0, n)`` was executed with sequential
+    semantics (the trace is exact evidence)."""
+    records: list[AccessRecord]
+    exit_at: int | None
+    uniform: bool
+    """Every probed iteration issued the same (kind, array) call sequence."""
+    sites: list[AffineSite] | None
+    """Exact affine fits per call site; ``None`` when the probe was not
+    uniform or some site's indices do not fit ``stride * i + offset``."""
+
+
+def probe_loop(
+    loop: SpeculativeLoop,
+    memory: MemoryImage | None = None,
+    limit: int = 4096,
+    sample: int = 48,
+) -> ProbeResult:
+    """Execute a full or sampled probe of ``loop`` over scratch memory.
+
+    ``memory`` is the image the real run would start from (defaults to the
+    loop's own materialization); the probe works on a deep copy and never
+    mutates it.  With ``n <= limit`` every iteration runs in order
+    (sequential semantics, exact evidence); otherwise ``sample`` evenly
+    spaced iterations run against the initial image (address observation
+    only -- loaded values may differ from a true sequential execution, so
+    the result is only usable through the affine model).
+    """
+    n = loop.n_iterations
+    base = memory if memory is not None else loop.materialize()
+    scratch = MemoryImage(
+        SharedArray(name, base[name].data) for name in base.names()
+    )
+    full = n <= limit
+    if full:
+        iterations = list(range(n))
+    else:
+        step = max(1, n // max(2, sample))
+        iterations = sorted(set(range(0, n, step)) | {n - 1})
+    ctx = ProbeContext(
+        scratch, reductions=loop.reductions,
+        inductions=loop.initial_inductions(),
+    )
+    for i in iterations:
+        ctx.iteration = i
+        loop.body(ctx, i)
+        if full and ctx.exit_at is not None:
+            break
+    uniform, sites = _fit_sites(ctx.records, iterations, ctx.exit_at)
+    return ProbeResult(
+        n=n,
+        iterations=iterations,
+        full=full,
+        records=ctx.records,
+        exit_at=ctx.exit_at,
+        uniform=uniform,
+        sites=sites,
+    )
+
+
+def _fit_sites(
+    records: list[AccessRecord],
+    iterations: list[int],
+    exit_at: int | None,
+) -> tuple[bool, list[AffineSite] | None]:
+    """Group the trace by call ordinal and fit each site affinely."""
+    per_iter: dict[int, list[AccessRecord]] = {}
+    for rec in records:
+        per_iter.setdefault(rec.iteration, []).append(rec)
+    executed = [i for i in iterations if exit_at is None or i <= exit_at]
+    if not executed:
+        return True, []
+    signatures = {
+        tuple((r.kind, r.array) for r in per_iter.get(i, ())) for i in executed
+    }
+    if len(signatures) != 1:
+        return False, None
+    signature = next(iter(signatures))
+    if len(executed) < 2:
+        # One data point cannot pin a stride; callers treat a single-
+        # iteration loop as trivially independent before fitting.
+        return True, None
+    sites: list[AffineSite] = []
+    i0, i1 = executed[0], executed[1]
+    for ordinal, (kind, array) in enumerate(signature):
+        x0 = per_iter[i0][ordinal].index
+        x1 = per_iter[i1][ordinal].index
+        span = i1 - i0
+        if (x1 - x0) % span:
+            return True, None
+        stride = (x1 - x0) // span
+        offset = x0 - stride * i0
+        for i in executed:
+            if per_iter[i][ordinal].index != stride * i + offset:
+                return True, None
+        sites.append(AffineSite(ordinal, kind, array, stride, offset))
+    return True, sites
+
+
+@dataclass
+class DependenceSummary:
+    """Cross-iteration dependence facts extracted from a probe."""
+
+    conflicts: int
+    """Element-sharing (iteration, iteration) pairs with at least one
+    write -- zero means provably independent (DOALL) over the evidence."""
+    flow_edges: list[tuple[int, int]]
+    """``(source, sink)`` iteration pairs where the sink reads a value the
+    source wrote (true dependences; what sequentializes a loop)."""
+    critical_path: int
+    """Longest flow-dependence chain, in iterations (1 = no chain)."""
+    max_distance: int
+    sink_iterations: int
+    """Distinct iterations that are the sink of at least one dependence."""
+
+
+def trace_dependences(records: list[AccessRecord], n: int) -> DependenceSummary:
+    """Exact dependence extraction from a full sequential trace.
+
+    Scans each element's access history in iteration order.  Reduction
+    (``u``) accesses commute with each other, so u-u sharing is not a
+    conflict; any r/w access mixing with another iteration's write (or
+    update) is.
+    """
+    by_elem: dict[tuple[str, int], list[tuple[int, str]]] = {}
+    for rec in records:
+        by_elem.setdefault((rec.array, rec.index), []).append(
+            (rec.iteration, rec.kind)
+        )
+    conflicts = 0
+    flow: dict[int, set[int]] = {}
+    max_distance = 0
+    sinks: set[int] = set()
+    for accesses in by_elem.values():
+        last_write: int | None = None
+        touched = {i for i, _ in accesses}
+        kinds = {k for _, k in accesses}
+        # Cross-iteration sharing invalidates DOALL unless every access is
+        # a read, or every access is a commuting reduction update.
+        if len(touched) > 1 and kinds != {"r"} and kinds != {"u"}:
+            conflicts += 1
+        for iteration, kind in accesses:
+            if kind == "r" and last_write is not None and last_write < iteration:
+                flow.setdefault(iteration, set()).add(last_write)
+                max_distance = max(max_distance, iteration - last_write)
+                sinks.add(iteration)
+            if kind == "w":
+                if last_write is not None and last_write != iteration:
+                    sinks.add(iteration)
+                last_write = iteration
+    depth: dict[int, int] = {}
+    for sink in sorted(flow):
+        depth[sink] = 1 + max(
+            (depth.get(src, 1) for src in flow[sink]), default=1
+        )
+    critical = max(depth.values(), default=1)
+    edges = [(src, sink) for sink, srcs in flow.items() for src in sorted(srcs)]
+    return DependenceSummary(
+        conflicts=conflicts,
+        flow_edges=sorted(edges),
+        critical_path=critical,
+        max_distance=max_distance,
+        sink_iterations=len(sinks),
+    )
+
+
+def _site_indices(site: AffineSite, n: int) -> np.ndarray:
+    return site.stride * np.arange(n, dtype=np.int64) + site.offset
+
+
+def affine_dependences(sites: list[AffineSite], n: int) -> DependenceSummary:
+    """Exact dependence test over affine sites, evaluated on ``[0, n)``.
+
+    For every (write, any) site pair on the same array, intersect the two
+    index progressions and look for an element touched at two *different*
+    iterations.  Progressions with non-zero stride are injective, so the
+    intersection is a vectorized exact computation, not a heuristic.
+    """
+    conflicts = 0
+    flow: dict[int, set[int]] = {}
+    max_distance = 0
+    sinks: set[int] = set()
+
+    def note_pair(i_src: int, i_dst: int, is_flow: bool) -> None:
+        nonlocal conflicts, max_distance
+        conflicts += 1
+        src, dst = min(i_src, i_dst), max(i_src, i_dst)
+        sinks.add(dst)
+        max_distance = max(max_distance, dst - src)
+        if is_flow and i_src < i_dst:
+            flow.setdefault(i_dst, set()).add(i_src)
+
+    for a in sites:
+        if a.kind not in ("w", "u"):
+            continue
+        for b in sites:
+            if b.array != a.array:
+                continue
+            if a.kind == "u" and b.kind == "u":
+                continue  # commuting reduction updates
+            if b.ordinal < a.ordinal and b.kind in ("w", "u"):
+                continue  # the symmetric pass already covered this pair
+            is_flow = b.kind == "r"
+            if a.stride == 0 and b.stride == 0:
+                if a.offset == b.offset and n >= 2:
+                    note_pair(0, 1, is_flow)
+                continue
+            if a.stride == 0 or b.stride == 0:
+                lin = b if a.stride == 0 else a
+                const = a if a.stride == 0 else b
+                num = const.offset - lin.offset
+                if n < 2 or num % lin.stride or not 0 <= num // lin.stride < n:
+                    continue
+                j = num // lin.stride
+                other = 0 if j != 0 else 1
+                i_a = j if lin is a else other
+                i_b = j if lin is b else other
+                # Pick the constant site's witness iteration so a real flow
+                # (write-then-read in iteration order) is reported when one
+                # exists anywhere in [0, n).
+                if is_flow and lin is b:
+                    i_a = 0 if j > 0 else 1
+                elif is_flow and lin is a:
+                    i_b = n - 1 if j < n - 1 else 0
+                note_pair(i_a, i_b, is_flow)
+                continue
+            idx_a = _site_indices(a, n)
+            idx_b = _site_indices(b, n)
+            common, ia, ib = np.intersect1d(
+                idx_a, idx_b, assume_unique=True, return_indices=True
+            )
+            diff = ia != ib
+            if not np.any(diff):
+                continue
+            srcs = np.minimum(ia[diff], ib[diff])
+            dsts = np.maximum(ia[diff], ib[diff])
+            conflicts += int(diff.sum())
+            sinks.update(int(d) for d in dsts)
+            max_distance = max(max_distance, int((dsts - srcs).max()))
+            if is_flow:
+                reads_after = ib[diff] > ia[diff]
+                for src, dst in zip(ia[diff][reads_after], ib[diff][reads_after]):
+                    flow.setdefault(int(dst), set()).add(int(src))
+    depth: dict[int, int] = {}
+    for sink in sorted(flow):
+        depth[sink] = 1 + max(
+            (depth.get(src, 1) for src in flow[sink]), default=1
+        )
+    edges = [(src, sink) for sink, srcs in flow.items() for src in sorted(srcs)]
+    return DependenceSummary(
+        conflicts=conflicts,
+        flow_edges=sorted(edges),
+        critical_path=max(depth.values(), default=1),
+        max_distance=max_distance,
+        sink_iterations=len(sinks),
+    )

@@ -66,6 +66,18 @@ def run_report(events: list[StageEvent]) -> str:
     rows = [
         ["loop", run_begin.loop],
         ["strategy", run_begin.strategy],
+    ]
+    if run_begin.strategy.startswith("certified-"):
+        # The strategy label is the only certificate trace a recorded
+        # event stream carries (certificates stay out of the
+        # deterministic events); surface the execution mode explicitly.
+        rows.append([
+            "certified fast path",
+            "plain doall (no speculation)"
+            if run_begin.strategy == "certified-doall"
+            else "in-order sequential (speculation provably doomed)",
+        ])
+    rows += [
         ["processors", run_begin.n_procs],
         ["iterations", run_begin.n_iterations],
         ["stages", stages],

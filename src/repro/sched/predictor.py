@@ -59,6 +59,7 @@ class StrategyPredictor:
     degrade_tolerance: float = 0.6
     _history: dict[tuple[str, str], _History] = field(default_factory=dict)
     _reexplore: dict[str, int] = field(default_factory=dict)
+    _hint_order: dict[str, list[RuntimeConfig]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.candidates:
@@ -74,12 +75,13 @@ class StrategyPredictor:
     def choose(self, loop_name: str) -> RuntimeConfig:
         """Configuration to use for the next instantiation of the loop."""
         pending = self._reexplore.get(loop_name, 0)
-        for config in self.candidates:
+        candidates = self._hint_order.get(loop_name, self.candidates)
+        for config in candidates:
             hist = self._hist(loop_name, config)
             if hist.runs < self.explore_rounds + pending:
                 return config
         return max(
-            self.candidates,
+            candidates,
             key=lambda c: self._hist(loop_name, c).mean_speedup,
         )
 
@@ -96,6 +98,38 @@ class StrategyPredictor:
     def best_label(self, loop_name: str) -> str:
         """Currently preferred configuration label (diagnostics)."""
         return self.choose(loop_name).label()
+
+    def note_hint(self, loop_name: str, certificate) -> None:
+        """Seed this loop's exploration order from a certificate hint.
+
+        A :class:`~repro.model.certify.LoopCertificate` carrying a
+        ``strategy_hint`` promotes the matching candidate(s) to the front
+        of ``loop_name``'s exploration order: the hinted family is tried
+        first, so short histories converge on it immediately while the
+        measured speedups retain the final say.  Unknown or absent hints
+        leave the order untouched; other loops are unaffected.
+        """
+        hint = getattr(certificate, "strategy_hint", None)
+        if not hint:
+            return
+        window = getattr(certificate, "window_hint", None)
+
+        def matches(config: RuntimeConfig) -> bool:
+            label = config.label()
+            if hint == "sw":
+                if not label.startswith("SW"):
+                    return False
+                return window is None or config.window_size == window
+            return {
+                "nrd": label == "NRD",
+                "rd": label == "RD",
+                "adaptive": label == "RD-adaptive",
+            }.get(hint, False)
+
+        hinted = [c for c in self.candidates if matches(c)]
+        if hinted:
+            rest = [c for c in self.candidates if not matches(c)]
+            self._hint_order[loop_name] = hinted + rest
 
 
 @dataclass
@@ -135,6 +169,23 @@ class WindowPredictor:
 
     def window_for(self, loop_name: str) -> int:
         return self._state(loop_name).window
+
+    def seed(self, loop_name: str, certificate) -> None:
+        """Start ``loop_name``'s hill climb at a certificate's window hint.
+
+        Applies only before the first recorded instantiation (a climb in
+        progress embodies real measurements the hint should not reset)
+        and only within the configured bounds.
+        """
+        window = getattr(certificate, "window_hint", None)
+        if window is None:
+            return
+        st = self._states.get(loop_name)
+        if st is not None and st.last_speedup is not None:
+            return
+        self._states[loop_name] = _WindowState(
+            min(self.maximum, max(self.minimum, int(window)))
+        )
 
     def record(self, loop_name: str, result: RunResult) -> None:
         st = self._state(loop_name)

@@ -18,8 +18,10 @@ from repro.workloads.synthetic import (
     linear_chain_targets,
     privatizable_loop,
     copyin_loop,
+    prefix_sum_loop,
     reduction_loop,
     random_dependence_loop,
+    strided_doall_loop,
 )
 from repro.workloads.track_nlfilt import make_nlfilt_loop, NLFILT_DECKS, NlfiltDeck
 from repro.workloads.track_extend import make_extend_loop, EXTEND_DECKS, ExtendDeck
@@ -55,6 +57,8 @@ __all__ = [
     "linear_chain_targets",
     "privatizable_loop",
     "copyin_loop",
+    "prefix_sum_loop",
+    "strided_doall_loop",
     "reduction_loop",
     "random_dependence_loop",
     "make_nlfilt_loop",

@@ -147,6 +147,76 @@ def fully_parallel_loop(n: int, name: str = "doall", work: float = 1.0) -> Specu
     )
 
 
+def strided_doall_loop(
+    n: int, stride: int = 2, name: str = "strided-doall"
+) -> SpeculativeLoop:
+    """A certifiably-DOALL loop with a non-trivial affine access pattern.
+
+    Iteration ``i`` reads ``B[stride * i]`` and both reads and writes
+    ``A[i]``: every access site is affine in ``i`` and the written sites
+    are pairwise disjoint over the iteration space, so the static
+    certifier proves independence from a full probe (small ``n``) or from
+    the fitted affine model (sampled probe) -- the zero-speculation fast
+    path applies either way.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+
+    def body(ctx, i):
+        b = ctx.load("B", stride * i)
+        x = ctx.load("A", i)
+        ctx.store("A", i, x + 0.25 * b)
+
+    def inspector(memory: MemoryImage):
+        return [
+            ({("A", i), ("B", stride * i)}, {("A", i)}) for i in range(n)
+        ]
+
+    return SpeculativeLoop(
+        name=name,
+        n_iterations=n,
+        body=body,
+        arrays=[
+            ArraySpec("A", np.arange(n, dtype=np.float64)),
+            ArraySpec("B", np.ones(stride * n)),
+        ],
+        inspector=inspector,
+    )
+
+
+def prefix_sum_loop(n: int, name: str = "prefix-sum") -> SpeculativeLoop:
+    """A certifiably-SEQUENTIAL loop: a full-length flow chain.
+
+    ``A[i] = A[i-1] + B[i]`` -- every iteration reads the element the
+    previous one wrote, so the flow-dependence chain covers the whole
+    iteration space and speculation commits one iteration per stage.  The
+    certifier proves this and routes the loop straight to the in-order
+    fast path.
+    """
+
+    def body(ctx, i):
+        acc = ctx.load("A", i - 1) if i > 0 else 0.0
+        ctx.store("A", i, acc + ctx.load("B", i))
+
+    def inspector(memory: MemoryImage):
+        trace = []
+        for i in range(n):
+            reads = {("B", i)} | ({("A", i - 1)} if i > 0 else set())
+            trace.append((reads, {("A", i)}))
+        return trace
+
+    return SpeculativeLoop(
+        name=name,
+        n_iterations=n,
+        body=body,
+        arrays=[
+            ArraySpec("A", np.zeros(n)),
+            ArraySpec("B", np.ones(n)),
+        ],
+        inspector=inspector,
+    )
+
+
 def privatizable_loop(n: int, n_temp: int = 8, name: str = "privatizable") -> SpeculativeLoop:
     """Every iteration writes a shared temporary before reading it.
 

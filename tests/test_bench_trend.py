@@ -74,6 +74,32 @@ class TestPreviousComparable:
     def test_first_entry_has_no_previous(self):
         assert previous_comparable(HISTORY, HISTORY[0]) is None
 
+    def test_method_change_breaks_comparability(self):
+        # Entries recorded under a different timing discipline are not a
+        # baseline: a method-tagged entry never compares against the
+        # single-sample era (method=None) and vice versa.
+        tagged = dict(
+            _entry("dddd444", date="2026-08-08", chain={"fork": 0.9}),
+            method="warm-best5",
+        )
+        history = [*HISTORY, tagged]
+        assert previous_comparable(history, tagged) is None
+        # ...and a second tagged entry compares against the first.
+        tagged2 = dict(
+            _entry("eeee555", date="2026-08-09", chain={"fork": 0.95}),
+            method="warm-best5",
+        )
+        assert previous_comparable([*history, tagged2], tagged2) is tagged
+
+    def test_method_change_does_not_gate(self):
+        # chain/fork 2.2 -> 0.9 would be a huge drop, but the newest
+        # entry has no same-method baseline, so nothing regresses.
+        tagged = dict(
+            _entry("dddd444", date="2026-08-08", chain={"fork": 0.9}),
+            method="warm-best5",
+        )
+        assert not has_regressions([HISTORY[1], tagged])
+
 
 class TestRenderDelta:
     def test_no_previous(self):
@@ -130,6 +156,16 @@ class TestRenderTrend:
 
     def test_empty_history_message(self):
         assert "history is empty" in render_trend([])
+
+    def test_method_tagged_entries_get_their_own_table(self):
+        tagged = dict(
+            _entry("dddd444", date="2026-08-08", chain={"fork": 0.9}),
+            method="warm-best5",
+        )
+        text = render_trend([*HISTORY, tagged])
+        assert "host speedups (cpus=8, gil=gil) [warm-best5]" in text
+        # The untagged group's table is unchanged alongside it.
+        assert "host speedups (cpus=8, gil=gil)\n" in text
 
 
 class TestHasRegressions:

@@ -51,6 +51,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SW(w=16)" in out
 
+    def test_default_run_takes_certified_fast_path(self, capsys):
+        assert main(["run", "doall", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "certificate: DOALL" in out
+        assert "certified-doall" in out
+
+    def test_explicit_strategy_disables_certification(self, capsys):
+        # --strategy means "run exactly this": the certifiable doall must
+        # run under NRD, with no certificate line rerouting it.
+        assert main(["run", "doall", "-p", "4", "--strategy", "nrd"]) == 0
+        out = capsys.readouterr().out
+        assert "under NRD" in out
+        assert "certificate" not in out
+
+    def test_explicit_certify_overrides_explicit_strategy(self, capsys):
+        assert main(["run", "doall", "-p", "4", "--strategy", "nrd",
+                     "--certify", "hint"]) == 0
+        out = capsys.readouterr().out
+        assert "certified-doall" in out
+
     def test_run_breakdown(self, capsys):
         assert main(["run", "doall", "-p", "2", "--breakdown"]) == 0
         out = capsys.readouterr().out

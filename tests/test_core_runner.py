@@ -14,11 +14,20 @@ import dataclasses
 
 class TestDispatch:
     def test_blocked_by_default(self):
-        res = parallelize(fully_parallel_loop(32), 4)
+        res = parallelize(
+            fully_parallel_loop(32), 4, RuntimeConfig.adaptive(certify="off")
+        )
         assert res.strategy == "RD-adaptive"
 
+    def test_certifiable_doall_takes_fast_path_by_default(self):
+        res = parallelize(fully_parallel_loop(32), 4)
+        assert res.strategy == "certified-doall"
+        assert res.certificate is not None and res.certificate.verdict == "DOALL"
+
     def test_sliding_window_config_routes_to_sw(self):
-        res = parallelize(fully_parallel_loop(32), 4, RuntimeConfig.sw(8))
+        res = parallelize(
+            fully_parallel_loop(32), 4, RuntimeConfig.sw(8, certify="off")
+        )
         assert res.strategy.startswith("SW")
 
     def test_induction_loops_route_to_induction_runner(self):
@@ -28,7 +37,9 @@ class TestDispatch:
         assert "induction" in res.strategy
 
     def test_default_config_is_adaptive(self):
-        res = parallelize(fully_parallel_loop(16), 2)
+        res = parallelize(
+            fully_parallel_loop(16), 2, RuntimeConfig.adaptive(certify="off")
+        )
         assert res.strategy == "RD-adaptive"
 
 
@@ -61,7 +72,7 @@ class TestRunProgram:
     def test_strategy_labels_from_first_run(self):
         prog = run_program(
             [fully_parallel_loop(16), fully_parallel_loop(16)], 2,
-            RuntimeConfig.nrd(),
+            RuntimeConfig.nrd(certify="off"),
         )
         assert prog.strategy == "NRD"
 

@@ -255,8 +255,12 @@ class TestSelfCheck:
             "mis_declared", 32, body,
             arrays=[ArraySpec("B", np.zeros(32), tested=False)],
         )
+        # certify="off": the certifier would (correctly) route this loop to
+        # the in-order fast path; the speculative self-check is the target.
         with pytest.raises(SelfCheckError) as exc:
-            parallelize(loop, 4, RuntimeConfig.nrd(self_check=True))
+            parallelize(
+                loop, 4, RuntimeConfig.nrd(self_check=True, certify="off")
+            )
         assert exc.value.loop == "mis_declared"
         assert exc.value.stage == 0
 

@@ -1,0 +1,482 @@
+"""The static certification front-end and its zero-speculation fast path.
+
+Three layers under test:
+
+* the symbolic probe layer (:mod:`repro.loopir.symbolic`): recorded
+  traces, affine site fitting, and the exact dependence tests;
+* the certifier (:mod:`repro.model.certify`): verdicts, evidence classes,
+  and the soundness differential oracle -- every exact certificate must
+  agree with an independently computed shadow-marked serial replay;
+* the engine fast path (:mod:`repro.core.fastpath`): certified-DOALL and
+  certified-SEQUENTIAL runs must be bit-identical to the sequential
+  reference on every backend, and ``--certify=off`` must reproduce the
+  speculative pipeline byte-for-byte.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.config import RuntimeConfig
+from repro.core.runner import parallelize
+from repro.errors import ConfigurationError
+from repro.loopir.context import SequentialContext
+from repro.loopir.loop import ArraySpec, SpeculativeLoop
+from repro.loopir.symbolic import (
+    AffineSite,
+    affine_dependences,
+    probe_loop,
+    trace_dependences,
+)
+from repro.model.certify import (
+    DOALL,
+    SEQUENTIAL,
+    SPECULATE,
+    certify_loop,
+    fastpath_strategy,
+)
+from repro.workloads.patterns import (
+    gather_loop,
+    pointer_chase_loop,
+    scatter_loop,
+    stencil_loop,
+)
+from repro.workloads.synthetic import (
+    chain_loop,
+    copyin_loop,
+    fully_parallel_loop,
+    prefix_sum_loop,
+    privatizable_loop,
+    random_dependence_loop,
+    reduction_loop,
+    strided_doall_loop,
+)
+from tests.conftest import assert_matches_sequential
+from tests.engine_parity_cases import summarize
+
+P = 4
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+BACKENDS = ["serial", "threads"] + (["fork", "shm"] if HAS_FORK else [])
+
+
+# -- symbolic probe layer ---------------------------------------------------------
+
+
+class TestProbe:
+    def test_full_probe_records_exact_trace(self):
+        probe = probe_loop(prefix_sum_loop(16))
+        assert probe.full and probe.iterations == list(range(16))
+        reads = [(r.array, r.index) for r in probe.records if r.kind == "r"]
+        # Iteration 0 reads only B[0]; each later i reads A[i-1] then B[i].
+        assert reads[0] == ("B", 0)
+        assert ("A", 14) in reads
+
+    def test_probe_never_mutates_the_input_image(self):
+        loop = fully_parallel_loop(8)
+        image = loop.materialize()
+        before = {n: image[n].data.copy() for n in image.names()}
+        probe_loop(loop, memory=image)
+        for name, data in before.items():
+            assert (image[name].data == data).all()
+
+    def test_sampled_probe_fits_affine_sites(self):
+        loop = strided_doall_loop(10_000, stride=3)
+        probe = probe_loop(loop, limit=4096, sample=48)
+        assert not probe.full and probe.uniform
+        fits = {(s.kind, s.array): (s.stride, s.offset) for s in probe.sites}
+        assert fits[("r", "B")] == (3, 0)
+        assert fits[("w", "A")] == (1, 0)
+
+    def test_data_dependent_subscripts_do_not_fit(self):
+        loop = scatter_loop(10_000, n_targets=64, seed=3)
+        probe = probe_loop(loop, limit=4096, sample=48)
+        assert probe.sites is None
+
+    def test_bulk_ops_record_per_element(self):
+        def body(ctx, i):
+            vals = ctx.load_many("A", np.array([i, i], dtype=np.int64))
+            ctx.store_many("A", np.array([i], dtype=np.int64), vals[:1] + 1.0)
+
+        loop = SpeculativeLoop(
+            "bulk", 4, body, arrays=[ArraySpec("A", np.zeros(4))]
+        )
+        probe = probe_loop(loop)
+        per_iter = [r for r in probe.records if r.iteration == 2]
+        assert [(r.kind, r.index) for r in per_iter] == [
+            ("r", 2), ("r", 2), ("w", 2)
+        ]
+
+    def test_premature_exit_recorded(self):
+        def body(ctx, i):
+            ctx.store("A", i, 1.0)
+            if i == 5:
+                ctx.exit_loop()
+
+        loop = SpeculativeLoop(
+            "exiter", 32, body, arrays=[ArraySpec("A", np.zeros(32))]
+        )
+        probe = probe_loop(loop)
+        assert probe.exit_at == 5
+        # Sequential semantics: nothing past the exit executes.
+        assert max(r.iteration for r in probe.records) == 5
+
+
+class TestDependenceTests:
+    def test_read_only_sharing_is_not_a_conflict(self):
+        loop = gather_loop(64, fan_in=4, seed=2)
+        probe = probe_loop(loop)
+        assert trace_dependences(probe.records, 64).conflicts == 0
+
+    def test_chain_has_full_critical_path(self):
+        probe = probe_loop(prefix_sum_loop(32))
+        deps = trace_dependences(probe.records, 32)
+        assert deps.critical_path == 32
+        assert deps.max_distance == 1
+        assert (0, 1) in deps.flow_edges
+
+    def test_affine_disjoint_sites(self):
+        sites = [
+            AffineSite(0, "r", "B", 2, 0),
+            AffineSite(1, "w", "A", 1, 0),
+        ]
+        assert affine_dependences(sites, 1000).conflicts == 0
+
+    def test_affine_distance_one_chain(self):
+        sites = [
+            AffineSite(0, "r", "A", 1, -1),
+            AffineSite(1, "w", "A", 1, 0),
+        ]
+        deps = affine_dependences(sites, 64)
+        assert deps.conflicts > 0
+        assert deps.critical_path == 64
+
+    def test_affine_constant_site_conflicts(self):
+        sites = [AffineSite(0, "w", "H", 0, 3)]
+        assert affine_dependences(sites, 16).conflicts > 0
+
+    def test_affine_commuting_updates_are_clean(self):
+        sites = [AffineSite(0, "u", "H", 0, 3)]
+        assert affine_dependences(sites, 16).conflicts == 0
+
+
+# -- certifier verdicts -----------------------------------------------------------
+
+
+class TestVerdicts:
+    def test_doall_from_full_probe(self):
+        cert = certify_loop(fully_parallel_loop(64))
+        assert (cert.verdict, cert.basis, cert.exact) == (DOALL, "trace", True)
+
+    def test_sequential_from_full_probe(self):
+        cert = certify_loop(prefix_sum_loop(64))
+        assert (cert.verdict, cert.exact) == (SEQUENTIAL, True)
+
+    def test_affine_model_verdict_is_not_exact(self):
+        cert = certify_loop(strided_doall_loop(10_000))
+        assert (cert.verdict, cert.basis, cert.exact) == (DOALL, "affine", False)
+
+    def test_sparse_dependences_speculate_with_hint(self):
+        cert = certify_loop(random_dependence_loop(256, 0.05, 4, seed=7))
+        assert cert.verdict == SPECULATE
+        assert cert.strategy_hint in ("nrd", "adaptive", "sw")
+
+    def test_dense_short_distance_hints_sliding_window(self):
+        cert = certify_loop(random_dependence_loop(256, 0.9, 2, seed=7))
+        assert cert.verdict == SPECULATE
+        assert cert.strategy_hint == "sw"
+        assert cert.window_hint is not None and cert.window_hint >= 2
+
+    def test_reductions_are_structural_speculate(self):
+        cert = certify_loop(reduction_loop(64))
+        assert (cert.verdict, cert.basis) == (SPECULATE, "structural")
+
+    def test_premature_exit_blocks_the_plain_path(self):
+        def body(ctx, i):
+            ctx.store("A", i, float(i))
+            if i == 9:
+                ctx.exit_loop()
+
+        loop = SpeculativeLoop(
+            "exit-doall", 64, body, arrays=[ArraySpec("A", np.zeros(64))]
+        )
+        cert = certify_loop(loop)
+        assert cert.verdict == SPECULATE
+
+    def test_zero_iterations_is_trivial_doall(self):
+        cert = certify_loop(fully_parallel_loop(0))
+        assert (cert.verdict, cert.basis) == (DOALL, "trivial")
+
+    def test_raising_body_yields_opaque_speculate(self):
+        def body(ctx, i):
+            raise RuntimeError("boom")
+
+        loop = SpeculativeLoop(
+            "boom", 8, body, arrays=[ArraySpec("A", np.zeros(8))]
+        )
+        cert = certify_loop(loop)
+        assert (cert.verdict, cert.basis, cert.exact) == (
+            SPECULATE, "opaque", False
+        )
+        assert "probe aborted" in cert.reason
+
+    def test_fastpath_requires_exactness_unless_trusted(self):
+        cert = certify_loop(strided_doall_loop(10_000))
+        assert fastpath_strategy(cert, RuntimeConfig.adaptive()) is None
+        trusted = fastpath_strategy(
+            cert, RuntimeConfig.adaptive(certify="trust")
+        )
+        assert trusted is not None and trusted.name == "certified-doall"
+
+
+# -- soundness: differential oracle over the corpus --------------------------------
+
+
+def _corpus():
+    return {
+        "doall": fully_parallel_loop(96),
+        "strided-doall": strided_doall_loop(256, stride=2),
+        "prefix-sum": prefix_sum_loop(96),
+        "chain-sparse": chain_loop(96, [24, 48, 72]),
+        "privatizable": privatizable_loop(96),
+        "copyin": copyin_loop(96),
+        "random-mid": random_dependence_loop(96, 0.3, 6, seed=5),
+        "stencil": stencil_loop(96, radius=1),
+        "pointer-chase": pointer_chase_loop(96, seed=1),
+        "gather": gather_loop(96, fan_in=4, seed=2),
+        "scatter": scatter_loop(96, n_targets=12, seed=3),
+    }
+
+
+def _replay_conflicts(loop) -> int:
+    """Independent oracle: shadow-marked serial replay.
+
+    Executes the loop with plain sequential semantics while recording
+    every element access, then counts elements shared across iterations
+    with at least one write -- deliberately *not* reusing the certifier's
+    own dependence machinery.
+    """
+    memory = loop.materialize()
+    ctx = SequentialContext(
+        memory,
+        reductions=loop.reductions,
+        inductions=loop.initial_inductions(),
+        trace=True,
+    )
+    for i in range(loop.n_iterations):
+        ctx.iteration = i
+        loop.body(ctx, i)
+        if ctx.exited:
+            break
+    touched: dict[tuple[str, int], set[int]] = {}
+    written: dict[tuple[str, int], set[int]] = {}
+    for rec in ctx.records:
+        key = (rec.array, rec.index)
+        touched.setdefault(key, set()).add(rec.iteration)
+        if rec.kind in ("w", "u"):
+            written.setdefault(key, set()).add(rec.iteration)
+    return sum(
+        1
+        for key, iters in touched.items()
+        if len(iters) > 1 and key in written
+    )
+
+
+class TestSoundnessOracle:
+    @pytest.mark.parametrize("name", sorted(_corpus()))
+    def test_exact_certificates_agree_with_shadow_replay(self, name):
+        loop = _corpus()[name]
+        cert = certify_loop(loop)
+        if not cert.exact:
+            pytest.skip("model evidence; the exactness oracle does not apply")
+        conflicts = _replay_conflicts(loop)
+        if cert.verdict == DOALL:
+            assert conflicts == 0, f"{name}: certified DOALL but replay conflicts"
+        elif cert.verdict == SEQUENTIAL:
+            assert conflicts > 0, f"{name}: certified SEQUENTIAL but replay clean"
+
+    @pytest.mark.parametrize("name", sorted(_corpus()))
+    def test_certified_runs_match_sequential(self, name):
+        loop = _corpus()[name]
+        res = parallelize(loop, P)
+        assert_matches_sequential(res, _corpus()[name])
+
+
+# -- the fast path ----------------------------------------------------------------
+
+
+class TestFastPath:
+    def test_doall_takes_one_plain_stage(self):
+        res = parallelize(fully_parallel_loop(64), P)
+        assert res.strategy == "certified-doall"
+        assert res.n_stages == 1 and res.n_restarts == 0
+        assert res.certificate.verdict == DOALL
+
+    def test_doall_charges_only_work_and_sync(self):
+        res = parallelize(fully_parallel_loop(64), P)
+        # No marking, no copy-in, no checkpoint, no analysis, no commit
+        # copy-out: the virtual time is the work itself (split across P
+        # processors) plus the per-stage synchronization charge.
+        breakdown = {cat.name: t for cat, t in res.stages[0].breakdown.items()}
+        assert set(breakdown) == {"WORK", "SYNC"}
+        assert breakdown["WORK"] == pytest.approx(64 / P)
+        spec = parallelize(
+            fully_parallel_loop(64), P, RuntimeConfig.adaptive(certify="off")
+        )
+        assert res.speedup > spec.speedup
+        assert res.total_time < spec.total_time
+
+    def test_sequential_runs_in_order_on_one_processor(self):
+        res = parallelize(prefix_sum_loop(64), P)
+        assert res.strategy == "certified-seq"
+        assert res.n_stages == 1 and res.n_restarts == 0
+
+    def test_sequential_with_exit_matches_reference(self):
+        def body(ctx, i):
+            prev = ctx.load("A", i - 1) if i else 0.0
+            ctx.store("A", i, prev + 1.0)
+            if prev >= 9.0:
+                ctx.exit_loop()
+
+        def make():
+            return SpeculativeLoop(
+                "exit-chain", 64, body,
+                arrays=[ArraySpec("A", np.zeros(64))],
+            )
+
+        res = parallelize(make(), P)
+        assert res.strategy == "certified-seq"
+        assert res.exit_iteration == 9
+        assert_matches_sequential(res, make())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("loop_name", ["strided-doall", "prefix-sum"])
+    def test_bit_identical_across_backends(self, loop_name, backend):
+        factory = _corpus()
+        serial = summarize(parallelize(factory[loop_name], P))
+        got = summarize(
+            parallelize(
+                _corpus()[loop_name], P,
+                RuntimeConfig.adaptive(backend=backend, backend_workers=P),
+            )
+        )
+        assert got == serial
+
+    def test_weighted_partition_respected(self):
+        loop = fully_parallel_loop(64)
+        weights = np.ones(64)
+        weights[:8] = 50.0
+        res = parallelize(loop, P, weights=weights)
+        assert res.strategy == "certified-doall"
+        sizes = [len(b) for b in res.stages[0].blocks]
+        assert min(sizes) < max(sizes)  # heavy prefix got a narrow block
+        assert_matches_sequential(res, fully_parallel_loop(64))
+
+    def test_explicit_strategy_bypasses_certification(self):
+        res = parallelize(
+            fully_parallel_loop(32), P, RuntimeConfig.nrd(),
+        )
+        # Config-level default still certifies...
+        assert res.strategy == "certified-doall"
+        from repro.core.rlrpd import BlockedNRD
+
+        # ...but an explicit strategy object is always honored.
+        res2 = parallelize(
+            fully_parallel_loop(32), P, RuntimeConfig.nrd(),
+            strategy=BlockedNRD(),
+        )
+        assert res2.strategy == "NRD"
+        assert res2.certificate is None
+
+    def test_fastpath_strategy_rejects_fault_plans(self):
+        from repro.core.fastpath import CertifiedDoall
+        from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+        cert = certify_loop(fully_parallel_loop(16))
+        plan = FaultPlan(
+            events=(FaultEvent(FaultKind.FAIL_STOP, stage=0, proc=1),)
+        )
+        with pytest.raises(ConfigurationError):
+            parallelize(
+                fully_parallel_loop(16), P,
+                RuntimeConfig.nrd(fault_plan=plan),
+                strategy=CertifiedDoall(cert),
+            )
+
+
+# -- mode semantics ---------------------------------------------------------------
+
+
+class TestCertifyModes:
+    def test_off_reproduces_the_speculative_pipeline(self, tmp_path):
+        # On a SPECULATE loop the hint-mode run must be byte-identical to
+        # certify=off: hints only reorder predictor exploration, they never
+        # perturb a single run's schedule or events.
+        loop = lambda: random_dependence_loop(128, 0.3, 6, seed=5)  # noqa: E731
+        off_trace = tmp_path / "off.jsonl"
+        hint_trace = tmp_path / "hint.jsonl"
+        off = parallelize(
+            loop(), P,
+            RuntimeConfig.adaptive(certify="off", trace_path=str(off_trace)),
+        )
+        hint = parallelize(
+            loop(), P,
+            RuntimeConfig.adaptive(certify="hint", trace_path=str(hint_trace)),
+        )
+        assert summarize(hint) == summarize(off)
+        assert hint_trace.read_bytes() == off_trace.read_bytes()
+
+    def test_off_disables_the_fast_path(self):
+        res = parallelize(
+            fully_parallel_loop(64), P, RuntimeConfig.adaptive(certify="off")
+        )
+        assert res.strategy == "RD-adaptive"
+        assert res.certificate is None
+
+    def test_trust_acts_on_model_evidence(self):
+        loop = strided_doall_loop(6000)
+        hint = parallelize(loop, P)
+        assert hint.strategy != "certified-doall"  # affine evidence only
+        trust = parallelize(
+            strided_doall_loop(6000), P, RuntimeConfig.adaptive(certify="trust")
+        )
+        assert trust.strategy == "certified-doall"
+        assert_matches_sequential(trust, strided_doall_loop(6000))
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig.adaptive(certify="yolo")
+
+
+# -- observability ----------------------------------------------------------------
+
+
+class TestSurfacing:
+    def test_certificate_on_result_and_summary(self):
+        res = parallelize(fully_parallel_loop(32), P)
+        assert res.certificate.verdict == DOALL
+        assert res.summary()["certificate"] == DOALL
+
+    def test_speculate_certificate_still_surfaced(self):
+        res = parallelize(random_dependence_loop(64, 0.3, 4, seed=5), P)
+        assert res.certificate is not None
+        assert res.certificate.verdict == SPECULATE
+
+    def test_stage_trace_leads_with_certificate(self):
+        from repro.bench.trace import render_stage_trace
+
+        res = parallelize(fully_parallel_loop(32), P)
+        text = render_stage_trace(res)
+        assert text.startswith("certificate: DOALL [trace/exact]")
+
+    def test_report_names_the_fast_path(self, tmp_path):
+        from repro.obs.report import load_trace, run_report
+
+        trace = tmp_path / "trace.jsonl"
+        parallelize(
+            fully_parallel_loop(32), P,
+            RuntimeConfig.adaptive(trace_path=str(trace)),
+        )
+        report = run_report(load_trace(str(trace)))
+        assert "certified fast path" in report

@@ -1,0 +1,121 @@
+"""Edge-case and property coverage for the dependence-parameter estimators.
+
+:func:`repro.model.classify.estimate_alpha` / :func:`estimate_beta` are
+fed by arbitrary :class:`RunResult` stage series, including the degenerate
+shapes the adaptive machinery produces (zero-iteration loops, one-stage
+runs, terminal stages committing everything at once).  The estimators must
+return ``None`` -- never divide by zero or emit NaN -- on unobservable
+inputs, and must round-trip the planted parameter on clean synthetic
+geometric/linear decks across the whole parameter range.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RuntimeConfig
+from repro.core.rlrpd import run_blocked
+from repro.model.classify import (
+    classify_loop,
+    estimate_alpha,
+    estimate_beta,
+    remaining_series,
+)
+from repro.workloads.synthetic import (
+    chain_loop,
+    fully_parallel_loop,
+    geometric_rd_targets,
+    linear_chain_targets,
+)
+
+
+def _fake_run(n: int, remaining: list[int]) -> SimpleNamespace:
+    """Minimal RunResult stand-in: ``remaining`` is the per-stage
+    remaining-after series; committed counts follow from the deltas."""
+    stages = []
+    before = n
+    for after in remaining:
+        stages.append(
+            SimpleNamespace(
+                remaining_after=after, committed_iterations=before - after
+            )
+        )
+        before = after
+    return SimpleNamespace(n_iterations=n, stages=stages)
+
+
+class TestEstimatorEdgeCases:
+    def test_zero_iteration_run(self):
+        run = _fake_run(0, [])
+        assert estimate_alpha(run) is None
+        assert estimate_beta(run) is None
+        assert classify_loop(run).kind == "parallel"
+
+    def test_zero_iterations_with_one_empty_stage(self):
+        run = _fake_run(0, [0])
+        assert estimate_alpha(run) is None
+        assert estimate_beta(run) is None
+
+    def test_single_stage_run_alpha_unobservable(self):
+        run = _fake_run(64, [0])
+        assert estimate_alpha(run) is None
+        assert estimate_beta(run) == pytest.approx(0.0)
+        assert classify_loop(run).kind == "parallel"
+
+    def test_monotone_degenerate_one_iteration_per_stage(self):
+        # A fully sequentialized loop: remaining drops by one each stage.
+        n = 8
+        run = _fake_run(n, list(range(n - 1, -1, -1)))
+        alpha = estimate_alpha(run)
+        assert alpha is not None and 0.0 < alpha < 1.0
+        beta = estimate_beta(run)
+        assert beta == pytest.approx(1.0 - 1.0 / n)
+        # Remaining falls by a constant count, not a constant fraction.
+        assert classify_loop(run).kind == "linear"
+
+    def test_stalled_series_yields_alpha_one(self):
+        # Defensive shape: a stage that commits nothing must not produce
+        # alpha > 1 or a crash.
+        run = _fake_run(64, [32, 32, 0])
+        alpha = estimate_alpha(run)
+        assert alpha is not None and alpha <= 1.0
+
+    def test_terminal_zero_excluded_from_alpha(self):
+        # remaining 64 -> 32 -> 0: the final ratio 0/32 is unobservable in
+        # log space and must be skipped, not crash the geometric mean.
+        run = _fake_run(64, [32, 0])
+        assert estimate_alpha(run) == pytest.approx(0.5)
+
+    def test_remaining_series_shape(self):
+        run = _fake_run(16, [8, 0])
+        assert remaining_series(run) == [16, 8, 0]
+
+
+class TestRoundTrip:
+    @settings(max_examples=12, deadline=None)
+    @given(alpha=st.sampled_from([0.3, 0.4, 0.5, 0.6, 0.7]))
+    def test_geometric_deck_round_trips_alpha(self, alpha):
+        n, p = 1024, 8
+        loop = chain_loop(n, geometric_rd_targets(n, alpha, p))
+        res = run_blocked(loop, p, RuntimeConfig.rd())
+        est = estimate_alpha(res)
+        assert est == pytest.approx(alpha, abs=0.12)
+        assert classify_loop(res).kind == "geometric"
+
+    @settings(max_examples=8, deadline=None)
+    @given(p=st.sampled_from([2, 4, 8, 16]))
+    def test_linear_deck_round_trips_beta(self, p):
+        n = 512
+        loop = chain_loop(n, linear_chain_targets(n, p))
+        res = run_blocked(loop, p, RuntimeConfig.nrd())
+        assert estimate_beta(res) == pytest.approx((p - 1) / p, abs=0.05)
+        if p > 2:  # p=2 is a 2-stage series; both models fit it exactly
+            assert classify_loop(res).kind == "linear"
+
+    def test_parallel_deck_is_unclassifiable_not_misclassified(self):
+        res = run_blocked(fully_parallel_loop(256), 8, RuntimeConfig.nrd())
+        verdict = classify_loop(res)
+        assert verdict.kind == "parallel"
+        assert verdict.alpha is None

@@ -174,8 +174,11 @@ class TestEngineIntegration:
         from repro.core.runner import parallelize
         from repro.workloads.synthetic import fully_parallel_loop
 
+        # certify="off": the speculative pipeline's counters are the target
+        # (the certified fast path skips marking/commit wholesale).
         result = parallelize(
-            fully_parallel_loop(32), 2, RuntimeConfig.nrd(metrics=True)
+            fully_parallel_loop(32), 2,
+            RuntimeConfig.nrd(metrics=True, certify="off"),
         )
         counters = result.metrics["counters"]
         assert counters["exec.blocks"] == 2

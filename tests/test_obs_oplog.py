@@ -186,8 +186,12 @@ class TestAdoption:
         loop = SpeculativeLoop(
             "stall_doall", 16, body, arrays=[ArraySpec("A", np.zeros(16))]
         )
+        # certify="off": the stall closure is stateful, so a certification
+        # probe would both consume the stall and hide the supervision path
+        # under test.
         parallelize(loop, 4, RuntimeConfig.nrd(
             backend="threads", backend_workers=4, worker_timeout=0.15,
+            certify="off",
         ))
         records = _records(path)
         by_component = {r["component"] for r in records}

@@ -222,3 +222,69 @@ class TestSecondOrderFeedback:
         t1 = bottleneck(first.predict("x", 256), actual)
         t2 = bottleneck(second.predict("x", 256), actual)
         assert t2 <= t1 + 1e-9
+
+
+class TestCertificateHints:
+    """Certificates feed the predictors without overriding measurements."""
+
+    def _cert(self, **kw):
+        from repro.model.certify import LoopCertificate
+
+        defaults = dict(
+            loop_name="L", verdict="SPECULATE", basis="trace", exact=True,
+            reason="test",
+        )
+        defaults.update(kw)
+        return LoopCertificate(**defaults)
+
+    def test_hint_promotes_matching_candidate(self):
+        pred = StrategyPredictor(CANDIDATES)
+        pred.note_hint("L", self._cert(strategy_hint="sw", window_hint=16))
+        assert pred.choose("L").label().startswith("SW")
+        # Other loops keep the default exploration order.
+        assert pred.choose("M").label() == CANDIDATES[0].label()
+
+    def test_adaptive_hint_matches_label(self):
+        pred = StrategyPredictor(CANDIDATES)
+        pred.note_hint("L", self._cert(strategy_hint="adaptive"))
+        assert pred.choose("L").label() == "RD-adaptive"
+
+    def test_unknown_or_absent_hint_is_a_noop(self):
+        pred = StrategyPredictor(CANDIDATES)
+        pred.note_hint("L", self._cert(strategy_hint=None))
+        pred.note_hint("L", self._cert(strategy_hint="warp-drive"))
+        assert pred.choose("L").label() == CANDIDATES[0].label()
+
+    def test_measurements_retain_the_final_say(self):
+        pred = StrategyPredictor(CANDIDATES)
+        pred.note_hint("x", self._cert(strategy_hint="sw", window_hint=16))
+        for _ in range(3):
+            cfg = pred.choose("x")
+            pred.record(
+                "x", cfg,
+                parallelize(fully_parallel_loop(64), 4,
+                            cfg.with_options(certify="off")),
+            )
+        # SW was explored first (the hint), but blocked strategies win the
+        # exploitation phase on a fully parallel loop.
+        assert pred.choose("x").label() in ("NRD", "RD-adaptive")
+
+    def test_window_seed_sets_initial_window(self):
+        pred = WindowPredictor(initial=8)
+        pred.seed("L", self._cert(strategy_hint="sw", window_hint=32))
+        assert pred.window_for("L") == 32
+
+    def test_window_seed_clamped_to_bounds(self):
+        pred = WindowPredictor(initial=8, minimum=4, maximum=64)
+        pred.seed("L", self._cert(strategy_hint="sw", window_hint=1 << 20))
+        assert pred.window_for("L") == 64
+
+    def test_window_seed_never_resets_a_climb(self):
+        pred = WindowPredictor(initial=8)
+        res = parallelize(
+            fully_parallel_loop(64), 4, RuntimeConfig.sw(8, certify="off")
+        )
+        pred.record("L", res)
+        climbed = pred.window_for("L")
+        pred.seed("L", self._cert(strategy_hint="sw", window_hint=2))
+        assert pred.window_for("L") == climbed

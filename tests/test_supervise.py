@@ -135,7 +135,11 @@ class TestKillRecovery:
 
         monkeypatch.setattr(shm_mod.ShmArena, "_new_shm", spying_new)
 
-        serial = summarize(parallelize(_slow_doall(), P, RuntimeConfig.nrd()))
+        # certify="off" keeps the baseline on the same speculative pipeline
+        # as the chaos run (os_chaos disables certification dispatch).
+        serial = summarize(
+            parallelize(_slow_doall(), P, RuntimeConfig.nrd(certify="off"))
+        )
         result = parallelize(
             _slow_doall(), P,
             RuntimeConfig.nrd(
@@ -299,13 +303,15 @@ class TestThreadsCancellation:
         monkeypatch.setenv("REPRO_SUPERVISE_LOG", str(log_path))
         serial = summarize(
             parallelize(
-                self._stall_loop({"left": 0}), P, RuntimeConfig.nrd()
+                self._stall_loop({"left": 0}), P,
+                RuntimeConfig.nrd(certify="off"),
             )
         )
         result = parallelize(
             self._stall_loop({"left": 1}), P,
             RuntimeConfig.nrd(
                 backend="threads", backend_workers=P, worker_timeout=0.15,
+                certify="off",
             ),
         )
         assert summarize(result) == serial
@@ -324,14 +330,15 @@ class TestThreadsCancellation:
         trace = tmp_path / "trace.jsonl"
         serial = summarize(
             parallelize(
-                self._stall_loop({"left": 0}), P, RuntimeConfig.nrd()
+                self._stall_loop({"left": 0}), P,
+                RuntimeConfig.nrd(certify="off"),
             )
         )
         result = parallelize(
             self._stall_loop({"left": 10**9}), P,
             RuntimeConfig.nrd(
                 backend="threads", backend_workers=P, worker_timeout=0.15,
-                max_worker_respawns=8, trace_path=str(trace),
+                max_worker_respawns=8, trace_path=str(trace), certify="off",
             ),
         )
         assert summarize(result) == serial
@@ -353,7 +360,8 @@ class TestThreadsCancellation:
         log_path = tmp_path / "supervise.jsonl"
         serial = summarize(
             parallelize(
-                self._stall_loop({"left": 0}), P, RuntimeConfig.nrd()
+                self._stall_loop({"left": 0}), P,
+                RuntimeConfig.nrd(certify="off"),
             )
         )
         import pytest as _pytest
@@ -365,6 +373,7 @@ class TestThreadsCancellation:
                 RuntimeConfig.nrd(
                     backend="threads", backend_workers=P,
                     worker_timeout=0.15, max_worker_respawns=0,
+                    certify="off",
                 ),
             )
         assert summarize(result) == serial
@@ -389,13 +398,13 @@ class TestThreadsCancellation:
         chaos_trace = tmp_path / "chaos.jsonl"
         parallelize(
             self._stall_loop({"left": 0}), P,
-            RuntimeConfig.nrd(trace_path=str(serial_trace)),
+            RuntimeConfig.nrd(trace_path=str(serial_trace), certify="off"),
         )
         result = parallelize(
             self._stall_loop({"left": 1}), P,
             RuntimeConfig.nrd(
                 backend="threads", backend_workers=P, worker_timeout=0.15,
-                trace_path=str(chaos_trace),
+                trace_path=str(chaos_trace), certify="off",
             ),
         )
         assert result.supervision["supervise.overdue"] >= 1

@@ -18,9 +18,18 @@ from tests.conftest import assert_matches_sequential
 
 class TestStencil:
     def test_every_boundary_fails(self):
+        # certify="off": the certifier proves this stencil SEQUENTIAL and
+        # would skip the speculative sequentialization under test.
+        loop = stencil_loop(64, radius=1)
+        res = parallelize(loop, 8, RuntimeConfig.nrd(certify="off"))
+        assert res.n_stages == 8  # sequentialized at processor granularity
+        assert_matches_sequential(res, loop)
+
+    def test_certifier_routes_stencil_to_in_order_fast_path(self):
         loop = stencil_loop(64, radius=1)
         res = parallelize(loop, 8, RuntimeConfig.nrd())
-        assert res.n_stages == 8  # sequentialized at processor granularity
+        assert res.strategy == "certified-seq"
+        assert res.n_stages == 1
         assert_matches_sequential(res, loop)
 
     def test_radius_validation(self):
@@ -71,7 +80,7 @@ class TestPointerChase:
         """The R-LRPD guarantee on the worst case: near-sequential time,
         never a blow-up."""
         loop = pointer_chase_loop(128, seed=1)
-        res = parallelize(loop, 8, RuntimeConfig.nrd())
+        res = parallelize(loop, 8, RuntimeConfig.nrd(certify="off"))
         assert res.n_stages == 8
         assert res.total_time < 1.6 * res.sequential_work
         assert_matches_sequential(res, loop)
